@@ -1,0 +1,74 @@
+//! Design-choice ablation: the cost of the aref abstraction itself — the
+//! parity-lowered channel vs the abstract ring on a million-transfer
+//! producer/consumer stream (validates that the §III-E lowering adds no
+//! algorithmic overhead), plus D-depth throughput scaling in the full
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_core::aref::ArefRing;
+use tawa_core::parity::ParityChannel;
+use tawa_core::{compile_and_simulate, CompileOptions};
+use tawa_frontend::config::GemmConfig;
+use tawa_frontend::kernels::gemm;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_aref");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("abstract_ring_1m_transfers", |b| {
+        b.iter(|| {
+            let mut r: ArefRing<u64> = ArefRing::new(3);
+            let mut got = 0u64;
+            for i in 0..1_000_000u64 {
+                while !r.can_put() {
+                    let v = *r.get().unwrap();
+                    r.consumed().unwrap();
+                    got = got.wrapping_add(v);
+                }
+                r.put(i).unwrap();
+            }
+            while r.can_get() {
+                got = got.wrapping_add(*r.get().unwrap());
+                r.consumed().unwrap();
+            }
+            got
+        })
+    });
+    g.bench_function("parity_channel_1m_transfers", |b| {
+        b.iter(|| {
+            let mut ch: ParityChannel<u64> = ParityChannel::new(3);
+            let mut got = 0u64;
+            for i in 0..1_000_000u64 {
+                while !ch.can_put() {
+                    got = got.wrapping_add(ch.try_get().unwrap());
+                    ch.release();
+                }
+                assert!(ch.try_put(i));
+            }
+            while ch.can_get() {
+                got = got.wrapping_add(ch.try_get().unwrap());
+                ch.release();
+            }
+            got
+        })
+    });
+    let device = Device::h100_sxm5();
+    let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192));
+    for d in [1usize, 2, 3] {
+        g.bench_function(format!("simulated_gemm_D{d}"), |b| {
+            let opts = CompileOptions {
+                aref_depth: d,
+                mma_depth: 1,
+                ..CompileOptions::default()
+            };
+            b.iter(|| compile_and_simulate(&m, &spec, &opts, &device).unwrap().tflops)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

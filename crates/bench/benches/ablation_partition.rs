@@ -1,0 +1,47 @@
+//! Design-choice ablation: compile-time cost of the task-aware
+//! partitioning pass and the whole pass pipeline (IR-level), showing the
+//! compiler stays interactive even for the largest kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tawa_core::partition::warp_specialize_func;
+use tawa_core::pipeline::{CoarsePipeline, FineGrainedPipeline};
+use tawa_frontend::config::{AttentionConfig, GemmConfig};
+use tawa_frontend::kernels::{attention, gemm};
+use tawa_ir::pass::PassManager;
+use tawa_ir::types::DType;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_partition");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    let (gemm_m, _) = gemm(&GemmConfig::new(8192, 8192, 16384));
+    g.bench_function("partition_gemm", |b| {
+        b.iter(|| {
+            let mut m = gemm_m.clone();
+            warp_specialize_func(&mut m.funcs[0], 2).unwrap()
+        })
+    });
+    let (attn_m, _) = attention(&AttentionConfig::paper(16384, true, DType::F16));
+    g.bench_function("partition_attention_causal", |b| {
+        b.iter(|| {
+            let mut m = attn_m.clone();
+            warp_specialize_func(&mut m.funcs[0], 2).unwrap()
+        })
+    });
+    g.bench_function("full_pass_pipeline_attention", |b| {
+        b.iter(|| {
+            let mut m = attn_m.clone();
+            warp_specialize_func(&mut m.funcs[0], 2).unwrap();
+            let mut pm = PassManager::new();
+            pm.add(Box::new(FineGrainedPipeline { depth: 2 }))
+                .add(Box::new(CoarsePipeline));
+            pm.run(&mut m).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

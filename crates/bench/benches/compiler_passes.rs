@@ -1,0 +1,34 @@
+//! Compiler infrastructure micro-benchmarks: IR construction, printing,
+//! parsing, verification and end-to-end compilation latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_core::{compile, CompileOptions};
+use tawa_frontend::config::GemmConfig;
+use tawa_frontend::kernels::gemm;
+use tawa_ir::parse::parse_module;
+use tawa_ir::print::print_module;
+use tawa_ir::verify::verify_module;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler_passes");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    let cfg = GemmConfig::new(8192, 8192, 8192);
+    g.bench_function("frontend_build", |b| b.iter(|| gemm(&cfg)));
+    let (m, spec) = gemm(&cfg);
+    g.bench_function("verify", |b| b.iter(|| verify_module(&m).unwrap()));
+    g.bench_function("print", |b| b.iter(|| print_module(&m)));
+    let text = print_module(&m);
+    g.bench_function("parse", |b| b.iter(|| parse_module(&text).unwrap()));
+    let device = Device::h100_sxm5();
+    g.bench_function("compile_to_wsir", |b| {
+        b.iter(|| compile(&m, &spec, &CompileOptions::default(), &device).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

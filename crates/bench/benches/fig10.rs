@@ -1,0 +1,30 @@
+//! Criterion wrapper for experiment E4 (Fig. 10): attention frameworks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_frontend::config::AttentionConfig;
+use tawa_ir::types::DType;
+use tawa_kernels::frameworks as fw;
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let cfg = AttentionConfig::paper(8192, false, DType::F16);
+    let mut g = c.benchmark_group("fig10_mha");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("tawa", |b| {
+        b.iter(|| fw::tawa_attention(&cfg, &device).unwrap().tflops)
+    });
+    g.bench_function("fa3", |b| {
+        b.iter(|| fw::fa3_attention(&cfg, &device).unwrap().tflops)
+    });
+    g.bench_function("triton_fa2", |b| {
+        b.iter(|| fw::triton_attention(&cfg, &device).unwrap().tflops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper for experiment E5 (Fig. 11): the D × P sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_bench::{fig11, Scale};
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let mut g = c.benchmark_group("fig11_hyperparam");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("nonpersistent_heatmap", |b| {
+        b.iter(|| fig11::run_panel(&device, false, Scale::Quick))
+    });
+    g.bench_function("persistent_heatmap", |b| {
+        b.iter(|| fig11::run_panel(&device, true, Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper for experiments E6/E7 (Fig. 12): the ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_bench::{fig12, Scale};
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let mut g = c.benchmark_group("fig12_ablation");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("gemm_ablation", |b| {
+        b.iter(|| fig12::run_gemm(&device, Scale::Quick))
+    });
+    g.bench_function("mha_ablation", |b| {
+        b.iter(|| fig12::run_mha(&device, Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

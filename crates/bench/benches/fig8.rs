@@ -1,0 +1,34 @@
+//! Criterion wrapper for experiment E1 (Fig. 8): compile+simulate time of
+//! each framework on the GEMM workload, and the measured TFLOP/s printed
+//! as auxiliary output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_frontend::config::GemmConfig;
+use tawa_kernels::frameworks as fw;
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let cfg = GemmConfig::new(8192, 8192, 4096);
+    let mut g = c.benchmark_group("fig8_gemm");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("tawa", |b| {
+        b.iter(|| fw::tawa_gemm(&cfg, &device).unwrap().tflops)
+    });
+    g.bench_function("cublas", |b| {
+        b.iter(|| fw::cublas_gemm(&cfg, &device).unwrap().tflops)
+    });
+    g.bench_function("triton", |b| {
+        b.iter(|| fw::triton_gemm(&cfg, &device).unwrap().tflops)
+    });
+    g.bench_function("tilelang", |b| {
+        b.iter(|| fw::tilelang_gemm(&cfg, &device).unwrap().tflops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

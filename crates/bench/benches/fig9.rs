@@ -1,0 +1,25 @@
+//! Criterion wrapper for experiments E2/E3 (Fig. 9): batched and grouped
+//! GEMM harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gpu_sim::Device;
+use tawa_bench::{fig9, Scale};
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let mut g = c.benchmark_group("fig9_variants");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("batched_panel", |b| {
+        b.iter(|| fig9::run_batched(&device, Scale::Quick))
+    });
+    g.bench_function("grouped_panel", |b| {
+        b.iter(|| fig9::run_grouped(&device, Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runs the complete evaluation: every figure of the paper in sequence.
+//! Pass `--quick` for a fast subset.
+
+use gpu_sim::Device;
+use tawa_bench::{fig10, fig11, fig12, fig8, fig9, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let device = Device::h100_sxm5();
+    println!("# Tawa reproduction — full evaluation\n");
+    println!("Device: {} | scale: {scale:?}\n", device.name);
+    for fig in fig8::run(&device, scale) {
+        println!("{}", fig.to_markdown());
+    }
+    for fig in fig9::run(&device, scale) {
+        println!("{}", fig.to_markdown());
+    }
+    for fig in fig10::run(&device, scale) {
+        println!("{}", fig.to_markdown());
+    }
+    for map in fig11::run(&device, scale) {
+        println!("{}", map.to_markdown());
+    }
+    for abl in fig12::run(&device, scale) {
+        println!("{}", abl.to_markdown());
+    }
+}

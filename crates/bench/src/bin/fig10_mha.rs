@@ -1,0 +1,33 @@
+//! Regenerates Fig. 10: the four MHA panels (FP16/FP8 × causal/non-causal).
+//! `--summary` prints the Tawa/FA3 ratios of §V-D (experiment E9).
+
+use gpu_sim::Device;
+use tawa_bench::{fig10, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let device = Device::h100_sxm5();
+    for fig in fig10::run(&device, scale) {
+        if args.iter().any(|a| a == "--csv") {
+            println!("{}", fig.to_csv());
+        } else {
+            println!("{}", fig.to_markdown());
+        }
+        if args.iter().any(|a| a == "--summary") {
+            if let Some(ratio) = fig.geomean_speedup("Tawa", "FA3 (CUTLASS)") {
+                println!("Tawa reaches {:.0}% of FA3 ({})", ratio * 100.0, fig.title);
+            }
+            for other in ["Triton", "TileLang", "ThunderKittens"] {
+                if let Some(s) = fig.geomean_speedup("Tawa", other) {
+                    println!("  speedup vs {other}: {s:.2}x");
+                }
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 11: the D × P heatmaps for (non-)persistent GEMM.
+
+use gpu_sim::Device;
+use tawa_bench::{fig11, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let device = Device::h100_sxm5();
+    for map in fig11::run(&device, scale) {
+        println!("{}", map.to_markdown());
+        let (d, p, v) = map.argmax();
+        println!("best: D={d}, P={p} at {v:.0} TFLOP/s\n");
+    }
+}

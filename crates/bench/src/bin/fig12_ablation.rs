@@ -1,0 +1,17 @@
+//! Regenerates Fig. 12: the GEMM and MHA optimization ablations.
+
+use gpu_sim::Device;
+use tawa_bench::{fig12, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let device = Device::h100_sxm5();
+    for abl in fig12::run(&device, scale) {
+        println!("{}", abl.to_markdown());
+    }
+}

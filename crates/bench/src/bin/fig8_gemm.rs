@@ -1,0 +1,32 @@
+//! Regenerates Fig. 8: GEMM FP16/FP8 K-sweeps. `--quick` for a subset,
+//! `--summary` for the §V-B speedup table (experiment E8), `--csv` for CSV.
+
+use gpu_sim::Device;
+use tawa_bench::{fig8, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let device = Device::h100_sxm5();
+    let figures = fig8::run(&device, scale);
+    for fig in &figures {
+        if args.iter().any(|a| a == "--csv") {
+            println!("{}", fig.to_csv());
+        } else {
+            println!("{}", fig.to_markdown());
+        }
+        if args.iter().any(|a| a == "--summary") {
+            println!("Average Tawa speedups ({}):", fig.title);
+            for other in ["cuBLAS", "Triton", "TileLang", "ThunderKittens"] {
+                if let Some(s) = fig.geomean_speedup("Tawa", other) {
+                    println!("  vs {other}: {s:.2}x");
+                }
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 9: batched and grouped GEMM panels.
+
+use gpu_sim::Device;
+use tawa_bench::{fig9, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let device = Device::h100_sxm5();
+    for fig in fig9::run(&device, scale) {
+        if args.iter().any(|a| a == "--csv") {
+            println!("{}", fig.to_csv());
+        } else {
+            println!("{}", fig.to_markdown());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 11: the aref-size (D) × MMA-depth (P) heatmaps for persistent and
+//! non-persistent GEMM at `K = 16384` — the hyperparameter study of §V-E.
+//! Infeasible points (`D < P`) report zero, as in the paper.
+
+use gpu_sim::Device;
+use tawa_core::autotune::{autotune, TuneSpace};
+use tawa_core::CompileOptions;
+use tawa_frontend::config::{GemmConfig, Tile};
+use tawa_frontend::kernels::gemm;
+
+use crate::report::Scale;
+
+/// One heatmap: `values[d-1][p-1]` in TFLOP/s; 0.0 marks infeasible.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Panel name.
+    pub title: String,
+    /// Row-major `D × P` grid.
+    pub values: [[f64; 3]; 3],
+}
+
+impl Heatmap {
+    /// Renders the heatmap as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n| Aref size D \\ MMA depth P | 1 | 2 | 3 |\n|---|---|---|---|\n", self.title);
+        for (di, row) in self.values.iter().enumerate() {
+            out.push_str(&format!(
+                "| D={} | {:.0} | {:.0} | {:.0} |\n",
+                di + 1,
+                row[0],
+                row[1],
+                row[2]
+            ));
+        }
+        out
+    }
+
+    /// The best (D, P) cell.
+    pub fn argmax(&self) -> (usize, usize, f64) {
+        let mut best = (1, 1, 0.0);
+        for (di, row) in self.values.iter().enumerate() {
+            for (pi, &v) in row.iter().enumerate() {
+                if v > best.2 {
+                    best = (di + 1, pi + 1, v);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Runs one panel (persistent or not).
+pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
+    let k = match scale {
+        Scale::Quick => 4096,
+        Scale::Full => 16384,
+    };
+    let cfg = GemmConfig::new(8192, 8192, k).with_tile(Tile::LARGE);
+    let (module, spec) = gemm(&cfg);
+    let base = CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    };
+    let result = autotune(
+        &module,
+        &spec,
+        &base,
+        &TuneSpace::fig11(persistent),
+        device,
+    );
+    let mut values = [[0.0; 3]; 3];
+    for p in &result.points {
+        values[p.aref_depth - 1][p.mma_depth - 1] = p.tflops.unwrap_or(0.0);
+    }
+    Heatmap {
+        title: format!(
+            "Fig. 11: {} GEMM (K={k})",
+            if persistent { "Persistent" } else { "Non-Persistent" }
+        ),
+        values,
+    }
+}
+
+/// Both panels.
+pub fn run(device: &Device, scale: Scale) -> Vec<Heatmap> {
+    vec![run_panel(device, false, scale), run_panel(device, true, scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_matches_paper() {
+        let dev = Device::h100_sxm5();
+        let maps = run(&dev, Scale::Quick);
+        for map in &maps {
+            // Infeasible upper triangle (D < P) is zero.
+            assert_eq!(map.values[0][1], 0.0);
+            assert_eq!(map.values[0][2], 0.0);
+            assert_eq!(map.values[1][2], 0.0);
+            // Performance increases with D at fixed P=1.
+            assert!(map.values[1][0] > map.values[0][0]);
+            assert!(map.values[2][0] >= map.values[1][0] * 0.95);
+        }
+        // Persistent beats non-persistent at the best cell.
+        let (_, _, best_np) = maps[0].argmax();
+        let (_, _, best_p) = maps[1].argmax();
+        assert!(best_p > best_np, "persistent {best_p} vs {best_np}");
+    }
+}

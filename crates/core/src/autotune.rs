@@ -1,0 +1,216 @@
+//! Hyperparameter search over the Tawa scheduling space (paper §V-E).
+//!
+//! The paper selects the aref ring size `D` and the MMA pipeline depth `P`
+//! manually per kernel; this module automates the sweep over
+//! `(D, P, cooperative, persistent)` with feasibility pruning (`D ≥ P`,
+//! register and shared-memory budgets) and simulator-in-the-loop scoring —
+//! and regenerates the Fig. 11 heatmaps.
+
+use gpu_sim::Device;
+use tawa_ir::func::Module;
+use tawa_ir::spec::LaunchSpec;
+
+use crate::compile::compile_and_simulate;
+use crate::lower::{CompileError, CompileOptions};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct TunePoint {
+    /// aref depth `D`.
+    pub aref_depth: usize,
+    /// MMA pipeline depth `P`.
+    pub mma_depth: usize,
+    /// Cooperative consumer warp groups.
+    pub cooperative: usize,
+    /// Persistent kernel.
+    pub persistent: bool,
+    /// Measured throughput; `None` when the point is infeasible (the zero
+    /// cells of Fig. 11).
+    pub tflops: Option<f64>,
+}
+
+/// Search-space bounds for [`autotune`].
+#[derive(Debug, Clone)]
+pub struct TuneSpace {
+    /// Candidate aref depths.
+    pub aref_depths: Vec<usize>,
+    /// Candidate MMA pipeline depths.
+    pub mma_depths: Vec<usize>,
+    /// Candidate cooperative consumer counts.
+    pub cooperative: Vec<usize>,
+    /// Whether to try persistent variants.
+    pub persistent: Vec<bool>,
+}
+
+impl Default for TuneSpace {
+    fn default() -> Self {
+        TuneSpace {
+            aref_depths: vec![1, 2, 3],
+            mma_depths: vec![1, 2, 3],
+            cooperative: vec![1, 2],
+            persistent: vec![false, true],
+        }
+    }
+}
+
+impl TuneSpace {
+    /// The D × P grid of Fig. 11 for a fixed cooperation/persistence.
+    pub fn fig11(persistent: bool) -> TuneSpace {
+        TuneSpace {
+            aref_depths: vec![1, 2, 3],
+            mma_depths: vec![1, 2, 3],
+            cooperative: vec![2],
+            persistent: vec![persistent],
+        }
+    }
+}
+
+/// Result of an autotuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Every evaluated point (feasible or not), in sweep order.
+    pub points: Vec<TunePoint>,
+    /// Index of the best feasible point.
+    pub best: Option<usize>,
+}
+
+impl TuneResult {
+    /// Options corresponding to the best point.
+    pub fn best_options(&self, base: &CompileOptions) -> Option<CompileOptions> {
+        let p = &self.points[self.best?];
+        Some(CompileOptions {
+            aref_depth: p.aref_depth,
+            mma_depth: p.mma_depth,
+            cooperative: p.cooperative,
+            persistent: p.persistent,
+            ..base.clone()
+        })
+    }
+
+    /// Best throughput found.
+    pub fn best_tflops(&self) -> Option<f64> {
+        self.best.and_then(|i| self.points[i].tflops)
+    }
+}
+
+/// Sweeps `space`, compiling and simulating each feasible configuration.
+pub fn autotune(
+    module: &Module,
+    spec: &LaunchSpec,
+    base: &CompileOptions,
+    space: &TuneSpace,
+    device: &Device,
+) -> TuneResult {
+    let mut points = Vec::new();
+    let mut best: Option<usize> = None;
+    for &persistent in &space.persistent {
+        for &coop in &space.cooperative {
+            for &d in &space.aref_depths {
+                for &p in &space.mma_depths {
+                    let opts = CompileOptions {
+                        aref_depth: d,
+                        mma_depth: p,
+                        cooperative: coop,
+                        persistent,
+                        ..base.clone()
+                    };
+                    let tflops = match compile_and_simulate(module, spec, &opts, device) {
+                        Ok(report) => Some(report.tflops),
+                        Err(CompileError::Infeasible(_)) => None,
+                        Err(CompileError::Unsupported(_)) => None,
+                    };
+                    let idx = points.len();
+                    points.push(TunePoint {
+                        aref_depth: d,
+                        mma_depth: p,
+                        cooperative: coop,
+                        persistent,
+                        tflops,
+                    });
+                    if let Some(t) = tflops {
+                        if best
+                            .map(|b| t > points[b].tflops.unwrap_or(0.0))
+                            .unwrap_or(true)
+                        {
+                            best = Some(idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    TuneResult { points, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tawa_frontend::config::GemmConfig;
+    use tawa_frontend::kernels::gemm;
+
+    #[test]
+    fn fig11_grid_has_infeasible_triangle() {
+        let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192));
+        let dev = Device::h100_sxm5();
+        let r = autotune(
+            &m,
+            &spec,
+            &CompileOptions::default(),
+            &TuneSpace::fig11(false),
+            &dev,
+        );
+        assert_eq!(r.points.len(), 9);
+        for p in &r.points {
+            if p.mma_depth > p.aref_depth {
+                assert!(
+                    p.tflops.is_none(),
+                    "D={} P={} must be infeasible",
+                    p.aref_depth,
+                    p.mma_depth
+                );
+            } else {
+                assert!(
+                    p.tflops.is_some(),
+                    "D={} P={} must be feasible",
+                    p.aref_depth,
+                    p.mma_depth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_point_is_feasible_and_deepest_helps() {
+        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192));
+        let dev = Device::h100_sxm5();
+        let r = autotune(
+            &m,
+            &spec,
+            &CompileOptions::default(),
+            &TuneSpace::fig11(true),
+            &dev,
+        );
+        let best = &r.points[r.best.expect("a feasible point")];
+        assert!(best.tflops.is_some());
+        // The paper's conclusion: larger D with moderate P wins.
+        assert!(best.aref_depth >= 2, "best D = {}", best.aref_depth);
+        let opts = r.best_options(&CompileOptions::default()).unwrap();
+        assert_eq!(opts.aref_depth, best.aref_depth);
+        assert_eq!(opts.persistent, true);
+    }
+
+    #[test]
+    fn full_space_includes_cooperation() {
+        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+        let dev = Device::h100_sxm5();
+        let r = autotune(
+            &m,
+            &spec,
+            &CompileOptions::default(),
+            &TuneSpace::default(),
+            &dev,
+        );
+        assert_eq!(r.points.len(), 3 * 3 * 2 * 2);
+        assert!(r.best_tflops().unwrap() > 100.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tawa-core
+//!
+//! The Tawa compiler — the primary contribution of "Tawa: Automatic Warp
+//! Specialization for Modern GPUs with Asynchronous References" (CGO 2026),
+//! reproduced in Rust.
+//!
+//! Starting from an unannotated, Triton-style tile program (`tawa-ir` +
+//! `tawa-frontend`), the compiler:
+//!
+//! 1. partitions it into producer/consumer warp groups with the task-aware
+//!    graph cut of §III-C ([`partition`]),
+//! 2. expresses all cross-warp-group communication with **asynchronous
+//!    references** whose formal semantics ([`aref`], paper Fig. 4) are
+//!    implemented as an executable specification and property-tested
+//!    against the parity-based mbarrier lowering ([`parity`], §III-E),
+//! 3. applies multi-granularity software pipelining ([`pipeline`], §III-D),
+//! 4. and lowers to the warp-specialized virtual ISA WSIR ([`lower`]),
+//!    including the cooperative-warp-group and persistent-kernel
+//!    optimizations of §IV.
+//!
+//! [`compile::compile`] is the `enable_warp_specialization=True` entry
+//! point; [`autotune`] sweeps the (D, P, persistence, cooperation) space of
+//! §V-E.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::Device;
+//! use tawa_core::compile::{compile_and_simulate};
+//! use tawa_core::lower::CompileOptions;
+//! use tawa_frontend::config::GemmConfig;
+//! use tawa_frontend::kernels::gemm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (module, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+//! let report = compile_and_simulate(
+//!     &module, &spec, &CompileOptions::default(), &Device::h100_sxm5())?;
+//! println!("{:.0} TFLOP/s", report.tflops);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aref;
+pub mod autotune;
+pub mod compile;
+pub mod consteval;
+pub mod lower;
+pub mod parity;
+pub mod partition;
+pub mod pipeline;
+
+pub use compile::{compile, compile_and_simulate};
+pub use lower::{CompileError, CompileOptions};
+pub mod interp;

@@ -1,0 +1,215 @@
+//! Property tests for the aref abstraction: the paper's
+//! correctness-by-construction claims (§III-B/§III-E), checked under
+//! arbitrary schedules.
+//!
+//! 1. The abstract semantics (Fig. 4) and the parity-lowered mbarrier
+//!    implementation are observationally equivalent (bisimulation).
+//! 2. Every aref delivers values in FIFO order with no loss/duplication.
+//! 3. No reachable state holds both credits (`E = F = 1`).
+//! 4. A well-formed producer/consumer pair never deadlocks for any ring
+//!    depth and schedule.
+
+use proptest::prelude::*;
+
+use tawa_core::aref::{Aref, ArefError, ArefRing, SlotState};
+use tawa_core::parity::ParityChannel;
+
+/// One scheduler decision: which side gets to attempt its next action.
+#[derive(Debug, Clone, Copy)]
+enum Turn {
+    Producer,
+    Consumer,
+    Release,
+}
+
+fn turns(n: usize) -> impl Strategy<Value = Vec<Turn>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Turn::Producer),
+            Just(Turn::Consumer),
+            Just(Turn::Release),
+        ],
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bisimulation: at every step of every schedule, the abstract ring
+    /// and the lowered parity channel agree on what is possible and on
+    /// every delivered value.
+    #[test]
+    fn lowering_is_observationally_equivalent(
+        depth in 1usize..5,
+        schedule in turns(200),
+    ) {
+        let mut abs: ArefRing<u32> = ArefRing::new(depth);
+        let mut low: ParityChannel<u32> = ParityChannel::new(depth);
+        let mut next = 0u32;
+        let mut borrowed = 0u64;
+        for turn in schedule {
+            match turn {
+                Turn::Producer => {
+                    prop_assert_eq!(abs.can_put(), low.can_put(),
+                        "put availability diverged");
+                    if abs.can_put() {
+                        abs.put(next).unwrap();
+                        prop_assert!(low.try_put(next));
+                        next += 1;
+                    } else {
+                        prop_assert!(!low.try_put(next));
+                    }
+                }
+                Turn::Consumer => {
+                    prop_assert_eq!(abs.can_get(), low.can_get(),
+                        "get availability diverged");
+                    if abs.can_get() {
+                        let a = *abs.get().unwrap();
+                        let l = low.try_get().expect("lowered get succeeds");
+                        prop_assert_eq!(a, l, "delivered values diverged");
+                        borrowed += 1;
+                    } else {
+                        prop_assert!(low.try_get().is_none());
+                    }
+                }
+                Turn::Release => {
+                    if borrowed > 0 {
+                        abs.consumed().unwrap();
+                        low.release();
+                        borrowed -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// FIFO with neither loss nor duplication, for any legal schedule.
+    #[test]
+    fn fifo_no_loss_no_duplication(
+        depth in 1usize..5,
+        schedule in turns(300),
+    ) {
+        let mut ring: ArefRing<u32> = ArefRing::new(depth);
+        let mut next = 0u32;
+        let mut got: Vec<u32> = Vec::new();
+        let mut borrowed = 0u64;
+        for turn in schedule {
+            match turn {
+                Turn::Producer if ring.can_put() => {
+                    ring.put(next).unwrap();
+                    next += 1;
+                }
+                Turn::Consumer if ring.can_get() => {
+                    got.push(*ring.get().unwrap());
+                    borrowed += 1;
+                }
+                Turn::Release if borrowed > 0 => {
+                    ring.consumed().unwrap();
+                    borrowed -= 1;
+                }
+                _ => {}
+            }
+        }
+        let expected: Vec<u32> = (0..got.len() as u32).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Protocol safety: a slot never holds both credits, and every illegal
+    /// transition is rejected with the right error.
+    #[test]
+    fn no_state_holds_both_credits(ops in prop::collection::vec(0u8..3, 0..64)) {
+        let mut a: Aref<u8> = Aref::new();
+        for op in ops {
+            let before = a.state();
+            let result = match op {
+                0 => a.put(1).err(),
+                1 => a.get().err().map(|e| e),
+                _ => a.consumed().err(),
+            };
+            // Invariant: can_put and can_get never hold simultaneously.
+            prop_assert!(!(a.can_put() && a.can_get()));
+            // Errors leave the state untouched.
+            if result.is_some() {
+                prop_assert_eq!(a.state(), before);
+            }
+            // Error kinds match the preconditions of Fig. 4.
+            match (before, op, result) {
+                (SlotState::Full, 0, r) => prop_assert_eq!(r, Some(ArefError::PutWithoutCredit)),
+                (SlotState::Borrowed, 0, r) => prop_assert_eq!(r, Some(ArefError::PutWithoutCredit)),
+                (SlotState::Empty, 1, r) => prop_assert_eq!(r, Some(ArefError::GetWithoutCredit)),
+                (SlotState::Borrowed, 1, r) => prop_assert_eq!(r, Some(ArefError::GetWithoutCredit)),
+                (SlotState::Empty, 2, r) => prop_assert_eq!(r, Some(ArefError::ConsumedWithoutBorrow)),
+                (SlotState::Full, 2, r) => prop_assert_eq!(r, Some(ArefError::ConsumedWithoutBorrow)),
+                _ => {}
+            }
+        }
+    }
+
+    /// Deadlock freedom: a well-formed producer (P puts) and consumer
+    /// (P gets + consumed) always terminate under a fair scheduler, for
+    /// any depth and any interleaving bias.
+    #[test]
+    fn well_formed_pairs_never_deadlock(
+        depth in 1usize..5,
+        total in 1u32..64,
+        bias in turns(32),
+    ) {
+        let mut ring: ArefRing<u32> = ArefRing::new(depth);
+        let mut put_count = 0u32;
+        let mut got_count = 0u32;
+        let mut released = 0u32;
+        let mut bias_idx = 0usize;
+        let mut steps = 0u64;
+        while released < total {
+            steps += 1;
+            prop_assert!(steps < 100_000, "scheduler failed to terminate");
+            let turn = bias[bias_idx % bias.len()];
+            bias_idx += 1;
+            match turn {
+                Turn::Producer if put_count < total && ring.can_put() => {
+                    ring.put(put_count).unwrap();
+                    put_count += 1;
+                }
+                Turn::Consumer if ring.can_get() => {
+                    let _ = ring.get().unwrap();
+                    got_count += 1;
+                }
+                Turn::Release if got_count > released => {
+                    ring.consumed().unwrap();
+                    released += 1;
+                }
+                _ => {
+                    // Fairness fallback: make any enabled move.
+                    if put_count < total && ring.can_put() {
+                        ring.put(put_count).unwrap();
+                        put_count += 1;
+                    } else if ring.can_get() {
+                        let _ = ring.get().unwrap();
+                        got_count += 1;
+                    } else if got_count > released {
+                        ring.consumed().unwrap();
+                        released += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(put_count, total);
+    }
+
+    /// Parity bits cycle with period 2·D wraps, matching §III-E's
+    /// "operations alternate between two sets of barriers indexed by
+    /// iteration parity".
+    #[test]
+    fn parity_alternates_per_wrap(depth in 1usize..4, rounds in 1usize..12) {
+        let mut ch: ParityChannel<usize> = ParityChannel::new(depth);
+        for r in 0..rounds {
+            for s in 0..depth {
+                prop_assert_eq!(ch.producer_parity(s), (r % 2) as u64);
+                prop_assert!(ch.try_put(r * depth + s));
+                let _ = ch.try_get().unwrap();
+                ch.release();
+            }
+        }
+    }
+}

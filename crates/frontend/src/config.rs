@@ -1,0 +1,258 @@
+//! Workload configurations for the kernel zoo.
+
+use tawa_ir::types::DType;
+
+/// Tile sizes for a GEMM-like kernel (`BLOCK_M × BLOCK_N × BLOCK_K` in
+//  Triton terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Rows of the output tile per CTA.
+    pub m: usize,
+    /// Columns of the output tile per CTA.
+    pub n: usize,
+    /// Contraction depth per pipeline step.
+    pub k: usize,
+}
+
+impl Tile {
+    /// The paper's baseline warp-specialized tile (one consumer WG).
+    pub const SMALL: Tile = Tile { m: 128, n: 128, k: 64 };
+    /// The paper's cooperative two-consumer-WG tile (`+Large Tile Size`).
+    pub const LARGE: Tile = Tile { m: 128, n: 256, k: 64 };
+}
+
+/// A (possibly batched) GEMM problem: `C[b] = A[b] · B[b]^T` with
+/// `A: M×K`, `B: N×K` (B stored K-major as in the paper's Fig. 2b, which
+/// loads `b` tiles as `[Nt, Kt]` and transposes in-register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Rows of A/C.
+    pub m: usize,
+    /// Columns of C / rows of B.
+    pub n: usize,
+    /// Contraction size.
+    pub k: usize,
+    /// Batch count (1 for plain GEMM).
+    pub batch: usize,
+    /// Input precision (`F16` or `F8E4M3`).
+    pub dtype: DType,
+    /// CTA tile.
+    pub tile: Tile,
+}
+
+impl GemmConfig {
+    /// Plain FP16 GEMM with the default tile.
+    pub fn new(m: usize, n: usize, k: usize) -> GemmConfig {
+        GemmConfig {
+            m,
+            n,
+            k,
+            batch: 1,
+            dtype: DType::F16,
+            tile: Tile::SMALL,
+        }
+    }
+
+    /// Sets the element type.
+    pub fn with_dtype(mut self, dtype: DType) -> GemmConfig {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Sets the CTA tile.
+    pub fn with_tile(mut self, tile: Tile) -> GemmConfig {
+        self.tile = tile;
+        self
+    }
+
+    /// Sets the batch count.
+    pub fn with_batch(mut self, batch: usize) -> GemmConfig {
+        self.batch = batch;
+        self
+    }
+
+    /// Useful FLOPs of the whole problem.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.batch as f64 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+
+    /// Grid size (output tiles × batch).
+    pub fn grid(&self) -> u64 {
+        let tm = self.m.div_ceil(self.tile.m) as u64;
+        let tn = self.n.div_ceil(self.tile.n) as u64;
+        tm * tn * self.batch as u64
+    }
+
+    /// K-loop trip count.
+    pub fn k_tiles(&self) -> u64 {
+        self.k.div_ceil(self.tile.k) as u64
+    }
+}
+
+/// A grouped GEMM: `G` independent GEMMs sharing `N` and `K` but with
+/// different `M_g` (all multiples of 512), executed in one fused launch by
+/// Tawa and as `G` separate launches by non-fusing baselines (§V-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupedGemmConfig {
+    /// Per-group `M` dimensions.
+    pub group_ms: Vec<usize>,
+    /// Shared `N`.
+    pub n: usize,
+    /// Shared `K`.
+    pub k: usize,
+    /// Input precision.
+    pub dtype: DType,
+    /// CTA tile.
+    pub tile: Tile,
+}
+
+impl GroupedGemmConfig {
+    /// The paper's grouped sweep: `G` groups with `M_g = 512·g`.
+    pub fn paper_sweep(groups: usize) -> GroupedGemmConfig {
+        GroupedGemmConfig {
+            group_ms: (1..=groups).map(|g| 512 * g).collect(),
+            n: 4096,
+            k: 4096,
+            dtype: DType::F16,
+            tile: Tile::SMALL,
+        }
+    }
+
+    /// Per-group GEMM configs (used by baselines that launch per group).
+    pub fn to_gemms(&self) -> Vec<GemmConfig> {
+        self.group_ms
+            .iter()
+            .map(|&m| GemmConfig {
+                m,
+                n: self.n,
+                k: self.k,
+                batch: 1,
+                dtype: self.dtype,
+                tile: self.tile,
+            })
+            .collect()
+    }
+
+    /// Useful FLOPs of the whole grouped problem.
+    pub fn flops(&self) -> f64 {
+        self.to_gemms().iter().map(GemmConfig::flops).sum()
+    }
+}
+
+/// Multi-head attention forward (FlashAttention-style) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionConfig {
+    /// Batch size.
+    pub batch: usize,
+    /// Number of heads.
+    pub heads: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Head dimension (128 in the paper).
+    pub head_dim: usize,
+    /// Causal masking.
+    pub causal: bool,
+    /// Input precision.
+    pub dtype: DType,
+    /// Query rows per CTA.
+    pub block_m: usize,
+    /// Key/value rows per inner iteration.
+    pub block_n: usize,
+}
+
+impl AttentionConfig {
+    /// The paper's MHA setting: batch 4, head dim 128, 32 heads.
+    pub fn paper(seq_len: usize, causal: bool, dtype: DType) -> AttentionConfig {
+        AttentionConfig {
+            batch: 4,
+            heads: 32,
+            seq_len,
+            head_dim: 128,
+            causal,
+            dtype,
+            block_m: 128,
+            block_n: 128,
+        }
+    }
+
+    /// Number of query tiles per (batch, head).
+    pub fn q_tiles(&self) -> u64 {
+        self.seq_len.div_ceil(self.block_m) as u64
+    }
+
+    /// KV-loop trip count for query tile `qt` (shorter under causality).
+    pub fn kv_tiles(&self, qt: u64) -> u64 {
+        let full = self.seq_len.div_ceil(self.block_n) as u64;
+        if self.causal {
+            // Rows of tile qt attend to keys 0..=(qt+1)*block_m-1.
+            (((qt + 1) * self.block_m as u64).div_ceil(self.block_n as u64)).min(full)
+        } else {
+            full
+        }
+    }
+
+    /// Useful FLOPs (2 matmuls of `2·Br·Bc·Dh` per visited tile pair);
+    /// causal counts only the visited lower-triangular tiles, matching how
+    /// FlashAttention reports causal TFLOP/s.
+    pub fn flops(&self) -> f64 {
+        let bh = (self.batch * self.heads) as f64;
+        let per_pair = 4.0 * self.block_m as f64 * self.block_n as f64 * self.head_dim as f64;
+        let pairs: u64 = (0..self.q_tiles()).map(|qt| self.kv_tiles(qt)).sum();
+        bh * pairs as f64 * per_pair
+    }
+
+    /// Grid size: query tiles × batch × heads.
+    pub fn grid(&self) -> u64 {
+        self.q_tiles() * (self.batch * self.heads) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_accounting() {
+        let g = GemmConfig::new(8192, 8192, 4096);
+        assert_eq!(g.grid(), 64 * 64);
+        assert_eq!(g.k_tiles(), 64);
+        assert!((g.flops() - 2.0 * 8192.0 * 8192.0 * 4096.0).abs() < 1.0);
+        let large = g.with_tile(Tile::LARGE);
+        assert_eq!(large.grid(), 64 * 32);
+    }
+
+    #[test]
+    fn batched_gemm_grid() {
+        let g = GemmConfig::new(1024, 1024, 1024).with_batch(8);
+        assert_eq!(g.grid(), 8 * 8 * 8);
+        assert!((g.flops() - 8.0 * 2.0 * 1024f64.powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn grouped_sweep_shapes() {
+        let g = GroupedGemmConfig::paper_sweep(4);
+        assert_eq!(g.group_ms, vec![512, 1024, 1536, 2048]);
+        assert_eq!(g.to_gemms().len(), 4);
+        let total: f64 = g.flops();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn attention_causal_halves_flops() {
+        let full = AttentionConfig::paper(4096, false, DType::F16);
+        let causal = AttentionConfig::paper(4096, true, DType::F16);
+        let ratio = causal.flops() / full.flops();
+        // Causal visits the lower triangle of tiles: ratio ≈ (T+1)/2T.
+        assert!(ratio > 0.5 && ratio < 0.56, "ratio {ratio}");
+    }
+
+    #[test]
+    fn causal_trip_counts() {
+        let c = AttentionConfig::paper(1024, true, DType::F16);
+        assert_eq!(c.q_tiles(), 8);
+        assert_eq!(c.kv_tiles(0), 1);
+        assert_eq!(c.kv_tiles(7), 8);
+        let nc = AttentionConfig::paper(1024, false, DType::F16);
+        assert_eq!(nc.kv_tiles(0), 8);
+    }
+}

@@ -1,0 +1,239 @@
+//! FlashAttention-style multi-head attention forward kernel.
+//!
+//! The kernel follows the structure the paper's coarse-grained pipeline
+//! targets (§III-D-2): per query tile, a KV loop whose body contains a
+//! first Tensor Core stage `T = Q·Kᵀ`, a CUDA-core softmax stage `C`, and a
+//! second Tensor Core stage `U = P·V` — with online-softmax rescaling as in
+//! FlashAttention-2.
+
+use tawa_ir::builder::build_module;
+use tawa_ir::func::Module;
+use tawa_ir::spec::{LaunchSpec, ParamValue, SpecClass};
+use tawa_ir::types::{DType, Type};
+
+use crate::config::AttentionConfig;
+
+/// Builds the attention kernel module and its launch specialization.
+///
+/// Parameters (in order): `q_desc`, `k_desc`, `v_desc` (all
+/// `desc<dt>` over `[B·H, L, Dh]`), `o_ptr: ptr<dt>`, `L: i32`.
+///
+/// `program_id(0)` selects the query tile, `program_id(1)` the
+/// (batch, head) pair. Under causal masking the KV trip count depends on
+/// the query tile, so the launch spec enumerates one CTA class per query
+/// tile index.
+pub fn attention(cfg: &AttentionConfig) -> (Module, LaunchSpec) {
+    let (br, bc, dh) = (cfg.block_m, cfg.block_n, cfg.head_dim);
+    let dt = cfg.dtype;
+    let causal = cfg.causal;
+    // Softmax scale 1/sqrt(Dh), folded together with log2(e) so the kernel
+    // uses the fast exp2 path, as Triton's FA2 tutorial kernel does.
+    let qk_scale = (1.0 / (dh as f64).sqrt()) * std::f64::consts::LOG2_E;
+    let params = [
+        Type::TensorDesc(dt),
+        Type::TensorDesc(dt),
+        Type::TensorDesc(dt),
+        Type::Ptr(dt),
+        Type::i32(),
+    ];
+    let module = build_module("mha_fwd", &params, |b, args| {
+        let (q_desc, k_desc, v_desc, o_ptr, l_arg) = (args[0], args[1], args[2], args[3], args[4]);
+        let pid_q = b.program_id(0);
+        let pid_bh = b.program_id(1);
+        let c_br = b.const_i32(br as i64);
+        let c_bc = b.const_i32(bc as i64);
+        let zero = b.const_i32(0);
+        let o_qm = b.mul(pid_q, c_br);
+        let q = b.tma_load(q_desc, &[pid_bh, o_qm, zero], vec![br, dh]);
+        let m0 = b.const_tensor(-1.0e30, vec![br], DType::F32);
+        let l0 = b.zeros(vec![br], DType::F32);
+        let acc0 = b.zeros(vec![br, dh], DType::F32);
+        let lo = b.const_i32(0);
+        // Non-causal: all L/Bc tiles. Causal: tiles covering rows
+        // 0 ..= (pid_q+1)·Br - 1, i.e. cdiv((pid_q+1)·Br, Bc).
+        let full_hi = b.cdiv(l_arg, c_bc);
+        let hi = if causal {
+            let one = b.const_i32(1);
+            let next = b.add(pid_q, one);
+            let rows = b.mul(next, c_br);
+            let tiles = b.cdiv(rows, c_bc);
+            b.min(tiles, full_hi)
+        } else {
+            full_hi
+        };
+        let step = b.const_i32(1);
+        let results = b.for_loop(lo, hi, step, &[m0, l0, acc0], |b, j, iters| {
+            let (m_i, l_i, acc) = (iters[0], iters[1], iters[2]);
+            let o_kv = b.mul(j, c_bc);
+            let k_t = b.tma_load(k_desc, &[pid_bh, o_kv, zero], vec![bc, dh]);
+            let v_t = b.tma_load(v_desc, &[pid_bh, o_kv, zero], vec![bc, dh]);
+            // T stage: S = Q · Kᵀ (scaled).
+            let ktt = b.transpose(k_t);
+            let s_zero = b.zeros(vec![br, bc], DType::F32);
+            let s_raw = b.dot(q, ktt, s_zero);
+            let scale_s = b.const_float(qk_scale, DType::F32);
+            let scale = b.splat(scale_s, vec![br, bc]);
+            let mut s = b.mul(s_raw, scale);
+            if causal {
+                // Mask the upper-triangular part of the diagonal tile:
+                // valid iff o_qm + row >= o_kv + col.
+                let rows = b.arange(0, br as i64);
+                let rows_g = b.add(rows, o_qm);
+                let cols = b.arange(0, bc as i64);
+                let cols_g = b.add(cols, o_kv);
+                let re = b.expand_dims(rows_g, 1);
+                let rb = b.broadcast_to(re, vec![br, bc]);
+                let ce = b.expand_dims(cols_g, 0);
+                let cb = b.broadcast_to(ce, vec![br, bc]);
+                let mask = b.cmp(tawa_ir::op::CmpPred::Ge, rb, cb);
+                let neg_s = b.const_float(-1.0e30, DType::F32);
+                let neg = b.splat(neg_s, vec![br, bc]);
+                s = b.select(mask, s, neg);
+            }
+            // C stage: online softmax.
+            let row_max = b.reduce_max(s, 1);
+            let m_new = b.max(m_i, row_max);
+            let me = b.expand_dims(m_new, 1);
+            let mb = b.broadcast_to(me, vec![br, bc]);
+            let s_shift = b.sub(s, mb);
+            let p = b.exp2(s_shift);
+            let alpha_arg = b.sub(m_i, m_new);
+            let alpha = b.exp2(alpha_arg);
+            let p_sum = b.reduce_sum(p, 1);
+            let l_scaled = b.mul(l_i, alpha);
+            let l_new = b.add(l_scaled, p_sum);
+            // U stage: O += P · V (with rescale of the accumulator).
+            let ae = b.expand_dims(alpha, 1);
+            let ab = b.broadcast_to(ae, vec![br, dh]);
+            let acc_scaled = b.mul(acc, ab);
+            let p_cast = b.cast(p, dt);
+            let acc_new = b.dot(p_cast, v_t, acc_scaled);
+            vec![m_new, l_new, acc_new]
+        });
+        let (l_f, acc_f) = (results[1], results[2]);
+        // Epilogue: O = acc / l, stored at [pid_bh, o_qm + i, :].
+        let le = b.expand_dims(l_f, 1);
+        let lb = b.broadcast_to(le, vec![br, dh]);
+        let o_norm = b.div(acc_f, lb);
+        let offs_m = b.arange(0, br as i64);
+        let offs_d = b.arange(0, dh as i64);
+        let rows_g = b.add(offs_m, o_qm);
+        let re = b.expand_dims(rows_g, 1);
+        let rb = b.broadcast_to(re, vec![br, dh]);
+        let c_dh = b.const_i32(dh as i64);
+        let dh_splat = b.splat(c_dh, vec![br, dh]);
+        let row_off = b.mul(rb, dh_splat);
+        let de = b.expand_dims(offs_d, 0);
+        let db = b.broadcast_to(de, vec![br, dh]);
+        let within = b.add(row_off, db);
+        // (batch, head) plane offset: pid_bh · L · Dh.
+        let ld = b.mul(l_arg, c_dh);
+        let plane = b.mul(pid_bh, ld);
+        let plane_splat = b.splat(plane, vec![br, dh]);
+        let offs = b.add(within, plane_splat);
+        let addrs = b.addptr(o_ptr, offs);
+        let out = b.cast(o_norm, dt);
+        b.store(addrs, out);
+    });
+
+    let bh = (cfg.batch * cfg.heads) as u64;
+    let classes = if causal {
+        (0..cfg.q_tiles())
+            .map(|qt| SpecClass {
+                pid: [qt as i64, 0, 0],
+                multiplicity: bh,
+            })
+            .collect()
+    } else {
+        vec![SpecClass {
+            pid: [0, 0, 0],
+            multiplicity: cfg.q_tiles() * bh,
+        }]
+    };
+    let qkv_shape = vec![cfg.batch * cfg.heads, cfg.seq_len, dh];
+    let spec = LaunchSpec {
+        params: vec![
+            ParamValue::Global {
+                shape: qkv_shape.clone(),
+                dtype: dt,
+            },
+            ParamValue::Global {
+                shape: qkv_shape.clone(),
+                dtype: dt,
+            },
+            ParamValue::Global {
+                shape: qkv_shape.clone(),
+                dtype: dt,
+            },
+            ParamValue::Global {
+                shape: qkv_shape,
+                dtype: dt,
+            },
+            ParamValue::Int(cfg.seq_len as i64),
+        ],
+        classes,
+        grid_dims: [cfg.q_tiles(), bh, 1],
+        useful_flops: cfg.flops(),
+    };
+    (module, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tawa_ir::op::OpKind;
+    use tawa_ir::verify::verify_module;
+
+    #[test]
+    fn attention_module_verifies() {
+        for causal in [false, true] {
+            let cfg = AttentionConfig::paper(1024, causal, DType::F16);
+            let (m, spec) = attention(&cfg);
+            verify_module(&m).unwrap_or_else(|e| panic!("causal={causal}: {e:?}"));
+            assert_eq!(spec.grid_size(), cfg.grid());
+        }
+    }
+
+    #[test]
+    fn attention_has_two_dots_and_softmax() {
+        let (m, _) = attention(&AttentionConfig::paper(1024, false, DType::F16));
+        let f = &m.funcs[0];
+        let kinds: Vec<OpKind> = f.walk().iter().map(|&o| f.op(o).kind).collect();
+        assert_eq!(kinds.iter().filter(|&&k| k == OpKind::Dot).count(), 2);
+        assert!(kinds.contains(&OpKind::Exp2));
+        assert!(kinds.contains(&OpKind::ReduceMax));
+        assert!(kinds.contains(&OpKind::ReduceSum));
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == OpKind::TmaLoad).count(),
+            3,
+            "Q, K and V loads"
+        );
+    }
+
+    #[test]
+    fn causal_enumerates_classes() {
+        let cfg = AttentionConfig::paper(2048, true, DType::F16);
+        let (_, spec) = attention(&cfg);
+        assert_eq!(spec.classes.len(), 16);
+        assert_eq!(spec.classes[3].pid[0], 3);
+        assert!(spec.grid_size() == cfg.grid());
+    }
+
+    #[test]
+    fn causal_ir_uses_select_mask() {
+        let (m, _) = attention(&AttentionConfig::paper(1024, true, DType::F16));
+        let f = &m.funcs[0];
+        let kinds: Vec<OpKind> = f.walk().iter().map(|&o| f.op(o).kind).collect();
+        assert!(kinds.contains(&OpKind::Select));
+        assert!(kinds.contains(&OpKind::Cmp));
+        assert!(kinds.contains(&OpKind::Min));
+    }
+
+    #[test]
+    fn attention_roundtrips_through_printer() {
+        let (m, _) = attention(&AttentionConfig::paper(1024, true, DType::F8E4M3));
+        let s = tawa_ir::print::print_module(&m);
+        let m2 = tawa_ir::parse::parse_module(&s).expect("reparse");
+        assert_eq!(tawa_ir::print::print_module(&m2), s);
+    }
+}

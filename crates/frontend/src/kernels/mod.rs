@@ -1,0 +1,11 @@
+//! The kernel zoo: tile-level programs matching the paper's evaluation
+//! workloads, written against the `tawa-ir` builder exactly the way a
+//! Triton user writes Python — with no warp-specialization annotations.
+
+pub mod attention;
+pub mod gemm;
+pub mod grouped;
+
+pub use attention::attention;
+pub use gemm::{batched_gemm, gemm};
+pub use grouped::grouped_gemm;

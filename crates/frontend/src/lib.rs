@@ -1,0 +1,29 @@
+//! # tawa-frontend
+//!
+//! The Triton-like tile-language frontend of the Tawa reproduction:
+//! workload configurations ([`config`]) and a kernel zoo ([`kernels`])
+//! covering every workload in the paper's evaluation — GEMM (FP16/FP8),
+//! batched GEMM, grouped GEMM, and causal/non-causal multi-head attention.
+//!
+//! Kernels are plain tile-level programs with **no warp-specialization
+//! annotations** — turning them into warp-specialized pipelines is entirely
+//! the compiler's job (`tawa-core`), as in the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use tawa_frontend::config::GemmConfig;
+//! use tawa_frontend::kernels::gemm;
+//! use tawa_ir::verify::verify_module;
+//!
+//! let (module, spec) = gemm(&GemmConfig::new(512, 512, 256));
+//! assert!(verify_module(&module).is_ok());
+//! assert_eq!(spec.grid_size(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod kernels;
+
+pub use config::{AttentionConfig, GemmConfig, GroupedGemmConfig, Tile};

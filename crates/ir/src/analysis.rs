@@ -1,0 +1,226 @@
+//! IR analyses used by the Tawa passes: use-def maps, backward slices and
+//! loop structure queries.
+//!
+//! The paper's task-aware partitioning (§III-C) starts "a backward traversal
+//! along the use-def chains starting at the kernel's side-effecting sinks" —
+//! [`backward_slice`] implements exactly that primitive.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::func::{Func, ValueDef};
+use crate::op::{OpId, OpKind, ValueId};
+
+/// Precomputed use lists for every value in a function.
+#[derive(Debug, Default)]
+pub struct UseDef {
+    uses: HashMap<ValueId, Vec<(OpId, usize)>>,
+}
+
+impl UseDef {
+    /// Builds the use-def map over all live ops.
+    pub fn build(f: &Func) -> UseDef {
+        let mut uses: HashMap<ValueId, Vec<(OpId, usize)>> = HashMap::new();
+        for op in f.walk() {
+            for (i, &v) in f.op(op).operands.iter().enumerate() {
+                uses.entry(v).or_default().push((op, i));
+            }
+        }
+        UseDef { uses }
+    }
+
+    /// Users of `v` as `(op, operand_index)` pairs.
+    pub fn uses(&self, v: ValueId) -> &[(OpId, usize)] {
+        self.uses.get(&v).map(|u| u.as_slice()).unwrap_or(&[])
+    }
+
+    /// True if `v` has no users.
+    pub fn is_unused(&self, v: ValueId) -> bool {
+        self.uses(v).is_empty()
+    }
+}
+
+/// Computes the transitive backward slice (all ops whose results flow into
+/// `roots`), restricted to ops inside the function. Block arguments stop the
+/// traversal (loop-carried values are handled by the caller).
+pub fn backward_slice(f: &Func, roots: &[OpId]) -> HashSet<OpId> {
+    let mut seen: HashSet<OpId> = HashSet::new();
+    let mut queue: VecDeque<OpId> = roots.iter().copied().collect();
+    while let Some(op) = queue.pop_front() {
+        if !seen.insert(op) {
+            continue;
+        }
+        for &v in &f.op(op).operands {
+            if let ValueDef::OpResult { op: def, .. } = f.value(v).def {
+                if !seen.contains(&def) {
+                    queue.push_back(def);
+                }
+            }
+        }
+        // Regions: operands used inside nested blocks also count.
+        for &r in &f.op(op).regions {
+            f.walk_region(r, &mut |inner| {
+                for &v in &f.op(inner).operands {
+                    if let ValueDef::OpResult { op: def, .. } = f.value(v).def {
+                        if !seen.contains(&def) && f.op(def).parent != f.op(inner).parent {
+                            queue.push_back(def);
+                        }
+                    }
+                }
+            });
+        }
+    }
+    seen
+}
+
+/// All side-effecting sink ops of a function (stores, puts), the anchors of
+/// the partitioning traversal.
+pub fn side_effect_sinks(f: &Func) -> Vec<OpId> {
+    f.walk()
+        .into_iter()
+        .filter(|&op| {
+            matches!(
+                f.op(op).kind,
+                OpKind::Store | OpKind::TmaStore | OpKind::ArefPut
+            )
+        })
+        .collect()
+}
+
+/// Finds the outermost `scf.for` loops in the function body (not nested in
+/// another loop or warp group).
+pub fn top_level_loops(f: &Func) -> Vec<OpId> {
+    let body = f.body_block();
+    f.block(body)
+        .ops
+        .iter()
+        .copied()
+        .filter(|&op| !f.op(op).dead && f.op(op).kind == OpKind::For)
+        .collect()
+}
+
+/// Describes an `scf.for` op: bounds, step, inits, body block parts.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The loop op.
+    pub op: OpId,
+    /// Lower bound operand.
+    pub lo: ValueId,
+    /// Upper bound operand.
+    pub hi: ValueId,
+    /// Step operand.
+    pub step: ValueId,
+    /// Loop-carried initial values.
+    pub inits: Vec<ValueId>,
+    /// Induction variable (first body block arg).
+    pub iv: ValueId,
+    /// Iteration block args (excluding the induction variable).
+    pub iter_args: Vec<ValueId>,
+    /// Values yielded at the end of the body.
+    pub yields: Vec<ValueId>,
+    /// Ops of the body block, excluding the terminator.
+    pub body_ops: Vec<OpId>,
+    /// The yield terminator op.
+    pub yield_op: OpId,
+}
+
+/// Extracts structured information about a `scf.for` op.
+///
+/// # Panics
+/// Panics if `op` is not a well-formed `scf.for` (run the verifier first).
+pub fn loop_info(f: &Func, op: OpId) -> LoopInfo {
+    let data = f.op(op);
+    assert_eq!(data.kind, OpKind::For, "loop_info requires scf.for");
+    let body = f.entry_block(data.regions[0]);
+    let args = f.block(body).args.clone();
+    let ops = f.block(body).ops.clone();
+    let (&yield_op, rest) = ops.split_last().expect("loop body has a terminator");
+    assert_eq!(f.op(yield_op).kind, OpKind::Yield);
+    LoopInfo {
+        op,
+        lo: data.operands[0],
+        hi: data.operands[1],
+        step: data.operands[2],
+        inits: data.operands[3..].to_vec(),
+        iv: args[0],
+        iter_args: args[1..].to_vec(),
+        yields: f.op(yield_op).operands.clone(),
+        body_ops: rest.to_vec(),
+        yield_op,
+    }
+}
+
+/// Returns ops of `f`'s body block in order (no recursion into regions).
+pub fn body_ops(f: &Func) -> Vec<OpId> {
+    f.block(f.body_block()).ops.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::{DType, Type};
+
+    fn loop_func() -> Func {
+        let mut f = Func::new("f", &[Type::Ptr(DType::F32)]);
+        let ptr = f.params()[0];
+        let mut b = Builder::at_body(&mut f);
+        let lo = b.const_i32(0);
+        let hi = b.const_i32(16);
+        let st = b.const_i32(1);
+        let init = b.zeros(vec![8], DType::F32);
+        let res = b.for_loop(lo, hi, st, &[init], |b, _iv, iters| {
+            let one = b.const_float(1.0, DType::F32);
+            let bumped = b.add(iters[0], one);
+            vec![bumped]
+        });
+        let offs = b.arange(0, 8);
+        let addrs = b.addptr(ptr, offs);
+        b.store(addrs, res[0]);
+        f
+    }
+
+    #[test]
+    fn use_def_collects_all_uses() {
+        let f = loop_func();
+        let ud = UseDef::build(&f);
+        let loops = top_level_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let res = f.results(loops[0])[0];
+        assert_eq!(ud.uses(res).len(), 1); // used by store
+    }
+
+    #[test]
+    fn sinks_found() {
+        let f = loop_func();
+        let sinks = side_effect_sinks(&f);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(f.op(sinks[0]).kind, OpKind::Store);
+    }
+
+    #[test]
+    fn backward_slice_reaches_constants() {
+        let f = loop_func();
+        let sinks = side_effect_sinks(&f);
+        let slice = backward_slice(&f, &sinks);
+        // The slice must include the loop (result feeds store), the addptr,
+        // arange, and transitively the loop bounds.
+        let loops = top_level_loops(&f);
+        assert!(slice.contains(&loops[0]));
+        let kinds: Vec<OpKind> = slice.iter().map(|&o| f.op(o).kind).collect();
+        assert!(kinds.contains(&OpKind::AddPtr));
+        assert!(kinds.contains(&OpKind::Arange));
+        assert!(kinds.contains(&OpKind::ConstInt));
+    }
+
+    #[test]
+    fn loop_info_extracts_structure() {
+        let f = loop_func();
+        let loops = top_level_loops(&f);
+        let info = loop_info(&f, loops[0]);
+        assert_eq!(info.inits.len(), 1);
+        assert_eq!(info.iter_args.len(), 1);
+        assert_eq!(info.yields.len(), 1);
+        assert_eq!(info.body_ops.len(), 2); // const_float, add
+        assert_eq!(f.op(info.yield_op).kind, OpKind::Yield);
+    }
+}

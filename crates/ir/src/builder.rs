@@ -1,0 +1,618 @@
+//! Typed construction helpers over the raw [`Func`] arena.
+//!
+//! The builder performs the same type inference the verifier later checks,
+//! so IR constructed through it is well-typed by construction. Frontends
+//! layer ergonomic APIs on top (see `tawa-frontend`); compiler passes use it
+//! to synthesize replacement IR.
+
+use crate::func::{Func, Module};
+use crate::op::{Attr, AttrMap, BlockId, CmpPred, OpId, OpKind, ValueId};
+use crate::types::{DType, Shape, Type};
+
+/// An insertion cursor into a [`Func`].
+#[derive(Debug)]
+pub struct Builder<'f> {
+    func: &'f mut Func,
+    block: BlockId,
+}
+
+impl<'f> Builder<'f> {
+    /// Creates a builder inserting at the end of `block`.
+    pub fn new(func: &'f mut Func, block: BlockId) -> Builder<'f> {
+        Builder { func, block }
+    }
+
+    /// Creates a builder inserting at the end of the function body.
+    pub fn at_body(func: &'f mut Func) -> Builder<'f> {
+        let block = func.body_block();
+        Builder { func, block }
+    }
+
+    /// Current insertion block.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Moves the insertion point to the end of `block`.
+    pub fn set_block(&mut self, block: BlockId) {
+        self.block = block;
+    }
+
+    /// Access to the underlying function.
+    pub fn func(&mut self) -> &mut Func {
+        self.func
+    }
+
+    /// Type of a value.
+    pub fn ty(&self, v: ValueId) -> Type {
+        self.func.ty(v).clone()
+    }
+
+    fn emit(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        results: Vec<Type>,
+        attrs: AttrMap,
+    ) -> OpId {
+        self.func.push_op(self.block, kind, operands, results, attrs)
+    }
+
+    fn emit1(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result: Type,
+        attrs: AttrMap,
+    ) -> ValueId {
+        let op = self.emit(kind, operands, vec![result], attrs);
+        self.func.result(op)
+    }
+
+    // ---- constants ------------------------------------------------------
+
+    /// `i32` constant.
+    pub fn const_i32(&mut self, v: i64) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Int(v));
+        self.emit1(OpKind::ConstInt, vec![], Type::i32(), a)
+    }
+
+    /// `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Int(v));
+        self.emit1(OpKind::ConstInt, vec![], Type::i64(), a)
+    }
+
+    /// Scalar float constant of element type `dt`.
+    pub fn const_float(&mut self, v: f64, dt: DType) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Float(v));
+        self.emit1(OpKind::ConstFloat, vec![], Type::Scalar(dt), a)
+    }
+
+    /// Splat-constant tile (e.g. `tl.zeros`).
+    pub fn const_tensor<S: Into<Shape>>(&mut self, value: f64, shape: S, dt: DType) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Float(value));
+        self.emit1(OpKind::ConstTensor, vec![], Type::tensor(shape.into(), dt), a)
+    }
+
+    /// All-zero tile (`tl.zeros`).
+    pub fn zeros<S: Into<Shape>>(&mut self, shape: S, dt: DType) -> ValueId {
+        self.const_tensor(0.0, shape, dt)
+    }
+
+    // ---- program structure ------------------------------------------------
+
+    /// CTA id along `axis` (`tl.program_id`).
+    pub fn program_id(&mut self, axis: usize) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("axis", Attr::Int(axis as i64));
+        self.emit1(OpKind::ProgramId, vec![], Type::i32(), a)
+    }
+
+    /// Grid extent along `axis` (`tl.num_programs`).
+    pub fn num_programs(&mut self, axis: usize) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("axis", Attr::Int(axis as i64));
+        self.emit1(OpKind::NumPrograms, vec![], Type::i32(), a)
+    }
+
+    // ---- arith ----------------------------------------------------------------
+
+    fn binary(&mut self, kind: OpKind, a: ValueId, b: ValueId) -> ValueId {
+        let ta = self.ty(a);
+        let tb = self.ty(b);
+        let rt = ta
+            .broadcast_with(&tb)
+            .unwrap_or_else(|| panic!("{kind}: incompatible types {ta} and {tb}"));
+        self.emit1(kind, vec![a, b], rt, AttrMap::new())
+    }
+
+    /// Addition.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Add, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Sub, a, b)
+    }
+
+    /// Multiplication.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Mul, a, b)
+    }
+
+    /// Division.
+    pub fn div(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Div, a, b)
+    }
+
+    /// Remainder.
+    pub fn rem(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Rem, a, b)
+    }
+
+    /// Minimum.
+    pub fn min(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Min, a, b)
+    }
+
+    /// Maximum.
+    pub fn max(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpKind::Max, a, b)
+    }
+
+    /// Ceiling division `(a + b - 1) / b` (`tl.cdiv`), expanded inline.
+    pub fn cdiv(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let one = self.const_i32(1);
+        let bm1 = self.sub(b, one);
+        let sum = self.add(a, bm1);
+        self.div(sum, b)
+    }
+
+    /// Comparison producing a `bool`-typed scalar or tile.
+    pub fn cmp(&mut self, pred: CmpPred, a: ValueId, b: ValueId) -> ValueId {
+        let ta = self.ty(a);
+        let tb = self.ty(b);
+        let joined = ta
+            .broadcast_with(&tb)
+            .unwrap_or_else(|| panic!("cmp: incompatible types {ta} and {tb}"));
+        let rt = match joined {
+            Type::Tensor(s, _) => Type::Tensor(s, DType::Bool),
+            Type::Scalar(_) => Type::bool(),
+            other => panic!("cmp: unsupported type {other}"),
+        };
+        let mut attrs = AttrMap::new();
+        attrs.set("pred", Attr::Str(pred.name().into()));
+        self.emit1(OpKind::Cmp, vec![a, b], rt, attrs)
+    }
+
+    /// Ternary select.
+    pub fn select(&mut self, cond: ValueId, then_v: ValueId, else_v: ValueId) -> ValueId {
+        let rt = self.ty(then_v);
+        self.emit1(OpKind::Select, vec![cond, then_v, else_v], rt, AttrMap::new())
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: ValueId) -> ValueId {
+        let rt = self.ty(a);
+        self.emit1(OpKind::Neg, vec![a], rt, AttrMap::new())
+    }
+
+    /// Base-e exponential.
+    pub fn exp(&mut self, a: ValueId) -> ValueId {
+        let rt = self.ty(a);
+        self.emit1(OpKind::Exp, vec![a], rt, AttrMap::new())
+    }
+
+    /// Base-2 exponential.
+    pub fn exp2(&mut self, a: ValueId) -> ValueId {
+        let rt = self.ty(a);
+        self.emit1(OpKind::Exp2, vec![a], rt, AttrMap::new())
+    }
+
+    /// Cast to a different element type, shape-preserving.
+    pub fn cast(&mut self, a: ValueId, dt: DType) -> ValueId {
+        let rt = match self.ty(a) {
+            Type::Tensor(s, _) => Type::Tensor(s, dt),
+            Type::Scalar(_) => Type::Scalar(dt),
+            other => panic!("cast: unsupported type {other}"),
+        };
+        self.emit1(OpKind::Cast, vec![a], rt, AttrMap::new())
+    }
+
+    // ---- tile ---------------------------------------------------------------
+
+    /// `[start, end)` iota tile (`tl.arange`).
+    pub fn arange(&mut self, start: i64, end: i64) -> ValueId {
+        assert!(end > start, "arange: empty range [{start}, {end})");
+        let mut a = AttrMap::new();
+        a.set("start", Attr::Int(start));
+        a.set("end", Attr::Int(end));
+        let n = (end - start) as usize;
+        self.emit1(OpKind::Arange, vec![], Type::tensor(vec![n], DType::I32), a)
+    }
+
+    /// Scalar → tensor splat.
+    pub fn splat<S: Into<Shape>>(&mut self, v: ValueId, shape: S) -> ValueId {
+        let dt = self
+            .ty(v)
+            .elem()
+            .unwrap_or_else(|| panic!("splat: operand must be scalar"));
+        self.emit1(
+            OpKind::Splat,
+            vec![v],
+            Type::tensor(shape.into(), dt),
+            AttrMap::new(),
+        )
+    }
+
+    /// Insert a size-1 axis at `axis` (`tensor[:, None]` etc.).
+    pub fn expand_dims(&mut self, v: ValueId, axis: usize) -> ValueId {
+        let (mut shape, dt) = match self.ty(v) {
+            Type::Tensor(s, d) => (s.0, d),
+            other => panic!("expand_dims: operand must be tensor, got {other}"),
+        };
+        assert!(axis <= shape.len(), "expand_dims: axis {axis} out of range");
+        shape.insert(axis, 1);
+        let mut a = AttrMap::new();
+        a.set("axis", Attr::Int(axis as i64));
+        self.emit1(OpKind::ExpandDims, vec![v], Type::tensor(shape, dt), a)
+    }
+
+    /// Broadcast size-1 axes up to `shape`.
+    pub fn broadcast_to<S: Into<Shape>>(&mut self, v: ValueId, shape: S) -> ValueId {
+        let dt = match self.ty(v) {
+            Type::Tensor(_, d) => d,
+            other => panic!("broadcast_to: operand must be tensor, got {other}"),
+        };
+        self.emit1(
+            OpKind::BroadcastTo,
+            vec![v],
+            Type::tensor(shape.into(), dt),
+            AttrMap::new(),
+        )
+    }
+
+    /// 2-D transpose.
+    pub fn transpose(&mut self, v: ValueId) -> ValueId {
+        let (shape, dt) = match self.ty(v) {
+            Type::Tensor(s, d) => (s, d),
+            other => panic!("transpose: operand must be tensor, got {other}"),
+        };
+        assert_eq!(shape.rank(), 2, "transpose: rank-2 only");
+        let t = vec![shape.dim(1), shape.dim(0)];
+        self.emit1(OpKind::Transpose, vec![v], Type::tensor(t, dt), AttrMap::new())
+    }
+
+    fn reduce(&mut self, kind: OpKind, v: ValueId, axis: usize) -> ValueId {
+        let (shape, dt) = match self.ty(v) {
+            Type::Tensor(s, d) => (s, d),
+            other => panic!("reduce: operand must be tensor, got {other}"),
+        };
+        assert!(axis < shape.rank(), "reduce: axis {axis} out of range");
+        let mut out = shape.0.clone();
+        out.remove(axis);
+        let mut a = AttrMap::new();
+        a.set("axis", Attr::Int(axis as i64));
+        self.emit1(kind, vec![v], Type::tensor(out, dt), a)
+    }
+
+    /// Reduce-max along `axis`, removing that axis.
+    pub fn reduce_max(&mut self, v: ValueId, axis: usize) -> ValueId {
+        self.reduce(OpKind::ReduceMax, v, axis)
+    }
+
+    /// Reduce-sum along `axis`, removing that axis.
+    pub fn reduce_sum(&mut self, v: ValueId, axis: usize) -> ValueId {
+        self.reduce(OpKind::ReduceSum, v, axis)
+    }
+
+    /// Tile MMA `acc + a·b` (`tl.dot`). Accumulator type is the result type.
+    pub fn dot(&mut self, a: ValueId, b: ValueId, acc: ValueId) -> ValueId {
+        let (sa, _) = match self.ty(a) {
+            Type::Tensor(s, d) => (s, d),
+            other => panic!("dot: lhs must be tensor, got {other}"),
+        };
+        let (sb, _) = match self.ty(b) {
+            Type::Tensor(s, d) => (s, d),
+            other => panic!("dot: rhs must be tensor, got {other}"),
+        };
+        assert_eq!(sa.rank(), 2, "dot: rank-2 lhs");
+        assert_eq!(sb.rank(), 2, "dot: rank-2 rhs");
+        assert_eq!(sa.dim(1), sb.dim(0), "dot: contraction mismatch {sa} · {sb}");
+        let rt = self.ty(acc);
+        if let Some(rs) = rt.shape() {
+            assert_eq!(rs.dim(0), sa.dim(0), "dot: acc rows");
+            assert_eq!(rs.dim(1), sb.dim(1), "dot: acc cols");
+        }
+        self.emit1(OpKind::Dot, vec![a, b, acc], rt, AttrMap::new())
+    }
+
+    /// Asynchronous TMA tile load: `tma_load(desc, coords, tile_shape)`.
+    pub fn tma_load<S: Into<Shape>>(
+        &mut self,
+        desc: ValueId,
+        coords: &[ValueId],
+        tile: S,
+    ) -> ValueId {
+        let dt = match self.ty(desc) {
+            Type::TensorDesc(d) => d,
+            other => panic!("tma_load: first operand must be desc, got {other}"),
+        };
+        let mut operands = vec![desc];
+        operands.extend_from_slice(coords);
+        self.emit1(
+            OpKind::TmaLoad,
+            operands,
+            Type::tensor(tile.into(), dt),
+            AttrMap::new(),
+        )
+    }
+
+    /// Asynchronous TMA tile store: `tma_store(desc, coords, tile)`.
+    pub fn tma_store(&mut self, desc: ValueId, coords: &[ValueId], tile: ValueId) {
+        let mut operands = vec![desc];
+        operands.extend_from_slice(coords);
+        operands.push(tile);
+        self.emit(OpKind::TmaStore, operands, vec![], AttrMap::new());
+    }
+
+    /// Pointer arithmetic: base pointer plus element offsets → addresses.
+    pub fn addptr(&mut self, ptr: ValueId, offsets: ValueId) -> ValueId {
+        let rt = match self.ty(offsets) {
+            Type::Tensor(s, _) => Type::Tensor(s, DType::I64),
+            Type::Scalar(_) => Type::i64(),
+            other => panic!("addptr: offsets must be int tensor/scalar, got {other}"),
+        };
+        self.emit1(OpKind::AddPtr, vec![ptr, offsets], rt, AttrMap::new())
+    }
+
+    /// Gather load of `dt` elements from computed addresses.
+    pub fn load(&mut self, addrs: ValueId, dt: DType) -> ValueId {
+        let rt = match self.ty(addrs) {
+            Type::Tensor(s, _) => Type::Tensor(s, dt),
+            other => panic!("load: addrs must be tensor, got {other}"),
+        };
+        self.emit1(OpKind::Load, vec![addrs], rt, AttrMap::new())
+    }
+
+    /// Scatter store to computed addresses.
+    pub fn store(&mut self, addrs: ValueId, value: ValueId) {
+        self.emit(OpKind::Store, vec![addrs, value], vec![], AttrMap::new());
+    }
+
+    // ---- control flow -----------------------------------------------------------
+
+    /// Builds an `scf.for` loop. `body` receives a builder positioned in the
+    /// loop block, the induction variable and the iteration values; it
+    /// returns the values to yield. Returns the loop results.
+    pub fn for_loop(
+        &mut self,
+        lo: ValueId,
+        hi: ValueId,
+        step: ValueId,
+        inits: &[ValueId],
+        body: impl FnOnce(&mut Builder<'_>, ValueId, &[ValueId]) -> Vec<ValueId>,
+    ) -> Vec<ValueId> {
+        let result_types: Vec<Type> = inits.iter().map(|&v| self.ty(v)).collect();
+        let mut operands = vec![lo, hi, step];
+        operands.extend_from_slice(inits);
+        let for_op = self.emit(OpKind::For, operands, result_types.clone(), AttrMap::new());
+        let (_, body_block) = self.func.add_region(for_op);
+        let iv = self.func.add_block_arg(body_block, Type::i32());
+        let iters: Vec<ValueId> = result_types
+            .iter()
+            .map(|ty| self.func.add_block_arg(body_block, ty.clone()))
+            .collect();
+        let parent = self.block;
+        self.block = body_block;
+        let yields = body(self, iv, &iters);
+        assert_eq!(
+            yields.len(),
+            inits.len(),
+            "for_loop: yield count must match init count"
+        );
+        self.emit(OpKind::Yield, yields, vec![], AttrMap::new());
+        self.block = parent;
+        self.func.results(for_op).to_vec()
+    }
+
+    // ---- tawa dialect ---------------------------------------------------------
+
+    /// Allocates a `depth`-slot aref ring carrying `payload` tensors.
+    pub fn create_aref(&mut self, depth: usize, payload: Vec<Type>) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("depth", Attr::Int(depth as i64));
+        self.emit1(OpKind::CreateAref, vec![], Type::Aref(depth, payload), a)
+    }
+
+    /// Producer publication into slot `idx` (computed `k mod D`).
+    pub fn aref_put(&mut self, aref: ValueId, idx: ValueId, payload: &[ValueId]) {
+        let mut operands = vec![aref, idx];
+        operands.extend_from_slice(payload);
+        self.emit(OpKind::ArefPut, operands, vec![], AttrMap::new());
+    }
+
+    /// Consumer acquisition from slot `idx`; returns the payload values.
+    pub fn aref_get(&mut self, aref: ValueId, idx: ValueId) -> Vec<ValueId> {
+        let payload_types = match self.ty(aref) {
+            Type::Aref(_, p) => p,
+            other => panic!("aref_get: operand must be aref, got {other}"),
+        };
+        let op = self.emit(OpKind::ArefGet, vec![aref, idx], payload_types, AttrMap::new());
+        self.func.results(op).to_vec()
+    }
+
+    /// Consumer release of slot `idx`.
+    pub fn aref_consumed(&mut self, aref: ValueId, idx: ValueId) {
+        self.emit(OpKind::ArefConsumed, vec![aref, idx], vec![], AttrMap::new());
+    }
+
+    /// Opens a warp-group partition region; `body` fills it.
+    pub fn warp_group(
+        &mut self,
+        partition: usize,
+        role: &str,
+        body: impl FnOnce(&mut Builder<'_>),
+    ) -> OpId {
+        let mut a = AttrMap::new();
+        a.set("partition", Attr::Int(partition as i64));
+        a.set("role", Attr::Str(role.to_string()));
+        let wg = self.emit(OpKind::WarpGroup, vec![], vec![], a);
+        let (_, block) = self.func.add_region(wg);
+        let parent = self.block;
+        self.block = block;
+        body(self);
+        self.block = parent;
+        wg
+    }
+}
+
+/// Builds a module containing a single function constructed by `build`.
+pub fn build_module(
+    name: &str,
+    params: &[Type],
+    build: impl FnOnce(&mut Builder<'_>, &[ValueId]),
+) -> Module {
+    let mut f = Func::new(name, params);
+    let args = f.params().to_vec();
+    {
+        let mut b = Builder::at_body(&mut f);
+        build(&mut b, &args);
+    }
+    let mut m = Module::new();
+    m.add_func(f);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_type_inference() {
+        let mut f = Func::new("t", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let x = b.const_i32(3);
+        let t = b.zeros(vec![4, 4], DType::F32);
+        let s = b.const_float(1.0, DType::F32);
+        let y = b.add(x, x);
+        assert_eq!(b.ty(y), Type::i32());
+        let z = b.mul(t, s);
+        assert!(b.ty(z).is_tensor());
+        let c = b.cmp(CmpPred::Lt, x, y);
+        assert_eq!(b.ty(c), Type::bool());
+    }
+
+    #[test]
+    fn cdiv_expansion() {
+        let mut f = Func::new("t", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let a = b.const_i32(10);
+        let c = b.const_i32(4);
+        let _ = b.cdiv(a, c);
+        // const(10), const(4), const(1), sub, add, div
+        assert_eq!(f.walk().len(), 6);
+    }
+
+    #[test]
+    fn shape_ops() {
+        let mut f = Func::new("t", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let r = b.arange(0, 128);
+        assert_eq!(b.ty(r), Type::tensor(vec![128], DType::I32));
+        let e = b.expand_dims(r, 1);
+        assert_eq!(b.ty(e), Type::tensor(vec![128, 1], DType::I32));
+        let w = b.broadcast_to(e, vec![128, 64]);
+        assert_eq!(b.ty(w), Type::tensor(vec![128, 64], DType::I32));
+        let t = b.transpose(w);
+        assert_eq!(b.ty(t), Type::tensor(vec![64, 128], DType::I32));
+        let m = b.reduce_max(w, 1);
+        assert_eq!(b.ty(m), Type::tensor(vec![128], DType::I32));
+    }
+
+    #[test]
+    fn dot_shape_check() {
+        let mut f = Func::new("t", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let a = b.zeros(vec![128, 64], DType::F16);
+        let bb = b.zeros(vec![64, 128], DType::F16);
+        let acc = b.zeros(vec![128, 128], DType::F32);
+        let d = b.dot(a, bb, acc);
+        assert_eq!(b.ty(d), Type::tensor(vec![128, 128], DType::F32));
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction mismatch")]
+    fn dot_rejects_bad_shapes() {
+        let mut f = Func::new("t", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let a = b.zeros(vec![128, 32], DType::F16);
+        let bb = b.zeros(vec![64, 128], DType::F16);
+        let acc = b.zeros(vec![128, 128], DType::F32);
+        let _ = b.dot(a, bb, acc);
+    }
+
+    #[test]
+    fn for_loop_structure() {
+        let mut f = Func::new("t", &[]);
+        {
+            let mut b = Builder::at_body(&mut f);
+            let lo = b.const_i32(0);
+            let hi = b.const_i32(8);
+            let step = b.const_i32(1);
+            let init = b.const_i32(0);
+            let res = b.for_loop(lo, hi, step, &[init], |b, iv, iters| {
+                let s = b.add(iters[0], iv);
+                vec![s]
+            });
+            assert_eq!(res.len(), 1);
+            assert_eq!(b.ty(res[0]), Type::i32());
+        }
+        // 4 consts + for + add + yield
+        assert_eq!(f.walk().len(), 7);
+    }
+
+    #[test]
+    fn tma_and_aref_builders() {
+        let mut f = Func::new("t", &[Type::TensorDesc(DType::F16)]);
+        let desc = f.params()[0];
+        let mut b = Builder::at_body(&mut f);
+        let c0 = b.const_i32(0);
+        let tile = b.tma_load(desc, &[c0, c0], vec![128, 64]);
+        assert_eq!(b.ty(tile), Type::tensor(vec![128, 64], DType::F16));
+        let aref = b.create_aref(2, vec![Type::tensor(vec![128, 64], DType::F16)]);
+        let idx = b.const_i32(0);
+        b.aref_put(aref, idx, &[tile]);
+        let got = b.aref_get(aref, idx);
+        assert_eq!(got.len(), 1);
+        assert_eq!(b.ty(got[0]), Type::tensor(vec![128, 64], DType::F16));
+        b.aref_consumed(aref, idx);
+    }
+
+    #[test]
+    fn warp_group_region() {
+        let mut f = Func::new("t", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let wg = b.warp_group(0, "producer", |b| {
+            let _ = b.const_i32(1);
+        });
+        assert_eq!(f.op(wg).regions.len(), 1);
+        assert_eq!(f.op(wg).attrs.str("role"), Some("producer"));
+    }
+
+    #[test]
+    fn build_module_helper() {
+        let m = build_module("k", &[Type::i32()], |b, args| {
+            let one = b.const_i32(1);
+            let _ = b.add(args[0], one);
+        });
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.func("k").unwrap().walk().len(), 2);
+    }
+}

@@ -1,0 +1,717 @@
+//! Textual IR parser — the inverse of [`crate::print`].
+//!
+//! Hand-written lexer + recursive-descent parser. The accepted grammar is
+//! exactly the printer's output language:
+//!
+//! ```text
+//! module   := 'module' ('attributes' attrs)? '{' func* '}'
+//! func     := 'func' '@' IDENT '(' params? ')' ('attributes' attrs)? '{' op* '}'
+//! op       := (values '=')? MNEMONIC '(' values? ')' attrs? (':' types)? region*
+//! region   := '{' ('^bb' '(' params? ')' ':' op*)+ '}'
+//! params   := VALUE ':' type (',' VALUE ':' type)*
+//! types    := type | '(' type (',' type)* ')'
+//! attrs    := '{' IDENT '=' attr (',' IDENT '=' attr)* '}'
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::func::{Func, Module};
+use crate::op::{Attr, AttrMap, BlockId, OpKind, ValueId};
+use crate::types::{DType, Type};
+
+/// Error produced by the parser, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Line at which the error was detected.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    ValueName(String),
+    Symbol(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(char),
+    Caret,
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '%' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(ParseError {
+                        line,
+                        msg: "empty value name after '%'".into(),
+                    });
+                }
+                toks.push((Tok::ValueName(src[start..i].to_string()), line));
+            }
+            '@' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((Tok::Symbol(src[start..i].to_string()), line));
+            }
+            '^' => {
+                i += 1;
+                // consume the 'bb' label if present
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((Tok::Caret, line));
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        i += 1;
+                        match b[i] {
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            other => s.push(other as char),
+                        }
+                    } else {
+                        s.push(b[i] as char);
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(ParseError {
+                        line,
+                        msg: "unterminated string".into(),
+                    });
+                }
+                i += 1;
+                toks.push((Tok::Str(s), line));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    // exponent part: e[-]digits
+                    let save = i;
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'-' || b[j] == b'+') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save;
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| ParseError {
+                        line,
+                        msg: format!("bad float {text}: {e}"),
+                    })?;
+                    toks.push((Tok::Float(v), line));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| ParseError {
+                        line,
+                        msg: format!("bad int {text}: {e}"),
+                    })?;
+                    toks.push((Tok::Int(v), line));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), line));
+            }
+            '(' | ')' | '{' | '}' | '<' | '>' | '[' | ']' | ',' | '=' | ':' => {
+                toks.push((Tok::Punct(c), line));
+                i += 1;
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    toks.push((Tok::Eof, line));
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(ParseError {
+                line: self.line(),
+                msg: format!("expected {c:?}, got {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Tok::Ident(s) if s == kw => Ok(()),
+            other => Err(ParseError {
+                line: self.line(),
+                msg: format!("expected keyword {kw}, got {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Tok::Punct(p) if *p == c) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Parses a module from its textual form.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = lex(src)?;
+    let mut lx = Lexer { toks, pos: 0 };
+    lx.expect_ident("module")?;
+    let mut module = Module::new();
+    if matches!(lx.peek(), Tok::Ident(s) if s == "attributes") {
+        lx.next();
+        module.attrs = parse_attrs(&mut lx)?;
+    }
+    lx.expect_punct('{')?;
+    while matches!(lx.peek(), Tok::Ident(s) if s == "func") {
+        module.funcs.push(parse_func(&mut lx)?);
+    }
+    lx.expect_punct('}')?;
+    match lx.peek() {
+        Tok::Eof => Ok(module),
+        other => Err(lx.err(format!("trailing tokens after module: {other:?}"))),
+    }
+}
+
+/// Parses a single function from its textual form.
+pub fn parse_func_str(src: &str) -> Result<Func, ParseError> {
+    let toks = lex(src)?;
+    let mut lx = Lexer { toks, pos: 0 };
+    parse_func(&mut lx)
+}
+
+fn parse_func(lx: &mut Lexer) -> Result<Func, ParseError> {
+    lx.expect_ident("func")?;
+    let name = match lx.next() {
+        Tok::Symbol(s) => s,
+        other => return Err(lx.err(format!("expected @name, got {other:?}"))),
+    };
+    lx.expect_punct('(')?;
+    let mut param_names = Vec::new();
+    let mut param_types = Vec::new();
+    if !lx.eat_punct(')') {
+        loop {
+            let pname = match lx.next() {
+                Tok::ValueName(s) => s,
+                other => return Err(lx.err(format!("expected %param, got {other:?}"))),
+            };
+            lx.expect_punct(':')?;
+            let ty = parse_type(lx)?;
+            param_names.push(pname);
+            param_types.push(ty);
+            if lx.eat_punct(')') {
+                break;
+            }
+            lx.expect_punct(',')?;
+        }
+    }
+    let mut func = Func::new(&name, &param_types);
+    if matches!(lx.peek(), Tok::Ident(s) if s == "attributes") {
+        lx.next();
+        func.attrs = parse_attrs(lx)?;
+    }
+    let mut values: HashMap<String, ValueId> = HashMap::new();
+    for (n, &v) in param_names.iter().zip(func.params().to_vec().iter()) {
+        if !n.starts_with("arg") {
+            func.set_name_hint(v, n);
+        }
+        values.insert(n.clone(), v);
+    }
+    lx.expect_punct('{')?;
+    let entry = func.body_block();
+    parse_ops_until_brace(lx, &mut func, entry, &mut values)?;
+    Ok(func)
+}
+
+fn parse_ops_until_brace(
+    lx: &mut Lexer,
+    func: &mut Func,
+    block: BlockId,
+    values: &mut HashMap<String, ValueId>,
+) -> Result<(), ParseError> {
+    loop {
+        if lx.eat_punct('}') {
+            return Ok(());
+        }
+        parse_op(lx, func, block, values)?;
+    }
+}
+
+fn parse_op(
+    lx: &mut Lexer,
+    func: &mut Func,
+    block: BlockId,
+    values: &mut HashMap<String, ValueId>,
+) -> Result<(), ParseError> {
+    // result list
+    let mut result_names = Vec::new();
+    while matches!(lx.peek(), Tok::ValueName(_)) {
+        if let Tok::ValueName(n) = lx.next() {
+            result_names.push(n);
+        }
+        if !lx.eat_punct(',') {
+            break;
+        }
+    }
+    if !result_names.is_empty() {
+        lx.expect_punct('=')?;
+    }
+    let mnemonic = match lx.next() {
+        Tok::Ident(s) => s,
+        other => return Err(lx.err(format!("expected op mnemonic, got {other:?}"))),
+    };
+    let kind = OpKind::parse(&mnemonic)
+        .ok_or_else(|| lx.err(format!("unknown op mnemonic {mnemonic}")))?;
+    lx.expect_punct('(')?;
+    let mut operands = Vec::new();
+    if !lx.eat_punct(')') {
+        loop {
+            match lx.next() {
+                Tok::ValueName(n) => {
+                    let v = values
+                        .get(&n)
+                        .copied()
+                        .ok_or_else(|| lx.err(format!("use of undefined value %{n}")))?;
+                    operands.push(v);
+                }
+                other => return Err(lx.err(format!("expected %operand, got {other:?}"))),
+            }
+            if lx.eat_punct(')') {
+                break;
+            }
+            lx.expect_punct(',')?;
+        }
+    }
+    let attrs = if matches!(lx.peek(), Tok::Punct('{')) && looks_like_attrs(lx) {
+        parse_attrs(lx)?
+    } else {
+        AttrMap::new()
+    };
+    let mut result_types = Vec::new();
+    if lx.eat_punct(':') {
+        if lx.eat_punct('(') {
+            loop {
+                result_types.push(parse_type(lx)?);
+                if lx.eat_punct(')') {
+                    break;
+                }
+                lx.expect_punct(',')?;
+            }
+        } else {
+            result_types.push(parse_type(lx)?);
+        }
+    }
+    if result_types.len() != result_names.len() {
+        return Err(lx.err(format!(
+            "{mnemonic}: {} results named but {} types given",
+            result_names.len(),
+            result_types.len()
+        )));
+    }
+    let op = func.push_op(block, kind, operands, result_types, attrs);
+    for (name, &r) in result_names.iter().zip(func.results(op).to_vec().iter()) {
+        if name.parse::<u64>().is_err() {
+            func.set_name_hint(r, name);
+        }
+        values.insert(name.clone(), r);
+    }
+    // regions
+    while matches!(lx.peek(), Tok::Punct('{')) {
+        lx.next();
+        let (_, rblock) = func.add_region(op);
+        // ^bb(%a: t, ...):
+        match lx.next() {
+            Tok::Caret => {}
+            other => return Err(lx.err(format!("expected ^bb block header, got {other:?}"))),
+        }
+        lx.expect_punct('(')?;
+        if !lx.eat_punct(')') {
+            loop {
+                let aname = match lx.next() {
+                    Tok::ValueName(s) => s,
+                    other => return Err(lx.err(format!("expected %blockarg, got {other:?}"))),
+                };
+                lx.expect_punct(':')?;
+                let ty = parse_type(lx)?;
+                let v = func.add_block_arg(rblock, ty);
+                if aname.parse::<u64>().is_err() {
+                    func.set_name_hint(v, &aname);
+                }
+                values.insert(aname, v);
+                if lx.eat_punct(')') {
+                    break;
+                }
+                lx.expect_punct(',')?;
+            }
+        }
+        lx.expect_punct(':')?;
+        parse_ops_until_brace(lx, func, rblock, values)?;
+    }
+    Ok(())
+}
+
+/// Distinguishes an attribute dict `{key = ...}` from a region `{^bb...}`
+/// by one-token lookahead past the brace.
+fn looks_like_attrs(lx: &Lexer) -> bool {
+    matches!(lx.toks.get(lx.pos + 1).map(|(t, _)| t), Some(Tok::Ident(_)))
+}
+
+fn parse_attrs(lx: &mut Lexer) -> Result<AttrMap, ParseError> {
+    lx.expect_punct('{')?;
+    let mut attrs = AttrMap::new();
+    if lx.eat_punct('}') {
+        return Ok(attrs);
+    }
+    loop {
+        let key = match lx.next() {
+            Tok::Ident(s) => s,
+            other => return Err(lx.err(format!("expected attribute name, got {other:?}"))),
+        };
+        lx.expect_punct('=')?;
+        let value = match lx.next() {
+            Tok::Int(v) => Attr::Int(v),
+            Tok::Float(v) => Attr::Float(v),
+            Tok::Str(s) => Attr::Str(s),
+            Tok::Ident(s) if s == "true" => Attr::Bool(true),
+            Tok::Ident(s) if s == "false" => Attr::Bool(false),
+            Tok::Punct('[') => {
+                let mut items = Vec::new();
+                if !lx.eat_punct(']') {
+                    loop {
+                        match lx.next() {
+                            Tok::Int(v) => items.push(v),
+                            other => {
+                                return Err(
+                                    lx.err(format!("expected int in array, got {other:?}"))
+                                )
+                            }
+                        }
+                        if lx.eat_punct(']') {
+                            break;
+                        }
+                        lx.expect_punct(',')?;
+                    }
+                }
+                Attr::Ints(items)
+            }
+            other => return Err(lx.err(format!("expected attribute value, got {other:?}"))),
+        };
+        attrs.set(&key, value);
+        if lx.eat_punct('}') {
+            return Ok(attrs);
+        }
+        lx.expect_punct(',')?;
+    }
+}
+
+fn parse_type(lx: &mut Lexer) -> Result<Type, ParseError> {
+    let head = match lx.next() {
+        Tok::Ident(s) => s,
+        other => return Err(lx.err(format!("expected type, got {other:?}"))),
+    };
+    if let Some(dt) = DType::parse(&head) {
+        return Ok(Type::Scalar(dt));
+    }
+    match head.as_str() {
+        "token" => Ok(Type::Token),
+        "ptr" => {
+            lx.expect_punct('<')?;
+            let dt = parse_dtype(lx)?;
+            lx.expect_punct('>')?;
+            Ok(Type::Ptr(dt))
+        }
+        "desc" => {
+            lx.expect_punct('<')?;
+            let dt = parse_dtype(lx)?;
+            lx.expect_punct('>')?;
+            Ok(Type::TensorDesc(dt))
+        }
+        "tensor" => {
+            lx.expect_punct('<')?;
+            // Tokens inside are like: Int(128), Ident("x64xf16") or just
+            // Ident("f32"). Collect the textual pieces until '>'.
+            let mut text = String::new();
+            loop {
+                match lx.next() {
+                    Tok::Punct('>') => break,
+                    Tok::Int(v) => text.push_str(&v.to_string()),
+                    Tok::Ident(s) => text.push_str(&s),
+                    other => {
+                        return Err(lx.err(format!("unexpected token in tensor type: {other:?}")))
+                    }
+                }
+            }
+            let mut dims = Vec::new();
+            let parts: Vec<&str> = text.split('x').collect();
+            let (shape_parts, dt_part) = parts.split_at(parts.len() - 1);
+            for p in shape_parts {
+                let d: usize = p.parse().map_err(|_| {
+                    lx.err(format!("bad tensor dimension {p:?} in tensor<{text}>"))
+                })?;
+                dims.push(d);
+            }
+            let dt = DType::parse(dt_part[0])
+                .ok_or_else(|| lx.err(format!("bad tensor dtype {:?}", dt_part[0])))?;
+            Ok(Type::Tensor(dims.into(), dt))
+        }
+        "aref" => {
+            lx.expect_punct('<')?;
+            let depth = match lx.next() {
+                Tok::Int(v) if v > 0 => v as usize,
+                other => return Err(lx.err(format!("expected aref depth, got {other:?}"))),
+            };
+            lx.expect_punct(',')?;
+            lx.expect_ident("tuple")?;
+            lx.expect_punct('<')?;
+            let mut payload = Vec::new();
+            loop {
+                payload.push(parse_type(lx)?);
+                if lx.eat_punct('>') {
+                    break;
+                }
+                lx.expect_punct(',')?;
+            }
+            lx.expect_punct('>')?;
+            Ok(Type::Aref(depth, payload))
+        }
+        other => Err(lx.err(format!("unknown type {other}"))),
+    }
+}
+
+fn parse_dtype(lx: &mut Lexer) -> Result<DType, ParseError> {
+    match lx.next() {
+        Tok::Ident(s) => {
+            DType::parse(&s).ok_or_else(|| lx.err(format!("unknown element type {s}")))
+        }
+        other => Err(lx.err(format!("expected element type, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_module;
+    use crate::print::print_module;
+    use crate::types::Type as T;
+
+    fn roundtrip(src: &str) -> String {
+        let m = parse_module(src).expect("parse");
+        print_module(&m)
+    }
+
+    #[test]
+    fn parses_empty_module() {
+        let m = parse_module("module { }").unwrap();
+        assert!(m.funcs.is_empty());
+    }
+
+    #[test]
+    fn parse_print_fixpoint_simple() {
+        let m = build_module("f", &[T::i32()], |b, args| {
+            let c = b.const_i32(7);
+            let _ = b.add(args[0], c);
+        });
+        let s1 = print_module(&m);
+        let s2 = roundtrip(&s1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parse_print_fixpoint_loop() {
+        let m = build_module("f", &[], |b, _| {
+            let lo = b.const_i32(0);
+            let hi = b.const_i32(4);
+            let st = b.const_i32(1);
+            let init = b.const_float(0.0, crate::types::DType::F32);
+            let _ = b.for_loop(lo, hi, st, &[init], |b, _iv, iters| {
+                let e = b.exp(iters[0]);
+                vec![e]
+            });
+        });
+        let s1 = print_module(&m);
+        let s2 = roundtrip(&s1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parse_print_fixpoint_aref_and_warp_groups() {
+        let m = build_module("k", &[T::TensorDesc(crate::types::DType::F16)], |b, args| {
+            let desc = args[0];
+            let payload = vec![T::tensor(vec![128, 64], crate::types::DType::F16)];
+            let aref = b.create_aref(2, payload);
+            b.warp_group(0, "producer", |b| {
+                let c0 = b.const_i32(0);
+                let t = b.tma_load(desc, &[c0, c0], vec![128, 64]);
+                b.aref_put(aref, c0, &[t]);
+            });
+            b.warp_group(1, "consumer", |b| {
+                let c0 = b.const_i32(0);
+                let got = b.aref_get(aref, c0);
+                b.aref_consumed(aref, c0);
+                let _ = got;
+            });
+        });
+        let s1 = print_module(&m);
+        let s2 = roundtrip(&s1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn errors_on_undefined_value() {
+        let src = "module { func @f() { %x = arith.add(%y, %y) : i32 } }";
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn errors_on_unknown_op() {
+        let src = "module { func @f() { bogus.op() } }";
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("unknown op"), "{err}");
+    }
+
+    #[test]
+    fn errors_on_result_type_mismatch() {
+        let src = "module { func @f() { %a, %b = arith.const_int() {value = 1} : i32 } }";
+        let err = parse_module(src).unwrap_err();
+        assert!(err.msg.contains("results named"), "{err}");
+    }
+
+    #[test]
+    fn parses_all_attr_kinds() {
+        let src = r#"module attributes {a = 1, b = 2.5, c = "s", d = true, e = [1, 2, 3]} { }"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.attrs.int("a"), Some(1));
+        assert_eq!(m.attrs.float("b"), Some(2.5));
+        assert_eq!(m.attrs.str("c"), Some("s"));
+        assert_eq!(m.attrs.bool("d"), Some(true));
+        assert_eq!(m.attrs.get("e"), Some(&Attr::Ints(vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn parses_tensor_types() {
+        let src =
+            "module { func @f(%a: tensor<128x64xf16>, %b: tensor<8xi32>, %c: aref<2, tuple<tensor<4x4xf32>>>) { } }";
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        assert_eq!(
+            *f.ty(f.params()[0]),
+            T::tensor(vec![128, 64], crate::types::DType::F16)
+        );
+        assert_eq!(
+            *f.ty(f.params()[1]),
+            T::tensor(vec![8], crate::types::DType::I32)
+        );
+        assert!(matches!(f.ty(f.params()[2]), T::Aref(2, _)));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "module {\nfunc @f() {\n  %x = arith.add(%nope, %nope) : i32\n}\n}";
+        let err = parse_module(src).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

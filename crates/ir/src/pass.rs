@@ -1,0 +1,239 @@
+//! Pass framework: a [`Pass`] trait and a [`PassManager`] that runs passes
+//! in sequence, optionally verifying the IR between passes and recording
+//! per-pass statistics (as the paper's compiler does on top of Triton's
+//! pass infrastructure).
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::func::Module;
+use crate::verify::{verify_module, VerifyError};
+
+/// Error produced when running a pass pipeline.
+#[derive(Debug)]
+pub enum PassError {
+    /// The pass itself failed with a message.
+    Failed {
+        /// Pass name.
+        pass: String,
+        /// Failure description.
+        msg: String,
+    },
+    /// Verification failed after the named pass.
+    VerifyFailed {
+        /// Pass name after which verification failed.
+        pass: String,
+        /// Verifier diagnostics.
+        errors: Vec<VerifyError>,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Failed { pass, msg } => write!(f, "pass {pass} failed: {msg}"),
+            PassError::VerifyFailed { pass, errors } => {
+                writeln!(f, "IR invalid after pass {pass}:")?;
+                for e in errors {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// A module-level transformation.
+pub trait Pass {
+    /// Stable pass name for diagnostics and statistics.
+    fn name(&self) -> &str;
+
+    /// Runs the transformation on `module`.
+    ///
+    /// # Errors
+    /// Returns a message if the pass cannot be applied (precondition
+    /// violations, unsupported constructs).
+    fn run(&self, module: &mut Module) -> Result<(), String>;
+}
+
+/// Timing/result record for one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: String,
+    /// Wall-clock duration.
+    pub micros: u128,
+}
+
+/// Runs a sequence of passes with optional inter-pass verification.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    stats: Vec<PassStat>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pipeline with inter-pass verification enabled.
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: true,
+            stats: Vec::new(),
+        }
+    }
+
+    /// Adds a pass to the end of the pipeline.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Enables/disables verification after each pass.
+    pub fn verify_each(&mut self, yes: bool) -> &mut Self {
+        self.verify_each = yes;
+        self
+    }
+
+    /// Runs the pipeline over `module`.
+    ///
+    /// # Errors
+    /// Stops at the first failing pass or failed verification.
+    pub fn run(&mut self, module: &mut Module) -> Result<(), PassError> {
+        self.stats.clear();
+        for pass in &self.passes {
+            let start = Instant::now();
+            pass.run(module).map_err(|msg| PassError::Failed {
+                pass: pass.name().to_string(),
+                msg,
+            })?;
+            self.stats.push(PassStat {
+                name: pass.name().to_string(),
+                micros: start.elapsed().as_micros(),
+            });
+            if self.verify_each {
+                if let Err(errors) = verify_module(module) {
+                    return Err(PassError::VerifyFailed {
+                        pass: pass.name().to_string(),
+                        errors,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-pass statistics from the last [`PassManager::run`].
+    pub fn stats(&self) -> &[PassStat] {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_module;
+    use crate::op::Attr;
+
+    struct TagPass(&'static str);
+
+    impl Pass for TagPass {
+        fn name(&self) -> &str {
+            self.0
+        }
+
+        fn run(&self, module: &mut Module) -> Result<(), String> {
+            module.attrs.set(self.0, Attr::Bool(true));
+            Ok(())
+        }
+    }
+
+    struct FailPass;
+
+    impl Pass for FailPass {
+        fn name(&self) -> &str {
+            "fail"
+        }
+
+        fn run(&self, _m: &mut Module) -> Result<(), String> {
+            Err("nope".into())
+        }
+    }
+
+    struct CorruptPass;
+
+    impl Pass for CorruptPass {
+        fn name(&self) -> &str {
+            "corrupt"
+        }
+
+        fn run(&self, m: &mut Module) -> Result<(), String> {
+            // Introduce a const_int without its required value attr.
+            let f = &mut m.funcs[0];
+            let b = f.body_block();
+            f.push_op(
+                b,
+                crate::op::OpKind::ConstInt,
+                vec![],
+                vec![crate::types::Type::i32()],
+                crate::op::AttrMap::new(),
+            );
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn runs_passes_in_order_with_stats() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add(Box::new(TagPass("a"))).add(Box::new(TagPass("b")));
+        pm.run(&mut m).unwrap();
+        assert_eq!(m.attrs.bool("a"), Some(true));
+        assert_eq!(m.attrs.bool("b"), Some(true));
+        assert_eq!(pm.stats().len(), 2);
+        assert_eq!(pm.stats()[0].name, "a");
+    }
+
+    #[test]
+    fn stops_on_failure() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add(Box::new(FailPass)).add(Box::new(TagPass("after")));
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(matches!(err, PassError::Failed { .. }));
+        assert_eq!(m.attrs.bool("after"), None);
+    }
+
+    #[test]
+    fn verification_catches_corruption() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CorruptPass));
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(matches!(err, PassError::VerifyFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CorruptPass)).verify_each(false);
+        assert!(pm.run(&mut m).is_ok());
+    }
+}

@@ -1,0 +1,294 @@
+//! Textual IR printer.
+//!
+//! The format is a uniform, parse-friendly MLIR flavour:
+//!
+//! ```text
+//! module attributes {num_warps = 8} {
+//!   func @matmul(%arg0: desc<f16>, %arg1: desc<f16>) {
+//!     %0 = arith.const_int() {value = 0} : i32
+//!     %1 = tile.tma_load(%arg0, %0, %0) : tensor<128x64xf16>
+//!     %2 = scf.for(%0, %hi, %step, %init) : i32 {
+//!       ^bb(%iv: i32, %acc: i32):
+//!         %3 = arith.add(%acc, %iv) : i32
+//!         scf.yield(%3)
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Every op prints as `results = mnemonic(operands) {attrs} : types` followed
+//! by brace-delimited regions. [`crate::parse`] accepts exactly this format;
+//! `print → parse → print` is a fixpoint (covered by property tests).
+
+use std::fmt::Write as _;
+
+use crate::func::{Func, Module};
+use crate::op::{AttrMap, BlockId, OpId, RegionId, ValueId};
+
+/// Pretty-prints a module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    if m.attrs.is_empty() {
+        out.push_str("module {\n");
+    } else {
+        let _ = writeln!(out, "module attributes {} {{", fmt_attrs(&m.attrs));
+    }
+    for f in &m.funcs {
+        print_func_into(f, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pretty-prints a single function (without a module wrapper).
+pub fn print_func(f: &Func) -> String {
+    let mut out = String::new();
+    print_func_into(f, 0, &mut out);
+    out
+}
+
+struct Namer<'f> {
+    func: &'f Func,
+    names: Vec<Option<String>>,
+    used: std::collections::HashSet<String>,
+    next: usize,
+}
+
+impl<'f> Namer<'f> {
+    fn new(func: &'f Func) -> Namer<'f> {
+        Namer {
+            func,
+            names: vec![None; func.num_values()],
+            used: std::collections::HashSet::new(),
+            next: 0,
+        }
+    }
+
+    fn name(&mut self, v: ValueId) -> String {
+        if let Some(n) = &self.names[v.0 as usize] {
+            return n.clone();
+        }
+        let base = self.func.value(v).name_hint.clone();
+        let name = match base {
+            Some(hint) if !self.used.contains(&hint) => hint,
+            Some(hint) => {
+                let mut i = 1;
+                loop {
+                    let cand = format!("{hint}_{i}");
+                    if !self.used.contains(&cand) {
+                        break cand;
+                    }
+                    i += 1;
+                }
+            }
+            None => loop {
+                let cand = format!("{}", self.next);
+                self.next += 1;
+                if !self.used.contains(&cand) {
+                    break cand;
+                }
+            },
+        };
+        self.used.insert(name.clone());
+        self.names[v.0 as usize] = Some(name.clone());
+        name
+    }
+}
+
+fn fmt_attrs(attrs: &AttrMap) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{k} = {v}");
+    }
+    s.push('}');
+    s
+}
+
+fn print_func_into(f: &Func, indent: usize, out: &mut String) {
+    let mut namer = Namer::new(f);
+    let pad = "  ".repeat(indent);
+    let _ = write!(out, "{pad}func @{}(", f.name);
+    let params = f.params().to_vec();
+    for (i, &p) in params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        // Default param names: arg0, arg1, ... unless hinted.
+        if f.value(p).name_hint.is_none() {
+            let n = format!("arg{i}");
+            namer.used.insert(n.clone());
+            namer.names[p.0 as usize] = Some(n);
+        }
+        let _ = write!(out, "%{}: {}", namer.name(p), f.ty(p));
+    }
+    out.push(')');
+    if !f.attrs.is_empty() {
+        let _ = write!(out, " attributes {}", fmt_attrs(&f.attrs));
+    }
+    out.push_str(" {\n");
+    print_block_ops(f, f.body_block(), indent + 1, &mut namer, out);
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn print_block_ops(
+    f: &Func,
+    block: BlockId,
+    indent: usize,
+    namer: &mut Namer<'_>,
+    out: &mut String,
+) {
+    for &op in &f.block(block).ops {
+        if f.op(op).dead {
+            continue;
+        }
+        print_op(f, op, indent, namer, out);
+    }
+}
+
+fn print_region(
+    f: &Func,
+    region: RegionId,
+    indent: usize,
+    namer: &mut Namer<'_>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    out.push_str(" {\n");
+    for &block in &f.region(region).blocks {
+        let _ = write!(out, "{pad}  ^bb(");
+        for (i, &a) in f.block(block).args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "%{}: {}", namer.name(a), f.ty(a));
+        }
+        out.push_str("):\n");
+        print_block_ops(f, block, indent + 2, namer, out);
+    }
+    let _ = write!(out, "{pad}}}");
+}
+
+fn print_op(f: &Func, op: OpId, indent: usize, namer: &mut Namer<'_>, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&pad);
+    let data = f.op(op);
+    if !data.results.is_empty() {
+        for (i, &r) in data.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "%{}", namer.name(r));
+        }
+        out.push_str(" = ");
+    }
+    let _ = write!(out, "{}(", data.kind);
+    for (i, &o) in data.operands.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "%{}", namer.name(o));
+    }
+    out.push(')');
+    if !data.attrs.is_empty() {
+        let _ = write!(out, " {}", fmt_attrs(&data.attrs));
+    }
+    if !data.results.is_empty() {
+        out.push_str(" : ");
+        if data.results.len() == 1 {
+            let _ = write!(out, "{}", f.ty(data.results[0]));
+        } else {
+            out.push('(');
+            for (i, &r) in data.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}", f.ty(r));
+            }
+            out.push(')');
+        }
+    }
+    for &region in &data.regions {
+        print_region(f, region, indent, namer, out);
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_module, Builder};
+    use crate::func::Func;
+    use crate::types::{DType, Type};
+
+    #[test]
+    fn prints_simple_func() {
+        let m = build_module("f", &[Type::i32()], |b, args| {
+            let c = b.const_i32(7);
+            let _ = b.add(args[0], c);
+        });
+        let s = print_module(&m);
+        assert!(s.contains("module {"), "{s}");
+        assert!(s.contains("func @f(%arg0: i32) {"), "{s}");
+        assert!(s.contains("arith.const_int() {value = 7} : i32"), "{s}");
+        assert!(s.contains("arith.add(%arg0, %0) : i32"), "{s}");
+    }
+
+    #[test]
+    fn prints_loop_with_region() {
+        let m = build_module("f", &[], |b, _| {
+            let lo = b.const_i32(0);
+            let hi = b.const_i32(4);
+            let st = b.const_i32(1);
+            let init = b.const_i32(0);
+            let _ = b.for_loop(lo, hi, st, &[init], |b, iv, iters| {
+                vec![b.add(iters[0], iv)]
+            });
+        });
+        let s = print_module(&m);
+        assert!(s.contains("scf.for("), "{s}");
+        assert!(s.contains("^bb(%"), "{s}");
+        assert!(s.contains("scf.yield("), "{s}");
+    }
+
+    #[test]
+    fn name_hints_are_used_and_deduped() {
+        let mut f = Func::new("f", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let x = b.const_i32(1);
+        let y = b.const_i32(2);
+        f.set_name_hint(x, "acc");
+        f.set_name_hint(y, "acc");
+        let s = print_func(&f);
+        assert!(s.contains("%acc ="), "{s}");
+        assert!(s.contains("%acc_1 ="), "{s}");
+    }
+
+    #[test]
+    fn prints_multi_result_ops() {
+        let mut f = Func::new("f", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let payload = vec![
+            Type::tensor(vec![8, 8], DType::F16),
+            Type::tensor(vec![8, 8], DType::F16),
+        ];
+        let aref = b.create_aref(2, payload);
+        let idx = b.const_i32(0);
+        let _ = b.aref_get(aref, idx);
+        let s = print_func(&f);
+        assert!(
+            s.contains(": (tensor<8x8xf16>, tensor<8x8xf16>)"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn prints_module_attrs() {
+        let mut m = build_module("f", &[], |_, _| {});
+        m.attrs.set("num_warps", crate::op::Attr::Int(8));
+        let s = print_module(&m);
+        assert!(s.starts_with("module attributes {num_warps = 8} {"), "{s}");
+    }
+}

@@ -1,0 +1,753 @@
+//! IR verifier.
+//!
+//! Checks structural invariants (SSA scoping, terminators, region shapes)
+//! and per-op typing rules matching what [`crate::builder`] infers. Run
+//! between passes by the [`crate::pass::PassManager`].
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::func::{Func, Module};
+use crate::op::{CmpPred, OpId, OpKind, RegionId, ValueId};
+use crate::types::Type;
+
+/// A single verifier diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Function in which the error occurred.
+    pub func: String,
+    /// Offending op, if attributable.
+    pub op: Option<OpId>,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Some(op) => write!(f, "[{}] {}: {}", self.func, op, self.msg),
+            None => write!(f, "[{}] {}", self.func, self.msg),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module. Returns all diagnostics found.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for f in &m.funcs {
+        if let Err(mut e) = verify_func(f) {
+            errs.append(&mut e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verifies a single function.
+pub fn verify_func(f: &Func) -> Result<(), Vec<VerifyError>> {
+    let mut v = Verifier {
+        f,
+        errs: Vec::new(),
+        scope: Vec::new(),
+        in_scope: HashSet::new(),
+    };
+    v.push_scope(f.params());
+    v.verify_region(f.body, None);
+    v.pop_scope();
+    if v.errs.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errs)
+    }
+}
+
+struct Verifier<'f> {
+    f: &'f Func,
+    errs: Vec<VerifyError>,
+    scope: Vec<Vec<ValueId>>,
+    in_scope: HashSet<ValueId>,
+}
+
+impl<'f> Verifier<'f> {
+    fn error(&mut self, op: Option<OpId>, msg: String) {
+        self.errs.push(VerifyError {
+            func: self.f.name.clone(),
+            op,
+            msg,
+        });
+    }
+
+    fn push_scope(&mut self, vals: &[ValueId]) {
+        for &v in vals {
+            self.in_scope.insert(v);
+        }
+        self.scope.push(vals.to_vec());
+    }
+
+    fn pop_scope(&mut self) {
+        if let Some(vals) = self.scope.pop() {
+            for v in vals {
+                self.in_scope.remove(&v);
+            }
+        }
+    }
+
+    fn define(&mut self, v: ValueId) {
+        self.in_scope.insert(v);
+        self.scope
+            .last_mut()
+            .expect("scope stack nonempty")
+            .push(v);
+    }
+
+    fn verify_region(&mut self, region: RegionId, parent_op: Option<OpId>) {
+        let blocks = &self.f.region(region).blocks;
+        if blocks.is_empty() {
+            self.error(parent_op, "region has no blocks".into());
+            return;
+        }
+        for &block in blocks {
+            let args = self.f.block(block).args.clone();
+            self.push_scope(&args);
+            let ops = self.f.block(block).ops.clone();
+            for (i, &op) in ops.iter().enumerate() {
+                if self.f.op(op).dead {
+                    self.error(Some(op), "dead op still in block list".into());
+                    continue;
+                }
+                let is_last = i + 1 == ops.len();
+                if self.f.op(op).kind.is_terminator() && !is_last {
+                    self.error(Some(op), "terminator not at end of block".into());
+                }
+                self.verify_op(op);
+                for &v in self.f.results(op) {
+                    self.define(v);
+                }
+            }
+            self.pop_scope();
+        }
+    }
+
+    fn ty(&self, v: ValueId) -> &Type {
+        self.f.ty(v)
+    }
+
+    fn check_operand_count(&mut self, op: OpId, want: usize) -> bool {
+        let got = self.f.op(op).operands.len();
+        if got != want {
+            self.error(Some(op), format!("expected {want} operands, got {got}"));
+            false
+        } else {
+            true
+        }
+    }
+
+    fn check_result_count(&mut self, op: OpId, want: usize) -> bool {
+        let got = self.f.op(op).results.len();
+        if got != want {
+            self.error(Some(op), format!("expected {want} results, got {got}"));
+            false
+        } else {
+            true
+        }
+    }
+
+    fn verify_op(&mut self, op: OpId) {
+        let data = self.f.op(op);
+        let kind = data.kind;
+        // SSA scoping: all operands must be visible here.
+        for &o in &data.operands {
+            if !self.in_scope.contains(&o) {
+                self.error(
+                    Some(op),
+                    format!("operand {o} does not dominate this use"),
+                );
+            }
+        }
+        // Region arity.
+        let want_regions = usize::from(kind.has_regions());
+        if data.regions.len() != want_regions {
+            self.error(
+                Some(op),
+                format!(
+                    "{kind} expects {want_regions} regions, has {}",
+                    data.regions.len()
+                ),
+            );
+        }
+        let operands = data.operands.clone();
+        let results = data.results.clone();
+        match kind {
+            OpKind::ConstInt => {
+                self.check_operand_count(op, 0);
+                if self.check_result_count(op, 1) {
+                    if self.f.op(op).attrs.int("value").is_none() {
+                        self.error(Some(op), "const_int requires integer `value` attr".into());
+                    }
+                    let t = self.ty(results[0]);
+                    if !matches!(t, Type::Scalar(d) if d.is_int()) {
+                        self.error(Some(op), format!("const_int result must be int, got {t}"));
+                    }
+                }
+            }
+            OpKind::ConstFloat => {
+                self.check_operand_count(op, 0);
+                if self.check_result_count(op, 1) {
+                    if self.f.op(op).attrs.float("value").is_none() {
+                        self.error(Some(op), "const_float requires float `value` attr".into());
+                    }
+                    let t = self.ty(results[0]);
+                    if !matches!(t, Type::Scalar(d) if d.is_float()) {
+                        self.error(
+                            Some(op),
+                            format!("const_float result must be float, got {t}"),
+                        );
+                    }
+                }
+            }
+            OpKind::ConstTensor => {
+                self.check_operand_count(op, 0);
+                if self.check_result_count(op, 1) && !self.ty(results[0]).is_tensor() {
+                    self.error(Some(op), "const_tensor result must be tensor".into());
+                }
+            }
+            OpKind::ProgramId | OpKind::NumPrograms => {
+                self.check_operand_count(op, 0);
+                if self.check_result_count(op, 1) {
+                    let axis = self.f.op(op).attrs.int("axis");
+                    if !matches!(axis, Some(0..=2)) {
+                        self.error(Some(op), "axis attr must be 0, 1 or 2".into());
+                    }
+                }
+            }
+            k if k.is_binary_arith() => {
+                if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
+                    let ta = self.ty(operands[0]).clone();
+                    let tb = self.ty(operands[1]).clone();
+                    match ta.broadcast_with(&tb) {
+                        Some(rt) => {
+                            if *self.ty(results[0]) != rt {
+                                self.error(
+                                    Some(op),
+                                    format!(
+                                        "result type {} does not match inferred {rt}",
+                                        self.ty(results[0])
+                                    ),
+                                );
+                            }
+                        }
+                        None => self.error(
+                            Some(op),
+                            format!("incompatible operand types {ta} and {tb}"),
+                        ),
+                    }
+                }
+            }
+            k if k.is_unary_arith() => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    let ta = self.ty(operands[0]);
+                    let tr = self.ty(results[0]);
+                    if ta != tr {
+                        self.error(Some(op), format!("unary op type mismatch {ta} vs {tr}"));
+                    }
+                }
+            }
+            OpKind::Cmp => {
+                if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
+                    match self.f.op(op).attrs.str("pred").and_then(CmpPred::parse) {
+                        Some(_) => {}
+                        None => self.error(Some(op), "cmp requires valid `pred` attr".into()),
+                    }
+                }
+            }
+            OpKind::Select => {
+                if self.check_operand_count(op, 3) && self.check_result_count(op, 1) {
+                    let tt = self.ty(operands[1]);
+                    let te = self.ty(operands[2]);
+                    if tt != te {
+                        self.error(Some(op), format!("select arms differ: {tt} vs {te}"));
+                    }
+                }
+            }
+            OpKind::Cast => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    let si = self.ty(operands[0]).shape().cloned();
+                    let so = self.ty(results[0]).shape().cloned();
+                    if si != so {
+                        self.error(Some(op), "cast must preserve shape".into());
+                    }
+                }
+            }
+            OpKind::Arange => {
+                self.check_operand_count(op, 0);
+                if self.check_result_count(op, 1) {
+                    let a = self.f.op(op).attrs.int("start");
+                    let b = self.f.op(op).attrs.int("end");
+                    match (a, b, self.ty(results[0]).shape()) {
+                        (Some(s), Some(e), Some(shape)) if e > s => {
+                            if shape.rank() != 1 || shape.dim(0) != (e - s) as usize {
+                                self.error(
+                                    Some(op),
+                                    format!("arange result shape {shape} != {}", e - s),
+                                );
+                            }
+                        }
+                        _ => self.error(Some(op), "arange requires start < end attrs".into()),
+                    }
+                }
+            }
+            OpKind::Splat => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    if !self.ty(operands[0]).is_scalar() {
+                        self.error(Some(op), "splat operand must be scalar".into());
+                    }
+                    if !self.ty(results[0]).is_tensor() {
+                        self.error(Some(op), "splat result must be tensor".into());
+                    }
+                }
+            }
+            OpKind::ExpandDims | OpKind::BroadcastTo | OpKind::Transpose => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    if !self.ty(operands[0]).is_tensor() || !self.ty(results[0]).is_tensor() {
+                        self.error(Some(op), format!("{kind} requires tensor in/out"));
+                    }
+                }
+            }
+            OpKind::ReduceMax | OpKind::ReduceSum => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    let axis = self.f.op(op).attrs.int("axis");
+                    let si = self.ty(operands[0]).shape().cloned();
+                    match (axis, si) {
+                        (Some(a), Some(s)) if (a as usize) < s.rank() => {
+                            let mut want = s.0.clone();
+                            want.remove(a as usize);
+                            if self.ty(results[0]).shape().map(|x| x.0.clone()) != Some(want) {
+                                self.error(Some(op), "reduce result shape mismatch".into());
+                            }
+                        }
+                        _ => self.error(Some(op), "reduce requires valid axis attr".into()),
+                    }
+                }
+            }
+            OpKind::Dot => {
+                if self.check_operand_count(op, 3) && self.check_result_count(op, 1) {
+                    let sa = self.ty(operands[0]).shape().cloned();
+                    let sb = self.ty(operands[1]).shape().cloned();
+                    let sc = self.ty(operands[2]).shape().cloned();
+                    match (sa, sb, sc) {
+                        (Some(a), Some(b), Some(c))
+                            if a.rank() == 2 && b.rank() == 2 && c.rank() == 2 =>
+                        {
+                            if a.dim(1) != b.dim(0) || c.dim(0) != a.dim(0) || c.dim(1) != b.dim(1)
+                            {
+                                self.error(
+                                    Some(op),
+                                    format!("dot shape mismatch {a} · {b} -> {c}"),
+                                );
+                            }
+                        }
+                        _ => self.error(Some(op), "dot requires rank-2 tensors".into()),
+                    }
+                    if self.ty(operands[2]) != self.ty(results[0]) {
+                        self.error(Some(op), "dot result type must equal acc type".into());
+                    }
+                }
+            }
+            OpKind::TmaLoad => {
+                if results.len() != 1 {
+                    self.error(Some(op), "tma_load has exactly one result".into());
+                } else if operands.is_empty()
+                    || !matches!(self.ty(operands[0]), Type::TensorDesc(_))
+                {
+                    self.error(Some(op), "tma_load first operand must be desc".into());
+                } else {
+                    let desc_dt = self.ty(operands[0]).elem();
+                    let res_dt = self.ty(results[0]).elem();
+                    if desc_dt != res_dt {
+                        self.error(Some(op), "tma_load result dtype must match desc".into());
+                    }
+                    for &c in &operands[1..] {
+                        if *self.ty(c) != Type::i32() {
+                            self.error(Some(op), "tma_load coords must be i32".into());
+                        }
+                    }
+                }
+            }
+            OpKind::TmaStore => {
+                if operands.len() < 2 {
+                    self.error(Some(op), "tma_store needs desc, coords..., tile".into());
+                } else if !matches!(self.ty(operands[0]), Type::TensorDesc(_)) {
+                    self.error(Some(op), "tma_store first operand must be desc".into());
+                }
+                self.check_result_count(op, 0);
+            }
+            OpKind::AddPtr => {
+                if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
+                    if !matches!(self.ty(operands[0]), Type::Ptr(_) ) {
+                        self.error(Some(op), "addptr base must be ptr".into());
+                    }
+                }
+            }
+            OpKind::Load => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    let sa = self.ty(operands[0]).shape().cloned();
+                    let sr = self.ty(results[0]).shape().cloned();
+                    if sa != sr {
+                        self.error(Some(op), "load result shape must match addrs".into());
+                    }
+                }
+            }
+            OpKind::Store => {
+                if self.check_operand_count(op, 2) {
+                    let sa = self.ty(operands[0]).shape().cloned();
+                    let sv = self.ty(operands[1]).shape().cloned();
+                    if sa != sv {
+                        self.error(Some(op), "store value shape must match addrs".into());
+                    }
+                }
+                self.check_result_count(op, 0);
+            }
+            OpKind::For => {
+                if operands.len() < 3 {
+                    self.error(Some(op), "for needs (lo, hi, step, inits...)".into());
+                } else {
+                    let n_iter = operands.len() - 3;
+                    if results.len() != n_iter {
+                        self.error(
+                            Some(op),
+                            format!("for has {n_iter} iter args but {} results", results.len()),
+                        );
+                    }
+                    if !data.regions.is_empty() {
+                        let body = self.f.entry_block(data.regions[0]);
+                        let args = self.f.block(body).args.clone();
+                        if args.len() != n_iter + 1 {
+                            self.error(
+                                Some(op),
+                                format!(
+                                    "for body must take iv + {n_iter} args, takes {}",
+                                    args.len()
+                                ),
+                            );
+                        } else {
+                            for (i, (&a, &init)) in
+                                args[1..].iter().zip(operands[3..].iter()).enumerate()
+                            {
+                                if self.ty(a) != self.ty(init) {
+                                    self.error(
+                                        Some(op),
+                                        format!("iter arg {i} type mismatch with init"),
+                                    );
+                                }
+                            }
+                        }
+                        // Body must end in a yield of the iter types.
+                        match self.f.block(body).ops.last() {
+                            Some(&last) if self.f.op(last).kind == OpKind::Yield => {
+                                let yops = self.f.op(last).operands.clone();
+                                if yops.len() != n_iter {
+                                    self.error(
+                                        Some(op),
+                                        format!(
+                                            "for body yields {} values, expected {n_iter}",
+                                            yops.len()
+                                        ),
+                                    );
+                                } else {
+                                    for (i, (&y, &r)) in
+                                        yops.iter().zip(results.iter()).enumerate()
+                                    {
+                                        if self.ty(y) != self.ty(r) {
+                                            self.error(
+                                                Some(op),
+                                                format!("yield value {i} type mismatch"),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            _ => self.error(Some(op), "for body must end with scf.yield".into()),
+                        }
+                    }
+                }
+                // verify the nested region with the loop scope
+                for &r in &self.f.op(op).regions.clone() {
+                    self.verify_region(r, Some(op));
+                }
+            }
+            OpKind::Yield => {
+                self.check_result_count(op, 0);
+            }
+            OpKind::CreateAref => {
+                self.check_operand_count(op, 0);
+                if self.check_result_count(op, 1) {
+                    match self.ty(results[0]).clone() {
+                        Type::Aref(depth, payload) => {
+                            let attr_depth = self.f.op(op).attrs.int("depth");
+                            if attr_depth != Some(depth as i64) {
+                                self.error(
+                                    Some(op),
+                                    "create_aref depth attr must match type".into(),
+                                );
+                            }
+                            if payload.is_empty() {
+                                self.error(Some(op), "aref payload must be nonempty".into());
+                            }
+                        }
+                        t => self.error(Some(op), format!("create_aref result must be aref, got {t}")),
+                    }
+                }
+            }
+            OpKind::ArefPut => {
+                if operands.len() < 3 {
+                    self.error(Some(op), "put needs (aref, slot, payload...)".into());
+                } else if let Type::Aref(_, payload) = self.ty(operands[0]).clone() {
+                    let given = &operands[2..];
+                    if given.len() != payload.len() {
+                        self.error(
+                            Some(op),
+                            format!(
+                                "put payload arity {} != aref payload {}",
+                                given.len(),
+                                payload.len()
+                            ),
+                        );
+                    } else {
+                        for (i, (&g, p)) in given.iter().zip(payload.iter()).enumerate() {
+                            if self.ty(g) != p {
+                                self.error(Some(op), format!("put payload {i} type mismatch"));
+                            }
+                        }
+                    }
+                } else {
+                    self.error(Some(op), "put first operand must be aref".into());
+                }
+            }
+            OpKind::ArefGet => {
+                if self.check_operand_count(op, 2) {
+                    if let Type::Aref(_, payload) = self.ty(operands[0]).clone() {
+                        if results.len() != payload.len() {
+                            self.error(Some(op), "get result arity != aref payload".into());
+                        } else {
+                            for (i, (&r, p)) in results.iter().zip(payload.iter()).enumerate() {
+                                if self.ty(r) != p {
+                                    self.error(Some(op), format!("get result {i} type mismatch"));
+                                }
+                            }
+                        }
+                    } else {
+                        self.error(Some(op), "get first operand must be aref".into());
+                    }
+                }
+            }
+            OpKind::ArefConsumed => {
+                if self.check_operand_count(op, 2)
+                    && !matches!(self.ty(operands[0]), Type::Aref(..))
+                {
+                    self.error(Some(op), "consumed first operand must be aref".into());
+                }
+            }
+            OpKind::WarpGroup => {
+                self.check_operand_count(op, 0);
+                self.check_result_count(op, 0);
+                if self.f.op(op).attrs.int("partition").is_none() {
+                    self.error(Some(op), "warp_group requires partition attr".into());
+                }
+                for &r in &self.f.op(op).regions.clone() {
+                    self.verify_region(r, Some(op));
+                }
+            }
+            OpKind::DotWait => {
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
+                    if self.f.op(op).attrs.int("pendings").is_none() {
+                        self.error(Some(op), "dot_wait requires pendings attr".into());
+                    }
+                    if self.ty(operands[0]) != self.ty(results[0]) {
+                        self.error(Some(op), "dot_wait is type-preserving".into());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_module, Builder};
+    use crate::op::{Attr, AttrMap};
+    use crate::types::DType;
+
+    #[test]
+    fn accepts_wellformed_ir() {
+        let m = build_module("f", &[Type::i32()], |b, args| {
+            let c = b.const_i32(2);
+            let s = b.add(args[0], c);
+            let lo = b.const_i32(0);
+            let st = b.const_i32(1);
+            let _ = b.for_loop(lo, s, st, &[c], |b, iv, iters| {
+                vec![b.add(iters[0], iv)]
+            });
+        });
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_add() {
+        let mut f = Func::new("f", &[]);
+        let b = f.body_block();
+        let x = f.const_int(b, 1, Type::i32());
+        let y = f.const_int(b, 2, Type::i64());
+        f.push_op(
+            b,
+            OpKind::Add,
+            vec![x, y],
+            vec![Type::i32()],
+            AttrMap::new(),
+        );
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("incompatible")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Func::new("f", &[]);
+        let b = f.body_block();
+        let x = f.const_int(b, 1, Type::i32());
+        let add = f.push_op(
+            b,
+            OpKind::Add,
+            vec![x, x],
+            vec![Type::i32()],
+            AttrMap::new(),
+        );
+        // Move the add before its operand's def.
+        f.block_mut(b).ops.swap(0, 1);
+        let _ = add;
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("dominate")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_for_without_yield() {
+        let mut f = Func::new("f", &[]);
+        let b = f.body_block();
+        let c = f.const_int(b, 0, Type::i32());
+        let for_op = f.push_op(
+            b,
+            OpKind::For,
+            vec![c, c, c],
+            vec![],
+            AttrMap::new(),
+        );
+        let (_, body) = f.add_region(for_op);
+        f.add_block_arg(body, Type::i32());
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("scf.yield")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_bad_dot_shapes() {
+        let mut f = Func::new("f", &[]);
+        let mut bb = Builder::at_body(&mut f);
+        let a = bb.zeros(vec![16, 8], DType::F16);
+        let c = bb.zeros(vec![16, 16], DType::F32);
+        // Build raw op to bypass builder assertion.
+        let b_ = bb.zeros(vec![4, 16], DType::F16);
+        let blk = bb.block();
+        bb.func().push_op(
+            blk,
+            OpKind::Dot,
+            vec![a, b_, c],
+            vec![Type::tensor(vec![16, 16], DType::F32)],
+            AttrMap::new(),
+        );
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("dot shape")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_aref_payload_mismatch() {
+        let mut f = Func::new("f", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let aref = b.create_aref(2, vec![Type::tensor(vec![8, 8], DType::F16)]);
+        let idx = b.const_i32(0);
+        let wrong = b.zeros(vec![4, 4], DType::F16);
+        let blk = b.block();
+        b.func().push_op(
+            blk,
+            OpKind::ArefPut,
+            vec![aref, idx, wrong],
+            vec![],
+            AttrMap::new(),
+        );
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("payload")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_warp_group_without_partition() {
+        let mut f = Func::new("f", &[]);
+        let b = f.body_block();
+        let wg = f.push_op(b, OpKind::WarpGroup, vec![], vec![], AttrMap::new());
+        f.add_region(wg);
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("partition")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_const_without_value() {
+        let mut f = Func::new("f", &[]);
+        let b = f.body_block();
+        f.push_op(b, OpKind::ConstInt, vec![], vec![Type::i32()], AttrMap::new());
+        let errs = verify_func(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("value")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_terminator_midblock() {
+        let mut f = Func::new("f", &[]);
+        let b = f.body_block();
+        f.push_op(b, OpKind::Yield, vec![], vec![], AttrMap::new());
+        f.const_int(b, 1, Type::i32());
+        let errs = verify_func(&f).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.msg.contains("terminator")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn error_display_mentions_func() {
+        let e = VerifyError {
+            func: "k".into(),
+            op: Some(OpId(3)),
+            msg: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "[k] op3: boom");
+    }
+
+    #[test]
+    fn dot_wait_requires_pendings() {
+        let mut f = Func::new("f", &[]);
+        let mut b = Builder::at_body(&mut f);
+        let t = b.zeros(vec![8, 8], DType::F32);
+        let blk = b.block();
+        let mut attrs = AttrMap::new();
+        attrs.set("pendings", Attr::Int(1));
+        b.func().push_op(
+            blk,
+            OpKind::DotWait,
+            vec![t],
+            vec![Type::tensor(vec![8, 8], DType::F32)],
+            attrs,
+        );
+        assert!(verify_func(&f).is_ok());
+    }
+}

@@ -1,0 +1,60 @@
+//! # gpu-sim
+//!
+//! A discrete-event Hopper-class GPU simulator: the hardware substrate of
+//! the Tawa reproduction.
+//!
+//! Real warp specialization gains come from the interaction of asynchronous
+//! units — TMA engines feeding shared memory behind transaction mbarriers,
+//! Tensor Core WGMMA pipelines with bounded in-flight groups, CUDA-core
+//! work, occupancy limits from shared memory and registers, grid wave
+//! scheduling and kernel launch overheads. This crate models each of those
+//! explicitly:
+//!
+//! * [`device`] — calibration constants (H100 SXM5) and the occupancy
+//!   calculator,
+//! * [`mbarrier`] — transaction-barrier hardware semantics,
+//! * [`engine`] — the per-SM event engine executing WSIR warp-group
+//!   programs (detects deadlocks rather than hanging),
+//! * [`run`] — wave-level scheduling, persistent-kernel handling and
+//!   report generation.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::{simulate, Device};
+//! use tawa_wsir::{Instr, Kernel, MmaDtype, Role};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut k = Kernel::new("tiny");
+//! k.uniform_grid(132);
+//! k.smem_bytes = 64 * 1024;
+//! let full = k.add_barrier("full", 1);
+//! let empty = k.add_barrier_init("empty", 1, 1);
+//! k.add_warp_group(Role::Producer, 24, vec![Instr::loop_const(16, vec![
+//!     Instr::MbarWait { bar: empty },
+//!     Instr::TmaLoad { bytes: 32 * 1024, bar: full },
+//! ])]);
+//! k.add_warp_group(Role::Consumer, 240, vec![Instr::loop_const(16, vec![
+//!     Instr::MbarWait { bar: full },
+//!     Instr::WgmmaIssue { m: 128, n: 128, k: 64, dtype: MmaDtype::F16 },
+//!     Instr::WgmmaWait { pending: 0 },
+//!     Instr::MbarArrive { bar: empty },
+//! ])]);
+//! k.useful_flops = 132.0 * 16.0 * 2.0 * 128.0 * 128.0 * 64.0;
+//! let report = simulate(&k, &Device::h100_sxm5())?;
+//! assert!(report.tflops > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod engine;
+pub mod mbarrier;
+pub mod run;
+
+pub use device::Device;
+pub use engine::{EngineCfg, EngineResult, EngineStats};
+pub use mbarrier::Mbarrier;
+pub use run::{simulate, SimError, SimReport};

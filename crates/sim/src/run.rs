@@ -1,0 +1,323 @@
+//! Top-level kernel simulation: occupancy placement, wave scheduling,
+//! bandwidth provisioning and report generation.
+//!
+//! The engine ([`crate::engine`]) simulates one SM event-accurately; this
+//! module replicates that wave analytically across the grid (a standard
+//! analytic-replication technique): a kernel with G CTAs at occupancy O on
+//! S SMs runs ⌈G / (S·O)⌉ waves, each costing one simulated wave plus a
+//! grid-scheduler dispatch gap. Persistent kernels pre-collapse their grid
+//! to one resident wave whose CTAs loop over tiles, so they pay the wave
+//! machinery exactly once — which is where their advantage comes from
+//! (paper §IV-B).
+
+use std::fmt;
+
+use tawa_wsir::{validate, Kernel, ValidateError};
+
+use crate::device::Device;
+use crate::engine::{run_sm, EngineCfg, EngineStats};
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// The kernel failed static validation.
+    Invalid(Vec<ValidateError>),
+    /// The kernel's per-CTA resources exceed the SM (occupancy zero).
+    DoesNotFit {
+        /// Required shared memory (bytes).
+        smem: u64,
+        /// Required registers per CTA.
+        regs: u64,
+    },
+    /// The kernel deadlocked; the payload describes the blocked actors.
+    Deadlock(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Invalid(errs) => {
+                writeln!(f, "kernel failed validation:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            SimError::DoesNotFit { smem, regs } => write!(
+                f,
+                "kernel does not fit on an SM (smem {smem} B, {regs} regs/CTA)"
+            ),
+            SimError::Deadlock(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of simulating one kernel launch.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// End-to-end time including host launch overhead, microseconds.
+    pub total_time_us: f64,
+    /// Device-side execution time, microseconds.
+    pub kernel_time_us: f64,
+    /// Useful throughput in TFLOP/s (`useful_flops / total_time`).
+    pub tflops: f64,
+    /// Tensor-core busy fraction during the representative wave.
+    pub tc_utilization: f64,
+    /// Resident CTAs per SM.
+    pub occupancy: u32,
+    /// Number of waves executed (1 for persistent kernels).
+    pub waves: u64,
+    /// Total device cycles.
+    pub cycles: u64,
+    /// Total bytes loaded from global memory across the whole grid.
+    pub bytes_loaded: u64,
+    /// Total bytes stored across the whole grid.
+    pub bytes_stored: u64,
+    /// Total tensor-core FLOPs across the whole grid.
+    pub tc_flops: u64,
+    /// Representative per-wave engine statistics (first class).
+    pub wave_stats: EngineStats,
+}
+
+/// Simulates `kernel` on `device`.
+///
+/// # Errors
+/// Returns [`SimError::Invalid`] for malformed kernels,
+/// [`SimError::DoesNotFit`] when occupancy is zero, and
+/// [`SimError::Deadlock`] when forward progress stops.
+pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError> {
+    validate(kernel).map_err(SimError::Invalid)?;
+    let occ = device.occupancy(kernel);
+    if occ == 0 {
+        return Err(SimError::DoesNotFit {
+            smem: kernel.smem_bytes,
+            regs: kernel.regs_per_cta(),
+        });
+    }
+
+    let grid = kernel.grid_size();
+    let active_sms = grid.min(device.sms as u64).max(1) as f64;
+    let l2_bonus = if kernel.persistent {
+        device.persistent_l2_bonus
+    } else {
+        1.0
+    };
+    let cfg = EngineCfg {
+        load_bw: (device.l2_bytes_per_cycle / active_sms)
+            .min(device.tma_engine_bytes_per_cycle)
+            * l2_bonus,
+        store_bw: device.hbm_bytes_per_cycle / active_sms,
+    };
+
+    let slots_per_wave = device.sms as u64 * occ as u64;
+    let mut total_cycles: u64 = 0;
+    let mut waves_total: u64 = 0;
+    let mut bytes_loaded: u64 = 0;
+    let mut bytes_stored: u64 = 0;
+    let mut tc_flops: u64 = 0;
+    let mut wave_stats: Option<EngineStats> = None;
+    let mut persistent_max: u64 = 0;
+
+    for class in &kernel.classes {
+        let residents: Vec<&tawa_wsir::CtaClass> = (0..occ).map(|_| class).collect();
+        let result = run_sm(kernel, device, &residents, &cfg);
+        if let Some(d) = result.deadlock {
+            return Err(SimError::Deadlock(d));
+        }
+        let stats = result.stats;
+        // Engine simulated `occ` CTAs of this class on one SM.
+        let per_cta_loaded = stats.bytes_loaded / occ as u64;
+        let per_cta_stored = stats.bytes_stored / occ as u64;
+        let per_cta_flops = stats.tc_flops / occ as u64;
+        bytes_loaded += per_cta_loaded * class.multiplicity;
+        bytes_stored += per_cta_stored * class.multiplicity;
+        tc_flops += per_cta_flops * class.multiplicity;
+
+        if kernel.persistent {
+            // Persistent classes run concurrently on disjoint SM slots;
+            // the launch completes when the slowest finishes.
+            persistent_max = persistent_max.max(stats.cycles);
+            waves_total = 1;
+        } else {
+            let waves = class.multiplicity.div_ceil(slots_per_wave);
+            total_cycles +=
+                waves * stats.cycles + waves.saturating_sub(1) * device.cta_dispatch_gap_cycles;
+            waves_total += waves;
+        }
+        if wave_stats.is_none() {
+            wave_stats = Some(stats);
+        }
+    }
+    if kernel.persistent {
+        total_cycles = persistent_max;
+    }
+
+    let kernel_time_ns = device.cycles_to_ns(total_cycles as f64);
+    let total_time_ns = kernel_time_ns + kernel.launch_overhead_ns as f64;
+    let wave_stats = wave_stats.expect("at least one class");
+    let tc_utilization = if wave_stats.cycles > 0 {
+        wave_stats.tc_busy as f64 / wave_stats.cycles as f64
+    } else {
+        0.0
+    };
+    let tflops = if total_time_ns > 0.0 {
+        kernel.useful_flops / (total_time_ns * 1e-9) / 1e12
+    } else {
+        0.0
+    };
+
+    Ok(SimReport {
+        kernel: kernel.name.clone(),
+        total_time_us: total_time_ns / 1000.0,
+        kernel_time_us: kernel_time_ns / 1000.0,
+        tflops,
+        tc_utilization,
+        occupancy: occ,
+        waves: waves_total,
+        cycles: total_cycles,
+        bytes_loaded,
+        bytes_stored,
+        tc_flops,
+        wave_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tawa_wsir::{Instr, Kernel, MmaDtype, Role};
+
+    /// Double-buffered warp-specialized GEMM-shaped kernel over `iters`
+    /// k-steps with an `m x n` tile.
+    fn ws_gemm_kernel(grid: u64, iters: u64, persistent: bool) -> Kernel {
+        let mut k = Kernel::new("ws_gemm");
+        k.uniform_grid(grid);
+        k.smem_bytes = 2 * (128 * 64 + 128 * 64) * 2 + 1024;
+        k.persistent = persistent;
+        let mut full = Vec::new();
+        let mut empty = Vec::new();
+        for s in 0..2 {
+            full.push(k.add_barrier(&format!("full{s}"), 2));
+            empty.push(k.add_barrier_init(&format!("empty{s}"), 1, 1));
+        }
+        let mut pbody = Vec::new();
+        let mut cbody = Vec::new();
+        for s in 0..2 {
+            pbody.push(Instr::MbarWait { bar: empty[s] });
+            pbody.push(Instr::TmaLoad {
+                bytes: 128 * 64 * 2,
+                bar: full[s],
+            });
+            pbody.push(Instr::TmaLoad {
+                bytes: 128 * 64 * 2,
+                bar: full[s],
+            });
+            cbody.push(Instr::MbarWait { bar: full[s] });
+            cbody.push(Instr::WgmmaIssue {
+                m: 128,
+                n: 128,
+                k: 64,
+                dtype: MmaDtype::F16,
+            });
+            cbody.push(Instr::WgmmaWait { pending: 0 });
+            cbody.push(Instr::MbarArrive { bar: empty[s] });
+        }
+        k.add_warp_group(Role::Producer, 24, vec![Instr::loop_const(iters / 2, pbody)]);
+        let mut consumer = vec![Instr::loop_const(iters / 2, cbody)];
+        consumer.push(Instr::GlobalStore {
+            bytes: 128 * 128 * 2,
+        });
+        k.add_warp_group(Role::Consumer, 232, consumer);
+        k.useful_flops = (grid * iters * 2 * 128 * 128 * 64) as f64;
+        k
+    }
+
+    #[test]
+    fn simulate_reports_throughput() {
+        let dev = Device::h100_sxm5();
+        let k = ws_gemm_kernel(4096, 64, false);
+        let r = simulate(&k, &dev).unwrap();
+        assert!(r.tflops > 50.0, "implausibly low {}", r.tflops);
+        assert!(r.tflops < dev.peak_tflops(MmaDtype::F16), "{}", r.tflops);
+        assert!(r.occupancy >= 1);
+        assert!(r.waves >= 1);
+        // Conservation: every CTA loads iters × 2 tiles of 128x64xf16.
+        assert_eq!(r.bytes_loaded, 4096 * 64 * 2 * 128 * 64 * 2);
+        assert_eq!(r.tc_flops, 4096 * 64 * 2 * 128 * 128 * 64);
+    }
+
+    #[test]
+    fn more_waves_for_bigger_grids() {
+        let dev = Device::h100_sxm5();
+        let small = simulate(&ws_gemm_kernel(132, 32, false), &dev).unwrap();
+        let big = simulate(&ws_gemm_kernel(1320, 32, false), &dev).unwrap();
+        assert!(big.waves > small.waves);
+        assert!(big.cycles > small.cycles);
+    }
+
+    #[test]
+    fn rejects_oversized_kernels() {
+        let dev = Device::h100_sxm5();
+        let mut k = ws_gemm_kernel(128, 8, false);
+        k.smem_bytes = 512 * 1024;
+        match simulate(&k, &dev) {
+            Err(SimError::DoesNotFit { smem, .. }) => assert_eq!(smem, 512 * 1024),
+            other => panic!("expected DoesNotFit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_kernels() {
+        let dev = Device::h100_sxm5();
+        let k = Kernel::new("empty");
+        assert!(matches!(simulate(&k, &dev), Err(SimError::Invalid(_))));
+    }
+
+    #[test]
+    fn deadlock_is_reported_as_error() {
+        let dev = Device::h100_sxm5();
+        let mut k = Kernel::new("dl");
+        k.uniform_grid(1);
+        k.smem_bytes = 1024;
+        let full = k.add_barrier("full", 1);
+        let empty = k.add_barrier("empty", 1); // no initial credit: deadlock
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![
+                Instr::MbarWait { bar: empty },
+                Instr::TmaLoad {
+                    bytes: 1024,
+                    bar: full,
+                },
+            ],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![
+                Instr::MbarWait { bar: full },
+                Instr::MbarArrive { bar: empty },
+            ],
+        );
+        assert!(matches!(simulate(&k, &dev), Err(SimError::Deadlock(_))));
+    }
+
+    #[test]
+    fn launch_overhead_hurts_short_kernels_more() {
+        let dev = Device::h100_sxm5();
+        let mut short = ws_gemm_kernel(132, 4, false);
+        let mut long = ws_gemm_kernel(132, 256, false);
+        short.launch_overhead_ns = 5500;
+        long.launch_overhead_ns = 5500;
+        let rs = simulate(&short, &dev).unwrap();
+        let rl = simulate(&long, &dev).unwrap();
+        let short_ratio = rs.total_time_us / rs.kernel_time_us;
+        let long_ratio = rl.total_time_us / rl.kernel_time_us;
+        assert!(short_ratio > long_ratio);
+    }
+}

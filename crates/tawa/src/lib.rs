@@ -1,0 +1,42 @@
+//! # tawa
+//!
+//! The complete Tawa toolchain — a Rust reproduction of "Tawa: Automatic
+//! Warp Specialization for Modern GPUs with Asynchronous References"
+//! (CGO 2026) — re-exported under one roof:
+//!
+//! * [`ir`] — the MLIR-like tile IR, printer/parser, verifier, passes;
+//! * [`frontend`] — the Triton-style kernel zoo (GEMM, batched/grouped
+//!   GEMM, multi-head attention) and workload configurations;
+//! * [`core`] — the Tawa compiler: aref semantics, task-aware
+//!   partitioning, multi-granularity pipelining, WSIR code generation,
+//!   the functional interpreter and the autotuner;
+//! * [`wsir`] — the warp-specialized virtual ISA;
+//! * [`sim`] — the discrete-event Hopper-class GPU simulator;
+//! * [`kernels`] — baseline frameworks (cuBLAS, FA3, TileLang,
+//!   ThunderKittens, Triton).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tawa::core::{compile_and_simulate, CompileOptions};
+//! use tawa::frontend::config::GemmConfig;
+//! use tawa::frontend::kernels::gemm;
+//! use tawa::sim::Device;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 4096));
+//! let report = compile_and_simulate(
+//!     &module, &spec, &CompileOptions::default(), &Device::h100_sxm5())?;
+//! assert!(report.tflops > 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use gpu_sim as sim;
+pub use tawa_core as core;
+pub use tawa_frontend as frontend;
+pub use tawa_ir as ir;
+pub use tawa_kernels as kernels;
+pub use tawa_wsir as wsir;

@@ -1,0 +1,186 @@
+//! Kernel container: warp-group programs, mbarrier declarations, CTA
+//! classes and launch configuration.
+
+use crate::instr::{BarId, Instr, Role};
+
+/// Declaration of one mbarrier in shared memory.
+///
+/// A phase of the barrier completes when `arrive_count` arrivals have been
+/// observed **and** all transaction bytes announced for the phase have
+/// landed (Hopper transaction-barrier semantics, §II-A of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierDecl {
+    /// Diagnostic name (`full[0]`, `empty[1]`, ...).
+    pub name: String,
+    /// Arrivals needed to complete a phase.
+    pub arrive_count: u32,
+    /// Phases pre-completed at kernel start. An `empty` barrier of an aref
+    /// slot starts with one credit (paper Fig. 4: initially `E = 1`), so
+    /// the producer's first wait on it falls through.
+    pub init_phases: u32,
+}
+
+/// A class of CTAs that execute the same program with the same loop-trip
+/// parameters. The simulator simulates one representative per class and
+/// weights by `multiplicity` (analytic wave replication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtaClass {
+    /// Values for `Count::Param(i)` trip counts.
+    pub params: Vec<u64>,
+    /// Number of CTAs in this class.
+    pub multiplicity: u64,
+}
+
+/// One warp group's program and resource footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpGroup {
+    /// Role (producer / consumer / uniform).
+    pub role: Role,
+    /// Registers per thread after `setmaxnreg` reallocation. Warp
+    /// specialization gives producers ~24 and consumers up to 240.
+    pub regs_per_thread: u32,
+    /// Instruction stream.
+    pub body: Vec<Instr>,
+}
+
+/// A compiled kernel ready for simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (diagnostics).
+    pub name: String,
+    /// CTA classes; total grid size is the sum of multiplicities.
+    pub classes: Vec<CtaClass>,
+    /// Shared memory per CTA in bytes (staging buffers + barriers).
+    pub smem_bytes: u64,
+    /// mbarrier declarations.
+    pub barriers: Vec<BarrierDecl>,
+    /// Warp groups (one entry per role instance).
+    pub warp_groups: Vec<WarpGroup>,
+    /// Whether this kernel is persistent (one resident CTA per SM slot
+    /// looping over tiles; grid is pre-collapsed by the code generator).
+    pub persistent: bool,
+    /// Host-side launch overhead in nanoseconds (library vs DSL runtime).
+    pub launch_overhead_ns: u64,
+    /// Useful math throughput accounted to this kernel, in FLOPs; used by
+    /// harnesses to convert simulated time to TFLOP/s.
+    pub useful_flops: f64,
+}
+
+impl Kernel {
+    /// Creates an empty kernel with the given name.
+    pub fn new(name: &str) -> Kernel {
+        Kernel {
+            name: name.to_string(),
+            classes: Vec::new(),
+            smem_bytes: 0,
+            barriers: Vec::new(),
+            warp_groups: Vec::new(),
+            persistent: false,
+            launch_overhead_ns: 0,
+            useful_flops: 0.0,
+        }
+    }
+
+    /// Total CTA count across classes.
+    pub fn grid_size(&self) -> u64 {
+        self.classes.iter().map(|c| c.multiplicity).sum()
+    }
+
+    /// Number of threads per CTA (128 per warp group).
+    pub fn threads_per_cta(&self) -> u32 {
+        self.warp_groups.len() as u32 * 128
+    }
+
+    /// Total register demand per CTA (threads × regs, summed per WG).
+    pub fn regs_per_cta(&self) -> u64 {
+        self.warp_groups
+            .iter()
+            .map(|wg| 128 * wg.regs_per_thread as u64)
+            .sum()
+    }
+
+    /// Declares an mbarrier with no initial credit, returning its id.
+    pub fn add_barrier(&mut self, name: &str, arrive_count: u32) -> BarId {
+        self.add_barrier_init(name, arrive_count, 0)
+    }
+
+    /// Declares an mbarrier pre-completed for `init_phases` phases (used
+    /// for `empty` aref barriers, which start holding a credit).
+    pub fn add_barrier_init(&mut self, name: &str, arrive_count: u32, init_phases: u32) -> BarId {
+        let id = BarId(self.barriers.len() as u32);
+        self.barriers.push(BarrierDecl {
+            name: name.to_string(),
+            arrive_count,
+            init_phases,
+        });
+        id
+    }
+
+    /// Adds a warp group program.
+    pub fn add_warp_group(&mut self, role: Role, regs_per_thread: u32, body: Vec<Instr>) {
+        self.warp_groups.push(WarpGroup {
+            role,
+            regs_per_thread,
+            body,
+        });
+    }
+
+    /// Declares a uniform grid of `n` identical CTAs.
+    pub fn uniform_grid(&mut self, n: u64) {
+        self.classes = vec![CtaClass {
+            params: Vec::new(),
+            multiplicity: n,
+        }];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::MmaDtype;
+
+    #[test]
+    fn grid_and_resources() {
+        let mut k = Kernel::new("gemm");
+        k.classes = vec![
+            CtaClass {
+                params: vec![4],
+                multiplicity: 100,
+            },
+            CtaClass {
+                params: vec![8],
+                multiplicity: 28,
+            },
+        ];
+        k.add_warp_group(Role::Producer, 24, vec![]);
+        k.add_warp_group(Role::Consumer, 240, vec![]);
+        assert_eq!(k.grid_size(), 128);
+        assert_eq!(k.threads_per_cta(), 256);
+        assert_eq!(k.regs_per_cta(), 128 * 24 + 128 * 240);
+    }
+
+    #[test]
+    fn barrier_ids_sequential() {
+        let mut k = Kernel::new("t");
+        let b0 = k.add_barrier("full0", 2);
+        let b1 = k.add_barrier("empty0", 1);
+        assert_eq!(b0, BarId(0));
+        assert_eq!(b1, BarId(1));
+        assert_eq!(k.barriers[0].arrive_count, 2);
+    }
+
+    #[test]
+    fn kernel_holds_programs() {
+        let mut k = Kernel::new("t");
+        k.uniform_grid(16);
+        let body = vec![Instr::WgmmaIssue {
+            m: 64,
+            n: 64,
+            k: 16,
+            dtype: MmaDtype::F16,
+        }];
+        k.add_warp_group(Role::Consumer, 240, body);
+        assert_eq!(k.grid_size(), 16);
+        assert_eq!(k.warp_groups.len(), 1);
+    }
+}

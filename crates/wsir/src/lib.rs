@@ -1,0 +1,51 @@
+//! # tawa-wsir
+//!
+//! WSIR — the warp-specialized low-level virtual ISA targeted by the Tawa
+//! compiler and executed by the `gpu-sim` discrete-event simulator.
+//!
+//! WSIR corresponds to the PTX-level idioms described in §III-E of the Tawa
+//! paper: asynchronous TMA bulk copies bound to transaction mbarriers
+//! (`TmaLoad`), parity-disciplined mbarrier waits (`MbarWait`/`MbarArrive`),
+//! asynchronous WGMMA issue groups with bounded in-flight waits
+//! (`WgmmaIssue`/`WgmmaWait`), CUDA-core work, and structured loops. A
+//! [`kernel::Kernel`] bundles one instruction stream per warp group plus
+//! mbarrier declarations, shared-memory footprint and launch configuration.
+//!
+//! ## Example
+//!
+//! ```
+//! use tawa_wsir::{BarId, Instr, Kernel, MmaDtype, Role};
+//!
+//! let mut k = Kernel::new("toy");
+//! k.uniform_grid(16);
+//! let full = k.add_barrier("full", 1);
+//! let empty = k.add_barrier_init("empty", 1, 1); // starts with one credit
+//! k.add_warp_group(Role::Producer, 24, vec![
+//!     Instr::loop_const(8, vec![
+//!         Instr::MbarWait { bar: empty },
+//!         Instr::TmaLoad { bytes: 32 * 1024, bar: full },
+//!     ]),
+//! ]);
+//! k.add_warp_group(Role::Consumer, 240, vec![
+//!     Instr::loop_const(8, vec![
+//!         Instr::MbarWait { bar: full },
+//!         Instr::WgmmaIssue { m: 128, n: 128, k: 64, dtype: MmaDtype::F16 },
+//!         Instr::WgmmaWait { pending: 0 },
+//!         Instr::MbarArrive { bar: empty },
+//!     ]),
+//! ]);
+//! assert!(tawa_wsir::validate(&k).is_ok());
+//! println!("{}", tawa_wsir::print_kernel(&k));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod instr;
+pub mod kernel;
+pub mod print;
+pub mod validate;
+
+pub use instr::{BarId, Count, Instr, MmaDtype, Role};
+pub use kernel::{BarrierDecl, CtaClass, Kernel, WarpGroup};
+pub use print::print_kernel;
+pub use validate::{validate, ValidateError};

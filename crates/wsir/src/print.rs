@@ -1,0 +1,138 @@
+//! Human-readable WSIR disassembly for debugging compiler output.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::kernel::Kernel;
+
+fn print_instrs(instrs: &[Instr], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for i in instrs {
+        match i {
+            Instr::TmaLoad { bytes, bar } => {
+                let _ = writeln!(out, "{pad}tma.load bytes={bytes} -> {bar}");
+            }
+            Instr::TmaStore { bytes } => {
+                let _ = writeln!(out, "{pad}tma.store bytes={bytes}");
+            }
+            Instr::CpAsync { bytes } => {
+                let _ = writeln!(out, "{pad}cp.async bytes={bytes}");
+            }
+            Instr::CpAsyncWait { pending } => {
+                let _ = writeln!(out, "{pad}cp.async.wait_group {pending}");
+            }
+            Instr::MbarArrive { bar } => {
+                let _ = writeln!(out, "{pad}mbarrier.arrive {bar}");
+            }
+            Instr::MbarWait { bar } => {
+                let _ = writeln!(out, "{pad}mbarrier.wait {bar}");
+            }
+            Instr::WgmmaIssue { m, n, k, dtype } => {
+                let _ = writeln!(out, "{pad}wgmma.mma_async m{m}n{n}k{k}.{dtype}");
+            }
+            Instr::WgmmaWait { pending } => {
+                let _ = writeln!(out, "{pad}wgmma.wait_group {pending}");
+            }
+            Instr::CudaOp { flops, sfu, label } => {
+                let _ = writeln!(out, "{pad}cuda.op {label} flops={flops} sfu={sfu}");
+            }
+            Instr::GlobalStore { bytes } => {
+                let _ = writeln!(out, "{pad}st.global bytes={bytes}");
+            }
+            Instr::GlobalLoad { bytes } => {
+                let _ = writeln!(out, "{pad}ld.global bytes={bytes}");
+            }
+            Instr::Syncthreads => {
+                let _ = writeln!(out, "{pad}bar.sync");
+            }
+            Instr::Loop { count, body } => {
+                let _ = writeln!(out, "{pad}loop {count} {{");
+                print_instrs(body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Instr::SetMaxNReg { regs } => {
+                let _ = writeln!(out, "{pad}setmaxnreg {regs}");
+            }
+            Instr::Delay { cycles } => {
+                let _ = writeln!(out, "{pad}delay {cycles}");
+            }
+        }
+    }
+}
+
+/// Renders a kernel as readable pseudo-PTX.
+pub fn print_kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "kernel @{} grid={} smem={}B persistent={} launch_overhead={}ns",
+        k.name,
+        k.grid_size(),
+        k.smem_bytes,
+        k.persistent,
+        k.launch_overhead_ns
+    );
+    for (i, b) in k.barriers.iter().enumerate() {
+        let _ = writeln!(out, "  mbarrier[{i}] {} arrive_count={}", b.name, b.arrive_count);
+    }
+    for (i, c) in k.classes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  cta_class[{i}] multiplicity={} params={:?}",
+            c.multiplicity, c.params
+        );
+    }
+    for (i, wg) in k.warp_groups.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  warp_group[{i}] role={} regs={}:",
+            wg.role, wg.regs_per_thread
+        );
+        print_instrs(&wg.body, 2, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BarId, Instr, MmaDtype, Role};
+    use crate::kernel::Kernel;
+
+    #[test]
+    fn prints_structure() {
+        let mut k = Kernel::new("gemm");
+        k.uniform_grid(64);
+        let full = k.add_barrier("full", 1);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::loop_const(
+                4,
+                vec![Instr::TmaLoad {
+                    bytes: 16384,
+                    bar: full,
+                }],
+            )],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![
+                Instr::MbarWait { bar: BarId(0) },
+                Instr::WgmmaIssue {
+                    m: 64,
+                    n: 128,
+                    k: 16,
+                    dtype: MmaDtype::F16,
+                },
+            ],
+        );
+        let s = print_kernel(&k);
+        assert!(s.contains("kernel @gemm grid=64"), "{s}");
+        assert!(s.contains("mbarrier[0] full arrive_count=1"), "{s}");
+        assert!(s.contains("loop 4 {"), "{s}");
+        assert!(s.contains("wgmma.mma_async m64n128k16.f16"), "{s}");
+        assert!(s.contains("role=producer"), "{s}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Static validation of WSIR kernels.
+//!
+//! Catches structural errors before simulation: dangling barrier ids,
+//! out-of-range loop parameters, barriers that are waited on but never
+//! signalled (a guaranteed deadlock), and empty programs. Dynamic liveness
+//! (freedom from cyclic waits) is checked by the simulator, which reports
+//! a diagnosable deadlock if all warp groups block.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::instr::{BarId, Instr};
+use crate::kernel::Kernel;
+
+/// Validation diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid kernel: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn visit<'a>(instrs: &'a [Instr], f: &mut dyn FnMut(&'a Instr)) {
+    for i in instrs {
+        f(i);
+        if let Instr::Loop { body, .. } = i {
+            visit(body, f);
+        }
+    }
+}
+
+/// Validates a kernel, returning all diagnostics found.
+pub fn validate(k: &Kernel) -> Result<(), Vec<ValidateError>> {
+    let mut errs = Vec::new();
+    let mut err = |msg: String| errs.push(ValidateError { msg });
+
+    if k.warp_groups.is_empty() {
+        err("kernel has no warp groups".into());
+    }
+    if k.classes.is_empty() {
+        err("kernel has no CTA classes (empty grid)".into());
+    }
+    for (i, c) in k.classes.iter().enumerate() {
+        if c.multiplicity == 0 {
+            err(format!("CTA class {i} has zero multiplicity"));
+        }
+    }
+    let min_params = k.classes.iter().map(|c| c.params.len()).min().unwrap_or(0);
+
+    let nbars = k.barriers.len() as u32;
+    let mut waited: HashSet<BarId> = HashSet::new();
+    let mut signalled: HashSet<BarId> = HashSet::new();
+
+    for (wi, wg) in k.warp_groups.iter().enumerate() {
+        if wg.body.is_empty() {
+            err(format!("warp group {wi} ({}) has an empty body", wg.role));
+        }
+        visit(&wg.body, &mut |i| match i {
+            Instr::TmaLoad { bar, bytes } => {
+                if bar.0 >= nbars {
+                    err(format!("warp group {wi}: {bar} out of range"));
+                }
+                if *bytes == 0 {
+                    err(format!("warp group {wi}: zero-byte TMA load"));
+                }
+                signalled.insert(*bar);
+            }
+            Instr::MbarArrive { bar } => {
+                if bar.0 >= nbars {
+                    err(format!("warp group {wi}: {bar} out of range"));
+                }
+                signalled.insert(*bar);
+            }
+            Instr::MbarWait { bar } => {
+                if bar.0 >= nbars {
+                    err(format!("warp group {wi}: {bar} out of range"));
+                }
+                waited.insert(*bar);
+            }
+            Instr::Loop { count, body } => {
+                if let crate::instr::Count::Param(p) = count {
+                    if *p >= min_params {
+                        err(format!(
+                            "warp group {wi}: loop param ${p} exceeds class params ({min_params})"
+                        ));
+                    }
+                }
+                if body.is_empty() {
+                    err(format!("warp group {wi}: empty loop body"));
+                }
+            }
+            Instr::WgmmaIssue { m, n, k: kk, .. } => {
+                if *m == 0 || *n == 0 || *kk == 0 {
+                    err(format!("warp group {wi}: degenerate WGMMA {m}x{n}x{kk}"));
+                }
+            }
+            _ => {}
+        });
+    }
+
+    for bar in &waited {
+        if !signalled.contains(bar) {
+            err(format!(
+                "{bar} ({}) is waited on but never signalled — guaranteed deadlock",
+                k.barriers[bar.0 as usize].name
+            ));
+        }
+    }
+    for (i, b) in k.barriers.iter().enumerate() {
+        if b.arrive_count == 0 {
+            err(format!("barrier {i} ({}) has zero arrive count", b.name));
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Count, Instr, MmaDtype, Role};
+    use crate::kernel::{CtaClass, Kernel};
+
+    fn skeleton() -> Kernel {
+        let mut k = Kernel::new("t");
+        k.uniform_grid(4);
+        k
+    }
+
+    #[test]
+    fn accepts_valid_kernel() {
+        let mut k = skeleton();
+        let full = k.add_barrier("full", 1);
+        let empty = k.add_barrier("empty", 1);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::loop_const(
+                8,
+                vec![
+                    Instr::MbarWait { bar: empty },
+                    Instr::TmaLoad {
+                        bytes: 32768,
+                        bar: full,
+                    },
+                ],
+            )],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![Instr::loop_const(
+                8,
+                vec![
+                    Instr::MbarWait { bar: full },
+                    Instr::WgmmaIssue {
+                        m: 64,
+                        n: 128,
+                        k: 64,
+                        dtype: MmaDtype::F16,
+                    },
+                    Instr::WgmmaWait { pending: 0 },
+                    Instr::MbarArrive { bar: empty },
+                ],
+            )],
+        );
+        assert!(validate(&k).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsignalled_barrier() {
+        let mut k = skeleton();
+        let b = k.add_barrier("full", 1);
+        k.add_warp_group(Role::Consumer, 240, vec![Instr::MbarWait { bar: b }]);
+        let errs = validate(&k).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("deadlock")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_barrier() {
+        let mut k = skeleton();
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::TmaLoad {
+                bytes: 1024,
+                bar: BarId(7),
+            }],
+        );
+        let errs = validate(&k).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("out of range")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_bad_loop_param() {
+        let mut k = Kernel::new("t");
+        k.classes = vec![CtaClass {
+            params: vec![4],
+            multiplicity: 2,
+        }];
+        k.add_warp_group(
+            Role::Uniform,
+            128,
+            vec![Instr::Loop {
+                count: Count::Param(3),
+                body: vec![Instr::Syncthreads],
+            }],
+        );
+        let errs = validate(&k).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("exceeds class params")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_empty_kernel_and_grid() {
+        let k = Kernel::new("t");
+        let errs = validate(&k).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("no warp groups")));
+        assert!(errs.iter().any(|e| e.msg.contains("no CTA classes")));
+    }
+
+    #[test]
+    fn rejects_degenerate_wgmma_and_empty_loops() {
+        let mut k = skeleton();
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![
+                Instr::WgmmaIssue {
+                    m: 0,
+                    n: 64,
+                    k: 16,
+                    dtype: MmaDtype::F16,
+                },
+                Instr::loop_const(4, vec![]),
+            ],
+        );
+        let errs = validate(&k).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("degenerate")));
+        assert!(errs.iter().any(|e| e.msg.contains("empty loop body")));
+    }
+}

@@ -1,0 +1,42 @@
+//! LLM serving attention: prefill attention across context lengths,
+//! causal and non-causal, FP16 and FP8 — the Fig. 10 workload seen from a
+//! serving-system operator's perspective.
+//!
+//! ```sh
+//! cargo run --release --example attention_serving
+//! ```
+
+use tawa::frontend::config::AttentionConfig;
+use tawa::ir::types::DType;
+use tawa::kernels::frameworks as fw;
+use tawa::sim::Device;
+
+fn main() {
+    let device = Device::h100_sxm5();
+    println!("Prefill MHA, batch 4 × 32 heads × head_dim 128 (paper setting)\n");
+    for (dtype, causal) in [
+        (DType::F16, true),
+        (DType::F16, false),
+        (DType::F8E4M3, true),
+    ] {
+        println!("== {dtype}, causal={causal} ==");
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>12}",
+            "L", "Tawa", "FA3", "Triton", "Tawa time"
+        );
+        for l in [1024usize, 4096, 16384] {
+            let cfg = AttentionConfig::paper(l, causal, dtype);
+            let tawa = fw::tawa_attention(&cfg, &device).ok();
+            let fa3 = fw::fa3_attention(&cfg, &device).ok();
+            let triton = fw::triton_attention(&cfg, &device).ok();
+            println!(
+                "{l:>8} {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0} µs",
+                tawa.as_ref().map(|r| r.tflops).unwrap_or(0.0),
+                fa3.as_ref().map(|r| r.tflops).unwrap_or(0.0),
+                triton.as_ref().map(|r| r.tflops).unwrap_or(0.0),
+                tawa.as_ref().map(|r| r.total_time_us).unwrap_or(0.0),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Scheduling-space exploration: sweep (D, P, cooperation, persistence)
+//! for one GEMM and print the Fig. 11-style landscape plus the chosen
+//! configuration.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use tawa::core::autotune::{autotune, TuneSpace};
+use tawa::core::CompileOptions;
+use tawa::frontend::config::{GemmConfig, Tile};
+use tawa::frontend::kernels::gemm;
+use tawa::sim::Device;
+
+fn main() {
+    let device = Device::h100_sxm5();
+    let cfg = GemmConfig::new(8192, 8192, 16384).with_tile(Tile::LARGE);
+    let (module, spec) = gemm(&cfg);
+    let base = CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    };
+    let space = TuneSpace::default();
+    let result = autotune(&module, &spec, &base, &space, &device);
+
+    println!("GEMM 8192x8192x16384 FP16, tile 128x256x64, 2 consumer WGs\n");
+    println!(
+        "{:>2} {:>2} {:>5} {:>11} {:>10}",
+        "D", "P", "coop", "persistent", "TFLOP/s"
+    );
+    for p in &result.points {
+        match p.tflops {
+            Some(t) => println!(
+                "{:>2} {:>2} {:>5} {:>11} {:>10.0}",
+                p.aref_depth, p.mma_depth, p.cooperative, p.persistent, t
+            ),
+            None => println!(
+                "{:>2} {:>2} {:>5} {:>11} {:>10}",
+                p.aref_depth, p.mma_depth, p.cooperative, p.persistent, "infeasible"
+            ),
+        }
+    }
+    if let Some(best) = result.best_options(&base) {
+        println!(
+            "\nchosen: D={} P={} coop={} persistent={} → {:.0} TFLOP/s",
+            best.aref_depth,
+            best.mma_depth,
+            best.cooperative,
+            best.persistent,
+            result.best_tflops().unwrap_or(0.0)
+        );
+    }
+}

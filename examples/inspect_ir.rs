@@ -1,0 +1,54 @@
+//! Compiler internals tour: print the IR after each Tawa pass for an
+//! attention kernel — frontend tile IR, after task-aware partitioning,
+//! after pipelining — then the final WSIR.
+//!
+//! ```sh
+//! cargo run --release --example inspect_ir
+//! ```
+
+use tawa::core::partition::warp_specialize_func;
+use tawa::core::pipeline::CoarsePipeline;
+use tawa::core::{compile, CompileOptions};
+use tawa::frontend::config::AttentionConfig;
+use tawa::frontend::kernels::attention;
+use tawa::ir::pass::PassManager;
+use tawa::ir::print::print_module;
+use tawa::ir::types::DType;
+use tawa::sim::Device;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AttentionConfig::paper(1024, true, DType::F16);
+    let (module, spec) = attention(&cfg);
+
+    println!("========== 1. Frontend tile IR (annotation-free) ==========\n");
+    println!("{}", print_module(&module));
+
+    let mut ws = module.clone();
+    let report = warp_specialize_func(&mut ws.funcs[0], 2).map_err(std::io::Error::other)?;
+    println!("========== 2. After task-aware partitioning ==========");
+    println!(
+        "// producer ops: {}, consumer ops: {}, duplicated: {}, arefs: {}\n",
+        report.producer_ops, report.consumer_ops, report.duplicated_ops, report.arefs
+    );
+    println!("{}", print_module(&ws));
+
+    let mut pm = PassManager::new();
+    pm.add(Box::new(CoarsePipeline));
+    pm.run(&mut ws)?;
+    println!("========== 3. After coarse-grained pipelining ==========\n");
+    println!("{}", print_module(&ws));
+
+    let device = Device::h100_sxm5();
+    let kernel = compile(
+        &module,
+        &spec,
+        &CompileOptions {
+            cooperative: 2,
+            ..CompileOptions::default()
+        },
+        &device,
+    )?;
+    println!("========== 4. Final warp-specialized WSIR ==========\n");
+    println!("{}", tawa::wsir::print_kernel(&kernel));
+    Ok(())
+}

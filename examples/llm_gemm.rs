@@ -1,0 +1,35 @@
+//! LLM projection GEMMs: the matrix shapes that dominate large-language-
+//! model inference (the paper's motivating workload), swept across
+//! frameworks in FP16 and FP8.
+//!
+//! ```sh
+//! cargo run --release --example llm_gemm
+//! ```
+
+use tawa::frontend::config::GemmConfig;
+use tawa::ir::types::DType;
+use tawa::kernels::frameworks as fw;
+use tawa::sim::Device;
+
+fn main() {
+    let device = Device::h100_sxm5();
+    // Llama-70B-style projections at batch·seq = 8192 tokens.
+    let shapes = [
+        ("QKV proj  (8192x10240x8192)", 8192, 10240, 8192),
+        ("out proj  (8192x8192x8192)", 8192, 8192, 8192),
+        ("MLP up    (8192x28672x8192)", 8192, 28672, 8192),
+        ("MLP down  (8192x8192x28672)", 8192, 8192, 28672),
+    ];
+    for dtype in [DType::F16, DType::F8E4M3] {
+        println!("== {dtype} ==");
+        println!("{:28} {:>9} {:>9} {:>9}", "shape", "Tawa", "cuBLAS", "Triton");
+        for (name, m, n, k) in shapes {
+            let cfg = GemmConfig::new(m, n, k).with_dtype(dtype);
+            let tawa = fw::tawa_gemm(&cfg, &device).map(|r| r.tflops).unwrap_or(0.0);
+            let cublas = fw::cublas_gemm(&cfg, &device).map(|r| r.tflops).unwrap_or(0.0);
+            let triton = fw::triton_gemm(&cfg, &device).map(|r| r.tflops).unwrap_or(0.0);
+            println!("{name:28} {tawa:>8.0}  {cublas:>8.0}  {triton:>8.0}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: write a Triton-style GEMM, let Tawa warp-specialize it, and
+//! run it on the simulated H100.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tawa::core::{compile, CompileOptions};
+use tawa::frontend::config::GemmConfig;
+use tawa::frontend::kernels::gemm;
+use tawa::ir::print::print_module;
+use tawa::sim::{simulate, Device};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::h100_sxm5();
+
+    // 1. A tile-level GEMM, exactly like a Triton kernel: no warp
+    //    specialization annotations anywhere.
+    let cfg = GemmConfig::new(4096, 4096, 4096);
+    let (module, spec) = gemm(&cfg);
+    println!("== Tile IR (frontend output) ==\n");
+    println!("{}", print_module(&module));
+
+    // 2. Compile with automatic warp specialization (the paper's
+    //    enable_warp_specialization=True).
+    let opts = CompileOptions::default();
+    let kernel = compile(&module, &spec, &opts, &device)?;
+    println!("== Generated warp-specialized WSIR ==\n");
+    println!("{}", tawa::wsir::print_kernel(&kernel));
+
+    // 3. Simulate.
+    let report = simulate(&kernel, &device)?;
+    println!("== Simulation ==\n");
+    println!(
+        "{}: {:.1} TFLOP/s ({:.1}% of FP16 peak), {:.0} µs, {} waves, occupancy {}",
+        report.kernel,
+        report.tflops,
+        100.0 * report.tflops / device.peak_tflops(tawa::wsir::MmaDtype::F16),
+        report.total_time_us,
+        report.waves,
+        report.occupancy
+    );
+
+    // 4. Compare against the same kernel without warp specialization.
+    let simt = CompileOptions {
+        warp_specialize: false,
+        ..opts
+    };
+    let baseline = compile(&module, &spec, &simt, &device)?;
+    let base_report = simulate(&baseline, &device)?;
+    println!(
+        "Triton-style software pipelining: {:.1} TFLOP/s  →  warp specialization wins {:.2}x",
+        base_report.tflops,
+        report.tflops / base_report.tflops
+    );
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! End-to-end attention: the coarse-grained pipeline, causal classes and
+//! the FA3 comparison (paper §V-D).
+
+use tawa::core::{compile, compile_and_simulate, CompileOptions};
+use tawa::frontend::config::AttentionConfig;
+use tawa::frontend::kernels::attention;
+use tawa::ir::types::DType;
+use tawa::kernels::frameworks as fw;
+use tawa::sim::Device;
+
+fn dev() -> Device {
+    Device::h100_sxm5()
+}
+
+fn coop() -> CompileOptions {
+    CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    }
+}
+
+#[test]
+fn attention_compiles_to_three_warp_groups() {
+    let (m, spec) = attention(&AttentionConfig::paper(2048, false, DType::F16));
+    let k = compile(&m, &spec, &coop(), &dev()).unwrap();
+    assert_eq!(k.warp_groups.len(), 3); // producer + 2 cooperative consumers
+    assert!(k.barriers.len() >= 8, "K and V rings need 2·2·D barriers");
+}
+
+#[test]
+fn causal_attention_runs_all_classes() {
+    let cfg = AttentionConfig::paper(4096, true, DType::F16);
+    let (m, spec) = attention(&cfg);
+    let r = compile_and_simulate(&m, &spec, &coop(), &dev()).unwrap();
+    assert!(r.tflops > 100.0, "{}", r.tflops);
+    // Causal throughput (counting only visited tiles) lands in the same
+    // band as non-causal, slightly lower (mask work + short rows).
+    let (mn, sn) = attention(&AttentionConfig::paper(4096, false, DType::F16));
+    let rn = compile_and_simulate(&mn, &sn, &coop(), &dev()).unwrap();
+    assert!(
+        r.tflops < rn.tflops,
+        "causal {} should trail non-causal {}",
+        r.tflops,
+        rn.tflops
+    );
+    assert!(
+        r.tflops > rn.tflops * 0.5,
+        "causal {} too far below non-causal {}",
+        r.tflops,
+        rn.tflops
+    );
+}
+
+#[test]
+fn tawa_attains_high_fraction_of_fa3() {
+    let d = dev();
+    for (dtype, floor) in [(DType::F16, 0.85), (DType::F8E4M3, 0.75)] {
+        let cfg = AttentionConfig::paper(16384, false, dtype);
+        let tawa = fw::tawa_attention(&cfg, &d).unwrap().tflops;
+        let fa3 = fw::fa3_attention(&cfg, &d).unwrap().tflops;
+        let frac = tawa / fa3;
+        assert!(
+            frac >= floor && frac <= 1.02,
+            "{dtype}: tawa/fa3 = {frac} ({tawa} vs {fa3})"
+        );
+    }
+}
+
+#[test]
+fn tawa_beats_triton_attention_at_long_sequences() {
+    let d = dev();
+    let cfg = AttentionConfig::paper(16384, false, DType::F16);
+    let tawa = fw::tawa_attention(&cfg, &d).unwrap().tflops;
+    let triton = fw::triton_attention(&cfg, &d).unwrap().tflops;
+    let speedup = tawa / triton;
+    assert!(
+        speedup > 1.05,
+        "tawa {tawa} vs triton {triton} ({speedup}x)"
+    );
+}
+
+#[test]
+fn short_sequences_mute_warp_specialization() {
+    // §V-D: "At short sequences, the advantage of warp specialization is
+    // muted because prologue, epilogue, and barrier costs are not yet
+    // amortized."
+    let d = dev();
+    let speedup_at = |l: usize| {
+        let cfg = AttentionConfig::paper(l, false, DType::F16);
+        let tawa = fw::tawa_attention(&cfg, &d).unwrap().tflops;
+        let triton = fw::triton_attention(&cfg, &d).unwrap().tflops;
+        tawa / triton
+    };
+    let short = speedup_at(1024);
+    let long = speedup_at(16384);
+    assert!(
+        long > short,
+        "speedup must grow with L: {short} at 1K vs {long} at 16K"
+    );
+}
+
+#[test]
+fn fp8_attention_exceeds_fp16() {
+    let d = dev();
+    let f16 = fw::tawa_attention(&AttentionConfig::paper(16384, false, DType::F16), &d)
+        .unwrap()
+        .tflops;
+    let f8 = fw::tawa_attention(&AttentionConfig::paper(16384, false, DType::F8E4M3), &d)
+        .unwrap()
+        .tflops;
+    assert!(f8 > f16, "fp8 {f8} vs fp16 {f16}");
+}
