@@ -5,8 +5,8 @@
 //! simulator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_core::aref::ArefRing;
 use tawa_core::parity::ParityChannel;
 use tawa_core::{compile_and_simulate, CompileOptions};
@@ -64,7 +64,11 @@ fn bench(c: &mut Criterion) {
                 mma_depth: 1,
                 ..CompileOptions::default()
             };
-            b.iter(|| compile_and_simulate(&m, &spec, &opts, &device).unwrap().tflops)
+            b.iter(|| {
+                compile_and_simulate(&m, &spec, &opts, &device)
+                    .unwrap()
+                    .tflops
+            })
         });
     }
     g.finish();

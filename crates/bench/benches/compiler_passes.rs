@@ -2,8 +2,8 @@
 //! parsing, verification and end-to-end compilation latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_core::{compile, CompileOptions};
 use tawa_frontend::config::GemmConfig;
 use tawa_frontend::kernels::gemm;

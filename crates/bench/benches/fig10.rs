@@ -1,8 +1,8 @@
 //! Criterion wrapper for experiment E4 (Fig. 10): attention frameworks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_frontend::config::AttentionConfig;
 use tawa_ir::types::DType;
 use tawa_kernels::frameworks as fw;

@@ -1,8 +1,8 @@
 //! Criterion wrapper for experiment E5 (Fig. 11): the D × P sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_bench::{fig11, Scale};
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Criterion wrapper for experiments E6/E7 (Fig. 12): the ablations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_bench::{fig12, Scale};
 
 fn bench(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! as auxiliary output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_frontend::config::GemmConfig;
 use tawa_kernels::frameworks as fw;
 

@@ -2,8 +2,8 @@
 //! GEMM harnesses.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gpu_sim::Device;
+use std::time::Duration;
 use tawa_bench::{fig9, Scale};
 
 fn bench(c: &mut Criterion) {

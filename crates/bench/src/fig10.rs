@@ -31,7 +31,11 @@ pub fn run_panel(device: &Device, dtype: DType, causal: bool, scale: Scale) -> F
     Figure {
         title: format!(
             "Fig. 10: MHA {}, causal={}",
-            if dtype == DType::F8E4M3 { "FP8" } else { "FP16" },
+            if dtype == DType::F8E4M3 {
+                "FP8"
+            } else {
+                "FP16"
+            },
             causal
         ),
         x_label: "L".into(),

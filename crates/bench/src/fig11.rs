@@ -22,7 +22,10 @@ pub struct Heatmap {
 impl Heatmap {
     /// Renders the heatmap as a markdown table.
     pub fn to_markdown(&self) -> String {
-        let mut out = format!("### {}\n| Aref size D \\ MMA depth P | 1 | 2 | 3 |\n|---|---|---|---|\n", self.title);
+        let mut out = format!(
+            "### {}\n| Aref size D \\ MMA depth P | 1 | 2 | 3 |\n|---|---|---|---|\n",
+            self.title
+        );
         for (di, row) in self.values.iter().enumerate() {
             out.push_str(&format!(
                 "| D={} | {:.0} | {:.0} | {:.0} |\n",
@@ -61,13 +64,7 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
         cooperative: 2,
         ..CompileOptions::default()
     };
-    let result = autotune(
-        &module,
-        &spec,
-        &base,
-        &TuneSpace::fig11(persistent),
-        device,
-    );
+    let result = autotune(&module, &spec, &base, &TuneSpace::fig11(persistent), device);
     let mut values = [[0.0; 3]; 3];
     for p in &result.points {
         values[p.aref_depth - 1][p.mma_depth - 1] = p.tflops.unwrap_or(0.0);
@@ -75,7 +72,11 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
     Heatmap {
         title: format!(
             "Fig. 11: {} GEMM (K={k})",
-            if persistent { "Persistent" } else { "Non-Persistent" }
+            if persistent {
+                "Persistent"
+            } else {
+                "Non-Persistent"
+            }
         ),
         values,
     }
@@ -83,7 +84,10 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
 
 /// Both panels.
 pub fn run(device: &Device, scale: Scale) -> Vec<Heatmap> {
-    vec![run_panel(device, false, scale), run_panel(device, true, scale)]
+    vec![
+        run_panel(device, false, scale),
+        run_panel(device, true, scale),
+    ]
 }
 
 #[cfg(test)]

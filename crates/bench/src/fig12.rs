@@ -33,7 +33,10 @@ pub struct Ablation {
 impl Ablation {
     /// Markdown rendering.
     pub fn to_markdown(&self) -> String {
-        let mut out = format!("### {}\n| Configuration | TFLOP/s |\n|---|---|\n", self.title);
+        let mut out = format!(
+            "### {}\n| Configuration | TFLOP/s |\n|---|---|\n",
+            self.title
+        );
         for s in &self.steps {
             out.push_str(&format!("| {} | {:.0} |\n", s.label, s.tflops));
         }

@@ -29,9 +29,15 @@ pub fn run_panel(device: &Device, dtype: DType, scale: Scale) -> Figure {
     let mk_cfg = |k: usize| GemmConfig::new(8192, 8192, k).with_dtype(dtype);
 
     let frameworks: Vec<(&str, Box<dyn Fn(&GemmConfig) -> fw::BenchOutcome>)> = vec![
-        ("cuBLAS", Box::new(|c: &GemmConfig| fw::cublas_gemm(c, device))),
+        (
+            "cuBLAS",
+            Box::new(|c: &GemmConfig| fw::cublas_gemm(c, device)),
+        ),
         ("Tawa", Box::new(|c: &GemmConfig| fw::tawa_gemm(c, device))),
-        ("Triton", Box::new(|c: &GemmConfig| fw::triton_gemm(c, device))),
+        (
+            "Triton",
+            Box::new(|c: &GemmConfig| fw::triton_gemm(c, device)),
+        ),
         (
             "TileLang",
             Box::new(|c: &GemmConfig| fw::tilelang_gemm(c, device)),
@@ -62,7 +68,11 @@ pub fn run_panel(device: &Device, dtype: DType, scale: Scale) -> Figure {
     Figure {
         title: format!(
             "Fig. 8: GEMM {} (M=N=8192)",
-            if dtype == DType::F8E4M3 { "FP8" } else { "FP16" }
+            if dtype == DType::F8E4M3 {
+                "FP8"
+            } else {
+                "FP16"
+            }
         ),
         x_label: "K".into(),
         series,

@@ -42,7 +42,13 @@ pub fn run_batched(device: &Device, scale: Scale) -> Figure {
             run_fw("Triton", &|c| fw::triton_gemm(c, device)),
             run_fw("TileLang", &|c| {
                 // TileLang runs batched shapes through its WS template too.
-                fw::tilelang_gemm(&GemmConfig { tile: Tile::LARGE, ..*c }, device)
+                fw::tilelang_gemm(
+                    &GemmConfig {
+                        tile: Tile::LARGE,
+                        ..*c
+                    },
+                    device,
+                )
             }),
         ],
     }
@@ -61,7 +67,10 @@ pub fn run_grouped(device: &Device, scale: Scale) -> Figure {
                     .iter()
                     .map(|&g| {
                         let cfg = GroupedGemmConfig::paper_sweep(g);
-                        (g as f64, fw::tawa_grouped_gemm(&cfg, device).ok().map(|r| r.tflops))
+                        (
+                            g as f64,
+                            fw::tawa_grouped_gemm(&cfg, device).ok().map(|r| r.tflops),
+                        )
                     })
                     .collect(),
             },
@@ -71,7 +80,10 @@ pub fn run_grouped(device: &Device, scale: Scale) -> Figure {
                     .iter()
                     .map(|&g| {
                         let cfg = GroupedGemmConfig::paper_sweep(g);
-                        (g as f64, fw::triton_grouped_gemm(&cfg, device).ok().map(|r| r.tflops))
+                        (
+                            g as f64,
+                            fw::triton_grouped_gemm(&cfg, device).ok().map(|r| r.tflops),
+                        )
                     })
                     .collect(),
             },
@@ -81,7 +93,12 @@ pub fn run_grouped(device: &Device, scale: Scale) -> Figure {
                     .iter()
                     .map(|&g| {
                         let cfg = GroupedGemmConfig::paper_sweep(g);
-                        (g as f64, fw::tilelang_grouped_gemm(&cfg, device).ok().map(|r| r.tflops))
+                        (
+                            g as f64,
+                            fw::tilelang_grouped_gemm(&cfg, device)
+                                .ok()
+                                .map(|r| r.tflops),
+                        )
                     })
                     .collect(),
             },

@@ -187,8 +187,7 @@ mod tests {
         let large = AttentionConfig::paper(4096, false, DType::F16);
         let (ms, ss) = attention(&small);
         let (ml, sl) = attention(&large);
-        let r_small =
-            compile_and_simulate(&ms, &ss, &CompileOptions::default(), &dev()).unwrap();
+        let r_small = compile_and_simulate(&ms, &ss, &CompileOptions::default(), &dev()).unwrap();
         let r_large = compile_and_simulate(
             &ml,
             &sl,
@@ -229,7 +228,10 @@ mod tests {
             ..CompileOptions::default()
         };
         assert!(
-            matches!(compile(&m, &spec, &single, &dev()), Err(CompileError::Infeasible(_))),
+            matches!(
+                compile(&m, &spec, &single, &dev()),
+                Err(CompileError::Infeasible(_))
+            ),
             "128x256 tile must blow the register budget for one warp group"
         );
         let coop = CompileOptions {
@@ -294,7 +296,10 @@ mod tests {
         // occupancy — the shared-memory trade-off §V-E describes. It must
         // still clearly beat D=1 and stay near D=2.
         assert!(d3 > d1, "D=3 ({d3}) must beat D=1 ({d1})");
-        assert!(d3 >= d2 * 0.9, "D=3 ({d3}) should not collapse vs D=2 ({d2})");
+        assert!(
+            d3 >= d2 * 0.9,
+            "D=3 ({d3}) should not collapse vs D=2 ({d2})"
+        );
     }
 
     #[test]

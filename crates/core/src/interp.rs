@@ -134,11 +134,7 @@ impl DeviceMemory {
 /// # Errors
 /// Reports protocol violations (aref misuse), deadlocks, unsupported ops,
 /// and buffers too large for exact functional addressing.
-pub fn run_grid(
-    f: &Func,
-    spec: &LaunchSpec,
-    mem: &mut DeviceMemory,
-) -> Result<(), InterpError> {
+pub fn run_grid(f: &Func, spec: &LaunchSpec, mem: &mut DeviceMemory) -> Result<(), InterpError> {
     for buf in mem.buffers.values() {
         if buf.numel() as f32 >= PARAM_STRIDE {
             return Err(ierr(format!(
@@ -261,9 +257,7 @@ pub fn run_cta(
             return Ok(());
         }
         if !progressed {
-            return Err(ierr(
-                "deadlock: all warp groups blocked on aref operations",
-            ));
+            return Err(ierr("deadlock: all warp groups blocked on aref operations"));
         }
     }
 }
@@ -518,11 +512,7 @@ fn float_binop(kind: OpKind, x: f64, y: f64) -> f64 {
     }
 }
 
-fn tensor_binop(
-    kind: OpKind,
-    a: &TensorVal,
-    b: &TensorVal,
-) -> Result<TensorVal, InterpError> {
+fn tensor_binop(kind: OpKind, a: &TensorVal, b: &TensorVal) -> Result<TensorVal, InterpError> {
     if a.shape != b.shape {
         return Err(ierr(format!(
             "tensor binop shape mismatch {:?} vs {:?}",
@@ -540,11 +530,7 @@ fn tensor_binop(
     Ok(out)
 }
 
-fn broadcast_pair(
-    kind: OpKind,
-    a: &Val,
-    b: &Val,
-) -> Result<Val, InterpError> {
+fn broadcast_pair(kind: OpKind, a: &Val, b: &Val) -> Result<Val, InterpError> {
     match (a, b) {
         (Val::T(ta), Val::T(tb)) => Ok(Val::T(tensor_binop(kind, ta, tb)?)),
         (Val::T(ta), Val::I(s)) | (Val::I(s), Val::T(ta)) => {
@@ -651,8 +637,7 @@ fn exec_op(
             match (a, b) {
                 (Val::T(ta), Val::T(tb)) => {
                     let mut out = TensorVal::zeros(ta.shape.clone(), DType::Bool);
-                    for (o, (&x, &y)) in
-                        out.data.iter_mut().zip(ta.data.iter().zip(tb.data.iter()))
+                    for (o, (&x, &y)) in out.data.iter_mut().zip(ta.data.iter().zip(tb.data.iter()))
                     {
                         *o = f32::from(cmp_f(x, y));
                     }
@@ -791,7 +776,12 @@ fn exec_op(
                 .collect::<Result<_, InterpError>>()?;
             let out_shape = f.ty(f.result(op)).shape().expect("tma result").0.clone();
             let dtype = f.ty(f.result(op)).elem().expect("tma elem");
-            Some(Val::T(tma_read(mem.buffer(param), &coords, &out_shape, dtype)?))
+            Some(Val::T(tma_read(
+                mem.buffer(param),
+                &coords,
+                &out_shape,
+                dtype,
+            )?))
         }
         OpKind::TmaStore => {
             let param = it.get(operands[0])?.as_i() as usize;
@@ -1046,13 +1036,7 @@ mod tests {
     use tawa_frontend::config::GemmConfig;
     use tawa_frontend::kernels::gemm;
 
-    fn reference_gemm(
-        a: &TensorVal,
-        b: &TensorVal,
-        m: usize,
-        n: usize,
-        k: usize,
-    ) -> Vec<f32> {
+    fn reference_gemm(a: &TensorVal, b: &TensorVal, m: usize, n: usize, k: usize) -> Vec<f32> {
         // C = A · Bᵀ with A: MxK, B: NxK.
         let mut c = vec![0.0f32; m * n];
         for i in 0..m {

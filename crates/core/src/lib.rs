@@ -35,6 +35,8 @@
 //! let (module, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
 //! let report = compile_and_simulate(
 //!     &module, &spec, &CompileOptions::default(), &Device::h100_sxm5())?;
+//! // Deterministic sanity check: simulated execution made progress.
+//! assert!(report.cycles > 0 && report.tflops > 0.0);
 //! println!("{:.0} TFLOP/s", report.tflops);
 //! # Ok(())
 //! # }

@@ -344,8 +344,8 @@ fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
         }
         None
     };
-    let t_aref = dot_aref(stages.t_dot)
-        .ok_or_else(|| err("T dot does not consume an aref payload"))?;
+    let t_aref =
+        dot_aref(stages.t_dot).ok_or_else(|| err("T dot does not consume an aref payload"))?;
     let u_aref = stages.u_dot.and_then(dot_aref);
     let _ = gets;
 
@@ -412,10 +412,9 @@ fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
         .find(|&o| f.op(o).kind == OpKind::WarpGroup && f.op(o).attrs.int("mma_depth").is_some())
         .and_then(|o| f.op(o).attrs.int("mma_depth"))
         .map(|d| d as usize);
-    let coarse = f
-        .walk()
-        .into_iter()
-        .any(|o| f.op(o).kind == OpKind::WarpGroup && f.op(o).attrs.str("pipeline") == Some("coarse"));
+    let coarse = f.walk().into_iter().any(|o| {
+        f.op(o).kind == OpKind::WarpGroup && f.op(o).attrs.str("pipeline") == Some("coarse")
+    });
 
     Ok(WsAnalysis {
         aref_payloads,
@@ -810,10 +809,7 @@ pub fn lower_ws(
     }
 
     let acc_elems = (m_wg as u64) * a.t_shape.n as u64;
-    let extra = a
-        .u_shape
-        .map(|u| m_wg as u64 * u.k as u64)
-        .unwrap_or(0);
+    let extra = a.u_shape.map(|u| m_wg as u64 * u.k as u64).unwrap_or(0);
     let c_regs = consumer_regs(
         if a.u_shape.is_some() {
             m_wg as u64 * a.u_shape.unwrap().n as u64
@@ -838,8 +834,7 @@ pub fn lower_ws(
         let regs_per_cta = kernel.regs_per_cta();
         let by_smem = device.smem_per_sm / kernel.smem_bytes.max(1);
         let by_regs = device.regs_per_sm / regs_per_cta.max(1);
-        let by_threads =
-            (device.max_threads_per_sm / kernel.threads_per_cta().max(1)) as u64;
+        let by_threads = (device.max_threads_per_sm / kernel.threads_per_cta().max(1)) as u64;
         let occ = by_smem.min(by_regs).min(by_threads).max(1);
         let resident = (device.sms as u64 * occ).min(spec.grid_size()).max(1);
         let grid = spec.grid_size();
@@ -900,8 +895,8 @@ pub fn lower_simt(
 ) -> Result<Kernel, CompileError> {
     let f = &module.funcs[0];
     let err = |m: &str| CompileError::Unsupported(m.to_string());
-    let main_loop = top_level_loops_with_loads(f)
-        .ok_or_else(|| err("no TMA-load-bearing loop in kernel"))?;
+    let main_loop =
+        top_level_loops_with_loads(f).ok_or_else(|| err("no TMA-load-bearing loop in kernel"))?;
     let info = loop_info(f, main_loop);
 
     let loads: Vec<u64> = info
@@ -1107,9 +1102,8 @@ pub fn lower_simt(
     kernel.add_warp_group(Role::Uniform, regs, wg.clone());
     kernel.add_warp_group(Role::Uniform, regs, wg);
 
-    kernel.smem_bytes = stages as u64 * loads.iter().sum::<u64>()
-        + prologue_loads.iter().sum::<u64>()
-        + 1024;
+    kernel.smem_bytes =
+        stages as u64 * loads.iter().sum::<u64>() + prologue_loads.iter().sum::<u64>() + 1024;
     if kernel.smem_bytes > device.smem_per_sm {
         return Err(CompileError::Infeasible(format!(
             "shared memory {} B exceeds the SM's {} B",
@@ -1134,11 +1128,13 @@ pub fn lower_simt(
 
 /// First top-level loop containing a TMA load.
 fn top_level_loops_with_loads(f: &Func) -> Option<OpId> {
-    tawa_ir::analysis::top_level_loops(f).into_iter().find(|&l| {
-        let mut has = false;
-        f.walk_region(f.op(l).regions[0], &mut |o| {
-            has |= f.op(o).kind == OpKind::TmaLoad;
-        });
-        has
-    })
+    tawa_ir::analysis::top_level_loops(f)
+        .into_iter()
+        .find(|&l| {
+            let mut has = false;
+            f.walk_region(f.op(l).regions[0], &mut |o| {
+                has |= f.op(o).kind == OpKind::TmaLoad;
+            });
+            has
+        })
 }

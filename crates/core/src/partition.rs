@@ -222,8 +222,9 @@ pub fn warp_specialize_func(f: &mut Func, depth: usize) -> Result<PartitionRepor
                 }
                 match f.op(user).kind {
                     OpKind::Dot => return Some(user),
-                    OpKind::Transpose | OpKind::Cast | OpKind::ExpandDims
-                    | OpKind::BroadcastTo => frontier.push(f.results(user)[0]),
+                    OpKind::Transpose | OpKind::Cast | OpKind::ExpandDims | OpKind::BroadcastTo => {
+                        frontier.push(f.results(user)[0])
+                    }
                     _ => {}
                 }
             }
@@ -537,7 +538,13 @@ fn build_warp_group(
                 let orig = f.result(load);
                 operands.push(*vmap.get(&orig).expect("load cloned into producer"));
             }
-            f.push_op(loop_block, OpKind::ArefPut, operands, vec![], AttrMap::new());
+            f.push_op(
+                loop_block,
+                OpKind::ArefPut,
+                operands,
+                vec![],
+                AttrMap::new(),
+            );
         }
     }
 
@@ -570,9 +577,12 @@ mod tests {
 
     fn specialize(module: &mut Module, depth: usize) -> PartitionReport {
         let r = warp_specialize_func(&mut module.funcs[0], depth).expect("specialize");
-        verify_module(module).unwrap_or_else(|e|
-
- panic!("post-partition IR invalid: {e:?}\n{}", tawa_ir::print::print_module(module)));
+        verify_module(module).unwrap_or_else(|e| {
+            panic!(
+                "post-partition IR invalid: {e:?}\n{}",
+                tawa_ir::print::print_module(module)
+            )
+        });
         r
     }
 

@@ -107,7 +107,11 @@ pub fn identify_stages(f: &Func, loop_op: OpId) -> Option<Stages> {
             }
         }
     }
-    Some(Stages { t_dot, c_ops, u_dot })
+    Some(Stages {
+        t_dot,
+        c_ops,
+        u_dot,
+    })
 }
 
 /// The fine-grained MMA pipelining pass: inserts `tawa.dot_wait` with
@@ -158,7 +162,8 @@ impl Pass for FineGrainedPipeline {
                     .position(|&o| o == dot)
                     .expect("dot in parent");
                 let next = f.block(block).ops[pos + 1];
-                let wait = f.insert_op_before(next, OpKind::DotWait, vec![dot_res], vec![ty], attrs);
+                let wait =
+                    f.insert_op_before(next, OpKind::DotWait, vec![dot_res], vec![ty], attrs);
                 let wait_res = f.result(wait);
                 for (user, idx) in users {
                     if user != wait {
@@ -267,10 +272,7 @@ mod tests {
         // Softmax work: sub, exp2, reduces, max, muls... at least 8 ops.
         assert!(stages.c_ops.len() >= 8, "c_ops = {}", stages.c_ops.len());
         // The C stage must include the exp2.
-        assert!(stages
-            .c_ops
-            .iter()
-            .any(|&o| f.op(o).kind == OpKind::Exp2));
+        assert!(stages.c_ops.iter().any(|&o| f.op(o).kind == OpKind::Exp2));
     }
 
     #[test]

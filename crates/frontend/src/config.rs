@@ -16,9 +16,17 @@ pub struct Tile {
 
 impl Tile {
     /// The paper's baseline warp-specialized tile (one consumer WG).
-    pub const SMALL: Tile = Tile { m: 128, n: 128, k: 64 };
+    pub const SMALL: Tile = Tile {
+        m: 128,
+        n: 128,
+        k: 64,
+    };
     /// The paper's cooperative two-consumer-WG tile (`+Large Tile Size`).
-    pub const LARGE: Tile = Tile { m: 128, n: 256, k: 64 };
+    pub const LARGE: Tile = Tile {
+        m: 128,
+        n: 256,
+        k: 64,
+    };
 }
 
 /// A (possibly batched) GEMM problem: `C[b] = A[b] · B[b]^T` with

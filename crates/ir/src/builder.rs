@@ -55,7 +55,8 @@ impl<'f> Builder<'f> {
         results: Vec<Type>,
         attrs: AttrMap,
     ) -> OpId {
-        self.func.push_op(self.block, kind, operands, results, attrs)
+        self.func
+            .push_op(self.block, kind, operands, results, attrs)
     }
 
     fn emit1(
@@ -96,7 +97,12 @@ impl<'f> Builder<'f> {
     pub fn const_tensor<S: Into<Shape>>(&mut self, value: f64, shape: S, dt: DType) -> ValueId {
         let mut a = AttrMap::new();
         a.set("value", Attr::Float(value));
-        self.emit1(OpKind::ConstTensor, vec![], Type::tensor(shape.into(), dt), a)
+        self.emit1(
+            OpKind::ConstTensor,
+            vec![],
+            Type::tensor(shape.into(), dt),
+            a,
+        )
     }
 
     /// All-zero tile (`tl.zeros`).
@@ -194,7 +200,12 @@ impl<'f> Builder<'f> {
     /// Ternary select.
     pub fn select(&mut self, cond: ValueId, then_v: ValueId, else_v: ValueId) -> ValueId {
         let rt = self.ty(then_v);
-        self.emit1(OpKind::Select, vec![cond, then_v, else_v], rt, AttrMap::new())
+        self.emit1(
+            OpKind::Select,
+            vec![cond, then_v, else_v],
+            rt,
+            AttrMap::new(),
+        )
     }
 
     /// Negation.
@@ -286,7 +297,12 @@ impl<'f> Builder<'f> {
         };
         assert_eq!(shape.rank(), 2, "transpose: rank-2 only");
         let t = vec![shape.dim(1), shape.dim(0)];
-        self.emit1(OpKind::Transpose, vec![v], Type::tensor(t, dt), AttrMap::new())
+        self.emit1(
+            OpKind::Transpose,
+            vec![v],
+            Type::tensor(t, dt),
+            AttrMap::new(),
+        )
     }
 
     fn reduce(&mut self, kind: OpKind, v: ValueId, axis: usize) -> ValueId {
@@ -324,7 +340,11 @@ impl<'f> Builder<'f> {
         };
         assert_eq!(sa.rank(), 2, "dot: rank-2 lhs");
         assert_eq!(sb.rank(), 2, "dot: rank-2 rhs");
-        assert_eq!(sa.dim(1), sb.dim(0), "dot: contraction mismatch {sa} · {sb}");
+        assert_eq!(
+            sa.dim(1),
+            sb.dim(0),
+            "dot: contraction mismatch {sa} · {sb}"
+        );
         let rt = self.ty(acc);
         if let Some(rs) = rt.shape() {
             assert_eq!(rs.dim(0), sa.dim(0), "dot: acc rows");
@@ -444,13 +464,23 @@ impl<'f> Builder<'f> {
             Type::Aref(_, p) => p,
             other => panic!("aref_get: operand must be aref, got {other}"),
         };
-        let op = self.emit(OpKind::ArefGet, vec![aref, idx], payload_types, AttrMap::new());
+        let op = self.emit(
+            OpKind::ArefGet,
+            vec![aref, idx],
+            payload_types,
+            AttrMap::new(),
+        );
         self.func.results(op).to_vec()
     }
 
     /// Consumer release of slot `idx`.
     pub fn aref_consumed(&mut self, aref: ValueId, idx: ValueId) {
-        self.emit(OpKind::ArefConsumed, vec![aref, idx], vec![], AttrMap::new());
+        self.emit(
+            OpKind::ArefConsumed,
+            vec![aref, idx],
+            vec![],
+            AttrMap::new(),
+        );
     }
 
     /// Opens a warp-group partition region; `body` fills it.

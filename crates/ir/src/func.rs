@@ -411,7 +411,11 @@ impl Func {
             .map(|&r| self.values[r.0 as usize].ty.clone())
             .collect();
         let new_op = self.push_op(dst_block, data.kind, operands, result_types, data.attrs);
-        for (&old_r, &new_r) in data.results.iter().zip(self.ops[new_op.0 as usize].results.clone().iter()) {
+        for (&old_r, &new_r) in data
+            .results
+            .iter()
+            .zip(self.ops[new_op.0 as usize].results.clone().iter())
+        {
             vmap.insert(old_r, new_r);
             let hint = self.values[old_r.0 as usize].name_hint.clone();
             self.values[new_r.0 as usize].name_hint = hint;
@@ -517,7 +521,13 @@ mod tests {
         let b = f.body_block();
         let a = f.params()[0];
         let c = f.const_int(b, 7, Type::i32());
-        f.push_op(b, OpKind::Add, vec![a, c], vec![Type::i32()], AttrMap::new());
+        f.push_op(
+            b,
+            OpKind::Add,
+            vec![a, c],
+            vec![Type::i32()],
+            AttrMap::new(),
+        );
         f
     }
 
@@ -587,7 +597,13 @@ mod tests {
         let (_, body) = f.add_region(for_op);
         let iv = f.add_block_arg(body, Type::i32());
         let acc = f.add_block_arg(body, Type::i32());
-        let sum = f.push_op(b, OpKind::Add, vec![iv, acc], vec![Type::i32()], AttrMap::new());
+        let sum = f.push_op(
+            b,
+            OpKind::Add,
+            vec![iv, acc],
+            vec![Type::i32()],
+            AttrMap::new(),
+        );
         // move the add into the loop body for the test
         let sum_id = sum;
         f.block_mut(b).ops.retain(|&o| o != sum_id);
@@ -607,16 +623,16 @@ mod tests {
         let lo = f.const_int(b, 0, Type::i32());
         let hi = f.const_int(b, 4, Type::i32());
         let step = f.const_int(b, 1, Type::i32());
-        let for_op = f.push_op(
-            b,
-            OpKind::For,
-            vec![lo, hi, step],
-            vec![],
-            AttrMap::new(),
-        );
+        let for_op = f.push_op(b, OpKind::For, vec![lo, hi, step], vec![], AttrMap::new());
         let (_, body) = f.add_region(for_op);
         let iv = f.add_block_arg(body, Type::i32());
-        let dbl = f.push_op(body, OpKind::Add, vec![iv, iv], vec![Type::i32()], AttrMap::new());
+        let dbl = f.push_op(
+            body,
+            OpKind::Add,
+            vec![iv, iv],
+            vec![Type::i32()],
+            AttrMap::new(),
+        );
         let dv = f.result(dbl);
         f.push_op(body, OpKind::Yield, vec![dv], vec![], AttrMap::new());
 
@@ -639,7 +655,10 @@ mod tests {
         m.add_func(simple_func());
         assert!(m.func("f").is_some());
         assert!(m.func("h").is_none());
-        m.func_mut("f").unwrap().attrs.set("num_warps", Attr::Int(8));
+        m.func_mut("f")
+            .unwrap()
+            .attrs
+            .set("num_warps", Attr::Int(8));
         assert_eq!(m.func("f").unwrap().attrs.int("num_warps"), Some(8));
     }
 

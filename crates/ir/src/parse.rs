@@ -178,8 +178,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }
@@ -484,9 +483,7 @@ fn parse_attrs(lx: &mut Lexer) -> Result<AttrMap, ParseError> {
                         match lx.next() {
                             Tok::Int(v) => items.push(v),
                             other => {
-                                return Err(
-                                    lx.err(format!("expected int in array, got {other:?}"))
-                                )
+                                return Err(lx.err(format!("expected int in array, got {other:?}")))
                             }
                         }
                         if lx.eat_punct(']') {
@@ -548,9 +545,9 @@ fn parse_type(lx: &mut Lexer) -> Result<Type, ParseError> {
             let parts: Vec<&str> = text.split('x').collect();
             let (shape_parts, dt_part) = parts.split_at(parts.len() - 1);
             for p in shape_parts {
-                let d: usize = p.parse().map_err(|_| {
-                    lx.err(format!("bad tensor dimension {p:?} in tensor<{text}>"))
-                })?;
+                let d: usize = p
+                    .parse()
+                    .map_err(|_| lx.err(format!("bad tensor dimension {p:?} in tensor<{text}>")))?;
                 dims.push(d);
             }
             let dt = DType::parse(dt_part[0])
@@ -638,22 +635,26 @@ mod tests {
 
     #[test]
     fn parse_print_fixpoint_aref_and_warp_groups() {
-        let m = build_module("k", &[T::TensorDesc(crate::types::DType::F16)], |b, args| {
-            let desc = args[0];
-            let payload = vec![T::tensor(vec![128, 64], crate::types::DType::F16)];
-            let aref = b.create_aref(2, payload);
-            b.warp_group(0, "producer", |b| {
-                let c0 = b.const_i32(0);
-                let t = b.tma_load(desc, &[c0, c0], vec![128, 64]);
-                b.aref_put(aref, c0, &[t]);
-            });
-            b.warp_group(1, "consumer", |b| {
-                let c0 = b.const_i32(0);
-                let got = b.aref_get(aref, c0);
-                b.aref_consumed(aref, c0);
-                let _ = got;
-            });
-        });
+        let m = build_module(
+            "k",
+            &[T::TensorDesc(crate::types::DType::F16)],
+            |b, args| {
+                let desc = args[0];
+                let payload = vec![T::tensor(vec![128, 64], crate::types::DType::F16)];
+                let aref = b.create_aref(2, payload);
+                b.warp_group(0, "producer", |b| {
+                    let c0 = b.const_i32(0);
+                    let t = b.tma_load(desc, &[c0, c0], vec![128, 64]);
+                    b.aref_put(aref, c0, &[t]);
+                });
+                b.warp_group(1, "consumer", |b| {
+                    let c0 = b.const_i32(0);
+                    let got = b.aref_get(aref, c0);
+                    b.aref_consumed(aref, c0);
+                    let _ = got;
+                });
+            },
+        );
         let s1 = print_module(&m);
         let s2 = roundtrip(&s1);
         assert_eq!(s1, s2);

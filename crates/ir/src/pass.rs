@@ -77,7 +77,10 @@ pub struct PassManager {
 impl fmt::Debug for PassManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PassManager")
-            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .field("verify_each", &self.verify_each)
             .finish()
     }

@@ -243,9 +243,13 @@ mod tests {
             let hi = b.const_i32(4);
             let st = b.const_i32(1);
             let init = b.const_i32(0);
-            let _ = b.for_loop(lo, hi, st, &[init], |b, iv, iters| {
-                vec![b.add(iters[0], iv)]
-            });
+            let _ = b.for_loop(
+                lo,
+                hi,
+                st,
+                &[init],
+                |b, iv, iters| vec![b.add(iters[0], iv)],
+            );
         });
         let s = print_module(&m);
         assert!(s.contains("scf.for("), "{s}");
@@ -278,10 +282,7 @@ mod tests {
         let idx = b.const_i32(0);
         let _ = b.aref_get(aref, idx);
         let s = print_func(&f);
-        assert!(
-            s.contains(": (tensor<8x8xf16>, tensor<8x8xf16>)"),
-            "{s}"
-        );
+        assert!(s.contains(": (tensor<8x8xf16>, tensor<8x8xf16>)"), "{s}");
     }
 
     #[test]

@@ -49,9 +49,7 @@ pub fn run_dce(f: &mut Func) -> usize {
                 let mut has_effect = false;
                 for &r in &data.regions {
                     f.walk_region(r, &mut |inner| {
-                        if f.op(inner).kind.has_side_effect()
-                            && f.op(inner).kind != OpKind::Yield
-                        {
+                        if f.op(inner).kind.has_side_effect() && f.op(inner).kind != OpKind::Yield {
                             has_effect = true;
                         }
                     });
@@ -226,9 +224,13 @@ mod tests {
         let hi = b.const_i32(4);
         let st = b.const_i32(1);
         let init = b.const_i32(0);
-        b.for_loop(lo, hi, st, &[init], |b, iv, iters| {
-            vec![b.add(iters[0], iv)]
-        });
+        b.for_loop(
+            lo,
+            hi,
+            st,
+            &[init],
+            |b, iv, iters| vec![b.add(iters[0], iv)],
+        );
         run_dce(&mut f);
         assert_eq!(f.walk().len(), 0);
     }
@@ -274,7 +276,10 @@ mod tests {
         let sum = b.add(offs, sp);
         let _keep = sum;
         let folds = run_const_fold(&mut f);
-        assert!(folds >= 2, "expected at least two identity folds, got {folds}");
+        assert!(
+            folds >= 2,
+            "expected at least two identity folds, got {folds}"
+        );
     }
 
     #[test]

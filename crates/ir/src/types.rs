@@ -44,10 +44,7 @@ impl DType {
 
     /// True for floating-point element types.
     pub fn is_float(self) -> bool {
-        matches!(
-            self,
-            DType::F16 | DType::BF16 | DType::F8E4M3 | DType::F32
-        )
+        matches!(self, DType::F16 | DType::BF16 | DType::F8E4M3 | DType::F32)
     }
 
     /// True for integer element types (`Bool` excluded).
@@ -232,15 +229,9 @@ impl Type {
     pub fn broadcast_with(&self, other: &Type) -> Option<Type> {
         match (self, other) {
             (Type::Scalar(a), Type::Scalar(b)) if a == b => Some(self.clone()),
-            (Type::Tensor(s, a), Type::Scalar(b)) if a == b => {
-                Some(Type::Tensor(s.clone(), *a))
-            }
-            (Type::Scalar(a), Type::Tensor(s, b)) if a == b => {
-                Some(Type::Tensor(s.clone(), *b))
-            }
-            (Type::Tensor(s1, a), Type::Tensor(s2, b)) if a == b && s1 == s2 => {
-                Some(self.clone())
-            }
+            (Type::Tensor(s, a), Type::Scalar(b)) if a == b => Some(Type::Tensor(s.clone(), *a)),
+            (Type::Scalar(a), Type::Tensor(s, b)) if a == b => Some(Type::Tensor(s.clone(), *b)),
+            (Type::Tensor(s1, a), Type::Tensor(s2, b)) if a == b && s1 == s2 => Some(self.clone()),
             _ => None,
         }
     }

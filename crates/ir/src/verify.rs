@@ -99,10 +99,7 @@ impl<'f> Verifier<'f> {
 
     fn define(&mut self, v: ValueId) {
         self.in_scope.insert(v);
-        self.scope
-            .last_mut()
-            .expect("scope stack nonempty")
-            .push(v);
+        self.scope.last_mut().expect("scope stack nonempty").push(v);
     }
 
     fn verify_region(&mut self, region: RegionId, parent_op: Option<OpId>) {
@@ -163,10 +160,7 @@ impl<'f> Verifier<'f> {
         // SSA scoping: all operands must be visible here.
         for &o in &data.operands {
             if !self.in_scope.contains(&o) {
-                self.error(
-                    Some(op),
-                    format!("operand {o} does not dominate this use"),
-                );
+                self.error(Some(op), format!("operand {o} does not dominate this use"));
             }
         }
         // Region arity.
@@ -388,7 +382,7 @@ impl<'f> Verifier<'f> {
             }
             OpKind::AddPtr => {
                 if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
-                    if !matches!(self.ty(operands[0]), Type::Ptr(_) ) {
+                    if !matches!(self.ty(operands[0]), Type::Ptr(_)) {
                         self.error(Some(op), "addptr base must be ptr".into());
                     }
                 }
@@ -459,8 +453,7 @@ impl<'f> Verifier<'f> {
                                         ),
                                     );
                                 } else {
-                                    for (i, (&y, &r)) in
-                                        yops.iter().zip(results.iter()).enumerate()
+                                    for (i, (&y, &r)) in yops.iter().zip(results.iter()).enumerate()
                                     {
                                         if self.ty(y) != self.ty(r) {
                                             self.error(
@@ -499,7 +492,10 @@ impl<'f> Verifier<'f> {
                                 self.error(Some(op), "aref payload must be nonempty".into());
                             }
                         }
-                        t => self.error(Some(op), format!("create_aref result must be aref, got {t}")),
+                        t => self.error(
+                            Some(op),
+                            format!("create_aref result must be aref, got {t}"),
+                        ),
                     }
                 }
             }
@@ -591,9 +587,7 @@ mod tests {
             let s = b.add(args[0], c);
             let lo = b.const_i32(0);
             let st = b.const_i32(1);
-            let _ = b.for_loop(lo, s, st, &[c], |b, iv, iters| {
-                vec![b.add(iters[0], iv)]
-            });
+            let _ = b.for_loop(lo, s, st, &[c], |b, iv, iters| vec![b.add(iters[0], iv)]);
         });
         assert!(verify_module(&m).is_ok());
     }
@@ -612,7 +606,10 @@ mod tests {
             AttrMap::new(),
         );
         let errs = verify_func(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.msg.contains("incompatible")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.msg.contains("incompatible")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -639,13 +636,7 @@ mod tests {
         let mut f = Func::new("f", &[]);
         let b = f.body_block();
         let c = f.const_int(b, 0, Type::i32());
-        let for_op = f.push_op(
-            b,
-            OpKind::For,
-            vec![c, c, c],
-            vec![],
-            AttrMap::new(),
-        );
+        let for_op = f.push_op(b, OpKind::For, vec![c, c, c], vec![], AttrMap::new());
         let (_, body) = f.add_region(for_op);
         f.add_block_arg(body, Type::i32());
         let errs = verify_func(&f).unwrap_err();
@@ -705,7 +696,13 @@ mod tests {
     fn rejects_const_without_value() {
         let mut f = Func::new("f", &[]);
         let b = f.body_block();
-        f.push_op(b, OpKind::ConstInt, vec![], vec![Type::i32()], AttrMap::new());
+        f.push_op(
+            b,
+            OpKind::ConstInt,
+            vec![],
+            vec![Type::i32()],
+            AttrMap::new(),
+        );
         let errs = verify_func(&f).unwrap_err();
         assert!(errs.iter().any(|e| e.msg.contains("value")), "{errs:?}");
     }

@@ -32,8 +32,7 @@ fn step_strategy(depth: u32) -> impl Strategy<Value = Step> {
         (0usize..8, 1u8..16).prop_map(|(v, n)| Step::SplatAndReduce(v, n)),
     ];
     leaf.prop_recursive(depth, 24, 6, |inner| {
-        (1u8..5, prop::collection::vec(inner, 1..4))
-            .prop_map(|(trip, body)| Step::Loop(trip, body))
+        (1u8..5, prop::collection::vec(inner, 1..4)).prop_map(|(trip, body)| Step::Loop(trip, body))
     })
 }
 

@@ -298,7 +298,11 @@ pub fn tilelang_attention(cfg: &AttentionConfig, device: &Device) -> BenchOutcom
         softmax_exposure: maturity::TILELANG_SOFTMAX_EXPOSURE,
         launch_ns: maturity::DSL_LAUNCH_NS,
         iter_bubble: maturity::TILELANG_ATTENTION_BUBBLE
-            + if fp8 { maturity::TILELANG_FP8_BUBBLE } else { 0.0 },
+            + if fp8 {
+                maturity::TILELANG_FP8_BUBBLE
+            } else {
+                0.0
+            },
     };
     let k = ws_attention(cfg, &s, device)?;
     simulate(&k, device).map_err(|e| e.to_string())

@@ -66,7 +66,9 @@ pub fn ws_gemm(cfg: &GemmConfig, s: &GemmStrategy, device: &Device) -> Result<Ke
     let n_iters = cfg.k_tiles();
     let coop = s.coop.clamp(1, 2) as u64;
     if mt % coop != 0 {
-        return Err(format!("tile rows {mt} not divisible across {coop} warp groups"));
+        return Err(format!(
+            "tile rows {mt} not divisible across {coop} warp groups"
+        ));
     }
     let m_wg = (mt / coop) as u32;
 
@@ -77,10 +79,7 @@ pub fn ws_gemm(cfg: &GemmConfig, s: &GemmStrategy, device: &Device) -> Result<Ke
     let slot_bytes = (mt * kt + nt * kt) * esz;
     k.smem_bytes = s.d as u64 * slot_bytes + mt * nt * esz + (2 * s.d as u64) * 8;
     if k.smem_bytes > device.smem_per_sm {
-        return Err(format!(
-            "smem {} B over budget at D={}",
-            k.smem_bytes, s.d
-        ));
+        return Err(format!("smem {} B over budget at D={}", k.smem_bytes, s.d));
     }
 
     let mut full = Vec::new();
@@ -149,7 +148,9 @@ pub fn ws_gemm(cfg: &GemmConfig, s: &GemmStrategy, device: &Device) -> Result<Ke
             if bubble > 0 {
                 out.push(Instr::Delay { cycles: bubble });
             }
-            out.push(Instr::WgmmaWait { pending: peel as u32 });
+            out.push(Instr::WgmmaWait {
+                pending: peel as u32,
+            });
             let rel = (slot + s.d - (peel as usize % s.d)) % s.d;
             out.push(Instr::MbarArrive { bar: empty[rel] });
         },
@@ -677,12 +678,19 @@ mod tests {
             launch_ns: 0,
             iter_bubble: 0.0,
         };
-        assert!(ws_gemm(&cfg, &bad_regs, &dev()).is_err(), "128x256 single WG");
+        assert!(
+            ws_gemm(&cfg, &bad_regs, &dev()).is_err(),
+            "128x256 single WG"
+        );
     }
 
     #[test]
     fn attention_template_runs_causal_and_fp8() {
-        for (causal, dt) in [(false, DType::F16), (true, DType::F16), (true, DType::F8E4M3)] {
+        for (causal, dt) in [
+            (false, DType::F16),
+            (true, DType::F16),
+            (true, DType::F8E4M3),
+        ] {
             let cfg = AttentionConfig::paper(2048, causal, dt);
             let s = AttentionStrategy {
                 coop: 2,

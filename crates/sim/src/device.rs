@@ -236,8 +236,7 @@ mod tests {
     fn tc_rate_fp8_doubles() {
         let d = Device::h100_sxm5();
         assert!(
-            (d.tc_flops_per_cycle(MmaDtype::F8) - 2.0 * d.tc_flops_per_cycle(MmaDtype::F16))
-                .abs()
+            (d.tc_flops_per_cycle(MmaDtype::F8) - 2.0 * d.tc_flops_per_cycle(MmaDtype::F16)).abs()
                 < 1e-9
         );
     }

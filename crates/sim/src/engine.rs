@@ -203,10 +203,10 @@ pub fn run_sm(
     let mut events: Vec<Event> = Vec::new();
     let mut seq: u64 = 0;
     let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                    events: &mut Vec<Event>,
-                    seq: &mut u64,
-                    t: u64,
-                    e: Event| {
+                events: &mut Vec<Event>,
+                seq: &mut u64,
+                t: u64,
+                e: Event| {
         events.push(e);
         queue.push(Reverse((t, *seq, events.len() - 1)));
         *seq += 1;
@@ -374,9 +374,9 @@ pub fn run_sm(
                     }
                     Instr::CpAsync { bytes } => {
                         // Issue occupies the warp group proportionally to size.
-                        let issue_cost =
-                            ((bytes as f64 / 2048.0) * device.cp_async_issue_cycles_per_2kb)
-                                .ceil() as u64;
+                        let issue_cost = ((bytes as f64 / 2048.0)
+                            * device.cp_async_issue_cycles_per_2kb)
+                            .ceil() as u64;
                         let bw = cfg.load_bw * device.cp_async_efficiency;
                         let start = (t + issue_cost).max(mem_free);
                         let dur = (bytes as f64 / bw).ceil() as u64;
@@ -686,10 +686,30 @@ mod tests {
             Role::Consumer,
             240,
             vec![
-                Instr::WgmmaIssue { m: 64, n: 128, k: 16, dtype: MmaDtype::F16 },
-                Instr::WgmmaIssue { m: 64, n: 128, k: 16, dtype: MmaDtype::F16 },
-                Instr::WgmmaIssue { m: 64, n: 128, k: 16, dtype: MmaDtype::F16 },
-                Instr::WgmmaIssue { m: 64, n: 128, k: 16, dtype: MmaDtype::F16 },
+                Instr::WgmmaIssue {
+                    m: 64,
+                    n: 128,
+                    k: 16,
+                    dtype: MmaDtype::F16,
+                },
+                Instr::WgmmaIssue {
+                    m: 64,
+                    n: 128,
+                    k: 16,
+                    dtype: MmaDtype::F16,
+                },
+                Instr::WgmmaIssue {
+                    m: 64,
+                    n: 128,
+                    k: 16,
+                    dtype: MmaDtype::F16,
+                },
+                Instr::WgmmaIssue {
+                    m: 64,
+                    n: 128,
+                    k: 16,
+                    dtype: MmaDtype::F16,
+                },
                 Instr::WgmmaWait { pending: 0 },
             ],
         );

@@ -107,8 +107,7 @@ pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError>
         1.0
     };
     let cfg = EngineCfg {
-        load_bw: (device.l2_bytes_per_cycle / active_sms)
-            .min(device.tma_engine_bytes_per_cycle)
+        load_bw: (device.l2_bytes_per_cycle / active_sms).min(device.tma_engine_bytes_per_cycle)
             * l2_bonus,
         store_bw: device.hbm_bytes_per_cycle / active_sms,
     };
@@ -226,7 +225,11 @@ mod tests {
             cbody.push(Instr::WgmmaWait { pending: 0 });
             cbody.push(Instr::MbarArrive { bar: empty[s] });
         }
-        k.add_warp_group(Role::Producer, 24, vec![Instr::loop_const(iters / 2, pbody)]);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::loop_const(iters / 2, pbody)],
+        );
         let mut consumer = vec![Instr::loop_const(iters / 2, cbody)];
         consumer.push(Instr::GlobalStore {
             bytes: 128 * 128 * 2,

@@ -27,7 +27,12 @@
 //! let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 4096));
 //! let report = compile_and_simulate(
 //!     &module, &spec, &CompileOptions::default(), &Device::h100_sxm5())?;
-//! assert!(report.tflops > 100.0);
+//! // The simulated kernel must make progress and report a finite,
+//! // positive throughput. (Deliberately not a hard TFLOP/s floor: the
+//! // absolute number shifts whenever the simulator's cost model is
+//! // refined, and a doctest should not flake on model changes.)
+//! assert!(report.cycles > 0);
+//! assert!(report.tflops.is_finite() && report.tflops > 0.0);
 //! # Ok(())
 //! # }
 //! ```

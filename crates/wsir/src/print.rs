@@ -73,7 +73,11 @@ pub fn print_kernel(k: &Kernel) -> String {
         k.launch_overhead_ns
     );
     for (i, b) in k.barriers.iter().enumerate() {
-        let _ = writeln!(out, "  mbarrier[{i}] {} arrive_count={}", b.name, b.arrive_count);
+        let _ = writeln!(
+            out,
+            "  mbarrier[{i}] {} arrive_count={}",
+            b.name, b.arrive_count
+        );
     }
     for (i, c) in k.classes.iter().enumerate() {
         let _ = writeln!(

@@ -199,7 +199,10 @@ mod tests {
             }],
         );
         let errs = validate(&k).unwrap_err();
-        assert!(errs.iter().any(|e| e.msg.contains("out of range")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.msg.contains("out of range")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -218,7 +221,10 @@ mod tests {
             }],
         );
         let errs = validate(&k).unwrap_err();
-        assert!(errs.iter().any(|e| e.msg.contains("exceeds class params")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.msg.contains("exceeds class params")),
+            "{errs:?}"
+        );
     }
 
     #[test]

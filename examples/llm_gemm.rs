@@ -22,12 +22,21 @@ fn main() {
     ];
     for dtype in [DType::F16, DType::F8E4M3] {
         println!("== {dtype} ==");
-        println!("{:28} {:>9} {:>9} {:>9}", "shape", "Tawa", "cuBLAS", "Triton");
+        println!(
+            "{:28} {:>9} {:>9} {:>9}",
+            "shape", "Tawa", "cuBLAS", "Triton"
+        );
         for (name, m, n, k) in shapes {
             let cfg = GemmConfig::new(m, n, k).with_dtype(dtype);
-            let tawa = fw::tawa_gemm(&cfg, &device).map(|r| r.tflops).unwrap_or(0.0);
-            let cublas = fw::cublas_gemm(&cfg, &device).map(|r| r.tflops).unwrap_or(0.0);
-            let triton = fw::triton_gemm(&cfg, &device).map(|r| r.tflops).unwrap_or(0.0);
+            let tawa = fw::tawa_gemm(&cfg, &device)
+                .map(|r| r.tflops)
+                .unwrap_or(0.0);
+            let cublas = fw::cublas_gemm(&cfg, &device)
+                .map(|r| r.tflops)
+                .unwrap_or(0.0);
+            let triton = fw::triton_gemm(&cfg, &device)
+                .map(|r| r.tflops)
+                .unwrap_or(0.0);
             println!("{name:28} {tawa:>8.0}  {cublas:>8.0}  {triton:>8.0}");
         }
         println!();

@@ -25,7 +25,12 @@ fn gemm_ablation_reproduces_paper_ordering() {
     let total = t[5] / t[0];
     assert!(total > 2.5, "total ablation gain {total}: {t:?}");
     // The final configuration must be the best.
-    assert!(t[5] >= *t.iter().take(5).fold(&0.0, |a, b| if b > a { b } else { a }));
+    assert!(
+        t[5] >= *t
+            .iter()
+            .take(5)
+            .fold(&0.0, |a, b| if b > a { b } else { a })
+    );
 }
 
 #[test]

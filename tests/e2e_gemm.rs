@@ -113,9 +113,6 @@ fn hardware_utilization_is_plausible() {
         ("cublas", fw::cublas_gemm(&cfg, &d)),
     ] {
         let util = r.unwrap().tflops / 989.4;
-        assert!(
-            (0.4..=0.95).contains(&util),
-            "{name} utilization {util}"
-        );
+        assert!((0.4..=0.95).contains(&util), "{name} utilization {util}");
     }
 }

@@ -112,7 +112,10 @@ fn reference_attention(
             }
             scores[j] = s * scale;
         }
-        let m = scores[..hi].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let m = scores[..hi]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut denom = 0.0f64;
         let mut acc = vec![0.0f64; dh];
         for j in 0..hi {

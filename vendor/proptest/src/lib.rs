@@ -1,0 +1,424 @@
+//! Offline property-testing shim.
+//!
+//! This crate exposes the (small) subset of the real `proptest` API that the
+//! Tawa workspace uses: value strategies over integer ranges, tuples and
+//! collections, `prop_map`/`prop_recursive` combinators, the `proptest!`
+//! test-harness macro and the `prop_assert*` family. The container this
+//! workspace builds in has no network access, so the real crates.io
+//! dependency cannot be fetched; this shim keeps the property suites
+//! runnable with a deterministic in-tree pseudo-random generator instead
+//! of shrinking-capable random search.
+//!
+//! Generation is deterministic per test function and per case index, so
+//! failures are reproducible without persisted seeds.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic SplitMix64 pseudo-random generator used to drive all
+/// strategies. Seeded per test case so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of random values of type `Value`.
+///
+/// This is the shim counterpart of `proptest::strategy::Strategy`. Unlike
+/// the real trait it has no shrinking machinery: `generate` directly
+/// produces a value from the supplied [`TestRng`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// current depth and returns a strategy for one more level of nesting.
+    /// The `_desired_size` and `_expected_branch_size` knobs of the real
+    /// API are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), branch]).boxed();
+        }
+        cur
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between several strategies with the same value type.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union from its (non-empty) arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let width = (hi - lo) as u128;
+                let off = (rng.next_u64() as u128) % width;
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Collection and size-range strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Number-of-elements specification accepted by [`vec`]: either an
+    /// exact length or a half-open range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespaced re-exports mirroring the real crate's `prop` module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "property assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "property assertion failed: {} at {}:{}",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err(format!(
+                "property assertion failed: {} == {} ({:?} != {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err(format!(
+                "property assertion failed: {} ({:?} != {:?}) at {}:{}",
+                format!($($fmt)+),
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Uniform random choice among several strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item becomes a regular
+/// `#[test]` that samples its strategies `cases` times (from the optional
+/// leading `#![proptest_config(...)]`) and runs the body, with
+/// `prop_assert*` failures reported alongside the case index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), cfg.cases, |rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Drive one property function for `cases` deterministic cases, panicking
+/// with the case index on the first failure. Used by the [`proptest!`]
+/// macro expansion; not intended to be called directly.
+pub fn run_property<F>(name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    // Stable per-test seed derived from the property name (FNV-1a).
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..cases {
+        let mut rng = TestRng::from_seed(seed ^ ((case as u64) << 32) ^ case as u64);
+        if let Err(msg) = body(&mut rng) {
+            panic!("property `{name}` failed on case {case}/{cases}: {msg}");
+        }
+    }
+}
