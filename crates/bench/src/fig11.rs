@@ -1,10 +1,14 @@
 //! Fig. 11: the aref-size (D) × MMA-depth (P) heatmaps for persistent and
 //! non-persistent GEMM at `K = 16384` — the hyperparameter study of §V-E.
 //! Infeasible points (`D < P`) report zero, as in the paper.
+//!
+//! Both panels sweep the same input module, so the whole figure runs over
+//! one [`CompileSession`]: the cleanup prefix is cleaned once and the 18
+//! candidate kernels compile through the shared content-addressed cache.
 
 use gpu_sim::Device;
-use tawa_core::autotune::{autotune, TuneSpace};
-use tawa_core::CompileOptions;
+use tawa_core::autotune::{autotune_with_session, TuneSpace};
+use tawa_core::{CompileOptions, CompileSession};
 use tawa_frontend::config::{GemmConfig, Tile};
 use tawa_frontend::kernels::gemm;
 
@@ -52,8 +56,8 @@ impl Heatmap {
     }
 }
 
-/// Runs one panel (persistent or not).
-pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
+/// Runs one panel (persistent or not) over a caller-provided session.
+pub fn run_panel_with_session(session: &CompileSession, persistent: bool, scale: Scale) -> Heatmap {
     let k = match scale {
         Scale::Quick => 4096,
         Scale::Full => 16384,
@@ -64,7 +68,13 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
         cooperative: 2,
         ..CompileOptions::default()
     };
-    let result = autotune(&module, &spec, &base, &TuneSpace::fig11(persistent), device);
+    let result = autotune_with_session(
+        session,
+        &module,
+        &spec,
+        &base,
+        &TuneSpace::fig11(persistent),
+    );
     let mut values = [[0.0; 3]; 3];
     for p in &result.points {
         values[p.aref_depth - 1][p.mma_depth - 1] = p.tflops.unwrap_or(0.0);
@@ -82,17 +92,37 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
     }
 }
 
-/// Both panels.
+/// Runs one panel (persistent or not) over a throwaway session.
+pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
+    run_panel_with_session(&CompileSession::new(device), persistent, scale)
+}
+
+/// Both panels, sharing one compile session.
 pub fn run(device: &Device, scale: Scale) -> Vec<Heatmap> {
+    let session = CompileSession::new(device);
     vec![
-        run_panel(device, false, scale),
-        run_panel(device, true, scale),
+        run_panel_with_session(&session, false, scale),
+        run_panel_with_session(&session, true, scale),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn panels_share_one_session_prefix() {
+        let dev = Device::h100_sxm5();
+        let session = CompileSession::new(&dev);
+        run_panel_with_session(&session, false, Scale::Quick);
+        run_panel_with_session(&session, true, Scale::Quick);
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.module_entries, 1,
+            "both panels sweep the same module; cleanup must run once"
+        );
+        assert!(stats.kernel_misses > 0);
+    }
 
     #[test]
     fn heatmap_shape_matches_paper() {

@@ -4,8 +4,8 @@
 //! 209 → 232 → 593 → 645 → 654 for MHA).
 
 use gpu_sim::Device;
-use tawa_core::autotune::{autotune, TuneSpace};
-use tawa_core::{compile_and_simulate, CompileOptions};
+use tawa_core::autotune::{autotune_with_session, TuneSpace};
+use tawa_core::{CompileOptions, CompileSession};
 use tawa_frontend::config::{AttentionConfig, GemmConfig, Tile};
 use tawa_frontend::kernels::{attention, gemm};
 use tawa_ir::types::DType;
@@ -48,8 +48,8 @@ fn dsl_overhead() -> u64 {
     tawa_kernels::frameworks::maturity::DSL_LAUNCH_NS
 }
 
-/// The GEMM ablation (Fig. 12 left).
-pub fn run_gemm(device: &Device, scale: Scale) -> Ablation {
+/// The GEMM ablation (Fig. 12 left) over a caller-provided session.
+pub fn run_gemm_with_session(session: &CompileSession, scale: Scale) -> Ablation {
     let k = match scale {
         Scale::Quick => 4096,
         Scale::Full => 16384,
@@ -59,7 +59,8 @@ pub fn run_gemm(device: &Device, scale: Scale) -> Ablation {
     let mut steps = Vec::new();
     let mut run = |label: &str, cfg: &GemmConfig, opts: &CompileOptions| {
         let (m, spec) = gemm(cfg);
-        let t = compile_and_simulate(&m, &spec, opts, device)
+        let t = session
+            .compile_and_simulate(&m, &spec, opts)
             .map(|r| r.tflops)
             .unwrap_or(0.0);
         steps.push(Step {
@@ -100,9 +101,11 @@ pub fn run_gemm(device: &Device, scale: Scale) -> Ablation {
         ..coop.clone()
     };
     run("+Persistent Kernel", &large, &persistent);
-    // +Better Aref Size: autotune D and P.
+    // +Better Aref Size: autotune D and P over the same session, so the
+    // persistent-kernel bar above seeded the cache for the sweep.
     let (m, spec) = gemm(&large);
-    let tuned = autotune(
+    let tuned = autotune_with_session(
+        session,
         &m,
         &spec,
         &persistent,
@@ -112,7 +115,6 @@ pub fn run_gemm(device: &Device, scale: Scale) -> Ablation {
             cooperative: vec![2],
             persistent: vec![true],
         },
-        device,
     );
     steps.push(Step {
         label: "+Better Aref Size".into(),
@@ -125,8 +127,8 @@ pub fn run_gemm(device: &Device, scale: Scale) -> Ablation {
     }
 }
 
-/// The MHA ablation (Fig. 12 right).
-pub fn run_mha(device: &Device, scale: Scale) -> Ablation {
+/// The MHA ablation (Fig. 12 right) over a caller-provided session.
+pub fn run_mha_with_session(session: &CompileSession, scale: Scale) -> Ablation {
     let l = match scale {
         Scale::Quick => 4096,
         Scale::Full => 16384,
@@ -139,7 +141,8 @@ pub fn run_mha(device: &Device, scale: Scale) -> Ablation {
     let mut steps = Vec::new();
     let mut run = |label: &str, cfg: &AttentionConfig, opts: &CompileOptions| {
         let (m, spec) = attention(cfg);
-        let t = compile_and_simulate(&m, &spec, opts, device)
+        let t = session
+            .compile_and_simulate(&m, &spec, opts)
             .map(|r| r.tflops)
             .unwrap_or(0.0);
         steps.push(Step {
@@ -180,17 +183,17 @@ pub fn run_mha(device: &Device, scale: Scale) -> Ablation {
     let best = [2usize, 3]
         .iter()
         .filter_map(|&d| {
-            compile_and_simulate(
-                &m,
-                &spec,
-                &CompileOptions {
-                    aref_depth: d,
-                    ..pipelined.clone()
-                },
-                device,
-            )
-            .ok()
-            .map(|r| r.tflops)
+            session
+                .compile_and_simulate(
+                    &m,
+                    &spec,
+                    &CompileOptions {
+                        aref_depth: d,
+                        ..pipelined.clone()
+                    },
+                )
+                .ok()
+                .map(|r| r.tflops)
         })
         .fold(0.0f64, f64::max);
     steps.push(Step {
@@ -204,9 +207,23 @@ pub fn run_mha(device: &Device, scale: Scale) -> Ablation {
     }
 }
 
-/// Both ablations.
+/// The GEMM ablation (Fig. 12 left) over a throwaway session.
+pub fn run_gemm(device: &Device, scale: Scale) -> Ablation {
+    run_gemm_with_session(&CompileSession::new(device), scale)
+}
+
+/// The MHA ablation (Fig. 12 right) over a throwaway session.
+pub fn run_mha(device: &Device, scale: Scale) -> Ablation {
+    run_mha_with_session(&CompileSession::new(device), scale)
+}
+
+/// Both ablations, sharing one compile session.
 pub fn run(device: &Device, scale: Scale) -> Vec<Ablation> {
-    vec![run_gemm(device, scale), run_mha(device, scale)]
+    let session = CompileSession::new(device);
+    vec![
+        run_gemm_with_session(&session, scale),
+        run_mha_with_session(&session, scale),
+    ]
 }
 
 #[cfg(test)]

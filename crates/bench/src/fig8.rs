@@ -9,6 +9,9 @@ use tawa_wsir::MmaDtype;
 
 use crate::report::{Figure, Scale, Series};
 
+/// One framework's measurement closure in the Fig. 8 sweep.
+type FrameworkRunner<'a> = Box<dyn Fn(&GemmConfig) -> fw::BenchOutcome + 'a>;
+
 /// K values swept.
 pub fn k_values(scale: Scale) -> Vec<usize> {
     match scale {
@@ -28,7 +31,7 @@ pub fn run_panel(device: &Device, dtype: DType, scale: Scale) -> Figure {
     let peak = device.peak_tflops(mma);
     let mk_cfg = |k: usize| GemmConfig::new(8192, 8192, k).with_dtype(dtype);
 
-    let frameworks: Vec<(&str, Box<dyn Fn(&GemmConfig) -> fw::BenchOutcome>)> = vec![
+    let frameworks: Vec<(&str, FrameworkRunner<'_>)> = vec![
         (
             "cuBLAS",
             Box::new(|c: &GemmConfig| fw::cublas_gemm(c, device)),

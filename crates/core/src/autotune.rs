@@ -5,13 +5,18 @@
 //! `(D, P, cooperative, persistent)` with feasibility pruning (`D ≥ P`,
 //! register and shared-memory budgets) and simulator-in-the-loop scoring —
 //! and regenerates the Fig. 11 heatmaps.
+//!
+//! The sweep drives [`CompileSession::compile_and_simulate_batch`]: every
+//! candidate shares the session's cleaned-module prefix, candidates compile
+//! concurrently, and repeating a sweep over a warm session is almost free
+//! (kernel and report cache hits).
 
 use gpu_sim::Device;
 use tawa_ir::func::Module;
 use tawa_ir::spec::LaunchSpec;
 
-use crate::compile::compile_and_simulate;
 use crate::lower::{CompileError, CompileOptions};
+use crate::session::{CompileJob, CompileSession};
 
 /// One evaluated configuration.
 #[derive(Debug, Clone)]
@@ -93,7 +98,85 @@ impl TuneResult {
     }
 }
 
-/// Sweeps `space`, compiling and simulating each feasible configuration.
+/// Enumerates the candidate options of `space` in sweep order.
+fn candidates(base: &CompileOptions, space: &TuneSpace) -> Vec<CompileOptions> {
+    let mut out = Vec::new();
+    for &persistent in &space.persistent {
+        for &coop in &space.cooperative {
+            for &d in &space.aref_depths {
+                for &p in &space.mma_depths {
+                    out.push(CompileOptions {
+                        aref_depth: d,
+                        mma_depth: p,
+                        cooperative: coop,
+                        persistent,
+                        ..base.clone()
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sweeps `space` over `session`'s device, batch-compiling and simulating
+/// every configuration. Infeasible points (resource pruning, `P > D`) get
+/// `tflops = None`, as do unsupported shapes and — conservatively —
+/// simulation failures, which indicate compiler bugs rather than pruning.
+pub fn autotune_with_session(
+    session: &CompileSession,
+    module: &Module,
+    spec: &LaunchSpec,
+    base: &CompileOptions,
+    space: &TuneSpace,
+) -> TuneResult {
+    let opts = candidates(base, space);
+    let jobs: Vec<CompileJob<'_>> = opts
+        .iter()
+        .map(|o| CompileJob {
+            module,
+            spec,
+            opts: o.clone(),
+        })
+        .collect();
+    let reports = session.compile_and_simulate_batch(&jobs);
+
+    let mut points = Vec::new();
+    let mut best: Option<usize> = None;
+    for (o, outcome) in opts.iter().zip(reports) {
+        let tflops = match outcome {
+            Ok(report) => Some(report.tflops),
+            Err(
+                CompileError::Infeasible(_)
+                | CompileError::Unsupported(_)
+                | CompileError::Pass(_)
+                | CompileError::Simulation(_),
+            ) => None,
+        };
+        let idx = points.len();
+        points.push(TunePoint {
+            aref_depth: o.aref_depth,
+            mma_depth: o.mma_depth,
+            cooperative: o.cooperative,
+            persistent: o.persistent,
+            tflops,
+        });
+        if let Some(t) = tflops {
+            if best
+                .map(|b| t > points[b].tflops.unwrap_or(0.0))
+                .unwrap_or(true)
+            {
+                best = Some(idx);
+            }
+        }
+    }
+    TuneResult { points, best }
+}
+
+/// Sweeps `space`, compiling and simulating each feasible configuration
+/// over a throwaway [`CompileSession`]. Callers running multiple sweeps
+/// (figure harnesses, serving loops) should hold their own session and use
+/// [`autotune_with_session`] so the caches carry across sweeps.
 pub fn autotune(
     module: &Module,
     spec: &LaunchSpec,
@@ -101,45 +184,8 @@ pub fn autotune(
     space: &TuneSpace,
     device: &Device,
 ) -> TuneResult {
-    let mut points = Vec::new();
-    let mut best: Option<usize> = None;
-    for &persistent in &space.persistent {
-        for &coop in &space.cooperative {
-            for &d in &space.aref_depths {
-                for &p in &space.mma_depths {
-                    let opts = CompileOptions {
-                        aref_depth: d,
-                        mma_depth: p,
-                        cooperative: coop,
-                        persistent,
-                        ..base.clone()
-                    };
-                    let tflops = match compile_and_simulate(module, spec, &opts, device) {
-                        Ok(report) => Some(report.tflops),
-                        Err(CompileError::Infeasible(_)) => None,
-                        Err(CompileError::Unsupported(_)) => None,
-                    };
-                    let idx = points.len();
-                    points.push(TunePoint {
-                        aref_depth: d,
-                        mma_depth: p,
-                        cooperative: coop,
-                        persistent,
-                        tflops,
-                    });
-                    if let Some(t) = tflops {
-                        if best
-                            .map(|b| t > points[b].tflops.unwrap_or(0.0))
-                            .unwrap_or(true)
-                        {
-                            best = Some(idx);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    TuneResult { points, best }
+    let session = CompileSession::new(device);
+    autotune_with_session(&session, module, spec, base, space)
 }
 
 #[cfg(test)]
@@ -196,7 +242,7 @@ mod tests {
         assert!(best.aref_depth >= 2, "best D = {}", best.aref_depth);
         let opts = r.best_options(&CompileOptions::default()).unwrap();
         assert_eq!(opts.aref_depth, best.aref_depth);
-        assert_eq!(opts.persistent, true);
+        assert!(opts.persistent);
     }
 
     #[test]

@@ -8,20 +8,22 @@
 
 use gpu_sim::Device;
 use tawa_ir::func::Module;
-use tawa_ir::pass::PassManager;
 use tawa_ir::spec::LaunchSpec;
-use tawa_ir::transforms::{ConstFold, Dce};
 use tawa_wsir::Kernel;
 
-use crate::lower::{lower_simt, lower_ws, CompileError, CompileOptions};
-use crate::partition::WarpSpecialize;
-use crate::pipeline::{CoarsePipeline, FineGrainedPipeline};
+use crate::lower::{CompileError, CompileOptions};
+use crate::session::CompileSession;
 
 /// Compiles a tile-IR module for the given launch, producing a WSIR kernel
 /// ready for `gpu_sim::simulate`.
 ///
+/// Thin wrapper over a throwaway [`CompileSession`]; callers compiling more
+/// than one (module, options) pair should create a session themselves and
+/// use [`CompileSession::compile`] / [`CompileSession::compile_batch`] to
+/// share the caches.
+///
 /// # Errors
-/// Propagates pass failures as [`CompileError::Unsupported`] and resource
+/// Propagates pass failures as [`CompileError::Pass`] and resource
 /// infeasibilities (P > D, registers, shared memory) as
 /// [`CompileError::Infeasible`].
 pub fn compile(
@@ -30,52 +32,26 @@ pub fn compile(
     opts: &CompileOptions,
     device: &Device,
 ) -> Result<Kernel, CompileError> {
-    let mut m = module.clone();
-    if opts.warp_specialize {
-        if opts.mma_depth > opts.aref_depth {
-            // Checked before running passes so autotuners can prune fast.
-            return Err(CompileError::Infeasible(format!(
-                "MMA pipeline depth P={} exceeds aref depth D={}",
-                opts.mma_depth, opts.aref_depth
-            )));
-        }
-        let mut pm = PassManager::new();
-        pm.add(Box::new(ConstFold))
-            .add(Box::new(Dce))
-            .add(Box::new(WarpSpecialize {
-                depth: opts.aref_depth,
-            }))
-            .add(Box::new(FineGrainedPipeline {
-                depth: opts.mma_depth,
-            }))
-            .add(Box::new(CoarsePipeline))
-            .add(Box::new(Dce));
-        pm.run(&mut m)
-            .map_err(|e| CompileError::Unsupported(format!("pass pipeline failed: {e}")))?;
-        lower_ws(&m, spec, opts, device)
-    } else {
-        let mut pm = PassManager::new();
-        pm.add(Box::new(ConstFold)).add(Box::new(Dce));
-        pm.run(&mut m)
-            .map_err(|e| CompileError::Unsupported(format!("pass pipeline failed: {e}")))?;
-        lower_simt(&m, spec, opts, device)
-    }
+    let session = CompileSession::new(device);
+    session
+        .compile(module, spec, opts)
+        .map(|kernel| (*kernel).clone())
 }
 
 /// Convenience: compile and immediately simulate, returning the report.
 ///
 /// # Errors
 /// Compilation errors from [`compile`]; simulation errors (deadlock,
-/// placement) are surfaced as [`CompileError::Infeasible`].
+/// placement) are surfaced as [`CompileError::Simulation`] — distinct from
+/// the resource infeasibilities autotuners prune on.
 pub fn compile_and_simulate(
     module: &Module,
     spec: &LaunchSpec,
     opts: &CompileOptions,
     device: &Device,
 ) -> Result<gpu_sim::SimReport, CompileError> {
-    let kernel = compile(module, spec, opts, device)?;
-    gpu_sim::simulate(&kernel, device)
-        .map_err(|e| CompileError::Infeasible(format!("simulation failed: {e}")))
+    let session = CompileSession::new(device);
+    session.compile_and_simulate(module, spec, opts)
 }
 
 #[cfg(test)]

@@ -403,7 +403,7 @@ impl WgThread {
                         .map_err(|e| ierr(format!("aref get: {e}")))?
                         .clone();
                     let results = it.f.results(op).to_vec();
-                    for (r, t) in results.iter().zip(payload.into_iter()) {
+                    for (r, t) in results.iter().zip(payload) {
                         it.env.insert(*r, Val::T(t));
                     }
                     frame.pc += 1;
@@ -430,7 +430,7 @@ impl WgThread {
                         .collect::<Result<_, _>>()?;
                     let body = it.f.entry_block(it.f.op(loop_op).regions[0]);
                     let args = it.f.block(body).args.clone();
-                    for (a, v) in args[1..].iter().zip(vals.into_iter()) {
+                    for (a, v) in args[1..].iter().zip(vals) {
                         it.env.insert(*a, v);
                     }
                     frame.pc += 1;

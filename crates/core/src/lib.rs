@@ -19,8 +19,10 @@
 //!    optimizations of §IV.
 //!
 //! [`compile::compile`] is the `enable_warp_specialization=True` entry
-//! point; [`autotune`] sweeps the (D, P, persistence, cooperation) space of
-//! §V-E.
+//! point; [`session::CompileSession`] is the production entry point —
+//! declarative pass pipelines, a content-addressed compile cache and a
+//! thread-scoped batch API; [`autotune`] sweeps the (D, P, persistence,
+//! cooperation) space of §V-E over one session.
 //!
 //! ## Example
 //!
@@ -52,7 +54,9 @@ pub mod lower;
 pub mod parity;
 pub mod partition;
 pub mod pipeline;
+pub mod session;
 
 pub use compile::{compile, compile_and_simulate};
 pub use lower::{CompileError, CompileOptions};
+pub use session::{CacheStats, CompileJob, CompileSession};
 pub mod interp;

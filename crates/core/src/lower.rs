@@ -42,8 +42,14 @@ pub enum CompileError {
     Unsupported(String),
     /// The configuration is infeasible on the device (register pressure,
     /// `P > D`, shared-memory overflow). Benchmarks report these as the
-    /// zero entries of Fig. 11.
+    /// zero entries of Fig. 11; the autotuner prunes on this variant.
     Infeasible(String),
+    /// A pass in the pipeline failed; carries the structured diagnostics.
+    Pass(tawa_ir::pass::PassError),
+    /// The kernel compiled but failed in simulation (deadlock, placement).
+    /// Distinct from [`CompileError::Infeasible`]: a simulation failure is
+    /// a bug in the generated schedule, not a resource-pruning signal.
+    Simulation(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -51,6 +57,8 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Unsupported(m) => write!(f, "unsupported kernel: {m}"),
             CompileError::Infeasible(m) => write!(f, "infeasible configuration: {m}"),
+            CompileError::Pass(e) => write!(f, "pass pipeline failed: {e}"),
+            CompileError::Simulation(m) => write!(f, "simulation failed: {m}"),
         }
     }
 }
@@ -580,7 +588,7 @@ pub fn lower_ws(
         // ---- coarse-grained T/C/U template (Algorithm 1) ----
         let t = a.t_shape;
         let ta = a.t_aref;
-        if trips.iter().any(|&n| n == 0) {
+        if trips.contains(&0) {
             return Err(CompileError::Unsupported(
                 "coarse pipeline requires at least one iteration per class".into(),
             ));
@@ -811,10 +819,9 @@ pub fn lower_ws(
     let acc_elems = (m_wg as u64) * a.t_shape.n as u64;
     let extra = a.u_shape.map(|u| m_wg as u64 * u.k as u64).unwrap_or(0);
     let c_regs = consumer_regs(
-        if a.u_shape.is_some() {
-            m_wg as u64 * a.u_shape.unwrap().n as u64
-        } else {
-            acc_elems
+        match a.u_shape {
+            Some(u) => m_wg as u64 * u.n as u64,
+            None => acc_elems,
         },
         extra,
     )?;
@@ -972,19 +979,20 @@ pub fn lower_simt(
     // bounds masks) for every tile it copies: ~3 integer ops per element.
     let esz = dots[0].dtype.size_bytes();
     let addr_flops = 3 * loads.iter().sum::<u64>() / esz / WGS;
-    let mut body = Vec::new();
-    body.push(Instr::CudaOp {
-        flops: addr_flops.max(512),
-        sfu: 0,
-        label: "addr-gen",
-    });
-    body.push(Instr::CpAsync {
-        bytes: iter_load_bytes,
-    });
-    body.push(Instr::CpAsyncWait {
-        pending: stages as u32 - 1,
-    });
-    body.push(Instr::Syncthreads);
+    let mut body = vec![
+        Instr::CudaOp {
+            flops: addr_flops.max(512),
+            sfu: 0,
+            label: "addr-gen",
+        },
+        Instr::CpAsync {
+            bytes: iter_load_bytes,
+        },
+        Instr::CpAsyncWait {
+            pending: stages as u32 - 1,
+        },
+        Instr::Syncthreads,
+    ];
     if iter_flops + iter_sfu > 0 && dots.len() > 1 {
         // Attention-like: T, softmax, U — fully serial in the SIMT model.
         body.push(Instr::WgmmaIssue {

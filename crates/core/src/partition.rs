@@ -27,6 +27,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use tawa_ir::analysis::{loop_info, top_level_loops, LoopInfo};
+use tawa_ir::diag::Diagnostic;
 use tawa_ir::func::{Func, Module, ValueDef};
 use tawa_ir::op::{Attr, AttrMap, BlockId, OpId, OpKind, ValueId};
 use tawa_ir::pass::Pass;
@@ -60,9 +61,11 @@ impl Pass for WarpSpecialize {
         "warp-specialize"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), String> {
+    fn run(&self, module: &mut Module) -> Result<(), Diagnostic> {
         for f in &mut module.funcs {
-            warp_specialize_func(f, self.depth)?;
+            let name = f.name.clone();
+            warp_specialize_func(f, self.depth)
+                .map_err(|msg| Diagnostic::error(msg).with_func(name))?;
         }
         Ok(())
     }

@@ -22,6 +22,7 @@
 use std::collections::HashSet;
 
 use tawa_ir::analysis::loop_info;
+use tawa_ir::diag::Diagnostic;
 use tawa_ir::func::{Func, Module};
 use tawa_ir::op::{Attr, AttrMap, OpId, OpKind};
 use tawa_ir::pass::Pass;
@@ -128,9 +129,9 @@ impl Pass for FineGrainedPipeline {
         "fine-grained-pipeline"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), String> {
+    fn run(&self, module: &mut Module) -> Result<(), Diagnostic> {
         if self.depth == 0 {
-            return Err("MMA pipeline depth must be >= 1".into());
+            return Err(Diagnostic::error("MMA pipeline depth must be >= 1"));
         }
         for f in &mut module.funcs {
             for wg in consumer_warp_groups(f) {
@@ -189,7 +190,7 @@ impl Pass for CoarsePipeline {
         "coarse-pipeline"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), String> {
+    fn run(&self, module: &mut Module) -> Result<(), Diagnostic> {
         for f in &mut module.funcs {
             for wg in consumer_warp_groups(f) {
                 let Some(loop_op) = warp_group_loop(f, wg) else {

@@ -1,0 +1,567 @@
+//! Staged compiler sessions: declarative pipelines, a content-addressed
+//! compile cache and batch compilation.
+//!
+//! A [`CompileSession`] owns everything one device's compilations share:
+//!
+//! * the [`PassRegistry`] with the Tawa passes registered
+//!   (`warp-specialize`, `fine-grained-pipeline`, `coarse-pipeline`, plus
+//!   the generic `const-fold`/`dce` cleanups),
+//! * a **content-addressed kernel cache** keyed by (module fingerprint,
+//!   [`CompileOptions`], launch spec, device name) with hit/miss counters,
+//! * a **cleanup-prefix cache**: the options-independent
+//!   `fixpoint(const-fold,dce)` front of the pipeline runs once per
+//!   distinct input module and is shared by every configuration the
+//!   autotuner tries, and
+//! * a simulation-report cache so repeated sweeps skip the simulator too.
+//!
+//! [`CompileSession::compile_batch`] fans a set of jobs out across OS
+//! threads with [`std::thread::scope`]; the caches are shared, so
+//! concurrent jobs over the same module reuse one cleaned prefix. This is
+//! the serving-oriented entry point: an autotune sweep, a figure
+//! regeneration or a multi-tenant compile service all become one session.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gpu_sim::{Device, SimReport};
+use tawa_ir::diag::Diagnostic;
+use tawa_ir::fingerprint::{fnv1a, module_fingerprint};
+use tawa_ir::func::Module;
+use tawa_ir::pipeline_spec::{PassRegistry, PipelineSpec};
+use tawa_ir::spec::LaunchSpec;
+use tawa_wsir::Kernel;
+
+use crate::lower::{lower_simt, lower_ws, CompileError, CompileOptions};
+use crate::partition::WarpSpecialize;
+use crate::pipeline::{CoarsePipeline, FineGrainedPipeline};
+
+/// The options-independent cleanup prefix every compilation starts with.
+pub const CLEANUP_PIPELINE: &str = "fixpoint(const-fold,dce)";
+
+/// Cache key: module content fingerprint × environment fingerprint
+/// (options, launch spec, device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    module_fp: u64,
+    env_fp: u64,
+}
+
+fn env_fingerprint(spec: &LaunchSpec, opts: &CompileOptions, device: &Device) -> u64 {
+    // `CompileOptions` and `LaunchSpec` are plain data with derived Debug;
+    // their debug form is a canonical serialization of every field.
+    fnv1a(format!("{opts:?}|{spec:?}|{}", device.name).as_bytes())
+}
+
+/// Hit/miss counters of a session's caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Kernel-cache hits.
+    pub kernel_hits: u64,
+    /// Kernel-cache misses (cold compiles).
+    pub kernel_misses: u64,
+    /// Simulation-report cache hits.
+    pub sim_hits: u64,
+    /// Simulation-report cache misses (simulator runs).
+    pub sim_misses: u64,
+    /// Cached kernels.
+    pub kernel_entries: usize,
+    /// Cached cleaned modules (shared pipeline prefixes).
+    pub module_entries: usize,
+    /// Cached simulation reports.
+    pub report_entries: usize,
+}
+
+impl CacheStats {
+    /// Total cache hits across kernels and simulation reports.
+    pub fn hits(&self) -> u64 {
+        self.kernel_hits + self.sim_hits
+    }
+
+    /// Total cache misses across kernels and simulation reports.
+    pub fn misses(&self) -> u64 {
+        self.kernel_misses + self.sim_misses
+    }
+}
+
+/// One batch-compilation job.
+#[derive(Debug, Clone)]
+pub struct CompileJob<'a> {
+    /// Tile-IR module to compile.
+    pub module: &'a Module,
+    /// Launch specialization.
+    pub spec: &'a LaunchSpec,
+    /// Compilation knobs.
+    pub opts: CompileOptions,
+}
+
+/// A compilation session: device + pass registry + caches.
+///
+/// See the module docs for what is shared. All entry points take `&self`;
+/// the session is `Sync` and meant to be shared across threads.
+pub struct CompileSession {
+    device: Device,
+    registry: PassRegistry,
+    kernels: Mutex<HashMap<CacheKey, Arc<Kernel>>>,
+    cleaned: Mutex<HashMap<u64, Arc<Module>>>,
+    reports: Mutex<HashMap<CacheKey, SimReport>>,
+    kernel_hits: AtomicU64,
+    kernel_misses: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CompileSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileSession")
+            .field("device", &self.device.name)
+            .field("stats", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl CompileSession {
+    /// Creates a session for `device` with the full Tawa pass registry.
+    pub fn new(device: &Device) -> CompileSession {
+        CompileSession {
+            device: device.clone(),
+            registry: tawa_pass_registry(),
+            kernels: Mutex::new(HashMap::new()),
+            cleaned: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
+            kernel_hits: AtomicU64::new(0),
+            kernel_misses: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            sim_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The device this session compiles for.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The pass registry backing [`CompileSession::pipeline_spec`].
+    pub fn registry(&self) -> &PassRegistry {
+        &self.registry
+    }
+
+    /// The declarative pipeline the session runs for `opts` — cleanup →
+    /// task partitioning → multi-granularity pipelining (Fig. 2a). The
+    /// returned spec round-trips through its string form.
+    pub fn pipeline_spec(opts: &CompileOptions) -> PipelineSpec {
+        let text = if opts.warp_specialize {
+            format!("{CLEANUP_PIPELINE},{}", ws_suffix(opts))
+        } else {
+            CLEANUP_PIPELINE.to_string()
+        };
+        PipelineSpec::parse(&text).expect("session pipeline text is well-formed")
+    }
+
+    /// Current cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
+            kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            sim_misses: self.sim_misses.load(Ordering::Relaxed),
+            kernel_entries: self.kernels.lock().unwrap().len(),
+            module_entries: self.cleaned.lock().unwrap().len(),
+            report_entries: self.reports.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every cached kernel, cleaned module and simulation report.
+    /// Counters are kept (they describe the session's lifetime).
+    pub fn clear_cache(&self) {
+        self.kernels.lock().unwrap().clear();
+        self.cleaned.lock().unwrap().clear();
+        self.reports.lock().unwrap().clear();
+    }
+
+    /// Compiles a module for the given launch, consulting the kernel cache.
+    ///
+    /// A cache hit returns the previously compiled kernel (byte-identical:
+    /// the key is the module's content fingerprint plus every compilation
+    /// input). On a miss, the cleanup prefix is fetched from — or inserted
+    /// into — the shared prefix cache before the configuration-specific
+    /// passes run.
+    ///
+    /// # Errors
+    /// Resource infeasibilities (P > D, registers, shared memory) as
+    /// [`CompileError::Infeasible`]; pass failures as
+    /// [`CompileError::Pass`] with structured diagnostics; unsupported
+    /// kernel shapes as [`CompileError::Unsupported`].
+    pub fn compile(
+        &self,
+        module: &Module,
+        spec: &LaunchSpec,
+        opts: &CompileOptions,
+    ) -> Result<Arc<Kernel>, CompileError> {
+        let key = CacheKey {
+            module_fp: module_fingerprint(module),
+            env_fp: env_fingerprint(spec, opts, &self.device),
+        };
+        self.compile_keyed(key, module, spec, opts)
+    }
+
+    fn compile_keyed(
+        &self,
+        key: CacheKey,
+        module: &Module,
+        spec: &LaunchSpec,
+        opts: &CompileOptions,
+    ) -> Result<Arc<Kernel>, CompileError> {
+        if let Some(kernel) = self.kernels.lock().unwrap().get(&key) {
+            self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(kernel.clone());
+        }
+        self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+        let kernel = Arc::new(self.compile_uncached(key.module_fp, module, spec, opts)?);
+        self.kernels.lock().unwrap().insert(key, kernel.clone());
+        Ok(kernel)
+    }
+
+    /// Compiles and immediately simulates, consulting the report cache.
+    ///
+    /// # Errors
+    /// Compilation errors from [`CompileSession::compile`]; simulation
+    /// failures (deadlock, placement) as [`CompileError::Simulation`] —
+    /// distinct from [`CompileError::Infeasible`] so autotuners do not
+    /// silently prune what is actually a scheduling bug.
+    pub fn compile_and_simulate(
+        &self,
+        module: &Module,
+        spec: &LaunchSpec,
+        opts: &CompileOptions,
+    ) -> Result<SimReport, CompileError> {
+        let key = CacheKey {
+            module_fp: module_fingerprint(module),
+            env_fp: env_fingerprint(spec, opts, &self.device),
+        };
+        if let Some(report) = self.reports.lock().unwrap().get(&key) {
+            self.sim_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report.clone());
+        }
+        let kernel = self.compile_keyed(key, module, spec, opts)?;
+        // Counted only once compilation succeeded: a pruned infeasible
+        // point never reaches the simulator and must not skew `sim_misses`.
+        self.sim_misses.fetch_add(1, Ordering::Relaxed);
+        let report = gpu_sim::simulate(&kernel, &self.device)
+            .map_err(|e| CompileError::Simulation(e.to_string()))?;
+        self.reports.lock().unwrap().insert(key, report.clone());
+        Ok(report)
+    }
+
+    /// Compiles many jobs concurrently over the shared caches, returning
+    /// results in job order. Jobs over the same module reuse one cleaned
+    /// prefix. Identical jobs running *concurrently* may both compile
+    /// (last insert wins — the result is identical either way); once one
+    /// finishes, later duplicates are cache hits.
+    pub fn compile_batch(&self, jobs: &[CompileJob<'_>]) -> Vec<Result<Arc<Kernel>, CompileError>> {
+        self.run_batch(jobs, |job| self.compile(job.module, job.spec, &job.opts))
+    }
+
+    /// Batch variant of [`CompileSession::compile_and_simulate`].
+    pub fn compile_and_simulate_batch(
+        &self,
+        jobs: &[CompileJob<'_>],
+    ) -> Vec<Result<SimReport, CompileError>> {
+        self.run_batch(jobs, |job| {
+            self.compile_and_simulate(job.module, job.spec, &job.opts)
+        })
+    }
+
+    /// Fans `jobs` out across `std::thread::scope` workers, preserving
+    /// input order in the results.
+    fn run_batch<T, F>(&self, jobs: &[CompileJob<'_>], f: F) -> Vec<Result<T, CompileError>>
+    where
+        T: Send,
+        F: Fn(&CompileJob<'_>) -> Result<T, CompileError> + Sync,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(jobs.len())
+            .min(8);
+        let slots: Vec<Mutex<Option<Result<T, CompileError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(f(&jobs[i]));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every batch slot is filled by a worker")
+            })
+            .collect()
+    }
+
+    /// The cleaned (const-fold + DCE to fixpoint) form of `module`, cached
+    /// by content fingerprint and shared across configurations.
+    ///
+    /// The cache lock is held across the cleanup run: concurrent batch
+    /// workers hitting the same cold module must not each re-run the
+    /// shared prefix — that is the reuse this cache exists for. Cleanup is
+    /// microseconds-scale, so serializing it is cheaper than duplicating
+    /// it across up to eight workers.
+    fn cleaned_module(&self, fp: u64, module: &Module) -> Result<Arc<Module>, CompileError> {
+        let mut cleaned = self.cleaned.lock().unwrap();
+        if let Some(m) = cleaned.get(&fp) {
+            return Ok(m.clone());
+        }
+        let spec = PipelineSpec::parse(CLEANUP_PIPELINE).expect("cleanup pipeline parses");
+        let mut pm = spec
+            .build(&self.registry)
+            .expect("cleanup passes are registered");
+        let mut m = module.clone();
+        pm.run(&mut m).map_err(CompileError::Pass)?;
+        let m = Arc::new(m);
+        cleaned.insert(fp, m.clone());
+        Ok(m)
+    }
+
+    fn compile_uncached(
+        &self,
+        module_fp: u64,
+        module: &Module,
+        spec: &LaunchSpec,
+        opts: &CompileOptions,
+    ) -> Result<Kernel, CompileError> {
+        if opts.warp_specialize && opts.mma_depth > opts.aref_depth {
+            // Checked before running passes so autotuners can prune fast.
+            return Err(CompileError::Infeasible(format!(
+                "MMA pipeline depth P={} exceeds aref depth D={}",
+                opts.mma_depth, opts.aref_depth
+            )));
+        }
+        let cleaned = self.cleaned_module(module_fp, module)?;
+        if opts.warp_specialize {
+            let pipeline = PipelineSpec::parse(&ws_suffix(opts))
+                .expect("warp-specialization pipeline text is well-formed");
+            let mut pm = pipeline
+                .build(&self.registry)
+                .expect("tawa passes are registered");
+            let mut m = (*cleaned).clone();
+            pm.run(&mut m).map_err(CompileError::Pass)?;
+            lower_ws(&m, spec, opts, &self.device)
+        } else {
+            lower_simt(&cleaned, spec, opts, &self.device)
+        }
+    }
+}
+
+/// The configuration-specific tail of the warp-specialization pipeline.
+fn ws_suffix(opts: &CompileOptions) -> String {
+    format!(
+        "warp-specialize{{depth={}}},fine-grained-pipeline{{depth={}}},coarse-pipeline,dce",
+        opts.aref_depth, opts.mma_depth
+    )
+}
+
+/// The full Tawa pass registry: generic cleanups plus the paper's
+/// partitioning and pipelining passes.
+pub fn tawa_pass_registry() -> PassRegistry {
+    let mut r = PassRegistry::with_builtins();
+    r.register("warp-specialize", |opts| {
+        let depth = opts.int("depth").unwrap_or(2);
+        if depth < 1 {
+            return Err(Diagnostic::error(format!(
+                "warp-specialize depth must be >= 1, got {depth}"
+            )));
+        }
+        Ok(Box::new(WarpSpecialize {
+            depth: depth as usize,
+        }))
+    });
+    r.register("fine-grained-pipeline", |opts| {
+        let depth = opts.int("depth").unwrap_or(2);
+        if depth < 1 {
+            return Err(Diagnostic::error(format!(
+                "fine-grained-pipeline depth must be >= 1, got {depth}"
+            )));
+        }
+        Ok(Box::new(FineGrainedPipeline {
+            depth: depth as usize,
+        }))
+    });
+    r.register("coarse-pipeline", |_| Ok(Box::new(CoarsePipeline)));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tawa_frontend::config::GemmConfig;
+    use tawa_frontend::kernels::gemm;
+    use tawa_wsir::print_kernel;
+
+    fn dev() -> Device {
+        Device::h100_sxm5()
+    }
+
+    #[test]
+    fn cache_hits_return_identical_kernels() {
+        let session = CompileSession::new(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let opts = CompileOptions::default();
+        let cold = session.compile(&m, &spec, &opts).unwrap();
+        let hit = session.compile(&m, &spec, &opts).unwrap();
+        assert!(Arc::ptr_eq(&cold, &hit), "hit must come from the cache");
+        assert_eq!(print_kernel(&cold), print_kernel(&hit));
+        let stats = session.cache_stats();
+        assert_eq!(stats.kernel_hits, 1);
+        assert_eq!(stats.kernel_misses, 1);
+        assert_eq!(stats.kernel_entries, 1);
+        assert_eq!(stats.module_entries, 1);
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let session = CompileSession::new(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let a = CompileOptions::default();
+        let b = CompileOptions {
+            aref_depth: 3,
+            ..CompileOptions::default()
+        };
+        let ka = session.compile(&m, &spec, &a).unwrap();
+        let kb = session.compile(&m, &spec, &b).unwrap();
+        assert_ne!(print_kernel(&ka), print_kernel(&kb));
+        let stats = session.cache_stats();
+        assert_eq!(stats.kernel_hits, 0);
+        assert_eq!(stats.kernel_misses, 2);
+        // The cleanup prefix ran once: both configs share the cleaned module.
+        assert_eq!(stats.module_entries, 1);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let all_opts: Vec<CompileOptions> = (1..=3)
+            .map(|d| CompileOptions {
+                aref_depth: d,
+                mma_depth: 1,
+                ..CompileOptions::default()
+            })
+            .collect();
+
+        let sequential = CompileSession::new(&dev());
+        let seq: Vec<_> = all_opts
+            .iter()
+            .map(|o| sequential.compile(&m, &spec, o).unwrap())
+            .collect();
+
+        let batched = CompileSession::new(&dev());
+        let jobs: Vec<CompileJob<'_>> = all_opts
+            .iter()
+            .map(|o| CompileJob {
+                module: &m,
+                spec: &spec,
+                opts: o.clone(),
+            })
+            .collect();
+        let batch = batched.compile_batch(&jobs);
+        assert_eq!(batch.len(), seq.len());
+        for (s, b) in seq.iter().zip(&batch) {
+            assert_eq!(print_kernel(s), print_kernel(b.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn infeasible_jobs_fail_in_batch_without_poisoning() {
+        let session = CompileSession::new(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let jobs = vec![
+            CompileJob {
+                module: &m,
+                spec: &spec,
+                opts: CompileOptions {
+                    aref_depth: 1,
+                    mma_depth: 3,
+                    ..CompileOptions::default()
+                },
+            },
+            CompileJob {
+                module: &m,
+                spec: &spec,
+                opts: CompileOptions::default(),
+            },
+        ];
+        let results = session.compile_batch(&jobs);
+        assert!(matches!(results[0], Err(CompileError::Infeasible(_))));
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn simulation_reports_are_cached() {
+        let session = CompileSession::new(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let opts = CompileOptions::default();
+        let r1 = session.compile_and_simulate(&m, &spec, &opts).unwrap();
+        let r2 = session.compile_and_simulate(&m, &spec, &opts).unwrap();
+        assert_eq!(r1.tflops, r2.tflops);
+        let stats = session.cache_stats();
+        assert_eq!(stats.sim_hits, 1);
+        assert_eq!(stats.sim_misses, 1);
+        assert_eq!(stats.hits(), 1, "kernel cache untouched on report hit");
+
+        // A pruned infeasible point never reaches the simulator, so it
+        // must not count as a simulation miss.
+        let infeasible = CompileOptions {
+            aref_depth: 1,
+            mma_depth: 3,
+            ..CompileOptions::default()
+        };
+        assert!(session
+            .compile_and_simulate(&m, &spec, &infeasible)
+            .is_err());
+        assert_eq!(session.cache_stats().sim_misses, 1);
+    }
+
+    #[test]
+    fn pipeline_spec_round_trips_and_matches_options() {
+        let opts = CompileOptions {
+            aref_depth: 3,
+            mma_depth: 2,
+            ..CompileOptions::default()
+        };
+        let spec = CompileSession::pipeline_spec(&opts);
+        let text = spec.to_string();
+        assert!(text.starts_with(CLEANUP_PIPELINE), "{text}");
+        assert!(text.contains("warp-specialize{depth=3}"), "{text}");
+        assert!(text.contains("fine-grained-pipeline{depth=2}"), "{text}");
+        assert_eq!(PipelineSpec::parse(&text).unwrap(), spec);
+        // And it builds against the session registry.
+        let session = CompileSession::new(&dev());
+        spec.build(session.registry()).unwrap();
+    }
+
+    #[test]
+    fn clear_cache_drops_entries_keeps_counters() {
+        let session = CompileSession::new(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        session
+            .compile(&m, &spec, &CompileOptions::default())
+            .unwrap();
+        session.clear_cache();
+        let stats = session.cache_stats();
+        assert_eq!(stats.kernel_entries, 0);
+        assert_eq!(stats.module_entries, 0);
+        assert_eq!(stats.kernel_misses, 1);
+    }
+}

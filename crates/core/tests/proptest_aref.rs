@@ -124,7 +124,7 @@ proptest! {
             let before = a.state();
             let result = match op {
                 0 => a.put(1).err(),
-                1 => a.get().err().map(|e| e),
+                1 => a.get().err(),
                 _ => a.consumed().err(),
             };
             // Invariant: can_put and can_get never hold simultaneously.

@@ -1,0 +1,169 @@
+//! Structured compiler diagnostics.
+//!
+//! Passes and pipeline drivers report failures as [`Diagnostic`]s instead
+//! of bare strings: a severity, the emitting pass, and — when attributable —
+//! the function and operation the problem was found at. Drivers higher in
+//! the stack (the `tawa-core` compile session) surface these to users and
+//! tooling without re-parsing error prose.
+
+use std::fmt;
+
+use crate::op::OpId;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational remark (pass statistics, skipped-function notes).
+    Note,
+    /// Something suspicious that did not stop compilation.
+    Warning,
+    /// The pass could not be applied; compilation stops.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One structured diagnostic: severity, origin pass, optional op location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the pass that emitted the diagnostic (filled in by the
+    /// pass manager when the pass itself did not set it).
+    pub pass: Option<String>,
+    /// Function the diagnostic refers to, if attributable.
+    pub func: Option<String>,
+    /// Operation the diagnostic refers to, if attributable.
+    pub op: Option<OpId>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error diagnostic with just a message.
+    pub fn error(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            pass: None,
+            func: None,
+            op: None,
+            message: message.into(),
+        }
+    }
+
+    /// A warning diagnostic with just a message.
+    pub fn warning(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(message)
+        }
+    }
+
+    /// A note diagnostic with just a message.
+    pub fn note(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(message)
+        }
+    }
+
+    /// Attributes the diagnostic to a pass (overwrites a previous value).
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl Into<String>) -> Diagnostic {
+        self.pass = Some(pass.into());
+        self
+    }
+
+    /// Attributes the diagnostic to a pass only if none is set yet.
+    #[must_use]
+    pub fn with_default_pass(mut self, pass: &str) -> Diagnostic {
+        if self.pass.is_none() {
+            self.pass = Some(pass.to_string());
+        }
+        self
+    }
+
+    /// Attributes the diagnostic to a function.
+    #[must_use]
+    pub fn with_func(mut self, func: impl Into<String>) -> Diagnostic {
+        self.func = Some(func.into());
+        self
+    }
+
+    /// Attributes the diagnostic to an operation.
+    #[must_use]
+    pub fn with_op(mut self, op: OpId) -> Diagnostic {
+        self.op = Some(op);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.severity)?;
+        if let Some(pass) = &self.pass {
+            write!(f, "[{pass}]")?;
+        }
+        write!(f, ": ")?;
+        if let Some(func) = &self.func {
+            write!(f, "in @{func}: ")?;
+        }
+        if let Some(op) = self.op {
+            write!(f, "at {op}: ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+impl From<String> for Diagnostic {
+    fn from(message: String) -> Diagnostic {
+        Diagnostic::error(message)
+    }
+}
+
+impl From<&str> for Diagnostic {
+    fn from(message: &str) -> Diagnostic {
+        Diagnostic::error(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_all_fields() {
+        let d = Diagnostic::error("bad tile shape")
+            .with_pass("warp-specialize")
+            .with_func("matmul");
+        let s = d.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("warp-specialize"), "{s}");
+        assert!(s.contains("@matmul"), "{s}");
+        assert!(s.contains("bad tile shape"), "{s}");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn default_pass_does_not_overwrite() {
+        let d = Diagnostic::error("x").with_pass("a").with_default_pass("b");
+        assert_eq!(d.pass.as_deref(), Some("a"));
+        let d = Diagnostic::error("x").with_default_pass("b");
+        assert_eq!(d.pass.as_deref(), Some("b"));
+    }
+}

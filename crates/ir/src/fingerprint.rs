@@ -1,0 +1,79 @@
+//! Content fingerprinting for modules.
+//!
+//! A [`module_fingerprint`] is a stable 64-bit hash of a module's canonical
+//! textual form (the [`crate::print`] output, which `print → parse → print`
+//! fixpoints on). Two modules with equal fingerprints print identically, so
+//! the fingerprint can stand in for the module in caches and change
+//! detection:
+//!
+//! * the [`crate::pass::PassManager`] fingerprints the module around every
+//!   pass to record per-pass `changed` bits and to skip re-verification of
+//!   untouched modules, and
+//! * the `tawa-core` compile session uses it as the module component of its
+//!   content-addressed kernel cache key.
+
+use crate::func::Module;
+use crate::print::print_module;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte stream with FNV-1a (64-bit). Deterministic across runs
+/// and platforms, unlike `std::hash::DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprints a module by hashing its canonical printed form.
+pub fn module_fingerprint(m: &Module) -> u64 {
+    fnv1a(print_module(m).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_module;
+    use crate::types::Type;
+
+    #[test]
+    fn equal_modules_equal_fingerprints() {
+        let mk = || {
+            build_module("f", &[Type::i32()], |b, args| {
+                let two = b.const_i32(2);
+                let _ = b.mul(args[0], two);
+            })
+        };
+        assert_eq!(module_fingerprint(&mk()), module_fingerprint(&mk()));
+    }
+
+    #[test]
+    fn different_modules_differ() {
+        let a = build_module("f", &[Type::i32()], |b, args| {
+            let two = b.const_i32(2);
+            let _ = b.mul(args[0], two);
+        });
+        let b_ = build_module("f", &[Type::i32()], |b, args| {
+            let three = b.const_i32(3);
+            let _ = b.mul(args[0], three);
+        });
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&b_));
+    }
+
+    #[test]
+    fn fingerprint_tracks_mutation() {
+        let mut m = build_module("f", &[Type::i32()], |b, args| {
+            let two = b.const_i32(2);
+            let _ = b.mul(args[0], two);
+        });
+        let before = module_fingerprint(&m);
+        crate::transforms::run_dce(&mut m.funcs[0]);
+        assert_ne!(before, module_fingerprint(&m), "DCE must change the print");
+    }
+}

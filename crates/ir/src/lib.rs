@@ -13,8 +13,10 @@
 //! * a typed [`builder`],
 //! * a textual [`mod@print`]er and [`parse`]r that round-trip,
 //! * a [`verify`]er,
-//! * a [`pass`] framework plus generic [`transforms`] (DCE, constant
-//!   folding), and
+//! * a [`pass`] framework with structured [`diag`]nostics, fixpoint stages
+//!   and fingerprint-based change tracking ([`fingerprint`]), declarative
+//!   pipelines ([`pipeline_spec`]), plus generic [`transforms`] (DCE,
+//!   constant folding), and
 //! * [`analysis`] helpers (backward slices, loop structure) used by the
 //!   task-aware partitioning pass in `tawa-core`.
 //!
@@ -44,10 +46,13 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod diag;
+pub mod fingerprint;
 pub mod func;
 pub mod op;
 pub mod parse;
 pub mod pass;
+pub mod pipeline_spec;
 pub mod print;
 pub mod spec;
 pub mod transforms;
@@ -55,6 +60,9 @@ pub mod types;
 pub mod verify;
 
 pub use builder::Builder;
+pub use diag::{Diagnostic, Severity};
+pub use fingerprint::module_fingerprint;
 pub use func::{Func, Module};
 pub use op::{Attr, AttrMap, OpId, OpKind, ValueId};
+pub use pipeline_spec::{PassRegistry, PipelineSpec, StageSpec};
 pub use types::{DType, Shape, Type};

@@ -2,22 +2,35 @@
 //! in sequence, optionally verifying the IR between passes and recording
 //! per-pass statistics (as the paper's compiler does on top of Triton's
 //! pass infrastructure).
+//!
+//! Failures are reported as structured [`Diagnostic`]s rather than bare
+//! strings. The manager fingerprints the module around every pass
+//! ([`crate::fingerprint::module_fingerprint`]) to record whether each pass
+//! actually changed anything; verification is skipped for passes that left
+//! the module untouched, and [`PassManager::add_fixpoint`] groups iterate
+//! until the fingerprint stabilises (e.g. const-fold + DCE to fixpoint).
 
 use std::fmt;
 use std::time::Instant;
 
+use crate::diag::Diagnostic;
+use crate::fingerprint::module_fingerprint;
 use crate::func::Module;
 use crate::verify::{verify_module, VerifyError};
 
+/// Default iteration cap for fixpoint groups: cleanup pipelines converge in
+/// two or three rounds; anything past this indicates an oscillating pass.
+pub const DEFAULT_FIXPOINT_ITERS: usize = 8;
+
 /// Error produced when running a pass pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum PassError {
-    /// The pass itself failed with a message.
+    /// The pass itself failed with a structured diagnostic.
     Failed {
         /// Pass name.
         pass: String,
-        /// Failure description.
-        msg: String,
+        /// The failure diagnostic.
+        diagnostic: Diagnostic,
     },
     /// Verification failed after the named pass.
     VerifyFailed {
@@ -28,10 +41,39 @@ pub enum PassError {
     },
 }
 
+impl PassError {
+    /// Name of the pass the pipeline stopped at.
+    pub fn pass(&self) -> &str {
+        match self {
+            PassError::Failed { pass, .. } | PassError::VerifyFailed { pass, .. } => pass,
+        }
+    }
+
+    /// All diagnostics carried by the error, converting verifier errors to
+    /// [`Diagnostic`]s so callers handle one shape.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        match self {
+            PassError::Failed { diagnostic, .. } => vec![diagnostic.clone()],
+            PassError::VerifyFailed { pass, errors } => errors
+                .iter()
+                .map(|e| {
+                    let mut d = Diagnostic::error(e.msg.clone())
+                        .with_pass(pass.clone())
+                        .with_func(e.func.clone());
+                    d.op = e.op;
+                    d
+                })
+                .collect(),
+        }
+    }
+}
+
 impl fmt::Display for PassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PassError::Failed { pass, msg } => write!(f, "pass {pass} failed: {msg}"),
+            PassError::Failed { pass, diagnostic } => {
+                write!(f, "pass {pass} failed: {diagnostic}")
+            }
             PassError::VerifyFailed { pass, errors } => {
                 writeln!(f, "IR invalid after pass {pass}:")?;
                 for e in errors {
@@ -53,9 +95,10 @@ pub trait Pass {
     /// Runs the transformation on `module`.
     ///
     /// # Errors
-    /// Returns a message if the pass cannot be applied (precondition
-    /// violations, unsupported constructs).
-    fn run(&self, module: &mut Module) -> Result<(), String>;
+    /// Returns a [`Diagnostic`] if the pass cannot be applied (precondition
+    /// violations, unsupported constructs). The manager attributes the
+    /// diagnostic to the pass if the pass did not do so itself.
+    fn run(&self, module: &mut Module) -> Result<(), Diagnostic>;
 }
 
 /// Timing/result record for one executed pass.
@@ -65,11 +108,39 @@ pub struct PassStat {
     pub name: String,
     /// Wall-clock duration.
     pub micros: u128,
+    /// Whether the pass changed the module (fingerprint moved).
+    pub changed: bool,
+}
+
+/// One pipeline entry: a single pass or a fixpoint group.
+enum Item {
+    Single(Box<dyn Pass>),
+    Fixpoint {
+        passes: Vec<Box<dyn Pass>>,
+        max_iters: usize,
+    },
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Single(p) => write!(f, "{}", p.name()),
+            Item::Fixpoint { passes, max_iters } => write!(
+                f,
+                "fixpoint[{max_iters}]({})",
+                passes
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        }
+    }
 }
 
 /// Runs a sequence of passes with optional inter-pass verification.
 pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
+    items: Vec<Item>,
     verify_each: bool,
     stats: Vec<PassStat>,
 }
@@ -77,10 +148,7 @@ pub struct PassManager {
 impl fmt::Debug for PassManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PassManager")
-            .field(
-                "passes",
-                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
-            )
+            .field("items", &self.items)
             .field("verify_each", &self.verify_each)
             .finish()
     }
@@ -96,7 +164,7 @@ impl PassManager {
     /// Creates an empty pipeline with inter-pass verification enabled.
     pub fn new() -> PassManager {
         PassManager {
-            passes: Vec::new(),
+            items: Vec::new(),
             verify_each: true,
             stats: Vec::new(),
         }
@@ -104,7 +172,17 @@ impl PassManager {
 
     /// Adds a pass to the end of the pipeline.
     pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
-        self.passes.push(pass);
+        self.items.push(Item::Single(pass));
+        self
+    }
+
+    /// Adds a group of passes iterated until the module stops changing
+    /// (bounded by `max_iters` rounds).
+    pub fn add_fixpoint(&mut self, passes: Vec<Box<dyn Pass>>, max_iters: usize) -> &mut Self {
+        self.items.push(Item::Fixpoint {
+            passes,
+            max_iters: max_iters.max(1),
+        });
         self
     }
 
@@ -116,36 +194,80 @@ impl PassManager {
 
     /// Runs the pipeline over `module`.
     ///
+    /// The module is fingerprinted around every pass: a pass whose
+    /// fingerprint did not move is recorded as `changed = false` and skips
+    /// re-verification. [`PassManager::stats`] reflects every pass that
+    /// actually ran — including, on failure, the failing pass itself.
+    ///
     /// # Errors
     /// Stops at the first failing pass or failed verification.
     pub fn run(&mut self, module: &mut Module) -> Result<(), PassError> {
         self.stats.clear();
-        for pass in &self.passes {
-            let start = Instant::now();
-            pass.run(module).map_err(|msg| PassError::Failed {
-                pass: pass.name().to_string(),
-                msg,
-            })?;
-            self.stats.push(PassStat {
-                name: pass.name().to_string(),
-                micros: start.elapsed().as_micros(),
-            });
-            if self.verify_each {
-                if let Err(errors) = verify_module(module) {
-                    return Err(PassError::VerifyFailed {
-                        pass: pass.name().to_string(),
-                        errors,
-                    });
+        let mut fp = module_fingerprint(module);
+        for item in &self.items {
+            match item {
+                Item::Single(pass) => {
+                    fp = run_one(pass.as_ref(), module, fp, self.verify_each, &mut self.stats)?;
+                }
+                Item::Fixpoint { passes, max_iters } => {
+                    for _round in 0..*max_iters {
+                        let before = fp;
+                        for pass in passes {
+                            fp = run_one(
+                                pass.as_ref(),
+                                module,
+                                fp,
+                                self.verify_each,
+                                &mut self.stats,
+                            )?;
+                        }
+                        if fp == before {
+                            break;
+                        }
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    /// Per-pass statistics from the last [`PassManager::run`].
+    /// Per-pass statistics from the last [`PassManager::run`]. Fixpoint
+    /// groups contribute one entry per pass per executed round.
     pub fn stats(&self) -> &[PassStat] {
         &self.stats
     }
+}
+
+/// Runs one pass, records its stat (even on failure), verifies if the
+/// module changed, and returns the post-pass fingerprint.
+fn run_one(
+    pass: &dyn Pass,
+    module: &mut Module,
+    fp_before: u64,
+    verify: bool,
+    stats: &mut Vec<PassStat>,
+) -> Result<u64, PassError> {
+    let name = pass.name().to_string();
+    let start = Instant::now();
+    let result = pass.run(module);
+    let micros = start.elapsed().as_micros();
+    let fp_after = module_fingerprint(module);
+    let changed = fp_after != fp_before;
+    stats.push(PassStat {
+        name: name.clone(),
+        micros,
+        changed,
+    });
+    result.map_err(|diagnostic| PassError::Failed {
+        pass: name.clone(),
+        diagnostic: diagnostic.with_default_pass(&name),
+    })?;
+    if verify && changed {
+        if let Err(errors) = verify_module(module) {
+            return Err(PassError::VerifyFailed { pass: name, errors });
+        }
+    }
+    Ok(fp_after)
 }
 
 #[cfg(test)]
@@ -161,8 +283,20 @@ mod tests {
             self.0
         }
 
-        fn run(&self, module: &mut Module) -> Result<(), String> {
+        fn run(&self, module: &mut Module) -> Result<(), Diagnostic> {
             module.attrs.set(self.0, Attr::Bool(true));
+            Ok(())
+        }
+    }
+
+    struct NopPass;
+
+    impl Pass for NopPass {
+        fn name(&self) -> &str {
+            "nop"
+        }
+
+        fn run(&self, _m: &mut Module) -> Result<(), Diagnostic> {
             Ok(())
         }
     }
@@ -174,8 +308,8 @@ mod tests {
             "fail"
         }
 
-        fn run(&self, _m: &mut Module) -> Result<(), String> {
-            Err("nope".into())
+        fn run(&self, _m: &mut Module) -> Result<(), Diagnostic> {
+            Err(Diagnostic::error("nope"))
         }
     }
 
@@ -186,7 +320,7 @@ mod tests {
             "corrupt"
         }
 
-        fn run(&self, m: &mut Module) -> Result<(), String> {
+        fn run(&self, m: &mut Module) -> Result<(), Diagnostic> {
             // Introduce a const_int without its required value attr.
             let f = &mut m.funcs[0];
             let b = f.body_block();
@@ -201,6 +335,24 @@ mod tests {
         }
     }
 
+    /// Bumps a counter attribute until it reaches `target`, then goes
+    /// quiescent — exercises fixpoint detection.
+    struct CountTo(i64);
+
+    impl Pass for CountTo {
+        fn name(&self) -> &str {
+            "count-to"
+        }
+
+        fn run(&self, m: &mut Module) -> Result<(), Diagnostic> {
+            let cur = m.attrs.int("count").unwrap_or(0);
+            if cur < self.0 {
+                m.attrs.set("count", Attr::Int(cur + 1));
+            }
+            Ok(())
+        }
+    }
+
     #[test]
     fn runs_passes_in_order_with_stats() {
         let mut m = build_module("f", &[], |_, _| {});
@@ -211,16 +363,36 @@ mod tests {
         assert_eq!(m.attrs.bool("b"), Some(true));
         assert_eq!(pm.stats().len(), 2);
         assert_eq!(pm.stats()[0].name, "a");
+        assert!(pm.stats().iter().all(|s| s.changed));
     }
 
     #[test]
-    fn stops_on_failure() {
+    fn stops_on_failure_but_keeps_stats() {
         let mut m = build_module("f", &[], |_, _| {});
         let mut pm = PassManager::new();
-        pm.add(Box::new(FailPass)).add(Box::new(TagPass("after")));
+        pm.add(Box::new(TagPass("before")))
+            .add(Box::new(FailPass))
+            .add(Box::new(TagPass("after")));
         let err = pm.run(&mut m).unwrap_err();
         assert!(matches!(err, PassError::Failed { .. }));
         assert_eq!(m.attrs.bool("after"), None);
+        // The failing pass and everything before it are visible in stats.
+        let names: Vec<&str> = pm.stats().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["before", "fail"]);
+        assert!(!pm.stats()[1].changed, "FailPass mutated nothing");
+    }
+
+    #[test]
+    fn failure_diagnostic_is_attributed() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add(Box::new(FailPass));
+        let err = pm.run(&mut m).unwrap_err();
+        assert_eq!(err.pass(), "fail");
+        let diags = err.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pass.as_deref(), Some("fail"));
+        assert_eq!(diags[0].message, "nope");
     }
 
     #[test]
@@ -238,5 +410,50 @@ mod tests {
         let mut pm = PassManager::new();
         pm.add(Box::new(CorruptPass)).verify_each(false);
         assert!(pm.run(&mut m).is_ok());
+    }
+
+    #[test]
+    fn unchanged_module_skips_verification() {
+        // Corrupt the module first with verification off; a no-op pass run
+        // afterwards must not re-verify (the fingerprint did not move), so
+        // the pre-existing corruption goes unnoticed — by design.
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm0 = PassManager::new();
+        pm0.add(Box::new(CorruptPass)).verify_each(false);
+        pm0.run(&mut m).unwrap();
+
+        let mut pm = PassManager::new();
+        pm.add(Box::new(NopPass)); // verify_each defaults to true
+        pm.run(&mut m)
+            .expect("nop over unchanged module skips verify");
+        assert!(!pm.stats()[0].changed);
+
+        // A pass that does change the module re-triggers verification and
+        // finds the corruption.
+        let mut pm2 = PassManager::new();
+        pm2.add(Box::new(TagPass("touch")));
+        let err = pm2.run(&mut m).unwrap_err();
+        assert!(matches!(err, PassError::VerifyFailed { .. }));
+    }
+
+    #[test]
+    fn fixpoint_iterates_until_stable() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add_fixpoint(vec![Box::new(CountTo(3))], DEFAULT_FIXPOINT_ITERS);
+        pm.run(&mut m).unwrap();
+        assert_eq!(m.attrs.int("count"), Some(3));
+        // 3 changing rounds + 1 quiescent round to observe the fixpoint.
+        assert_eq!(pm.stats().len(), 4);
+        assert!(!pm.stats().last().unwrap().changed);
+    }
+
+    #[test]
+    fn fixpoint_respects_iteration_cap() {
+        let mut m = build_module("f", &[], |_, _| {});
+        let mut pm = PassManager::new();
+        pm.add_fixpoint(vec![Box::new(CountTo(100))], 2);
+        pm.run(&mut m).unwrap();
+        assert_eq!(m.attrs.int("count"), Some(2), "capped at 2 rounds");
     }
 }

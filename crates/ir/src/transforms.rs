@@ -5,6 +5,7 @@
 
 use std::collections::HashSet;
 
+use crate::diag::Diagnostic;
 use crate::func::{Func, Module, ValueDef};
 use crate::op::{Attr, OpId, OpKind};
 use crate::pass::Pass;
@@ -20,7 +21,7 @@ impl Pass for Dce {
         "dce"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), String> {
+    fn run(&self, module: &mut Module) -> Result<(), Diagnostic> {
         for f in &mut module.funcs {
             run_dce(f);
         }
@@ -84,7 +85,7 @@ impl Pass for ConstFold {
         "const-fold"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), String> {
+    fn run(&self, module: &mut Module) -> Result<(), Diagnostic> {
         for f in &mut module.funcs {
             run_const_fold(f);
         }

@@ -219,62 +219,58 @@ impl<'f> Verifier<'f> {
                     }
                 }
             }
-            k if k.is_binary_arith() => {
-                if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
-                    let ta = self.ty(operands[0]).clone();
-                    let tb = self.ty(operands[1]).clone();
-                    match ta.broadcast_with(&tb) {
-                        Some(rt) => {
-                            if *self.ty(results[0]) != rt {
-                                self.error(
-                                    Some(op),
-                                    format!(
-                                        "result type {} does not match inferred {rt}",
-                                        self.ty(results[0])
-                                    ),
-                                );
-                            }
+            k if k.is_binary_arith()
+                && self.check_operand_count(op, 2)
+                && self.check_result_count(op, 1) =>
+            {
+                let ta = self.ty(operands[0]).clone();
+                let tb = self.ty(operands[1]).clone();
+                match ta.broadcast_with(&tb) {
+                    Some(rt) => {
+                        if *self.ty(results[0]) != rt {
+                            self.error(
+                                Some(op),
+                                format!(
+                                    "result type {} does not match inferred {rt}",
+                                    self.ty(results[0])
+                                ),
+                            );
                         }
-                        None => self.error(
-                            Some(op),
-                            format!("incompatible operand types {ta} and {tb}"),
-                        ),
                     }
+                    None => self.error(
+                        Some(op),
+                        format!("incompatible operand types {ta} and {tb}"),
+                    ),
                 }
             }
-            k if k.is_unary_arith() => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    let ta = self.ty(operands[0]);
-                    let tr = self.ty(results[0]);
-                    if ta != tr {
-                        self.error(Some(op), format!("unary op type mismatch {ta} vs {tr}"));
-                    }
+            k if k.is_unary_arith()
+                && self.check_operand_count(op, 1)
+                && self.check_result_count(op, 1) =>
+            {
+                let ta = self.ty(operands[0]);
+                let tr = self.ty(results[0]);
+                if ta != tr {
+                    self.error(Some(op), format!("unary op type mismatch {ta} vs {tr}"));
                 }
             }
-            OpKind::Cmp => {
-                if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
-                    match self.f.op(op).attrs.str("pred").and_then(CmpPred::parse) {
-                        Some(_) => {}
-                        None => self.error(Some(op), "cmp requires valid `pred` attr".into()),
-                    }
+            OpKind::Cmp if self.check_operand_count(op, 2) && self.check_result_count(op, 1) => {
+                match self.f.op(op).attrs.str("pred").and_then(CmpPred::parse) {
+                    Some(_) => {}
+                    None => self.error(Some(op), "cmp requires valid `pred` attr".into()),
                 }
             }
-            OpKind::Select => {
-                if self.check_operand_count(op, 3) && self.check_result_count(op, 1) {
-                    let tt = self.ty(operands[1]);
-                    let te = self.ty(operands[2]);
-                    if tt != te {
-                        self.error(Some(op), format!("select arms differ: {tt} vs {te}"));
-                    }
+            OpKind::Select if self.check_operand_count(op, 3) && self.check_result_count(op, 1) => {
+                let tt = self.ty(operands[1]);
+                let te = self.ty(operands[2]);
+                if tt != te {
+                    self.error(Some(op), format!("select arms differ: {tt} vs {te}"));
                 }
             }
-            OpKind::Cast => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    let si = self.ty(operands[0]).shape().cloned();
-                    let so = self.ty(results[0]).shape().cloned();
-                    if si != so {
-                        self.error(Some(op), "cast must preserve shape".into());
-                    }
+            OpKind::Cast if self.check_operand_count(op, 1) && self.check_result_count(op, 1) => {
+                let si = self.ty(operands[0]).shape().cloned();
+                let so = self.ty(results[0]).shape().cloned();
+                if si != so {
+                    self.error(Some(op), "cast must preserve shape".into());
                 }
             }
             OpKind::Arange => {
@@ -295,61 +291,53 @@ impl<'f> Verifier<'f> {
                     }
                 }
             }
-            OpKind::Splat => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    if !self.ty(operands[0]).is_scalar() {
-                        self.error(Some(op), "splat operand must be scalar".into());
-                    }
-                    if !self.ty(results[0]).is_tensor() {
-                        self.error(Some(op), "splat result must be tensor".into());
-                    }
+            OpKind::Splat if self.check_operand_count(op, 1) && self.check_result_count(op, 1) => {
+                if !self.ty(operands[0]).is_scalar() {
+                    self.error(Some(op), "splat operand must be scalar".into());
+                }
+                if !self.ty(results[0]).is_tensor() {
+                    self.error(Some(op), "splat result must be tensor".into());
                 }
             }
-            OpKind::ExpandDims | OpKind::BroadcastTo | OpKind::Transpose => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    if !self.ty(operands[0]).is_tensor() || !self.ty(results[0]).is_tensor() {
-                        self.error(Some(op), format!("{kind} requires tensor in/out"));
-                    }
-                }
+            OpKind::ExpandDims | OpKind::BroadcastTo | OpKind::Transpose
+                if self.check_operand_count(op, 1)
+                    && self.check_result_count(op, 1)
+                    && (!self.ty(operands[0]).is_tensor() || !self.ty(results[0]).is_tensor()) =>
+            {
+                self.error(Some(op), format!("{kind} requires tensor in/out"));
             }
-            OpKind::ReduceMax | OpKind::ReduceSum => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    let axis = self.f.op(op).attrs.int("axis");
-                    let si = self.ty(operands[0]).shape().cloned();
-                    match (axis, si) {
-                        (Some(a), Some(s)) if (a as usize) < s.rank() => {
-                            let mut want = s.0.clone();
-                            want.remove(a as usize);
-                            if self.ty(results[0]).shape().map(|x| x.0.clone()) != Some(want) {
-                                self.error(Some(op), "reduce result shape mismatch".into());
-                            }
+            OpKind::ReduceMax | OpKind::ReduceSum
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) =>
+            {
+                let axis = self.f.op(op).attrs.int("axis");
+                let si = self.ty(operands[0]).shape().cloned();
+                match (axis, si) {
+                    (Some(a), Some(s)) if (a as usize) < s.rank() => {
+                        let mut want = s.0.clone();
+                        want.remove(a as usize);
+                        if self.ty(results[0]).shape().map(|x| x.0.clone()) != Some(want) {
+                            self.error(Some(op), "reduce result shape mismatch".into());
                         }
-                        _ => self.error(Some(op), "reduce requires valid axis attr".into()),
                     }
+                    _ => self.error(Some(op), "reduce requires valid axis attr".into()),
                 }
             }
-            OpKind::Dot => {
-                if self.check_operand_count(op, 3) && self.check_result_count(op, 1) {
-                    let sa = self.ty(operands[0]).shape().cloned();
-                    let sb = self.ty(operands[1]).shape().cloned();
-                    let sc = self.ty(operands[2]).shape().cloned();
-                    match (sa, sb, sc) {
-                        (Some(a), Some(b), Some(c))
-                            if a.rank() == 2 && b.rank() == 2 && c.rank() == 2 =>
-                        {
-                            if a.dim(1) != b.dim(0) || c.dim(0) != a.dim(0) || c.dim(1) != b.dim(1)
-                            {
-                                self.error(
-                                    Some(op),
-                                    format!("dot shape mismatch {a} · {b} -> {c}"),
-                                );
-                            }
+            OpKind::Dot if self.check_operand_count(op, 3) && self.check_result_count(op, 1) => {
+                let sa = self.ty(operands[0]).shape().cloned();
+                let sb = self.ty(operands[1]).shape().cloned();
+                let sc = self.ty(operands[2]).shape().cloned();
+                match (sa, sb, sc) {
+                    (Some(a), Some(b), Some(c))
+                        if a.rank() == 2 && b.rank() == 2 && c.rank() == 2 =>
+                    {
+                        if a.dim(1) != b.dim(0) || c.dim(0) != a.dim(0) || c.dim(1) != b.dim(1) {
+                            self.error(Some(op), format!("dot shape mismatch {a} · {b} -> {c}"));
                         }
-                        _ => self.error(Some(op), "dot requires rank-2 tensors".into()),
                     }
-                    if self.ty(operands[2]) != self.ty(results[0]) {
-                        self.error(Some(op), "dot result type must equal acc type".into());
-                    }
+                    _ => self.error(Some(op), "dot requires rank-2 tensors".into()),
+                }
+                if self.ty(operands[2]) != self.ty(results[0]) {
+                    self.error(Some(op), "dot result type must equal acc type".into());
                 }
             }
             OpKind::TmaLoad => {
@@ -380,20 +368,18 @@ impl<'f> Verifier<'f> {
                 }
                 self.check_result_count(op, 0);
             }
-            OpKind::AddPtr => {
-                if self.check_operand_count(op, 2) && self.check_result_count(op, 1) {
-                    if !matches!(self.ty(operands[0]), Type::Ptr(_)) {
-                        self.error(Some(op), "addptr base must be ptr".into());
-                    }
-                }
+            OpKind::AddPtr
+                if self.check_operand_count(op, 2)
+                    && self.check_result_count(op, 1)
+                    && !matches!(self.ty(operands[0]), Type::Ptr(_)) =>
+            {
+                self.error(Some(op), "addptr base must be ptr".into());
             }
-            OpKind::Load => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    let sa = self.ty(operands[0]).shape().cloned();
-                    let sr = self.ty(results[0]).shape().cloned();
-                    if sa != sr {
-                        self.error(Some(op), "load result shape must match addrs".into());
-                    }
+            OpKind::Load if self.check_operand_count(op, 1) && self.check_result_count(op, 1) => {
+                let sa = self.ty(operands[0]).shape().cloned();
+                let sr = self.ty(results[0]).shape().cloned();
+                if sa != sr {
+                    self.error(Some(op), "load result shape must match addrs".into());
                 }
             }
             OpKind::Store => {
@@ -524,29 +510,26 @@ impl<'f> Verifier<'f> {
                     self.error(Some(op), "put first operand must be aref".into());
                 }
             }
-            OpKind::ArefGet => {
-                if self.check_operand_count(op, 2) {
-                    if let Type::Aref(_, payload) = self.ty(operands[0]).clone() {
-                        if results.len() != payload.len() {
-                            self.error(Some(op), "get result arity != aref payload".into());
-                        } else {
-                            for (i, (&r, p)) in results.iter().zip(payload.iter()).enumerate() {
-                                if self.ty(r) != p {
-                                    self.error(Some(op), format!("get result {i} type mismatch"));
-                                }
+            OpKind::ArefGet if self.check_operand_count(op, 2) => {
+                if let Type::Aref(_, payload) = self.ty(operands[0]).clone() {
+                    if results.len() != payload.len() {
+                        self.error(Some(op), "get result arity != aref payload".into());
+                    } else {
+                        for (i, (&r, p)) in results.iter().zip(payload.iter()).enumerate() {
+                            if self.ty(r) != p {
+                                self.error(Some(op), format!("get result {i} type mismatch"));
                             }
                         }
-                    } else {
-                        self.error(Some(op), "get first operand must be aref".into());
                     }
+                } else {
+                    self.error(Some(op), "get first operand must be aref".into());
                 }
             }
-            OpKind::ArefConsumed => {
+            OpKind::ArefConsumed
                 if self.check_operand_count(op, 2)
-                    && !matches!(self.ty(operands[0]), Type::Aref(..))
-                {
-                    self.error(Some(op), "consumed first operand must be aref".into());
-                }
+                    && !matches!(self.ty(operands[0]), Type::Aref(..)) =>
+            {
+                self.error(Some(op), "consumed first operand must be aref".into());
             }
             OpKind::WarpGroup => {
                 self.check_operand_count(op, 0);
@@ -558,14 +541,14 @@ impl<'f> Verifier<'f> {
                     self.verify_region(r, Some(op));
                 }
             }
-            OpKind::DotWait => {
-                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) {
-                    if self.f.op(op).attrs.int("pendings").is_none() {
-                        self.error(Some(op), "dot_wait requires pendings attr".into());
-                    }
-                    if self.ty(operands[0]) != self.ty(results[0]) {
-                        self.error(Some(op), "dot_wait is type-preserving".into());
-                    }
+            OpKind::DotWait
+                if self.check_operand_count(op, 1) && self.check_result_count(op, 1) =>
+            {
+                if self.f.op(op).attrs.int("pendings").is_none() {
+                    self.error(Some(op), "dot_wait requires pendings attr".into());
+                }
+                if self.ty(operands[0]) != self.ty(results[0]) {
+                    self.error(Some(op), "dot_wait is type-preserving".into());
                 }
             }
             _ => {}

@@ -8,7 +8,8 @@
 //! same stack minus this work).
 
 use gpu_sim::{simulate, Device, SimReport};
-use tawa_core::{compile_and_simulate, CompileOptions};
+use tawa_core::autotune::autotune_with_session;
+use tawa_core::{compile_and_simulate, CompileOptions, CompileSession};
 use tawa_frontend::config::{AttentionConfig, GemmConfig, GroupedGemmConfig, Tile};
 use tawa_frontend::kernels as zoo;
 
@@ -101,11 +102,16 @@ pub fn tawa_gemm(cfg: &GemmConfig, device: &Device) -> BenchOutcome {
         cooperative: vec![2],
         persistent: vec![false, true],
     };
-    let tuned = tawa_core::autotune::autotune(&module, &spec, &base, &space, device);
+    // One session for the sweep and the final measurement: the winning
+    // configuration's report comes straight from the sweep's cache.
+    let session = CompileSession::new(device);
+    let tuned = autotune_with_session(&session, &module, &spec, &base, &space);
     let opts = tuned
         .best_options(&base)
         .ok_or_else(|| "no feasible configuration".to_string())?;
-    compile_and_simulate(&module, &spec, &opts, device).map_err(|e| e.to_string())
+    session
+        .compile_and_simulate(&module, &spec, &opts)
+        .map_err(|e| e.to_string())
 }
 
 /// Triton baseline: same compiler, warp specialization off (Ampere-style

@@ -170,7 +170,7 @@ pub fn ws_gemm(cfg: &GemmConfig, s: &GemmStrategy, device: &Device) -> Result<Ke
         bytes: m_wg as u64 * nt * esz,
     });
 
-    let regs = consumer_regs(m_wg as u64, nt, 0).map_err(|e| e)?;
+    let regs = consumer_regs(m_wg as u64, nt, 0)?;
     finish_grid(
         &mut k,
         device,

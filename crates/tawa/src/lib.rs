@@ -9,7 +9,9 @@
 //!   GEMM, multi-head attention) and workload configurations;
 //! * [`core`] — the Tawa compiler: aref semantics, task-aware
 //!   partitioning, multi-granularity pipelining, WSIR code generation,
-//!   the functional interpreter and the autotuner;
+//!   the functional interpreter, the autotuner, and the
+//!   [`CompileSession`] serving layer (declarative pass pipelines, a
+//!   content-addressed compile cache and thread-scoped batch compilation);
 //! * [`wsir`] — the warp-specialized virtual ISA;
 //! * [`sim`] — the discrete-event Hopper-class GPU simulator;
 //! * [`kernels`] — baseline frameworks (cuBLAS, FA3, TileLang,
@@ -18,21 +20,26 @@
 //! ## Quickstart
 //!
 //! ```
-//! use tawa::core::{compile_and_simulate, CompileOptions};
+//! use tawa::core::CompileOptions;
 //! use tawa::frontend::config::GemmConfig;
 //! use tawa::frontend::kernels::gemm;
 //! use tawa::sim::Device;
+//! use tawa::CompileSession;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let session = CompileSession::new(&Device::h100_sxm5());
 //! let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 4096));
-//! let report = compile_and_simulate(
-//!     &module, &spec, &CompileOptions::default(), &Device::h100_sxm5())?;
+//! let report = session.compile_and_simulate(
+//!     &module, &spec, &CompileOptions::default())?;
 //! // The simulated kernel must make progress and report a finite,
 //! // positive throughput. (Deliberately not a hard TFLOP/s floor: the
 //! // absolute number shifts whenever the simulator's cost model is
 //! // refined, and a doctest should not flake on model changes.)
 //! assert!(report.cycles > 0);
 //! assert!(report.tflops.is_finite() && report.tflops > 0.0);
+//! // Recompiling the same (module, options, device) is a cache hit.
+//! session.compile_and_simulate(&module, &spec, &CompileOptions::default())?;
+//! assert_eq!(session.cache_stats().hits(), 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,3 +52,6 @@ pub use tawa_frontend as frontend;
 pub use tawa_ir as ir;
 pub use tawa_kernels as kernels;
 pub use tawa_wsir as wsir;
+
+pub use tawa_core::{CacheStats, CompileJob, CompileSession};
+pub use tawa_ir::{Diagnostic, PassRegistry, PipelineSpec, Severity};

@@ -96,10 +96,8 @@ pub fn validate(k: &Kernel) -> Result<(), Vec<ValidateError>> {
                     err(format!("warp group {wi}: empty loop body"));
                 }
             }
-            Instr::WgmmaIssue { m, n, k: kk, .. } => {
-                if *m == 0 || *n == 0 || *kk == 0 {
-                    err(format!("warp group {wi}: degenerate WGMMA {m}x{n}x{kk}"));
-                }
+            Instr::WgmmaIssue { m, n, k: kk, .. } if (*m == 0 || *n == 0 || *kk == 0) => {
+                err(format!("warp group {wi}: degenerate WGMMA {m}x{n}x{kk}"));
             }
             _ => {}
         });

@@ -7,14 +7,14 @@
 //! ```
 
 use tawa::core::partition::warp_specialize_func;
-use tawa::core::pipeline::CoarsePipeline;
+use tawa::core::session::tawa_pass_registry;
 use tawa::core::{compile, CompileOptions};
 use tawa::frontend::config::AttentionConfig;
 use tawa::frontend::kernels::attention;
-use tawa::ir::pass::PassManager;
 use tawa::ir::print::print_module;
 use tawa::ir::types::DType;
 use tawa::sim::Device;
+use tawa::{CompileSession, PipelineSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = AttentionConfig::paper(1024, true, DType::F16);
@@ -32,22 +32,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", print_module(&ws));
 
-    let mut pm = PassManager::new();
-    pm.add(Box::new(CoarsePipeline));
+    // The remaining stages as a declarative pipeline: parsed from the
+    // spec string, instantiated against the Tawa pass registry.
+    let tail = PipelineSpec::parse("fine-grained-pipeline{depth=2},coarse-pipeline,dce")?;
+    let mut pm = tail.build(&tawa_pass_registry())?;
     pm.run(&mut ws)?;
-    println!("========== 3. After coarse-grained pipelining ==========\n");
+    println!("========== 3. After pipelining (pipeline: {tail}) ==========");
+    for stat in pm.stats() {
+        println!(
+            "// pass {:<24} {:>6} µs  changed={}",
+            stat.name, stat.micros, stat.changed
+        );
+    }
+    println!();
     println!("{}", print_module(&ws));
 
     let device = Device::h100_sxm5();
-    let kernel = compile(
-        &module,
-        &spec,
-        &CompileOptions {
-            cooperative: 2,
-            ..CompileOptions::default()
-        },
-        &device,
-    )?;
+    let opts = CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    };
+    println!(
+        "// full driver pipeline: {}\n",
+        CompileSession::pipeline_spec(&opts)
+    );
+    let kernel = compile(&module, &spec, &opts, &device)?;
     println!("========== 4. Final warp-specialized WSIR ==========\n");
     println!("{}", tawa::wsir::print_kernel(&kernel));
     Ok(())

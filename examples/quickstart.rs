@@ -5,14 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tawa::core::{compile, CompileOptions};
+use tawa::core::CompileOptions;
 use tawa::frontend::config::GemmConfig;
 use tawa::frontend::kernels::gemm;
 use tawa::ir::print::print_module;
 use tawa::sim::{simulate, Device};
+use tawa::CompileSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::h100_sxm5();
+    let session = CompileSession::new(&device);
 
     // 1. A tile-level GEMM, exactly like a Triton kernel: no warp
     //    specialization annotations anywhere.
@@ -24,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Compile with automatic warp specialization (the paper's
     //    enable_warp_specialization=True).
     let opts = CompileOptions::default();
-    let kernel = compile(&module, &spec, &opts, &device)?;
+    println!(
+        "== Pass pipeline ==\n\n{}\n",
+        CompileSession::pipeline_spec(&opts)
+    );
+    let kernel = session.compile(&module, &spec, &opts)?;
     println!("== Generated warp-specialized WSIR ==\n");
     println!("{}", tawa::wsir::print_kernel(&kernel));
 
@@ -46,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warp_specialize: false,
         ..opts
     };
-    let baseline = compile(&module, &spec, &simt, &device)?;
+    let baseline = session.compile(&module, &spec, &simt)?;
     let base_report = simulate(&baseline, &device)?;
     println!(
         "Triton-style software pipelining: {:.1} TFLOP/s  →  warp specialization wins {:.2}x",
