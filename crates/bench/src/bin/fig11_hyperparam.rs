@@ -1,7 +1,12 @@
 //! Regenerates Fig. 11: the D × P heatmaps for (non-)persistent GEMM.
+//!
+//! Set `TAWA_DISK_CACHE=<dir>` to persist compiled kernels (and
+//! infeasibility verdicts) across invocations; a rerun then serves the
+//! whole figure from disk.
 
 use gpu_sim::Device;
 use tawa_bench::{fig11, Scale};
+use tawa_core::CompileSession;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -11,9 +16,13 @@ fn main() {
         Scale::Full
     };
     let device = Device::h100_sxm5();
-    for map in fig11::run(&device, scale) {
+    let session = CompileSession::new(&device);
+    for map in fig11::run_with_session(&session, scale) {
         println!("{}", map.to_markdown());
         let (d, p, v) = map.argmax();
         println!("best: D={d}, P={p} at {v:.0} TFLOP/s\n");
+    }
+    if let Some(summary) = tawa_bench::report::disk_cache_summary(&session) {
+        println!("{summary}");
     }
 }

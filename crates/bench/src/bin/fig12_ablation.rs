@@ -1,7 +1,11 @@
 //! Regenerates Fig. 12: the GEMM and MHA optimization ablations.
+//!
+//! Set `TAWA_DISK_CACHE=<dir>` to persist compiled kernels across
+//! invocations; a rerun then serves every ablation bar from disk.
 
 use gpu_sim::Device;
 use tawa_bench::{fig12, Scale};
+use tawa_core::CompileSession;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -11,7 +15,11 @@ fn main() {
         Scale::Full
     };
     let device = Device::h100_sxm5();
-    for abl in fig12::run(&device, scale) {
+    let session = CompileSession::new(&device);
+    for abl in fig12::run_with_session(&session, scale) {
         println!("{}", abl.to_markdown());
+    }
+    if let Some(summary) = tawa_bench::report::disk_cache_summary(&session) {
+        println!("{summary}");
     }
 }

@@ -97,13 +97,21 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
     run_panel_with_session(&CompileSession::new(device), persistent, scale)
 }
 
-/// Both panels, sharing one compile session.
-pub fn run(device: &Device, scale: Scale) -> Vec<Heatmap> {
-    let session = CompileSession::new(device);
+/// Both panels over a caller-provided session. With a disk-backed session
+/// (`CompileSession::with_disk_cache`, or `TAWA_DISK_CACHE` in the
+/// environment) a regenerated figure reuses the kernels — and the
+/// infeasibility verdicts — of every previous run.
+pub fn run_with_session(session: &CompileSession, scale: Scale) -> Vec<Heatmap> {
     vec![
-        run_panel_with_session(&session, false, scale),
-        run_panel_with_session(&session, true, scale),
+        run_panel_with_session(session, false, scale),
+        run_panel_with_session(session, true, scale),
     ]
+}
+
+/// Both panels, sharing one compile session (disk-backed when
+/// `TAWA_DISK_CACHE` is set — see [`tawa_core::session::DISK_CACHE_ENV`]).
+pub fn run(device: &Device, scale: Scale) -> Vec<Heatmap> {
+    run_with_session(&CompileSession::new(device), scale)
 }
 
 #[cfg(test)]
@@ -113,7 +121,7 @@ mod tests {
     #[test]
     fn panels_share_one_session_prefix() {
         let dev = Device::h100_sxm5();
-        let session = CompileSession::new(&dev);
+        let session = CompileSession::in_memory(&dev);
         run_panel_with_session(&session, false, Scale::Quick);
         run_panel_with_session(&session, true, Scale::Quick);
         let stats = session.cache_stats();
@@ -122,6 +130,36 @@ mod tests {
             "both panels sweep the same module; cleanup must run once"
         );
         assert!(stats.kernel_misses > 0);
+    }
+
+    #[test]
+    fn regenerating_the_figure_from_a_warm_disk_cache_skips_compiles() {
+        let dir =
+            std::env::temp_dir().join(format!("tawa-fig11-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dev = Device::h100_sxm5();
+
+        let cold = CompileSession::in_memory(&dev)
+            .with_disk_cache(&dir)
+            .unwrap();
+        let cold_maps = run_with_session(&cold, Scale::Quick);
+        assert!(cold.cache_stats().disk.writes > 0);
+
+        // A fresh session over the same directory simulates regenerating
+        // the figure in a new process: every feasible point is a disk
+        // hit, every infeasible point a negative hit, zero compiles.
+        let warm = CompileSession::in_memory(&dev)
+            .with_disk_cache(&dir)
+            .unwrap();
+        let warm_maps = run_with_session(&warm, Scale::Quick);
+        let stats = warm.cache_stats();
+        assert!(stats.disk.hits > 0, "{stats:?}");
+        assert!(stats.disk.negative_hits > 0, "{stats:?}");
+        assert_eq!(stats.kernel_misses, 0, "{stats:?}");
+        for (c, w) in cold_maps.iter().zip(&warm_maps) {
+            assert_eq!(c.values, w.values, "warm figure must be identical");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

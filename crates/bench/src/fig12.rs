@@ -217,13 +217,21 @@ pub fn run_mha(device: &Device, scale: Scale) -> Ablation {
     run_mha_with_session(&CompileSession::new(device), scale)
 }
 
-/// Both ablations, sharing one compile session.
-pub fn run(device: &Device, scale: Scale) -> Vec<Ablation> {
-    let session = CompileSession::new(device);
+/// Both ablations over a caller-provided session. A disk-backed session
+/// (`CompileSession::with_disk_cache`, or `TAWA_DISK_CACHE` in the
+/// environment) lets a regenerated figure reuse every kernel compiled by
+/// previous runs.
+pub fn run_with_session(session: &CompileSession, scale: Scale) -> Vec<Ablation> {
     vec![
-        run_gemm_with_session(&session, scale),
-        run_mha_with_session(&session, scale),
+        run_gemm_with_session(session, scale),
+        run_mha_with_session(session, scale),
     ]
+}
+
+/// Both ablations, sharing one compile session (disk-backed when
+/// `TAWA_DISK_CACHE` is set — see [`tawa_core::session::DISK_CACHE_ENV`]).
+pub fn run(device: &Device, scale: Scale) -> Vec<Ablation> {
+    run_with_session(&CompileSession::new(device), scale)
 }
 
 #[cfg(test)]

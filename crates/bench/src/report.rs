@@ -130,6 +130,26 @@ fn fmt_x(x: f64) -> String {
     }
 }
 
+/// One-line summary of a session's disk-cache activity for the figure
+/// binaries, or `None` when no disk cache is attached (shared by the
+/// fig11/fig12 bins so the reported fields cannot drift apart).
+pub fn disk_cache_summary(session: &tawa_core::CompileSession) -> Option<String> {
+    let disk = session.disk_cache()?;
+    let d = session.cache_stats().disk;
+    Some(format!(
+        "disk cache {}: {} hits, {} negative hits, {} writes, \
+         {} invalidations, {} evictions, {} entries ({} bytes)",
+        disk.root().display(),
+        d.hits,
+        d.negative_hits,
+        d.writes,
+        d.invalidations,
+        d.evictions,
+        d.entries,
+        d.bytes,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,603 @@
+//! Persistent on-disk kernel cache.
+//!
+//! [`DiskCache`] is the second tier behind a
+//! [`crate::session::CompileSession`]'s in-memory caches: compiled WSIR
+//! kernels — and *negative* results, i.e. configurations proven
+//! [`crate::lower::CompileError::Infeasible`] — survive process restarts,
+//! so a fresh session pointed at a warm cache directory serves kernels
+//! without recompiling and autotune sweeps skip even the pruning work.
+//!
+//! ## Cache key derivation
+//!
+//! Entries are addressed by the same content-addressed [`CacheKey`] the
+//! in-memory kernel cache uses:
+//!
+//! * `module_fp` — FNV-1a of the module's canonical printed IR
+//!   ([`tawa_ir::fingerprint::module_fingerprint`]); two modules that
+//!   print identically are the same entry, and
+//! * `env_fp` — FNV-1a over the `Debug` form of every other compilation
+//!   input: [`crate::lower::CompileOptions`] (including the `pipeline`
+//!   override), the launch spec and the device name.
+//!
+//! Both halves appear in the entry filename
+//! (`k-<module_fp>-<env_fp>.wsir` / `.neg`) and are echoed inside the
+//! entry header, which the loader verifies against the requested key.
+//!
+//! ## On-disk format and version policy
+//!
+//! Every entry starts with the header line
+//! `tawa-kernel-cache <DISK_FORMAT_VERSION>` followed by a `key` echo
+//! line; positive entries then carry the kernel in the versioned WSIR
+//! serialization format ([`tawa_wsir::serialize`]), negative entries the
+//! infeasibility message. [`DISK_FORMAT_VERSION`] is bumped whenever the
+//! entry layout, the key derivation or the WSIR format changes
+//! incompatibly.
+//!
+//! ## Invalidation rules — never error, always recompile
+//!
+//! A load returns `None` (a miss) and best-effort deletes the entry when
+//! anything about it is off: unreadable file, wrong disk or WSIR format
+//! version, key echo mismatch (hash collision or renamed file), or a
+//! corrupted kernel body. Such entries are counted as `invalidations` in
+//! [`DiskCacheStats`]. Concurrent sessions may share one directory:
+//! writes are atomic (temp file + rename), so readers only ever observe
+//! complete entries, and racing writers of the same key produce identical
+//! bytes.
+//!
+//! ## Eviction
+//!
+//! With [`DiskCache::with_max_bytes`] the cache evicts
+//! least-recently-used entries (by file modification time, refreshed on
+//! every hit) after each write until the directory is back under the
+//! budget.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+use tawa_wsir::{deserialize_kernel, serialize_kernel, Kernel};
+
+/// Version of the on-disk entry layout. Bumped on any incompatible change
+/// to the header, the filename scheme, the key derivation or the embedded
+/// WSIR serialization; readers treat other versions as a miss.
+pub const DISK_FORMAT_VERSION: u32 = 1;
+
+/// Magic leading the header line of every cache entry.
+const MAGIC: &str = "tawa-kernel-cache";
+
+/// Content-addressed cache key: module content fingerprint × environment
+/// fingerprint (options, launch spec, device). See the module docs for
+/// how each half is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a of the module's canonical printed IR.
+    pub module_fp: u64,
+    /// FNV-1a over options, launch spec and device name.
+    pub env_fp: u64,
+}
+
+/// Counters of one [`DiskCache`]'s activity, plus a point-in-time scan of
+/// the directory (`entries`, `bytes`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Positive entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no usable entry (includes invalidations).
+    pub misses: u64,
+    /// Negative (infeasible) entries served from disk.
+    pub negative_hits: u64,
+    /// Entries written (positive and negative).
+    pub writes: u64,
+    /// Entries discarded as unreadable, version-mismatched or corrupt.
+    pub invalidations: u64,
+    /// Entries removed by size/LRU eviction.
+    pub evictions: u64,
+    /// Entry files currently in the directory.
+    pub entries: usize,
+    /// Total size of entry files in bytes.
+    pub bytes: u64,
+}
+
+/// A persistent kernel cache rooted at one directory. All operations are
+/// best-effort and infallible after [`DiskCache::open`]: I/O problems
+/// degrade to misses or skipped writes, never to errors — a broken disk
+/// cache must not break compilation.
+pub struct DiskCache {
+    root: PathBuf,
+    /// Size budget in bytes; `0` = unlimited.
+    max_bytes: u64,
+    /// Running over-estimate of the directory's entry bytes, maintained
+    /// only when a budget is set: seeded by one scan in
+    /// [`DiskCache::with_max_bytes`], bumped on every write, and
+    /// *adjusted by the observed delta* (not overwritten) whenever
+    /// eviction rescans, so bumps from concurrent writers are never
+    /// discarded. Overwrites and races only push it *up*; the worst case
+    /// is an early rescan — never a missed eviction. This keeps the
+    /// write path O(1) in directory size until the budget is actually
+    /// approached.
+    bytes_estimate: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    negative_hits: AtomicU64,
+    writes: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for DiskCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskCache")
+            .field("root", &self.root)
+            .field("max_bytes", &self.max_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    /// Propagates the failure to create the directory; an unusable root is
+    /// the one condition that is a caller error rather than a silent miss.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        sweep_stale_tmp_files(&root);
+        Ok(DiskCache {
+            root,
+            max_bytes: 0,
+            bytes_estimate: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Sets a size budget; least-recently-used entries are evicted after
+    /// a write pushes the directory over it. `0` means unlimited. Seeds
+    /// the byte estimate with one scan of the (possibly pre-existing)
+    /// directory so subsequent writes stay O(1).
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> DiskCache {
+        self.max_bytes = max_bytes;
+        if max_bytes != 0 {
+            let total: u64 = self.scan_entries().iter().map(|(_, len, _)| len).sum();
+            self.bytes_estimate = AtomicU64::new(total);
+        }
+        self
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Current counters plus a directory scan (entry count, total bytes).
+    pub fn stats(&self) -> DiskCacheStats {
+        let mut entries = 0usize;
+        let mut bytes = 0u64;
+        for (_, len, _) in self.scan_entries() {
+            entries += 1;
+            bytes += len;
+        }
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Loads the kernel stored under `key`, if a valid entry exists.
+    ///
+    /// Any defect — missing file, version mismatch, key-echo mismatch,
+    /// corrupted body — is a miss; defective entries are deleted so they
+    /// are not re-parsed on every lookup.
+    pub fn load(&self, key: &CacheKey) -> Option<Kernel> {
+        let path = self.entry_path(key, "wsir");
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let Some(body) = self.validate_entry(&text, key, &path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match deserialize_kernel(body) {
+            Ok(kernel) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                touch(&path);
+                Some(kernel)
+            }
+            Err(_) => {
+                self.invalidate(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a compiled kernel under `key` (atomic write; best-effort).
+    pub fn store(&self, key: &CacheKey, kernel: &Kernel) {
+        let mut doc = self.header(key);
+        doc.push_str(&serialize_kernel(kernel));
+        self.write_entry(self.entry_path(key, "wsir"), &doc);
+    }
+
+    /// Loads the negative (infeasible) entry under `key`, returning the
+    /// recorded infeasibility message. Misses are not counted here: the
+    /// session probes the negative side before every positive lookup, and
+    /// only the combined outcome is a cache miss.
+    pub fn load_infeasible(&self, key: &CacheKey) -> Option<String> {
+        let path = self.entry_path(key, "neg");
+        let text = fs::read_to_string(&path).ok()?;
+        let body = self.validate_entry(&text, key, &path)?;
+        self.negative_hits.fetch_add(1, Ordering::Relaxed);
+        touch(&path);
+        Some(body.trim_end_matches('\n').to_string())
+    }
+
+    /// Records that `key` is infeasible, so warm sweeps skip the pruning
+    /// compile entirely (atomic write; best-effort).
+    pub fn store_infeasible(&self, key: &CacheKey, message: &str) {
+        let mut doc = self.header(key);
+        doc.push_str(message);
+        doc.push('\n');
+        self.write_entry(self.entry_path(key, "neg"), &doc);
+    }
+
+    /// Removes every entry file. Counters are kept.
+    pub fn clear(&self) {
+        for (path, _, _) in self.scan_entries() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    fn entry_path(&self, key: &CacheKey, ext: &str) -> PathBuf {
+        self.root.join(format!(
+            "k-{:016x}-{:016x}.{ext}",
+            key.module_fp, key.env_fp
+        ))
+    }
+
+    fn header(&self, key: &CacheKey) -> String {
+        format!(
+            "{MAGIC} {DISK_FORMAT_VERSION}\nkey {:016x} {:016x}\n",
+            key.module_fp, key.env_fp
+        )
+    }
+
+    /// Checks the header and key echo of `text`; returns the body on
+    /// success, or deletes the entry and returns `None`.
+    fn validate_entry<'a>(&self, text: &'a str, key: &CacheKey, path: &Path) -> Option<&'a str> {
+        let expected = self.header(key);
+        match text.strip_prefix(&expected) {
+            Some(body) => Some(body),
+            None => {
+                self.invalidate(path);
+                None
+            }
+        }
+    }
+
+    fn invalidate(&self, path: &Path) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(path);
+    }
+
+    /// Atomically publishes `doc` at `path` via a temp file + rename, then
+    /// enforces the size budget.
+    fn write_entry(&self, path: PathBuf, doc: &str) {
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let ok = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(doc.as_bytes()).and_then(|()| f.sync_all()))
+            .and_then(|()| fs::rename(&tmp, &path))
+            .is_ok();
+        if ok {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            if self.max_bytes != 0 {
+                let written = doc.len() as u64;
+                let estimate = self.bytes_estimate.fetch_add(written, Ordering::Relaxed) + written;
+                if estimate > self.max_bytes {
+                    self.evict_to_budget();
+                }
+            }
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Entry files in the directory: (path, size, mtime).
+    fn scan_entries(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let is_entry = path
+                .extension()
+                .map(|e| e == "wsir" || e == "neg")
+                .unwrap_or(false);
+            if !is_entry {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                out.push((path, meta.len(), mtime));
+            }
+        }
+        out
+    }
+
+    /// Removes least-recently-used entries until the directory fits the
+    /// size budget, then corrects the byte estimate toward the exact
+    /// total. Only called when the running estimate exceeds the budget,
+    /// so the directory scan amortizes over many writes.
+    fn evict_to_budget(&self) {
+        let estimate_at_scan = self.bytes_estimate.load(Ordering::Relaxed);
+        let mut entries = self.scan_entries();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total > self.max_bytes {
+            entries.sort_by_key(|(_, _, mtime)| *mtime);
+            for (path, len, _) in entries {
+                if total <= self.max_bytes {
+                    break;
+                }
+                if fs::remove_file(&path).is_ok() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    total = total.saturating_sub(len);
+                }
+            }
+        }
+        // Correct the estimate by the delta we observed rather than
+        // storing `total` outright: a plain store would discard the
+        // `fetch_add` of any entry written concurrently since our scan,
+        // under-counting it forever and leaving the directory over
+        // budget with no future eviction trigger.
+        if estimate_at_scan >= total {
+            let stale = estimate_at_scan - total;
+            let _ = self
+                .bytes_estimate
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(stale))
+                });
+        } else {
+            self.bytes_estimate
+                .fetch_add(total - estimate_at_scan, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Best-effort LRU bump: refresh the entry's modification time.
+fn touch(path: &Path) {
+    if let Ok(f) = fs::File::options().write(true).open(path) {
+        let _ = f.set_modified(SystemTime::now());
+    }
+}
+
+/// Grace period before an orphaned temp file (left by a crashed writer
+/// between create and rename) is considered stale and swept.
+const TMP_SWEEP_AGE: Duration = Duration::from_secs(60);
+
+/// Removes stale `.tmp-*` remnants so crashed writers cannot grow a
+/// shared cache directory unboundedly (temp files carry no `wsir`/`neg`
+/// extension, so neither eviction nor [`DiskCache::clear`] would ever
+/// touch them). Recent temp files are spared: another live process may be
+/// about to rename one; deleting it under that writer merely fails its
+/// (best-effort) publish.
+fn sweep_stale_tmp_files(root: &Path) {
+    let Ok(dir) = fs::read_dir(root) else {
+        return;
+    };
+    let now = SystemTime::now();
+    for entry in dir.flatten() {
+        let is_tmp = entry
+            .file_name()
+            .to_str()
+            .map(|n| n.starts_with(".tmp-"))
+            .unwrap_or(false);
+        if !is_tmp {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .map(|age| age >= TMP_SWEEP_AGE)
+            .unwrap_or(true);
+        if stale {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tawa_wsir::{Instr, Role};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tawa-cache-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_kernel(tag: u64) -> Kernel {
+        let mut k = Kernel::new(&format!("k{tag}"));
+        k.uniform_grid(tag + 1);
+        let full = k.add_barrier("full", 1);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::loop_const(
+                tag + 2,
+                vec![Instr::TmaLoad {
+                    bytes: 1024 * (tag + 1),
+                    bar: full,
+                }],
+            )],
+        );
+        k
+    }
+
+    fn key(m: u64, e: u64) -> CacheKey {
+        CacheKey {
+            module_fp: m,
+            env_fp: e,
+        }
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let cache = DiskCache::open(tmp_dir("roundtrip")).unwrap();
+        let k = sample_kernel(7);
+        cache.store(&key(1, 2), &k);
+        assert_eq!(cache.load(&key(1, 2)), Some(k));
+        assert_eq!(cache.load(&key(1, 3)), None, "different env is a miss");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn negative_entries_round_trip() {
+        let cache = DiskCache::open(tmp_dir("negative")).unwrap();
+        assert_eq!(cache.load_infeasible(&key(5, 5)), None);
+        cache.store_infeasible(&key(5, 5), "P=3 exceeds D=1");
+        assert_eq!(
+            cache.load_infeasible(&key(5, 5)).as_deref(),
+            Some("P=3 exceeds D=1")
+        );
+        assert_eq!(cache.stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn corrupted_entry_is_invalidated_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        let k = key(9, 9);
+        cache.store(&k, &sample_kernel(1));
+        // Overwrite the entry with garbage.
+        let path = dir.join(format!("k-{:016x}-{:016x}.wsir", 9, 9));
+        fs::write(&path, "definitely not a cache entry").unwrap();
+        assert_eq!(cache.load(&k), None);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        // The slot is reusable afterwards.
+        cache.store(&k, &sample_kernel(2));
+        assert_eq!(cache.load(&k), Some(sample_kernel(2)));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let dir = tmp_dir("version");
+        let cache = DiskCache::open(&dir).unwrap();
+        let k = key(3, 4);
+        cache.store(&k, &sample_kernel(0));
+        let path = dir.join(format!("k-{:016x}-{:016x}.wsir", 3, 4));
+        let text = fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen(
+            &format!("{MAGIC} {DISK_FORMAT_VERSION}"),
+            &format!("{MAGIC} {}", DISK_FORMAT_VERSION + 1),
+            1,
+        );
+        fs::write(&path, bumped).unwrap();
+        assert_eq!(cache.load(&k), None);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn key_echo_mismatch_is_a_miss() {
+        let dir = tmp_dir("keyecho");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(&key(1, 1), &sample_kernel(0));
+        // Rename the entry so the filename key disagrees with the echo.
+        fs::rename(
+            dir.join(format!("k-{:016x}-{:016x}.wsir", 1, 1)),
+            dir.join(format!("k-{:016x}-{:016x}.wsir", 2, 2)),
+        )
+        .unwrap();
+        assert_eq!(cache.load(&key(2, 2)), None);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = tmp_dir("tmp-sweep");
+        {
+            let cache = DiskCache::open(&dir).unwrap();
+            cache.store(&key(1, 1), &sample_kernel(1));
+        }
+        // A remnant from a crashed writer, old enough to be stale…
+        let stale = dir.join(".tmp-12345-0");
+        fs::write(&stale, "half-written entry").unwrap();
+        fs::File::options()
+            .write(true)
+            .open(&stale)
+            .unwrap()
+            .set_modified(SystemTime::now() - TMP_SWEEP_AGE * 2)
+            .unwrap();
+        // …and a fresh one that may belong to a live writer.
+        let fresh = dir.join(".tmp-12345-1");
+        fs::write(&fresh, "in-flight entry").unwrap();
+
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert!(!stale.exists(), "stale tmp remnant must be swept");
+        assert!(fresh.exists(), "fresh tmp file must be spared");
+        assert_eq!(reopened.load(&key(1, 1)), Some(sample_kernel(1)));
+        let _ = fs::remove_file(&fresh);
+    }
+
+    #[test]
+    fn under_budget_writes_do_not_evict() {
+        let cache = DiskCache::open(tmp_dir("under-budget"))
+            .unwrap()
+            .with_max_bytes(1 << 20);
+        for i in 0..4u64 {
+            cache.store(&key(i, i), &sample_kernel(i));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "{stats:?}");
+        assert_eq!(stats.entries, 4, "{stats:?}");
+    }
+
+    #[test]
+    fn eviction_keeps_directory_under_budget() {
+        let dir = tmp_dir("evict");
+        // Each entry is a few hundred bytes; budget two-ish entries.
+        let cache = DiskCache::open(&dir).unwrap().with_max_bytes(600);
+        for i in 0..6u64 {
+            cache.store(&key(i, i), &sample_kernel(i));
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(stats.bytes <= 600, "{stats:?}");
+        assert!(stats.entries < 6, "{stats:?}");
+    }
+}

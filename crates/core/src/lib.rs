@@ -20,9 +20,11 @@
 //!
 //! [`compile::compile`] is the `enable_warp_specialization=True` entry
 //! point; [`session::CompileSession`] is the production entry point —
-//! declarative pass pipelines, a content-addressed compile cache and a
-//! thread-scoped batch API; [`autotune`] sweeps the (D, P, persistence,
-//! cooperation) space of §V-E over one session.
+//! declarative pass pipelines, a content-addressed compile cache, a
+//! thread-scoped batch API and an optional **persistent on-disk kernel
+//! cache** ([`cache::DiskCache`]) that survives process restarts and
+//! negatively caches infeasible configurations; [`autotune`] sweeps the
+//! (D, P, persistence, cooperation) space of §V-E over one session.
 //!
 //! ## Example
 //!
@@ -48,6 +50,7 @@
 
 pub mod aref;
 pub mod autotune;
+pub mod cache;
 pub mod compile;
 pub mod consteval;
 pub mod lower;
@@ -56,7 +59,8 @@ pub mod partition;
 pub mod pipeline;
 pub mod session;
 
+pub use cache::{DiskCache, DiskCacheStats};
 pub use compile::{compile, compile_and_simulate};
 pub use lower::{CompileError, CompileOptions};
-pub use session::{CacheStats, CompileJob, CompileSession};
+pub use session::{CacheStats, CompileJob, CompileSession, DISK_CACHE_ENV};
 pub mod interp;

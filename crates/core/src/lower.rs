@@ -87,6 +87,17 @@ pub struct CompileOptions {
     pub launch_overhead_ns: u64,
     /// Software pipeline stages for the non-WS baseline path.
     pub sw_stages: usize,
+    /// Per-kernel override of the configuration-specific pass-pipeline
+    /// tail (the stages after the shared `fixpoint(const-fold,dce)`
+    /// cleanup prefix), in the textual
+    /// [`tawa_ir::pipeline_spec::PipelineSpec`] syntax — e.g.
+    /// `"warp-specialize{depth=3},my-pass,dce"`. Stage names resolve
+    /// against the session's `PassRegistry`, so passes registered via
+    /// `CompileSession::registry_mut` can be injected without forking the
+    /// driver. `None` (the default) derives the tail from the knobs
+    /// above; the override participates in the cache key like every
+    /// other option. See `docs/pipelines.md`.
+    pub pipeline: Option<String>,
 }
 
 impl Default for CompileOptions {
@@ -100,6 +111,7 @@ impl Default for CompileOptions {
             persistent: false,
             launch_overhead_ns: 5_500,
             sw_stages: 3,
+            pipeline: None,
         }
     }
 }

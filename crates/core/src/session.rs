@@ -11,8 +11,38 @@
 //! * a **cleanup-prefix cache**: the options-independent
 //!   `fixpoint(const-fold,dce)` front of the pipeline runs once per
 //!   distinct input module and is shared by every configuration the
-//!   autotuner tries, and
-//! * a simulation-report cache so repeated sweeps skip the simulator too.
+//!   autotuner tries,
+//! * a simulation-report cache so repeated sweeps skip the simulator too,
+//!   and
+//! * optionally a **persistent on-disk kernel cache**
+//!   ([`crate::cache::DiskCache`]) behind the in-memory tiers, so
+//!   compiled kernels — and negative [`CompileError::Infeasible`]
+//!   verdicts — survive process restarts.
+//!
+//! ## Cache key derivation
+//!
+//! Every tier is addressed by the same [`CacheKey`]: `module_fp` is the
+//! FNV-1a fingerprint of the module's canonical printed IR
+//! ([`module_fingerprint`]), and `env_fp` hashes the `Debug` form of the
+//! remaining compilation inputs — [`CompileOptions`] (every knob,
+//! including the [`CompileOptions::pipeline`] override), the
+//! [`LaunchSpec`] and the device name. Two compilations share an entry
+//! iff every input matches, which is why a cache hit is byte-identical
+//! to a cold compile (property-tested in `tests/e2e_session.rs` and
+//! `tests/e2e_disk_cache.rs`).
+//!
+//! ## Lookup order and invalidation
+//!
+//! [`CompileSession::compile`] consults, in order: the in-memory kernel
+//! cache, the in-memory negative cache, the disk cache's negative then
+//! positive entries (each promoted into memory on hit), and finally the
+//! compiler. Successful compiles and infeasibility verdicts propagate
+//! back down to disk. Disk entries that are corrupt, truncated or carry
+//! a different [`crate::cache::DISK_FORMAT_VERSION`] /
+//! [`tawa_wsir::FORMAT_VERSION`] are silently invalidated and recompiled
+//! — a damaged cache directory can cost time, never correctness.
+//! [`CompileSession::clear_cache`] drops the in-memory tiers only; use
+//! [`crate::cache::DiskCache::clear`] to wipe the directory.
 //!
 //! [`CompileSession::compile_batch`] fans a set of jobs out across OS
 //! threads with [`std::thread::scope`]; the caches are shared, so
@@ -28,10 +58,12 @@ use gpu_sim::{Device, SimReport};
 use tawa_ir::diag::Diagnostic;
 use tawa_ir::fingerprint::{fnv1a, module_fingerprint};
 use tawa_ir::func::Module;
+use tawa_ir::pass::PassError;
 use tawa_ir::pipeline_spec::{PassRegistry, PipelineSpec};
 use tawa_ir::spec::LaunchSpec;
 use tawa_wsir::Kernel;
 
+use crate::cache::{CacheKey, DiskCache, DiskCacheStats};
 use crate::lower::{lower_simt, lower_ws, CompileError, CompileOptions};
 use crate::partition::WarpSpecialize;
 use crate::pipeline::{CoarsePipeline, FineGrainedPipeline};
@@ -39,13 +71,11 @@ use crate::pipeline::{CoarsePipeline, FineGrainedPipeline};
 /// The options-independent cleanup prefix every compilation starts with.
 pub const CLEANUP_PIPELINE: &str = "fixpoint(const-fold,dce)";
 
-/// Cache key: module content fingerprint × environment fingerprint
-/// (options, launch spec, device).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    module_fp: u64,
-    env_fp: u64,
-}
+/// Environment variable naming a default disk-cache directory: when set
+/// (and non-empty), [`CompileSession::new`] attaches a
+/// [`DiskCache`] rooted there. Explicit
+/// [`CompileSession::with_disk_cache`] calls override it.
+pub const DISK_CACHE_ENV: &str = "TAWA_DISK_CACHE";
 
 fn env_fingerprint(spec: &LaunchSpec, opts: &CompileOptions, device: &Device) -> u64 {
     // `CompileOptions` and `LaunchSpec` are plain data with derived Debug;
@@ -70,15 +100,22 @@ pub struct CacheStats {
     pub module_entries: usize,
     /// Cached simulation reports.
     pub report_entries: usize,
+    /// In-memory negative entries (configurations known infeasible).
+    pub negative_entries: usize,
+    /// Disk-cache counters (all zero when no disk cache is attached).
+    pub disk: DiskCacheStats,
 }
 
 impl CacheStats {
-    /// Total cache hits across kernels and simulation reports.
+    /// Total cache hits: in-memory kernels and simulation reports, plus
+    /// positive and negative disk hits.
     pub fn hits(&self) -> u64 {
-        self.kernel_hits + self.sim_hits
+        self.kernel_hits + self.sim_hits + self.disk.hits + self.disk.negative_hits
     }
 
-    /// Total cache misses across kernels and simulation reports.
+    /// Total in-memory cache misses across kernels and simulation reports.
+    /// Disk misses are not added: every disk miss is already counted as
+    /// the kernel miss that triggered the cold compile.
     pub fn misses(&self) -> u64 {
         self.kernel_misses + self.sim_misses
     }
@@ -103,8 +140,10 @@ pub struct CompileSession {
     device: Device,
     registry: PassRegistry,
     kernels: Mutex<HashMap<CacheKey, Arc<Kernel>>>,
+    negatives: Mutex<HashMap<CacheKey, String>>,
     cleaned: Mutex<HashMap<u64, Arc<Module>>>,
     reports: Mutex<HashMap<CacheKey, SimReport>>,
+    disk: Option<DiskCache>,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
     sim_hits: AtomicU64,
@@ -122,18 +161,60 @@ impl std::fmt::Debug for CompileSession {
 
 impl CompileSession {
     /// Creates a session for `device` with the full Tawa pass registry.
+    ///
+    /// When the [`DISK_CACHE_ENV`] environment variable names a directory,
+    /// a [`DiskCache`] rooted there is attached automatically (silently
+    /// skipped if the directory cannot be created — an unusable default
+    /// must not break compilation; use
+    /// [`CompileSession::with_disk_cache`] to surface the error).
     pub fn new(device: &Device) -> CompileSession {
+        let disk = default_disk_cache(std::env::var(DISK_CACHE_ENV).ok());
+        let mut session = Self::in_memory(device);
+        session.disk = disk;
+        session
+    }
+
+    /// Creates a session with no disk tier, ignoring [`DISK_CACHE_ENV`].
+    pub fn in_memory(device: &Device) -> CompileSession {
         CompileSession {
             device: device.clone(),
             registry: tawa_pass_registry(),
             kernels: Mutex::new(HashMap::new()),
+            negatives: Mutex::new(HashMap::new()),
             cleaned: Mutex::new(HashMap::new()),
             reports: Mutex::new(HashMap::new()),
+            disk: None,
             kernel_hits: AtomicU64::new(0),
             kernel_misses: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
             sim_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistent kernel cache rooted at `path` (replacing any
+    /// previously attached disk tier, including the [`DISK_CACHE_ENV`]
+    /// default).
+    ///
+    /// # Errors
+    /// Propagates the failure to create the cache directory.
+    pub fn with_disk_cache(
+        self,
+        path: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<CompileSession> {
+        Ok(self.with_disk(DiskCache::open(path)?))
+    }
+
+    /// Attaches an already-configured [`DiskCache`] (e.g. one with a size
+    /// budget from [`DiskCache::with_max_bytes`]).
+    #[must_use]
+    pub fn with_disk(mut self, cache: DiskCache) -> CompileSession {
+        self.disk = Some(cache);
+        self
+    }
+
+    /// The attached disk cache, if any.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// The device this session compiles for.
@@ -146,19 +227,38 @@ impl CompileSession {
         &self.registry
     }
 
-    /// The declarative pipeline the session runs for `opts` — cleanup →
-    /// task partitioning → multi-granularity pipelining (Fig. 2a). The
-    /// returned spec round-trips through its string form.
-    pub fn pipeline_spec(opts: &CompileOptions) -> PipelineSpec {
-        let text = if opts.warp_specialize {
-            format!("{CLEANUP_PIPELINE},{}", ws_suffix(opts))
-        } else {
-            CLEANUP_PIPELINE.to_string()
-        };
-        PipelineSpec::parse(&text).expect("session pipeline text is well-formed")
+    /// Mutable access to the pass registry, so callers can register
+    /// custom passes and select them per kernel via
+    /// [`CompileOptions::pipeline`] — no driver fork required.
+    pub fn registry_mut(&mut self) -> &mut PassRegistry {
+        &mut self.registry
     }
 
-    /// Current cache statistics.
+    /// The declarative pipeline the session runs for `opts` — cleanup →
+    /// task partitioning → multi-granularity pipelining (Fig. 2a), or
+    /// cleanup followed by the [`CompileOptions::pipeline`] override when
+    /// one is set. The returned spec round-trips through its string form.
+    ///
+    /// # Errors
+    /// A malformed [`CompileOptions::pipeline`] override is reported as a
+    /// diagnostic (the built-in pipeline text always parses), as is an
+    /// override combined with `warp_specialize = false` — the SIMT path
+    /// runs no configuration tail the override could replace, so it is
+    /// rejected rather than silently ignored.
+    pub fn pipeline_spec(opts: &CompileOptions) -> Result<PipelineSpec, Diagnostic> {
+        let text = if opts.warp_specialize {
+            format!("{CLEANUP_PIPELINE},{}", config_tail(opts))
+        } else {
+            if opts.pipeline.is_some() {
+                return Err(pipeline_without_ws_error());
+            }
+            CLEANUP_PIPELINE.to_string()
+        };
+        PipelineSpec::parse(&text)
+    }
+
+    /// Current cache statistics (in-memory tiers plus, when attached, the
+    /// disk cache's counters).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
@@ -168,13 +268,18 @@ impl CompileSession {
             kernel_entries: self.kernels.lock().unwrap().len(),
             module_entries: self.cleaned.lock().unwrap().len(),
             report_entries: self.reports.lock().unwrap().len(),
+            negative_entries: self.negatives.lock().unwrap().len(),
+            disk: self.disk.as_ref().map(DiskCache::stats).unwrap_or_default(),
         }
     }
 
-    /// Drops every cached kernel, cleaned module and simulation report.
-    /// Counters are kept (they describe the session's lifetime).
+    /// Drops every *in-memory* cached kernel, negative verdict, cleaned
+    /// module and simulation report. Counters are kept (they describe the
+    /// session's lifetime), and the disk tier is untouched — wipe it with
+    /// [`DiskCache::clear`] via [`CompileSession::disk_cache`].
     pub fn clear_cache(&self) {
         self.kernels.lock().unwrap().clear();
+        self.negatives.lock().unwrap().clear();
         self.cleaned.lock().unwrap().clear();
         self.reports.lock().unwrap().clear();
     }
@@ -216,10 +321,41 @@ impl CompileSession {
             self.kernel_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(kernel.clone());
         }
+        if let Some(msg) = self.negatives.lock().unwrap().get(&key) {
+            self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+            return Err(CompileError::Infeasible(msg.clone()));
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(msg) = disk.load_infeasible(&key) {
+                self.negatives.lock().unwrap().insert(key, msg.clone());
+                return Err(CompileError::Infeasible(msg));
+            }
+            if let Some(kernel) = disk.load(&key) {
+                let kernel = Arc::new(kernel);
+                self.kernels.lock().unwrap().insert(key, kernel.clone());
+                return Ok(kernel);
+            }
+        }
         self.kernel_misses.fetch_add(1, Ordering::Relaxed);
-        let kernel = Arc::new(self.compile_uncached(key.module_fp, module, spec, opts)?);
-        self.kernels.lock().unwrap().insert(key, kernel.clone());
-        Ok(kernel)
+        match self.compile_uncached(key.module_fp, module, spec, opts) {
+            Ok(kernel) => {
+                let kernel = Arc::new(kernel);
+                if let Some(disk) = &self.disk {
+                    disk.store(&key, &kernel);
+                }
+                self.kernels.lock().unwrap().insert(key, kernel.clone());
+                Ok(kernel)
+            }
+            Err(err) => {
+                if let CompileError::Infeasible(msg) = &err {
+                    self.negatives.lock().unwrap().insert(key, msg.clone());
+                    if let Some(disk) = &self.disk {
+                        disk.store_infeasible(&key, msg);
+                    }
+                }
+                Err(err)
+            }
+        }
     }
 
     /// Compiles and immediately simulates, consulting the report cache.
@@ -351,26 +487,67 @@ impl CompileSession {
         }
         let cleaned = self.cleaned_module(module_fp, module)?;
         if opts.warp_specialize {
-            let pipeline = PipelineSpec::parse(&ws_suffix(opts))
-                .expect("warp-specialization pipeline text is well-formed");
+            let pipeline =
+                PipelineSpec::parse(&config_tail(opts)).map_err(pipeline_override_error)?;
             let mut pm = pipeline
                 .build(&self.registry)
-                .expect("tawa passes are registered");
+                .map_err(pipeline_override_error)?;
             let mut m = (*cleaned).clone();
             pm.run(&mut m).map_err(CompileError::Pass)?;
             lower_ws(&m, spec, opts, &self.device)
         } else {
+            if opts.pipeline.is_some() {
+                // Reject rather than silently ignore: the SIMT path runs
+                // no configuration tail the override could replace.
+                return Err(pipeline_override_error(pipeline_without_ws_error()));
+            }
             lower_simt(&cleaned, spec, opts, &self.device)
         }
     }
 }
 
-/// The configuration-specific tail of the warp-specialization pipeline.
-fn ws_suffix(opts: &CompileOptions) -> String {
-    format!(
-        "warp-specialize{{depth={}}},fine-grained-pipeline{{depth={}}},coarse-pipeline,dce",
-        opts.aref_depth, opts.mma_depth
+/// The configuration-specific tail of the warp-specialization pipeline:
+/// the [`CompileOptions::pipeline`] override when set, otherwise the
+/// default tail derived from the depth/cooperation knobs.
+fn config_tail(opts: &CompileOptions) -> String {
+    match &opts.pipeline {
+        Some(text) => text.clone(),
+        None => format!(
+            "warp-specialize{{depth={}}},fine-grained-pipeline{{depth={}}},coarse-pipeline,dce",
+            opts.aref_depth, opts.mma_depth
+        ),
+    }
+}
+
+/// Maps a bad [`CompileOptions::pipeline`] override (parse failure or an
+/// unregistered pass) onto [`CompileError::Pass`]. The built-in pipeline
+/// text never takes this path.
+fn pipeline_override_error(diagnostic: Diagnostic) -> CompileError {
+    CompileError::Pass(PassError::Failed {
+        pass: "pipeline-override".to_string(),
+        diagnostic,
+    })
+}
+
+/// The diagnostic for a [`CompileOptions::pipeline`] override on the SIMT
+/// path, which runs no configuration tail the override could replace.
+fn pipeline_without_ws_error() -> Diagnostic {
+    Diagnostic::error(
+        "CompileOptions::pipeline overrides the warp-specialization tail \
+         and requires warp_specialize = true (the SIMT baseline path runs \
+         no configuration passes)"
+            .to_string(),
     )
+}
+
+/// Resolves the [`DISK_CACHE_ENV`] default: a non-empty value attaches a
+/// [`DiskCache`] rooted there, silently skipped if the directory cannot
+/// be created. Factored out of [`CompileSession::new`] so the policy is
+/// testable without mutating the process-global environment.
+fn default_disk_cache(env_value: Option<String>) -> Option<DiskCache> {
+    env_value
+        .filter(|p| !p.is_empty())
+        .and_then(|p| DiskCache::open(p).ok())
 }
 
 /// The full Tawa pass registry: generic cleanups plus the paper's
@@ -416,7 +593,7 @@ mod tests {
 
     #[test]
     fn cache_hits_return_identical_kernels() {
-        let session = CompileSession::new(&dev());
+        let session = CompileSession::in_memory(&dev());
         let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
         let opts = CompileOptions::default();
         let cold = session.compile(&m, &spec, &opts).unwrap();
@@ -432,7 +609,7 @@ mod tests {
 
     #[test]
     fn distinct_options_are_distinct_entries() {
-        let session = CompileSession::new(&dev());
+        let session = CompileSession::in_memory(&dev());
         let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
         let a = CompileOptions::default();
         let b = CompileOptions {
@@ -460,13 +637,13 @@ mod tests {
             })
             .collect();
 
-        let sequential = CompileSession::new(&dev());
+        let sequential = CompileSession::in_memory(&dev());
         let seq: Vec<_> = all_opts
             .iter()
             .map(|o| sequential.compile(&m, &spec, o).unwrap())
             .collect();
 
-        let batched = CompileSession::new(&dev());
+        let batched = CompileSession::in_memory(&dev());
         let jobs: Vec<CompileJob<'_>> = all_opts
             .iter()
             .map(|o| CompileJob {
@@ -484,7 +661,7 @@ mod tests {
 
     #[test]
     fn infeasible_jobs_fail_in_batch_without_poisoning() {
-        let session = CompileSession::new(&dev());
+        let session = CompileSession::in_memory(&dev());
         let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
         let jobs = vec![
             CompileJob {
@@ -509,7 +686,7 @@ mod tests {
 
     #[test]
     fn simulation_reports_are_cached() {
-        let session = CompileSession::new(&dev());
+        let session = CompileSession::in_memory(&dev());
         let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
         let opts = CompileOptions::default();
         let r1 = session.compile_and_simulate(&m, &spec, &opts).unwrap();
@@ -540,20 +717,203 @@ mod tests {
             mma_depth: 2,
             ..CompileOptions::default()
         };
-        let spec = CompileSession::pipeline_spec(&opts);
+        let spec = CompileSession::pipeline_spec(&opts).unwrap();
         let text = spec.to_string();
         assert!(text.starts_with(CLEANUP_PIPELINE), "{text}");
         assert!(text.contains("warp-specialize{depth=3}"), "{text}");
         assert!(text.contains("fine-grained-pipeline{depth=2}"), "{text}");
         assert_eq!(PipelineSpec::parse(&text).unwrap(), spec);
         // And it builds against the session registry.
-        let session = CompileSession::new(&dev());
+        let session = CompileSession::in_memory(&dev());
         spec.build(session.registry()).unwrap();
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tawa-session-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_session_serves_disk_hits_byte_identical() {
+        let dir = tmp_dir("warm");
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let opts = CompileOptions::default();
+
+        let cold_session = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        let cold = cold_session.compile(&m, &spec, &opts).unwrap();
+        assert_eq!(cold_session.cache_stats().disk.writes, 1);
+
+        // A brand-new session (simulating a process restart) must serve
+        // the kernel from disk without compiling.
+        let warm_session = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        let warm = warm_session.compile(&m, &spec, &opts).unwrap();
+        let stats = warm_session.cache_stats();
+        assert_eq!(stats.disk.hits, 1, "{stats:?}");
+        assert_eq!(stats.kernel_misses, 0, "disk hit must skip the compile");
+        assert_eq!(print_kernel(&cold), print_kernel(&warm));
+        assert_eq!(*cold, *warm);
+    }
+
+    #[test]
+    fn infeasible_verdicts_are_negatively_cached() {
+        let dir = tmp_dir("negative");
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let infeasible = CompileOptions {
+            aref_depth: 1,
+            mma_depth: 3,
+            ..CompileOptions::default()
+        };
+
+        let first = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        assert!(matches!(
+            first.compile(&m, &spec, &infeasible),
+            Err(CompileError::Infeasible(_))
+        ));
+        // In-process repeat: served from the in-memory negative cache.
+        assert!(first.compile(&m, &spec, &infeasible).is_err());
+        assert_eq!(first.cache_stats().kernel_misses, 1);
+        assert_eq!(first.cache_stats().negative_entries, 1);
+
+        // Fresh session: the verdict comes from disk, skipping even the
+        // pruning compile, with the same message.
+        let second = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        match second.compile(&m, &spec, &infeasible) {
+            Err(CompileError::Infeasible(msg)) => {
+                assert!(msg.contains("exceeds"), "{msg}");
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        let stats = second.cache_stats();
+        assert_eq!(stats.disk.negative_hits, 1, "{stats:?}");
+        assert_eq!(stats.kernel_misses, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn env_default_attaches_disk_cache() {
+        // The env-resolution policy is tested on the factored-out helper
+        // rather than via set_var: mutating the process environment races
+        // with every parallel test that calls `CompileSession::new`.
+        let dir = tmp_dir("env");
+        let disk = default_disk_cache(Some(dir.to_string_lossy().into_owned()))
+            .expect("a usable directory must attach a cache");
+        assert_eq!(disk.root(), dir.as_path());
+        assert!(default_disk_cache(None).is_none());
+        assert!(default_disk_cache(Some(String::new())).is_none());
+        // An unusable path is skipped, not fatal.
+        assert!(default_disk_cache(Some("/proc/no/such/dir".to_string())).is_none());
+    }
+
+    #[test]
+    fn pipeline_override_on_simt_path_is_rejected() {
+        let session = CompileSession::in_memory(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let opts = CompileOptions {
+            warp_specialize: false,
+            pipeline: Some("dce".to_string()),
+            ..CompileOptions::default()
+        };
+        match session.compile(&m, &spec, &opts) {
+            Err(CompileError::Pass(e)) => assert_eq!(e.pass(), "pipeline-override"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(CompileSession::pipeline_spec(&opts).is_err());
+    }
+
+    #[test]
+    fn pipeline_override_matches_equivalent_default() {
+        let session = CompileSession::in_memory(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let explicit = CompileOptions {
+            pipeline: Some(
+                "warp-specialize{depth=2},fine-grained-pipeline{depth=2},coarse-pipeline,dce"
+                    .to_string(),
+            ),
+            ..CompileOptions::default()
+        };
+        let derived = CompileOptions::default();
+        let a = session.compile(&m, &spec, &explicit).unwrap();
+        let b = session.compile(&m, &spec, &derived).unwrap();
+        // Equivalent pipelines, distinct cache entries (the override is
+        // part of the environment fingerprint).
+        assert_eq!(print_kernel(&a), print_kernel(&b));
+        assert_eq!(session.cache_stats().kernel_entries, 2);
+        // And pipeline_spec reflects the override.
+        let spec_text = CompileSession::pipeline_spec(&explicit)
+            .unwrap()
+            .to_string();
+        assert!(
+            spec_text.contains("warp-specialize{depth=2}"),
+            "{spec_text}"
+        );
+    }
+
+    #[test]
+    fn bad_pipeline_override_is_a_pass_error_not_a_panic() {
+        let session = CompileSession::in_memory(&dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        for bad in ["fixpoint(", "no-such-pass"] {
+            let opts = CompileOptions {
+                pipeline: Some(bad.to_string()),
+                ..CompileOptions::default()
+            };
+            match session.compile(&m, &spec, &opts) {
+                Err(CompileError::Pass(e)) => {
+                    assert_eq!(e.pass(), "pipeline-override");
+                }
+                other => panic!("pipeline '{bad}': expected pass error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn custom_pass_injects_through_pipeline_override() {
+        struct NopProbe;
+        impl tawa_ir::pass::Pass for NopProbe {
+            fn name(&self) -> &str {
+                "nop-probe"
+            }
+            fn run(&self, _m: &mut Module) -> Result<(), Diagnostic> {
+                Ok(())
+            }
+        }
+        let mut session = CompileSession::in_memory(&dev());
+        session
+            .registry_mut()
+            .register("nop-probe", |_| Ok(Box::new(NopProbe)));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let opts = CompileOptions {
+            pipeline: Some(
+                "nop-probe,warp-specialize{depth=2},fine-grained-pipeline{depth=2},\
+                 coarse-pipeline,dce"
+                    .to_string(),
+            ),
+            ..CompileOptions::default()
+        };
+        let k = session.compile(&m, &spec, &opts).unwrap();
+        assert_eq!(
+            print_kernel(&k),
+            print_kernel(
+                &session
+                    .compile(&m, &spec, &CompileOptions::default())
+                    .unwrap()
+            ),
+            "a no-op extra pass must not change the kernel"
+        );
     }
 
     #[test]
     fn clear_cache_drops_entries_keeps_counters() {
-        let session = CompileSession::new(&dev());
+        let session = CompileSession::in_memory(&dev());
         let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
         session
             .compile(&m, &spec, &CompileOptions::default())

@@ -11,8 +11,12 @@
 //!   partitioning, multi-granularity pipelining, WSIR code generation,
 //!   the functional interpreter, the autotuner, and the
 //!   [`CompileSession`] serving layer (declarative pass pipelines, a
-//!   content-addressed compile cache and thread-scoped batch compilation);
-//! * [`wsir`] — the warp-specialized virtual ISA;
+//!   content-addressed compile cache, thread-scoped batch compilation
+//!   and a persistent on-disk kernel cache — [`DiskCache`], attached
+//!   with [`CompileSession::with_disk_cache`] or the `TAWA_DISK_CACHE`
+//!   environment variable);
+//! * [`wsir`] — the warp-specialized virtual ISA, including its stable
+//!   serialization format (`tawa::wsir::serialize`);
 //! * [`sim`] — the discrete-event Hopper-class GPU simulator;
 //! * [`kernels`] — baseline frameworks (cuBLAS, FA3, TileLang,
 //!   ThunderKittens, Triton).
@@ -53,5 +57,13 @@ pub use tawa_ir as ir;
 pub use tawa_kernels as kernels;
 pub use tawa_wsir as wsir;
 
-pub use tawa_core::{CacheStats, CompileJob, CompileSession};
+pub use tawa_core::{
+    CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, DISK_CACHE_ENV,
+};
 pub use tawa_ir::{Diagnostic, PassRegistry, PipelineSpec, Severity};
+
+/// Compiles the code blocks of `docs/pipelines.md` as doctests, so the
+/// pipeline-spec reference page cannot drift from the implementation.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/pipelines.md")]
+pub struct PipelinesDocTests;

@@ -11,6 +11,14 @@
 //! [`kernel::Kernel`] bundles one instruction stream per warp group plus
 //! mbarrier declarations, shared-memory footprint and launch configuration.
 //!
+//! Kernels have a **stable, versioned serialization** ([`serialize`]) used
+//! by the persistent on-disk kernel cache in `tawa-core`:
+//! [`serialize_kernel`] renders a kernel to a self-describing text
+//! document with a `wsir <version>` header, and [`deserialize_kernel`]
+//! reads it back exactly (`deserialize ∘ serialize = id`, including float
+//! bit patterns). Version mismatches and corrupted documents are reported
+//! as typed [`SerializeError`]s so caches can fall back to recompiling.
+//!
 //! ## Example
 //!
 //! ```
@@ -43,9 +51,11 @@
 pub mod instr;
 pub mod kernel;
 pub mod print;
+pub mod serialize;
 pub mod validate;
 
 pub use instr::{BarId, Count, Instr, MmaDtype, Role};
 pub use kernel::{BarrierDecl, CtaClass, Kernel, WarpGroup};
 pub use print::print_kernel;
+pub use serialize::{deserialize_kernel, serialize_kernel, SerializeError, FORMAT_VERSION};
 pub use validate::{validate, ValidateError};

@@ -1,0 +1,792 @@
+//! Stable, versioned serialization of WSIR kernels.
+//!
+//! This is the on-disk exchange format behind the persistent kernel cache
+//! in `tawa-core`: a compiled [`Kernel`] is written as a self-describing
+//! text document and read back byte-for-byte equal (`deserialize ∘
+//! serialize = id`, property-tested in `tests/proptest_serialize.rs` and
+//! across all four kernel families in the workspace e2e suite).
+//!
+//! ## Format
+//!
+//! The document is line-oriented UTF-8. The first non-blank line is the
+//! **format-version header** `wsir <version>`; everything after it
+//! describes one kernel:
+//!
+//! ```text
+//! wsir 1
+//! kernel "gemm" persistent=false smem_bytes=65536 launch_overhead_ns=5500 useful_flops=0x42E86A0000000000
+//! class multiplicity=100 params=[4,8]
+//! barrier "full[0]" arrive_count=2 init_phases=0
+//! warp_group role=producer regs_per_thread=24 {
+//!   loop 8 {
+//!     mbar.wait bar=1
+//!     tma.load bytes=16384 bar=0
+//!   }
+//! }
+//! ```
+//!
+//! * Strings are double-quoted with `\\`, `\"`, `\n` and `\t` escapes, so
+//!   names containing spaces, quotes or newlines round-trip.
+//! * `useful_flops` is encoded as the IEEE-754 bit pattern
+//!   (`f64::to_bits`, hexadecimal), so every float — including NaN
+//!   payloads and signed zeros — round-trips exactly.
+//! * Loop trip counts print as either a bare integer (`loop 8 {`) or a
+//!   CTA-class parameter reference (`loop $p0 {`), mirroring the
+//!   [`Count`] display syntax.
+//! * Indentation is cosmetic; the parser ignores leading whitespace.
+//!
+//! ## Version policy
+//!
+//! [`FORMAT_VERSION`] is bumped whenever the syntax or the meaning of any
+//! field changes incompatibly — adding an instruction, renaming a field,
+//! changing an encoding. Readers reject any other version with
+//! [`SerializeError::VersionMismatch`]; persistent caches treat that as a
+//! cache miss and recompile, never as an error. There is deliberately no
+//! in-place migration: cache entries are cheap to regenerate.
+//!
+//! ## `&'static str` labels
+//!
+//! [`Instr::CudaOp`] carries a `&'static str` diagnostic label. The
+//! deserializer resolves parsed labels through a global interner that
+//! leaks each *distinct* label string once. Because documents may come
+//! from an untrusted shared cache directory, the interner is hard-capped
+//! at [`MAX_INTERNED_LABELS`] distinct labels per process; beyond the
+//! cap, labels collapse to a fixed placeholder (losing only the
+//! diagnostic string, never kernel semantics) so a hostile document
+//! cannot grow process memory without bound.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::instr::{BarId, Count, Instr, MmaDtype, Role};
+use crate::kernel::{BarrierDecl, CtaClass, Kernel, WarpGroup};
+
+/// Current version of the serialization format. Readers accept exactly
+/// this version; see the module docs for the bump policy.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Error produced when deserializing a WSIR document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializeError {
+    /// The header names a format version this reader does not speak.
+    VersionMismatch {
+        /// Version found in the document header.
+        found: u32,
+        /// Version this reader implements ([`FORMAT_VERSION`]).
+        expected: u32,
+    },
+    /// The document is structurally invalid (truncated, corrupted, or not
+    /// a WSIR document at all).
+    Malformed {
+        /// 1-based line number the parser stopped at (0 = end of input).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::VersionMismatch { found, expected } => write!(
+                f,
+                "wsir format version mismatch: document is v{found}, reader speaks v{expected}"
+            ),
+            SerializeError::Malformed { line, msg } => {
+                write!(f, "malformed wsir document at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Ceiling on distinct interned `cuda.op` labels per process. The
+/// compiler's own vocabulary is a handful of strings; the cap only
+/// exists so a corrupt or hostile document cannot leak unbounded memory.
+pub const MAX_INTERNED_LABELS: usize = 4096;
+
+/// Placeholder returned once the interner is full.
+const LABEL_OVERFLOW: &str = "<label>";
+
+/// Interns a parsed `cuda.op` label, leaking each distinct string once,
+/// up to [`MAX_INTERNED_LABELS`].
+fn intern_label(s: &str) -> &'static str {
+    static LABELS: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = LABELS.lock().unwrap();
+    if let Some(&existing) = set.get(s) {
+        return existing;
+    }
+    if set.len() >= MAX_INTERNED_LABELS {
+        return LABEL_OVERFLOW;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn role_name(role: Role) -> &'static str {
+    match role {
+        Role::Producer => "producer",
+        Role::Consumer => "consumer",
+        Role::Uniform => "uniform",
+    }
+}
+
+fn count_text(count: Count) -> String {
+    match count {
+        Count::Const(c) => c.to_string(),
+        Count::Param(i) => format!("$p{i}"),
+    }
+}
+
+fn write_instrs(instrs: &[Instr], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for i in instrs {
+        match i {
+            Instr::TmaLoad { bytes, bar } => {
+                out.push_str(&format!("{pad}tma.load bytes={bytes} bar={}\n", bar.0));
+            }
+            Instr::TmaStore { bytes } => {
+                out.push_str(&format!("{pad}tma.store bytes={bytes}\n"));
+            }
+            Instr::CpAsync { bytes } => {
+                out.push_str(&format!("{pad}cp.async bytes={bytes}\n"));
+            }
+            Instr::CpAsyncWait { pending } => {
+                out.push_str(&format!("{pad}cp.async.wait pending={pending}\n"));
+            }
+            Instr::MbarArrive { bar } => {
+                out.push_str(&format!("{pad}mbar.arrive bar={}\n", bar.0));
+            }
+            Instr::MbarWait { bar } => {
+                out.push_str(&format!("{pad}mbar.wait bar={}\n", bar.0));
+            }
+            Instr::WgmmaIssue { m, n, k, dtype } => {
+                out.push_str(&format!(
+                    "{pad}wgmma.issue m={m} n={n} k={k} dtype={dtype}\n"
+                ));
+            }
+            Instr::WgmmaWait { pending } => {
+                out.push_str(&format!("{pad}wgmma.wait pending={pending}\n"));
+            }
+            Instr::CudaOp { flops, sfu, label } => {
+                out.push_str(&format!(
+                    "{pad}cuda.op flops={flops} sfu={sfu} label={}\n",
+                    quote(label)
+                ));
+            }
+            Instr::GlobalStore { bytes } => {
+                out.push_str(&format!("{pad}st.global bytes={bytes}\n"));
+            }
+            Instr::GlobalLoad { bytes } => {
+                out.push_str(&format!("{pad}ld.global bytes={bytes}\n"));
+            }
+            Instr::Syncthreads => {
+                out.push_str(&format!("{pad}bar.sync\n"));
+            }
+            Instr::Loop { count, body } => {
+                out.push_str(&format!("{pad}loop {} {{\n", count_text(*count)));
+                write_instrs(body, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Instr::SetMaxNReg { regs } => {
+                out.push_str(&format!("{pad}setmaxnreg regs={regs}\n"));
+            }
+            Instr::Delay { cycles } => {
+                out.push_str(&format!("{pad}delay cycles={cycles}\n"));
+            }
+        }
+    }
+}
+
+/// Serializes a kernel to the versioned text format (see module docs).
+pub fn serialize_kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("wsir {FORMAT_VERSION}\n"));
+    out.push_str(&format!(
+        "kernel {} persistent={} smem_bytes={} launch_overhead_ns={} useful_flops=0x{:016X}\n",
+        quote(&k.name),
+        k.persistent,
+        k.smem_bytes,
+        k.launch_overhead_ns,
+        k.useful_flops.to_bits()
+    ));
+    for c in &k.classes {
+        let params: Vec<String> = c.params.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "class multiplicity={} params=[{}]\n",
+            c.multiplicity,
+            params.join(",")
+        ));
+    }
+    for b in &k.barriers {
+        out.push_str(&format!(
+            "barrier {} arrive_count={} init_phases={}\n",
+            quote(&b.name),
+            b.arrive_count,
+            b.init_phases
+        ));
+    }
+    for wg in &k.warp_groups {
+        out.push_str(&format!(
+            "warp_group role={} regs_per_thread={} {{\n",
+            role_name(wg.role),
+            wg.regs_per_thread
+        ));
+        write_instrs(&wg.body, 1, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// One line of the document: 1-based number plus trimmed content.
+struct Line<'a> {
+    no: usize,
+    text: &'a str,
+}
+
+/// Cursor over the non-blank lines of the document.
+struct Lines<'a> {
+    lines: Vec<Line<'a>>,
+    pos: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Lines<'a> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                let t = l.trim();
+                if t.is_empty() {
+                    None
+                } else {
+                    Some(Line { no: i + 1, text: t })
+                }
+            })
+            .collect();
+        Lines { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Line<'a>> {
+        self.lines.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Line<'a>> {
+        let line = self.lines.get(self.pos);
+        if line.is_some() {
+            self.pos += 1;
+        }
+        line
+    }
+}
+
+fn malformed(line: usize, msg: impl Into<String>) -> SerializeError {
+    SerializeError::Malformed {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Splits a line into whitespace-separated tokens, keeping quoted strings
+/// (with escapes) as single tokens.
+fn tokenize(line: &str, no: usize) -> Result<Vec<String>, SerializeError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        // A token is either a quoted string (possibly prefixed by `key=`)
+        // or a bare word. Accumulate until whitespace outside quotes.
+        let mut tok = String::new();
+        let mut in_quotes = false;
+        while let Some(&c) = chars.peek() {
+            if !in_quotes && c.is_whitespace() {
+                break;
+            }
+            chars.next();
+            if in_quotes {
+                if c == '\\' {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| malformed(no, "dangling escape in string"))?;
+                    tok.push('\\');
+                    tok.push(esc);
+                } else {
+                    if c == '"' {
+                        in_quotes = false;
+                    }
+                    tok.push(c);
+                }
+            } else {
+                if c == '"' {
+                    in_quotes = true;
+                }
+                tok.push(c);
+            }
+        }
+        if in_quotes {
+            return Err(malformed(no, "unterminated string"));
+        }
+        tokens.push(tok);
+    }
+    Ok(tokens)
+}
+
+/// Decodes a quoted token produced by [`tokenize`] back into its string.
+fn unquote(tok: &str, no: usize) -> Result<String, SerializeError> {
+    let inner = tok
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| malformed(no, format!("expected quoted string, got '{tok}'")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(malformed(
+                        no,
+                        format!("invalid escape '\\{}'", other.unwrap_or(' ')),
+                    ))
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Key-value field access over a tokenized line.
+struct Fields<'a> {
+    tokens: &'a [String],
+    no: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Result<&'a str, SerializeError> {
+        for t in self.tokens {
+            if let Some(v) = t.strip_prefix(key) {
+                if let Some(v) = v.strip_prefix('=') {
+                    return Ok(v);
+                }
+            }
+        }
+        Err(malformed(self.no, format!("missing field '{key}'")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, SerializeError> {
+        let v = self.get(key)?;
+        v.parse::<u64>()
+            .map_err(|_| malformed(self.no, format!("field '{key}' is not an integer: '{v}'")))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, SerializeError> {
+        let v = self.get(key)?;
+        v.parse::<u32>()
+            .map_err(|_| malformed(self.no, format!("field '{key}' is not an integer: '{v}'")))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, SerializeError> {
+        match self.get(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            v => Err(malformed(
+                self.no,
+                format!("field '{key}' is not a boolean: '{v}'"),
+            )),
+        }
+    }
+
+    fn string(&self, key: &str) -> Result<String, SerializeError> {
+        unquote(self.get(key)?, self.no)
+    }
+}
+
+fn parse_count(text: &str, no: usize) -> Result<Count, SerializeError> {
+    if let Some(p) = text.strip_prefix("$p") {
+        let i = p
+            .parse::<usize>()
+            .map_err(|_| malformed(no, format!("bad loop parameter '{text}'")))?;
+        Ok(Count::Param(i))
+    } else {
+        let c = text
+            .parse::<u64>()
+            .map_err(|_| malformed(no, format!("bad loop count '{text}'")))?;
+        Ok(Count::Const(c))
+    }
+}
+
+/// Parses instruction lines until the closing `}` of the enclosing block.
+fn parse_body(lines: &mut Lines<'_>) -> Result<Vec<Instr>, SerializeError> {
+    let mut body = Vec::new();
+    loop {
+        let (no, text) = match lines.peek() {
+            Some(l) => (l.no, l.text),
+            None => return Err(malformed(0, "unterminated block: expected '}'")),
+        };
+        if text == "}" {
+            lines.next();
+            return Ok(body);
+        }
+        lines.next();
+        let tokens = tokenize(text, no)?;
+        let f = Fields {
+            tokens: &tokens,
+            no,
+        };
+        let head = tokens[0].as_str();
+        let instr = match head {
+            "tma.load" => Instr::TmaLoad {
+                bytes: f.u64("bytes")?,
+                bar: BarId(f.u32("bar")?),
+            },
+            "tma.store" => Instr::TmaStore {
+                bytes: f.u64("bytes")?,
+            },
+            "cp.async" => Instr::CpAsync {
+                bytes: f.u64("bytes")?,
+            },
+            "cp.async.wait" => Instr::CpAsyncWait {
+                pending: f.u32("pending")?,
+            },
+            "mbar.arrive" => Instr::MbarArrive {
+                bar: BarId(f.u32("bar")?),
+            },
+            "mbar.wait" => Instr::MbarWait {
+                bar: BarId(f.u32("bar")?),
+            },
+            "wgmma.issue" => Instr::WgmmaIssue {
+                m: f.u32("m")?,
+                n: f.u32("n")?,
+                k: f.u32("k")?,
+                dtype: match f.get("dtype")? {
+                    "f16" => MmaDtype::F16,
+                    "f8" => MmaDtype::F8,
+                    other => return Err(malformed(no, format!("unknown dtype '{other}'"))),
+                },
+            },
+            "wgmma.wait" => Instr::WgmmaWait {
+                pending: f.u32("pending")?,
+            },
+            "cuda.op" => Instr::CudaOp {
+                flops: f.u64("flops")?,
+                sfu: f.u64("sfu")?,
+                label: intern_label(&f.string("label")?),
+            },
+            "st.global" => Instr::GlobalStore {
+                bytes: f.u64("bytes")?,
+            },
+            "ld.global" => Instr::GlobalLoad {
+                bytes: f.u64("bytes")?,
+            },
+            "bar.sync" => Instr::Syncthreads,
+            "loop" => {
+                if tokens.len() != 3 || tokens[2] != "{" {
+                    return Err(malformed(no, "loop syntax is 'loop <count> {'"));
+                }
+                let count = parse_count(&tokens[1], no)?;
+                let inner = parse_body(lines)?;
+                Instr::Loop { count, body: inner }
+            }
+            "setmaxnreg" => Instr::SetMaxNReg {
+                regs: f.u32("regs")?,
+            },
+            "delay" => Instr::Delay {
+                cycles: f.u64("cycles")?,
+            },
+            other => return Err(malformed(no, format!("unknown instruction '{other}'"))),
+        };
+        body.push(instr);
+    }
+}
+
+/// Deserializes a kernel from the versioned text format.
+///
+/// # Errors
+/// [`SerializeError::VersionMismatch`] when the header names a different
+/// format version; [`SerializeError::Malformed`] for any structural
+/// problem (truncation, corruption, unknown instructions). Callers that
+/// use this behind a cache must treat both as a miss, not a failure.
+pub fn deserialize_kernel(text: &str) -> Result<Kernel, SerializeError> {
+    let mut lines = Lines::new(text);
+
+    // Header: `wsir <version>`.
+    let header = lines.next().ok_or_else(|| malformed(0, "empty document"))?;
+    let (hno, htext) = (header.no, header.text);
+    let version = htext
+        .strip_prefix("wsir ")
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .ok_or_else(|| malformed(hno, "missing 'wsir <version>' header"))?;
+    if version != FORMAT_VERSION {
+        return Err(SerializeError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+
+    // Kernel line.
+    let kline = lines
+        .next()
+        .ok_or_else(|| malformed(0, "missing 'kernel' line"))?;
+    let (kno, ktext) = (kline.no, kline.text);
+    let ktokens = tokenize(ktext, kno)?;
+    if ktokens.first().map(String::as_str) != Some("kernel") {
+        return Err(malformed(kno, "expected 'kernel' line after header"));
+    }
+    let kf = Fields {
+        tokens: &ktokens,
+        no: kno,
+    };
+    let name = ktokens
+        .get(1)
+        .ok_or_else(|| malformed(kno, "kernel line missing name"))
+        .and_then(|t| unquote(t, kno))?;
+    let useful_bits = kf.get("useful_flops").and_then(|v| {
+        v.strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| malformed(kno, format!("bad useful_flops bits '{v}'")))
+    })?;
+    let mut kernel = Kernel {
+        name,
+        classes: Vec::new(),
+        smem_bytes: kf.u64("smem_bytes")?,
+        barriers: Vec::new(),
+        warp_groups: Vec::new(),
+        persistent: kf.bool("persistent")?,
+        launch_overhead_ns: kf.u64("launch_overhead_ns")?,
+        useful_flops: f64::from_bits(useful_bits),
+    };
+
+    // Body sections, dispatched on the leading keyword.
+    while let Some(line) = lines.peek() {
+        let (no, text) = (line.no, line.text);
+        let tokens = tokenize(text, no)?;
+        let f = Fields {
+            tokens: &tokens,
+            no,
+        };
+        match tokens[0].as_str() {
+            "class" => {
+                lines.next();
+                let params_text = f.get("params")?;
+                let inner = params_text
+                    .strip_prefix('[')
+                    .and_then(|t| t.strip_suffix(']'))
+                    .ok_or_else(|| malformed(no, "params is not a [..] list"))?;
+                let params = if inner.is_empty() {
+                    Vec::new()
+                } else {
+                    inner
+                        .split(',')
+                        .map(|p| {
+                            p.parse::<u64>()
+                                .map_err(|_| malformed(no, format!("bad param '{p}'")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                kernel.classes.push(CtaClass {
+                    params,
+                    multiplicity: f.u64("multiplicity")?,
+                });
+            }
+            "barrier" => {
+                lines.next();
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| malformed(no, "barrier line missing name"))
+                    .and_then(|t| unquote(t, no))?;
+                kernel.barriers.push(BarrierDecl {
+                    name,
+                    arrive_count: f.u32("arrive_count")?,
+                    init_phases: f.u32("init_phases")?,
+                });
+            }
+            "warp_group" => {
+                lines.next();
+                if tokens.last().map(String::as_str) != Some("{") {
+                    return Err(malformed(no, "warp_group line must end with '{'"));
+                }
+                let role = match f.get("role")? {
+                    "producer" => Role::Producer,
+                    "consumer" => Role::Consumer,
+                    "uniform" => Role::Uniform,
+                    other => return Err(malformed(no, format!("unknown role '{other}'"))),
+                };
+                let regs_per_thread = f.u32("regs_per_thread")?;
+                let body = parse_body(&mut lines)?;
+                kernel.warp_groups.push(WarpGroup {
+                    role,
+                    regs_per_thread,
+                    body,
+                });
+            }
+            other => {
+                return Err(malformed(
+                    no,
+                    format!("unknown section '{other}' (expected class/barrier/warp_group)"),
+                ));
+            }
+        }
+    }
+    Ok(kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kernel() -> Kernel {
+        let mut k = Kernel::new("gemm \"edge\\case\"\nname");
+        k.persistent = true;
+        k.smem_bytes = 228 * 1024;
+        k.launch_overhead_ns = 5_500;
+        k.useful_flops = 1.5e12;
+        k.classes = vec![
+            CtaClass {
+                params: vec![4, 8],
+                multiplicity: 100,
+            },
+            CtaClass {
+                params: vec![],
+                multiplicity: 28,
+            },
+        ];
+        let full = k.add_barrier("full[0]", 2);
+        let empty = k.add_barrier_init("empty[0]", 1, 1);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![
+                Instr::SetMaxNReg { regs: 24 },
+                Instr::loop_param(
+                    0,
+                    vec![
+                        Instr::MbarWait { bar: empty },
+                        Instr::TmaLoad {
+                            bytes: 16384,
+                            bar: full,
+                        },
+                    ],
+                ),
+                Instr::TmaStore { bytes: 8192 },
+            ],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![
+                Instr::loop_const(
+                    8,
+                    vec![
+                        Instr::MbarWait { bar: full },
+                        Instr::WgmmaIssue {
+                            m: 64,
+                            n: 128,
+                            k: 16,
+                            dtype: MmaDtype::F16,
+                        },
+                        Instr::WgmmaWait { pending: 1 },
+                        Instr::CudaOp {
+                            flops: 128,
+                            sfu: 32,
+                            label: "softmax",
+                        },
+                        Instr::MbarArrive { bar: empty },
+                    ],
+                ),
+                Instr::CpAsync { bytes: 2048 },
+                Instr::CpAsyncWait { pending: 0 },
+                Instr::GlobalLoad { bytes: 64 },
+                Instr::GlobalStore { bytes: 64 },
+                Instr::Syncthreads,
+                Instr::Delay { cycles: 12 },
+            ],
+        );
+        k
+    }
+
+    #[test]
+    fn round_trips_every_construct() {
+        let k = sample_kernel();
+        let text = serialize_kernel(&k);
+        let back = deserialize_kernel(&text).unwrap();
+        assert_eq!(k, back);
+        // And the format itself is stable: re-serializing is a fixpoint.
+        assert_eq!(text, serialize_kernel(&back));
+    }
+
+    #[test]
+    fn round_trips_exotic_floats() {
+        for flops in [0.0, -0.0, f64::NAN, f64::INFINITY, 1e-300, 718.4e12] {
+            let mut k = Kernel::new("t");
+            k.useful_flops = flops;
+            let back = deserialize_kernel(&serialize_kernel(&k)).unwrap();
+            assert_eq!(k.useful_flops.to_bits(), back.useful_flops.to_bits());
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let text = serialize_kernel(&Kernel::new("t"));
+        let bumped = text.replacen(
+            &format!("wsir {FORMAT_VERSION}"),
+            &format!("wsir {}", FORMAT_VERSION + 1),
+            1,
+        );
+        match deserialize_kernel(&bumped) {
+            Err(SerializeError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_malformed_not_panic() {
+        let text = serialize_kernel(&sample_kernel());
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..text.len() {
+            if text.is_char_boundary(cut) && cut < text.len() {
+                let _ = deserialize_kernel(&text[..cut]);
+            }
+        }
+        assert!(deserialize_kernel("").is_err());
+        assert!(deserialize_kernel("garbage").is_err());
+        assert!(deserialize_kernel("wsir 1\nkernel oops\n").is_err());
+        assert!(deserialize_kernel("wsir 1\nkernel \"t\" persistent=maybe smem_bytes=0 launch_overhead_ns=0 useful_flops=0x0\n").is_err());
+    }
+
+    #[test]
+    fn labels_intern_to_static() {
+        let a = intern_label("dynamic-label-1");
+        let b = intern_label("dynamic-label-1");
+        assert!(std::ptr::eq(a, b), "same label must intern to one string");
+    }
+}

@@ -1,0 +1,177 @@
+//! Round-trip property tests for the WSIR serialization format: for
+//! arbitrary synthetic kernels — nested loops, every instruction kind,
+//! names containing quotes/newlines/backslashes, exotic float bit
+//! patterns — `deserialize(serialize(k)) == k` and serialization is a
+//! fixpoint (`serialize(deserialize(text)) == text`).
+
+use proptest::prelude::*;
+
+use tawa_wsir::{
+    deserialize_kernel, serialize_kernel, BarId, BarrierDecl, Count, CtaClass, Instr, Kernel,
+    MmaDtype, Role, WarpGroup,
+};
+
+/// Names that stress the quoting rules.
+fn names() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("gemm".to_string()),
+        Just("attn/causal L=4096".to_string()),
+        Just("weird \"quoted\" name".to_string()),
+        Just("multi\nline\tname".to_string()),
+        Just("back\\slash".to_string()),
+        Just(String::new()),
+    ]
+}
+
+fn counts() -> impl Strategy<Value = Count> {
+    prop_oneof![
+        (0u64..1 << 40).prop_map(Count::Const),
+        (0usize..4).prop_map(Count::Param),
+    ]
+}
+
+fn dtypes() -> impl Strategy<Value = MmaDtype> {
+    prop_oneof![Just(MmaDtype::F16), Just(MmaDtype::F8)]
+}
+
+fn roles() -> impl Strategy<Value = Role> {
+    prop_oneof![
+        Just(Role::Producer),
+        Just(Role::Consumer),
+        Just(Role::Uniform)
+    ]
+}
+
+/// Leaf (non-loop) instructions covering the whole ISA.
+fn leaf_instrs() -> BoxedStrategy<Instr> {
+    prop_oneof![
+        (0u64..1 << 30, 0u32..8).prop_map(|(bytes, bar)| Instr::TmaLoad {
+            bytes,
+            bar: BarId(bar)
+        }),
+        (0u64..1 << 30).prop_map(|bytes| Instr::TmaStore { bytes }),
+        (0u64..1 << 20).prop_map(|bytes| Instr::CpAsync { bytes }),
+        (0u32..8).prop_map(|pending| Instr::CpAsyncWait { pending }),
+        (0u32..8).prop_map(|bar| Instr::MbarArrive { bar: BarId(bar) }),
+        (0u32..8).prop_map(|bar| Instr::MbarWait { bar: BarId(bar) }),
+        (1u32..512, 1u32..512, 1u32..64, dtypes()).prop_map(|(m, n, k, dtype)| Instr::WgmmaIssue {
+            m,
+            n,
+            k,
+            dtype
+        }),
+        (0u32..8).prop_map(|pending| Instr::WgmmaWait { pending }),
+        (0u64..1 << 20, 0u64..1 << 16).prop_map(|(flops, sfu)| Instr::CudaOp {
+            flops,
+            sfu,
+            label: "softmax",
+        }),
+        (0u64..1 << 20).prop_map(|bytes| Instr::GlobalStore { bytes }),
+        (0u64..1 << 20).prop_map(|bytes| Instr::GlobalLoad { bytes }),
+        Just(Instr::Syncthreads),
+        (24u32..257).prop_map(|regs| Instr::SetMaxNReg { regs }),
+        (0u64..1 << 20).prop_map(|cycles| Instr::Delay { cycles }),
+    ]
+    .boxed()
+}
+
+/// Instruction trees with loops nested up to three deep.
+fn instrs() -> BoxedStrategy<Instr> {
+    leaf_instrs().prop_recursive(3, 12, 4, |inner| {
+        (counts(), prop::collection::vec(inner, 0..5))
+            .prop_map(|(count, body)| Instr::Loop { count, body })
+    })
+}
+
+fn kernels() -> impl Strategy<Value = Kernel> {
+    (
+        names(),
+        prop::collection::vec(
+            (prop::collection::vec(0u64..1 << 20, 0..3), 1u64..1 << 20),
+            0..3,
+        ),
+        prop::collection::vec((names(), 1u32..16, 0u32..4), 0..4),
+        prop::collection::vec(
+            (roles(), 24u32..257, prop::collection::vec(instrs(), 0..6)),
+            0..4,
+        ),
+        (0u64..1 << 40, 0u64..20_000, 0u64..1 << 62),
+    )
+        .prop_map(
+            |(name, classes, barriers, warp_groups, (smem, launch, flop_bits))| {
+                Kernel {
+                    name,
+                    classes: classes
+                        .into_iter()
+                        .map(|(params, multiplicity)| CtaClass {
+                            params,
+                            multiplicity,
+                        })
+                        .collect(),
+                    smem_bytes: smem,
+                    barriers: barriers
+                        .into_iter()
+                        .map(|(name, arrive_count, init_phases)| BarrierDecl {
+                            name,
+                            arrive_count,
+                            init_phases,
+                        })
+                        .collect(),
+                    warp_groups: warp_groups
+                        .into_iter()
+                        .map(|(role, regs_per_thread, body)| WarpGroup {
+                            role,
+                            regs_per_thread,
+                            body,
+                        })
+                        .collect(),
+                    persistent: multiplicity_odd(flop_bits),
+                    launch_overhead_ns: launch,
+                    // Reinterpret arbitrary bits as the float so NaNs, subnormals
+                    // and infinities are all exercised.
+                    useful_flops: f64::from_bits(flop_bits),
+                }
+            },
+        )
+}
+
+fn multiplicity_odd(bits: u64) -> bool {
+    bits & 1 == 1
+}
+
+/// Structural equality that compares floats by bit pattern (plain `==`
+/// would reject NaN == NaN even though the round-trip preserved it).
+fn bitwise_eq(a: &Kernel, b: &Kernel) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    let (fa, fb) = (a.useful_flops.to_bits(), b.useful_flops.to_bits());
+    a.useful_flops = 0.0;
+    b.useful_flops = 0.0;
+    a == b && fa == fb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_round_trips(k in kernels()) {
+        let text = serialize_kernel(&k);
+        let back = deserialize_kernel(&text)
+            .map_err(|e| format!("deserialize failed: {e}\n{text}"))?;
+        prop_assert!(bitwise_eq(&k, &back), "round-trip changed the kernel:\n{}", text);
+        // Serialization is a fixpoint of the round-trip.
+        prop_assert_eq!(serialize_kernel(&back), text);
+    }
+
+    #[test]
+    fn truncation_never_panics(k in kernels(), frac in 0u64..100) {
+        let text = serialize_kernel(&k);
+        let cut = (text.len() as u64 * frac / 100) as usize;
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        // Any prefix must produce Ok or a typed error — never a panic.
+        let _ = deserialize_kernel(&text[..cut]);
+    }
+}

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "// full driver pipeline: {}\n",
-        CompileSession::pipeline_spec(&opts)
+        CompileSession::pipeline_spec(&opts)?
     );
     let kernel = compile(&module, &spec, &opts, &device)?;
     println!("========== 4. Final warp-specialized WSIR ==========\n");

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = CompileOptions::default();
     println!(
         "== Pass pipeline ==\n\n{}\n",
-        CompileSession::pipeline_spec(&opts)
+        CompileSession::pipeline_spec(&opts)?
     );
     let kernel = session.compile(&module, &spec, &opts)?;
     println!("== Generated warp-specialized WSIR ==\n");

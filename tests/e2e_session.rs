@@ -61,7 +61,7 @@ proptest! {
     ) {
         let device = dev();
         let (m, spec) = gemm(&cfg);
-        let session = CompileSession::new(&device);
+        let session = CompileSession::in_memory(&device);
         match (compile(&m, &spec, &opts, &device), session.compile(&m, &spec, &opts)) {
             (Ok(cold), Ok(warm_miss)) => {
                 // Second session compile: guaranteed cache hit.
@@ -120,10 +120,10 @@ fn compile_batch_equals_sequential_compiles() {
         },
     });
 
-    let batch_session = CompileSession::new(&device);
+    let batch_session = CompileSession::in_memory(&device);
     let batch = batch_session.compile_batch(&jobs);
 
-    let seq_session = CompileSession::new(&device);
+    let seq_session = CompileSession::in_memory(&device);
     assert_eq!(batch.len(), jobs.len());
     for (job, outcome) in jobs.iter().zip(&batch) {
         let sequential = seq_session.compile(job.module, job.spec, &job.opts);
@@ -141,7 +141,7 @@ fn compile_batch_equals_sequential_compiles() {
 #[test]
 fn warm_autotune_sweep_hits_cache_and_is_faster() {
     let device = dev();
-    let session = CompileSession::new(&device);
+    let session = CompileSession::in_memory(&device);
     let cfg = GemmConfig::new(4096, 4096, 4096).with_tile(Tile::LARGE);
     let (m, spec) = gemm(&cfg);
     let base = CompileOptions {
@@ -189,7 +189,7 @@ fn simulation_failures_are_not_reported_as_infeasible() {
     // while a well-formed compile followed by simulation never yields
     // Infeasible — the variants are distinct by construction.
     let device = dev();
-    let session = CompileSession::new(&device);
+    let session = CompileSession::in_memory(&device);
     let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE));
     let compile_err = session
         .compile(

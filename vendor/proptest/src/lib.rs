@@ -231,7 +231,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Number-of-elements specification accepted by [`vec`]: either an
+    /// Number-of-elements specification accepted by [`vec()`]: either an
     /// exact length or a half-open range of lengths.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
