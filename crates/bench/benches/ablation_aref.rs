@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     let device = Device::h100_sxm5();
-    let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192));
+    let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192)).into_parts();
     for d in [1usize, 2, 3] {
         g.bench_function(format!("simulated_gemm_D{d}"), |b| {
             let opts = CompileOptions {

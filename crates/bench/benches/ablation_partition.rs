@@ -16,14 +16,14 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
     g.sample_size(10);
-    let (gemm_m, _) = gemm(&GemmConfig::new(8192, 8192, 16384));
+    let (gemm_m, _) = gemm(&GemmConfig::new(8192, 8192, 16384)).into_parts();
     g.bench_function("partition_gemm", |b| {
         b.iter(|| {
             let mut m = gemm_m.clone();
             warp_specialize_func(&mut m.funcs[0], 2).unwrap()
         })
     });
-    let (attn_m, _) = attention(&AttentionConfig::paper(16384, true, DType::F16));
+    let (attn_m, _) = attention(&AttentionConfig::paper(16384, true, DType::F16)).into_parts();
     g.bench_function("partition_attention_causal", |b| {
         b.iter(|| {
             let mut m = attn_m.clone();

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let cfg = GemmConfig::new(8192, 8192, 8192);
     g.bench_function("frontend_build", |b| b.iter(|| gemm(&cfg)));
-    let (m, spec) = gemm(&cfg);
+    let (m, spec) = gemm(&cfg).into_parts();
     g.bench_function("verify", |b| b.iter(|| verify_module(&m).unwrap()));
     g.bench_function("print", |b| b.iter(|| print_module(&m)));
     let text = print_module(&m);

@@ -63,7 +63,7 @@ pub fn run_panel_with_session(session: &CompileSession, persistent: bool, scale:
         Scale::Full => 16384,
     };
     let cfg = GemmConfig::new(8192, 8192, k).with_tile(Tile::LARGE);
-    let (module, spec) = gemm(&cfg);
+    let (module, spec) = gemm(&cfg).into_parts();
     let base = CompileOptions {
         cooperative: 2,
         ..CompileOptions::default()

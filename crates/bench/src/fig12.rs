@@ -58,7 +58,7 @@ pub fn run_gemm_with_session(session: &CompileSession, scale: Scale) -> Ablation
     let large = small.with_tile(Tile::LARGE);
     let mut steps = Vec::new();
     let mut run = |label: &str, cfg: &GemmConfig, opts: &CompileOptions| {
-        let (m, spec) = gemm(cfg);
+        let (m, spec) = gemm(cfg).into_parts();
         let t = session
             .compile_and_simulate(&m, &spec, opts)
             .map(|r| r.tflops)
@@ -103,7 +103,7 @@ pub fn run_gemm_with_session(session: &CompileSession, scale: Scale) -> Ablation
     run("+Persistent Kernel", &large, &persistent);
     // +Better Aref Size: autotune D and P over the same session, so the
     // persistent-kernel bar above seeded the cache for the sweep.
-    let (m, spec) = gemm(&large);
+    let (m, spec) = gemm(&large).into_parts();
     let tuned = autotune_with_session(
         session,
         &m,
@@ -140,7 +140,7 @@ pub fn run_mha_with_session(session: &CompileSession, scale: Scale) -> Ablation 
     let large = AttentionConfig::paper(l, false, DType::F16);
     let mut steps = Vec::new();
     let mut run = |label: &str, cfg: &AttentionConfig, opts: &CompileOptions| {
-        let (m, spec) = attention(cfg);
+        let (m, spec) = attention(cfg).into_parts();
         let t = session
             .compile_and_simulate(&m, &spec, opts)
             .map(|r| r.tflops)
@@ -179,7 +179,7 @@ pub fn run_mha_with_session(session: &CompileSession, scale: Scale) -> Ablation 
     };
     run("+Pipeline", &large, &pipelined);
     // +Better Aref Size: sweep D for the K/V rings.
-    let (m, spec) = attention(&large);
+    let (m, spec) = attention(&large).into_parts();
     let best = [2usize, 3]
         .iter()
         .filter_map(|&d| {

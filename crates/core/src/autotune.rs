@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn fig11_grid_has_infeasible_triangle() {
-        let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192));
+        let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192)).into_parts();
         let dev = Device::h100_sxm5();
         let r = autotune(
             &m,
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn best_point_is_feasible_and_deepest_helps() {
-        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192));
+        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192)).into_parts();
         let dev = Device::h100_sxm5();
         let r = autotune(
             &m,
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn full_space_includes_cooperation() {
-        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
         let dev = Device::h100_sxm5();
         let r = autotune(
             &m,

@@ -1,0 +1,175 @@
+//! `tawa-cache` — operate a persistent kernel-cache directory.
+//!
+//! Introspection tooling for the on-disk cache tier behind
+//! `CompileSession` (the directory named by `TAWA_DISK_CACHE` or
+//! `CompileSession::with_disk_cache`), built entirely on the public
+//! [`tawa_core::cache::DiskCache`] API and the key-echo headers every
+//! entry carries:
+//!
+//! ```text
+//! tawa-cache ls <dir>                 list entries (key, kind, size, age)
+//! tawa-cache verify <dir>             validate every entry; delete defects
+//! tawa-cache gc <dir> --max-bytes N   evict LRU entries down to N bytes
+//! ```
+//!
+//! All subcommands are safe on a live directory: writers publish entries
+//! atomically, and deleting an entry only ever costs a recompile.
+
+use std::process::ExitCode;
+use std::time::SystemTime;
+
+use tawa_core::cache::{DiskCache, EntryKind};
+
+const USAGE: &str = "usage:
+  tawa-cache ls <dir>                 list entries (oldest first)
+  tawa-cache verify <dir>             validate all entries, deleting defects
+  tawa-cache gc <dir> --max-bytes N   evict least-recently-used entries to N bytes
+
+The directory is a Tawa kernel cache as written by CompileSession
+(TAWA_DISK_CACHE). Keys are printed as <module_fp>-<env_fp>.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // A usage error prints the cheat sheet; an operational nonzero exit
+    // (verify found defects) already explained itself and must not look
+    // like a command-line mistake.
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tawa-cache: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "ls" => {
+            let dir = one_dir(rest)?;
+            let cache = open(&dir)?;
+            ls(&cache);
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let dir = one_dir(rest)?;
+            let cache = open(&dir)?;
+            Ok(verify(&cache))
+        }
+        "gc" => {
+            gc(rest)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn one_dir(rest: &[String]) -> Result<String, String> {
+    match rest {
+        [dir] => Ok(dir.clone()),
+        _ => Err("expected exactly one cache directory".into()),
+    }
+}
+
+fn open(dir: &str) -> Result<DiskCache, String> {
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("{dir}: not a directory"));
+    }
+    DiskCache::open(dir).map_err(|e| format!("{dir}: {e}"))
+}
+
+fn kind_str(kind: EntryKind) -> &'static str {
+    match kind {
+        EntryKind::Kernel => "kernel",
+        EntryKind::Infeasible => "infeasible",
+    }
+}
+
+fn age_str(modified: SystemTime) -> String {
+    match SystemTime::now().duration_since(modified) {
+        Ok(age) => {
+            let s = age.as_secs();
+            if s < 120 {
+                format!("{s}s")
+            } else if s < 7200 {
+                format!("{}m", s / 60)
+            } else if s < 172_800 {
+                format!("{}h", s / 3600)
+            } else {
+                format!("{}d", s / 86_400)
+            }
+        }
+        Err(_) => "future".into(),
+    }
+}
+
+fn ls(cache: &DiskCache) {
+    let entries = cache.entries();
+    println!(
+        "{:<33}  {:>10}  {:>8}  {:>6}",
+        "KEY", "KIND", "BYTES", "AGE"
+    );
+    let mut bytes = 0u64;
+    for e in &entries {
+        bytes += e.bytes;
+        println!(
+            "{:016x}-{:016x}  {:>10}  {:>8}  {:>6}",
+            e.key.module_fp,
+            e.key.env_fp,
+            kind_str(e.kind),
+            e.bytes,
+            age_str(e.modified)
+        );
+    }
+    println!("{} entries, {} bytes", entries.len(), bytes);
+}
+
+fn verify(cache: &DiskCache) -> ExitCode {
+    let entries = cache.entries();
+    let mut ok = 0usize;
+    let mut bad = 0usize;
+    for e in &entries {
+        if cache.verify_entry(e) {
+            ok += 1;
+        } else {
+            bad += 1;
+            println!(
+                "invalid: {:016x}-{:016x} ({}) — removed",
+                e.key.module_fp,
+                e.key.env_fp,
+                kind_str(e.kind)
+            );
+        }
+    }
+    println!("{ok} sound, {bad} defective (defects deleted; they recompile on demand)");
+    if bad == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn gc(rest: &[String]) -> Result<(), String> {
+    let (dir, max_bytes) = match rest {
+        [dir, flag, n] if flag == "--max-bytes" => (
+            dir.clone(),
+            n.parse::<u64>()
+                .map_err(|_| format!("--max-bytes: not a byte count: {n:?}"))?,
+        ),
+        _ => return Err("gc needs <dir> --max-bytes N".into()),
+    };
+    let cache = open(&dir)?;
+    let before = cache.stats();
+    let evicted = cache.gc(max_bytes);
+    let after = cache.stats();
+    println!(
+        "evicted {evicted} entries: {} -> {} bytes ({} -> {} entries)",
+        before.bytes, after.bytes, before.entries, after.entries
+    );
+    Ok(())
+}

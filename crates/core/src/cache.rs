@@ -78,6 +78,53 @@ pub struct CacheKey {
     pub env_fp: u64,
 }
 
+/// What one on-disk entry stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A compiled WSIR kernel (`.wsir`).
+    Kernel,
+    /// A negative infeasibility verdict (`.neg`).
+    Infeasible,
+}
+
+/// One entry as enumerated by [`DiskCache::entries`] — the introspection
+/// surface the `tawa-cache` CLI is built on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Content-addressed key recovered from the entry filename.
+    pub key: CacheKey,
+    /// Positive or negative entry.
+    pub kind: EntryKind,
+    /// Entry file size in bytes.
+    pub bytes: u64,
+    /// Last-used time (mtime; refreshed on every hit for LRU eviction).
+    pub modified: SystemTime,
+    /// The entry file as it actually exists on disk. Kept alongside the
+    /// parsed key because the filename may spell the key non-canonically
+    /// (unpadded or uppercase hex) — operations must target this path,
+    /// not one re-derived from the key.
+    pub path: PathBuf,
+}
+
+/// Parses an entry filename of the form `k-<module_fp>-<env_fp>.<ext>`.
+fn parse_entry_name(name: &str) -> Option<(CacheKey, EntryKind)> {
+    let (stem, ext) = name.rsplit_once('.')?;
+    let kind = match ext {
+        "wsir" => EntryKind::Kernel,
+        "neg" => EntryKind::Infeasible,
+        _ => return None,
+    };
+    let rest = stem.strip_prefix("k-")?;
+    let (m, e) = rest.split_once('-')?;
+    Some((
+        CacheKey {
+            module_fp: u64::from_str_radix(m, 16).ok()?,
+            env_fp: u64::from_str_radix(e, 16).ok()?,
+        },
+        kind,
+    ))
+}
+
 /// Counters of one [`DiskCache`]'s activity, plus a point-in-time scan of
 /// the directory (`entries`, `bytes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -268,6 +315,71 @@ impl DiskCache {
         }
     }
 
+    /// Enumerates the entries currently in the directory, keys recovered
+    /// from the filenames, sorted oldest-first (LRU order). Files that do
+    /// not parse as entry names are skipped.
+    pub fn entries(&self) -> Vec<CacheEntry> {
+        let mut out: Vec<CacheEntry> = self
+            .scan_entries()
+            .into_iter()
+            .filter_map(|(path, bytes, modified)| {
+                let name = path.file_name()?.to_str()?;
+                let (key, kind) = parse_entry_name(name)?;
+                Some(CacheEntry {
+                    key,
+                    kind,
+                    bytes,
+                    modified,
+                    path,
+                })
+            })
+            .collect();
+        out.sort_by_key(|e| e.modified);
+        out
+    }
+
+    /// Re-validates one entry: header magic and version, key echo against
+    /// the filename, and (for kernels) a full deserialization of the WSIR
+    /// body. Returns `true` for a sound entry; defective entries are
+    /// deleted (counted as invalidations), exactly as a cache lookup
+    /// would, so `verify` doubles as repair. Unlike a lookup it does not
+    /// bump hit counters or the LRU mtime.
+    pub fn verify_entry(&self, entry: &CacheEntry) -> bool {
+        // Operate on the file as listed, not a path re-derived from the
+        // key: a non-canonically spelled filename must still be repaired.
+        let path = entry.path.clone();
+        let Ok(text) = fs::read_to_string(&path) else {
+            // Unreadable (non-UTF-8 corruption, permissions): delete like
+            // any other defect so repeated `verify` runs converge.
+            self.invalidate(&path);
+            return false;
+        };
+        let Some(body) = self.validate_entry(&text, &entry.key, &path) else {
+            return false;
+        };
+        match entry.kind {
+            EntryKind::Infeasible => true,
+            EntryKind::Kernel => {
+                if deserialize_kernel(body).is_ok() {
+                    true
+                } else {
+                    self.invalidate(&path);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Evicts least-recently-used entries until the directory fits
+    /// `max_bytes` (one-shot; independent of the write-path budget set by
+    /// [`DiskCache::with_max_bytes`]). Returns the number of entries
+    /// removed. `max_bytes = 0` empties the directory.
+    pub fn gc(&self, max_bytes: u64) -> u64 {
+        let before = self.evictions.load(Ordering::Relaxed);
+        self.evict_to(max_bytes);
+        self.evictions.load(Ordering::Relaxed) - before
+    }
+
     fn entry_path(&self, key: &CacheKey, ext: &str) -> PathBuf {
         self.root.join(format!(
             "k-{:016x}-{:016x}.{ext}",
@@ -350,17 +462,24 @@ impl DiskCache {
     }
 
     /// Removes least-recently-used entries until the directory fits the
-    /// size budget, then corrects the byte estimate toward the exact
-    /// total. Only called when the running estimate exceeds the budget,
-    /// so the directory scan amortizes over many writes.
+    /// write-path size budget. Only called when the running estimate
+    /// exceeds the budget, so the directory scan amortizes over many
+    /// writes.
     fn evict_to_budget(&self) {
+        self.evict_to(self.max_bytes);
+    }
+
+    /// Removes least-recently-used entries until the directory fits
+    /// `budget` bytes, then corrects the byte estimate toward the exact
+    /// total.
+    fn evict_to(&self, budget: u64) {
         let estimate_at_scan = self.bytes_estimate.load(Ordering::Relaxed);
         let mut entries = self.scan_entries();
         let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
-        if total > self.max_bytes {
+        if total > budget {
             entries.sort_by_key(|(_, _, mtime)| *mtime);
             for (path, len, _) in entries {
-                if total <= self.max_bytes {
+                if total <= budget {
                     break;
                 }
                 if fs::remove_file(&path).is_ok() {
@@ -572,6 +691,105 @@ mod tests {
         assert!(fresh.exists(), "fresh tmp file must be spared");
         assert_eq!(reopened.load(&key(1, 1)), Some(sample_kernel(1)));
         let _ = fs::remove_file(&fresh);
+    }
+
+    #[test]
+    fn entries_lists_keys_kinds_and_lru_order() {
+        let cache = DiskCache::open(tmp_dir("entries")).unwrap();
+        cache.store(&key(1, 2), &sample_kernel(1));
+        cache.store_infeasible(&key(3, 4), "too deep");
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 2);
+        let kernel = entries
+            .iter()
+            .find(|e| e.kind == EntryKind::Kernel)
+            .unwrap();
+        assert_eq!(kernel.key, key(1, 2));
+        assert!(kernel.bytes > 0);
+        let neg = entries
+            .iter()
+            .find(|e| e.kind == EntryKind::Infeasible)
+            .unwrap();
+        assert_eq!(neg.key, key(3, 4));
+        // LRU order: oldest first.
+        assert!(entries[0].modified <= entries[1].modified);
+    }
+
+    #[test]
+    fn entry_name_parsing() {
+        let (k, kind) = parse_entry_name("k-00000000000000ff-0000000000000001.wsir").unwrap();
+        assert_eq!(k, key(255, 1));
+        assert_eq!(kind, EntryKind::Kernel);
+        let (_, kind) = parse_entry_name("k-0-0.neg").unwrap();
+        assert_eq!(kind, EntryKind::Infeasible);
+        assert!(parse_entry_name("k-xx-0.wsir").is_none());
+        assert!(parse_entry_name("other.txt").is_none());
+        assert!(parse_entry_name(".tmp-1-2").is_none());
+    }
+
+    #[test]
+    fn verify_entry_accepts_sound_and_removes_corrupt() {
+        let dir = tmp_dir("verify");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(&key(1, 1), &sample_kernel(1));
+        cache.store(&key(2, 2), &sample_kernel(2));
+        for e in cache.entries() {
+            assert!(cache.verify_entry(&e), "{e:?}");
+        }
+        // Corrupt one body past the (valid) header: deserialization fails,
+        // the entry is deleted, soundness is restored.
+        let path = dir.join(format!("k-{:016x}-{:016x}.wsir", 2, 2));
+        let text = fs::read_to_string(&path).unwrap();
+        let header_len = cache.header(&key(2, 2)).len();
+        fs::write(&path, format!("{}garbage body", &text[..header_len])).unwrap();
+        let entries = cache.entries();
+        let results: Vec<bool> = entries.iter().map(|e| cache.verify_entry(e)).collect();
+        assert_eq!(results.iter().filter(|&&ok| !ok).count(), 1);
+        assert_eq!(cache.entries().len(), 1, "defective entry removed");
+        assert_eq!(cache.stats().invalidations, 1);
+
+        // Non-UTF-8 corruption (unreadable as text) must also be repaired,
+        // so repeated `verify` runs converge instead of failing forever.
+        let path = dir.join(format!("k-{:016x}-{:016x}.wsir", 1, 1));
+        fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x9f]).unwrap();
+        let entries = cache.entries();
+        assert!(!cache.verify_entry(&entries[0]));
+        assert!(!path.exists(), "unreadable entry must be deleted");
+        assert_eq!(cache.entries().len(), 0);
+
+        // A non-canonically *named* entry (unpadded hex) must be operated
+        // on at its actual path: valid content verifies, garbage content
+        // is deleted — never reported removed while left on disk.
+        cache.store(&key(1, 1), &sample_kernel(1));
+        let canonical = dir.join(format!("k-{:016x}-{:016x}.wsir", 1, 1));
+        let odd = dir.join("k-1-1.wsir");
+        fs::rename(&canonical, &odd).unwrap();
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert!(cache.verify_entry(&entries[0]), "same key, valid content");
+        fs::write(&odd, "garbage").unwrap();
+        let entries = cache.entries();
+        assert!(!cache.verify_entry(&entries[0]));
+        assert!(!odd.exists(), "defective odd-named entry must be deleted");
+    }
+
+    #[test]
+    fn gc_evicts_lru_down_to_budget() {
+        let dir = tmp_dir("gc");
+        let cache = DiskCache::open(&dir).unwrap();
+        for i in 0..6u64 {
+            cache.store(&key(i, i), &sample_kernel(i));
+        }
+        let before = cache.stats();
+        assert_eq!(before.entries, 6);
+        let evicted = cache.gc(before.bytes / 2);
+        assert!(evicted > 0);
+        let after = cache.stats();
+        assert!(after.bytes <= before.bytes / 2, "{after:?}");
+        assert_eq!(after.entries + evicted as usize, 6);
+        // gc(0) empties the directory.
+        assert_eq!(cache.gc(0) as usize, after.entries);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn gemm_compiles_and_runs_ws() {
-        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
         let opts = CompileOptions::default();
         let report = compile_and_simulate(&m, &spec, &opts, &dev()).expect("compile+sim");
         assert!(report.tflops > 100.0, "ws gemm too slow: {}", report.tflops);
@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn gemm_compiles_and_runs_simt() {
-        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
         let opts = CompileOptions {
             warp_specialize: false,
             ..CompileOptions::default()
@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn ws_beats_simt_on_gemm() {
-        let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192));
+        let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 8192)).into_parts();
         let ws = compile_and_simulate(&m, &spec, &CompileOptions::default(), &dev()).unwrap();
         let simt = compile_and_simulate(
             &m,
@@ -115,7 +115,7 @@ mod tests {
                 block_m: 64,
                 ..AttentionConfig::paper(2048, causal, DType::F16)
             };
-            let (m, spec) = attention(&cfg);
+            let (m, spec) = attention(&cfg).into_parts();
             let report = compile_and_simulate(&m, &spec, &CompileOptions::default(), &dev())
                 .unwrap_or_else(|e| panic!("causal={causal}: {e}"));
             assert!(report.tflops > 20.0, "causal={causal}: {}", report.tflops);
@@ -127,7 +127,7 @@ mod tests {
         // FA3-style configuration: Br=128 with two cooperative consumer
         // warp groups (the register-feasible large tile).
         let cfg = AttentionConfig::paper(4096, false, DType::F16);
-        let (m, spec) = attention(&cfg);
+        let (m, spec) = attention(&cfg).into_parts();
         let coop = CompileOptions {
             cooperative: 2,
             ..CompileOptions::default()
@@ -161,8 +161,8 @@ mod tests {
             ..AttentionConfig::paper(4096, false, DType::F16)
         };
         let large = AttentionConfig::paper(4096, false, DType::F16);
-        let (ms, ss) = attention(&small);
-        let (ml, sl) = attention(&large);
+        let (ms, ss) = attention(&small).into_parts();
+        let (ml, sl) = attention(&large).into_parts();
         let r_small = compile_and_simulate(&ms, &ss, &CompileOptions::default(), &dev()).unwrap();
         let r_large = compile_and_simulate(
             &ml,
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn p_greater_than_d_is_infeasible() {
-        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
         let opts = CompileOptions {
             aref_depth: 1,
             mma_depth: 2,
@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn large_tile_needs_cooperative_warp_groups() {
-        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE));
+        let (m, spec) =
+            gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE)).into_parts();
         let single = CompileOptions {
             cooperative: 1,
             ..CompileOptions::default()
@@ -220,7 +221,7 @@ mod tests {
 
     #[test]
     fn persistent_kernel_single_wave() {
-        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 4096));
+        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 4096)).into_parts();
         let opts = CompileOptions {
             persistent: true,
             aref_depth: 3,
@@ -249,7 +250,7 @@ mod tests {
 
     #[test]
     fn deeper_aref_rings_help() {
-        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192));
+        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192)).into_parts();
         let t = |d: usize| {
             compile_and_simulate(
                 &m,
@@ -280,10 +281,11 @@ mod tests {
 
     #[test]
     fn batched_and_grouped_compile() {
-        let (m, spec) = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(8));
+        let (m, spec) = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(8)).into_parts();
         let r = compile_and_simulate(&m, &spec, &CompileOptions::default(), &dev()).unwrap();
         assert!(r.tflops > 50.0);
-        let (m2, spec2) = grouped_gemm(&tawa_frontend::GroupedGemmConfig::paper_sweep(4));
+        let (m2, spec2) =
+            grouped_gemm(&tawa_frontend::GroupedGemmConfig::paper_sweep(4)).into_parts();
         let r2 = compile_and_simulate(&m2, &spec2, &CompileOptions::default(), &dev()).unwrap();
         assert!(r2.tflops > 50.0);
     }
@@ -292,8 +294,8 @@ mod tests {
     fn fp8_doubles_headroom() {
         let cfg16 = GemmConfig::new(4096, 4096, 8192);
         let cfg8 = cfg16.with_dtype(DType::F8E4M3);
-        let (m16, s16) = gemm(&cfg16);
-        let (m8, s8) = gemm(&cfg8);
+        let (m16, s16) = gemm(&cfg16).into_parts();
+        let (m8, s8) = gemm(&cfg8).into_parts();
         let opts = CompileOptions::default();
         let r16 = compile_and_simulate(&m16, &s16, &opts, &dev()).unwrap();
         let r8 = compile_and_simulate(&m8, &s8, &opts, &dev()).unwrap();
@@ -309,7 +311,7 @@ mod tests {
     fn aref_programs_port_to_blackwell_projection() {
         // §VI: the same aref program should carry to newer architectures —
         // only the device model changes, not the compiler output shape.
-        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192));
+        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 8192)).into_parts();
         let opts = CompileOptions {
             aref_depth: 3,
             ..CompileOptions::default()
@@ -326,7 +328,7 @@ mod tests {
 
     #[test]
     fn generated_wsir_prints() {
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let k = compile(&m, &spec, &CompileOptions::default(), &dev()).unwrap();
         let s = print_kernel(&k);
         assert!(s.contains("wgmma.mma_async"), "{s}");

@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn gemm_trip_count_from_launch_spec() {
-        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 4096));
+        let (m, spec) = gemm(&GemmConfig::new(8192, 8192, 4096)).into_parts();
         let f = &m.funcs[0];
         let loops = top_level_loops(f);
         let info = loop_info(f, loops[0]);
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn causal_attention_trips_depend_on_pid() {
         let cfg = AttentionConfig::paper(2048, true, DType::F16);
-        let (m, spec) = attention(&cfg);
+        let (m, spec) = attention(&cfg).into_parts();
         let f = &m.funcs[0];
         let loops = top_level_loops(f);
         let info = loop_info(f, loops[0]);
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn noncausal_trips_are_uniform() {
         let cfg = AttentionConfig::paper(4096, false, DType::F16);
-        let (m, spec) = attention(&cfg);
+        let (m, spec) = attention(&cfg).into_parts();
         let f = &m.funcs[0];
         let loops = top_level_loops(f);
         let info = loop_info(f, loops[0]);
@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn loop_carried_values_are_not_constant() {
-        let (m, spec) = gemm(&GemmConfig::new(512, 512, 256));
+        let (m, spec) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         let f = &m.funcs[0];
         let loops = top_level_loops(f);
         let info = loop_info(f, loops[0]);

@@ -1059,7 +1059,7 @@ mod tests {
             k: 128,
             ..GemmConfig::new(256, 256, 128)
         };
-        let (module, spec) = gemm(&cfg);
+        let (module, spec) = gemm(&cfg).into_parts();
         let mut mem = DeviceMemory::from_spec(&spec);
         mem.fill(0, |i| ((i % 13) as f32 - 6.0) * 0.125);
         mem.fill(1, |i| ((i % 7) as f32 - 3.0) * 0.25);
@@ -1079,7 +1079,7 @@ mod tests {
     #[test]
     fn warp_specialized_gemm_matches_sequential() {
         let cfg = GemmConfig::new(256, 256, 128);
-        let (module, spec) = gemm(&cfg);
+        let (module, spec) = gemm(&cfg).into_parts();
         // Sequential run.
         let mut mem_seq = DeviceMemory::from_spec(&spec);
         mem_seq.fill(0, |i| ((i * 7 % 23) as f32 - 11.0) * 0.0625);

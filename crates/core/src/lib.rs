@@ -30,15 +30,16 @@
 //!
 //! ```
 //! use gpu_sim::Device;
-//! use tawa_core::compile::{compile_and_simulate};
 //! use tawa_core::lower::CompileOptions;
+//! use tawa_core::session::CompileSession;
 //! use tawa_frontend::config::GemmConfig;
 //! use tawa_frontend::kernels::gemm;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let (module, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
-//! let report = compile_and_simulate(
-//!     &module, &spec, &CompileOptions::default(), &Device::h100_sxm5())?;
+//! let program = gemm(&GemmConfig::new(2048, 2048, 2048));
+//! let session = CompileSession::in_memory(&Device::h100_sxm5());
+//! let report =
+//!     session.compile_and_simulate_program(&program, &CompileOptions::default())?;
 //! // Deterministic sanity check: simulated execution made progress.
 //! assert!(report.cycles > 0 && report.tflops > 0.0);
 //! println!("{:.0} TFLOP/s", report.tflops);
@@ -59,8 +60,8 @@ pub mod partition;
 pub mod pipeline;
 pub mod session;
 
-pub use cache::{DiskCache, DiskCacheStats};
+pub use cache::{CacheEntry, DiskCache, DiskCacheStats, EntryKind};
 pub use compile::{compile, compile_and_simulate};
 pub use lower::{CompileError, CompileOptions};
-pub use session::{CacheStats, CompileJob, CompileSession, DISK_CACHE_ENV};
+pub use session::{CacheStats, CompileJob, CompileSession, COMPILE_WORKERS_ENV, DISK_CACHE_ENV};
 pub mod interp;

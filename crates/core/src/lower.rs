@@ -270,6 +270,16 @@ struct WsAnalysis {
     coarse: bool,
 }
 
+/// Formats an unsupported-construct error, pointing at the tile-program
+/// source line when the op (or its clone lineage) carries a frontend
+/// [`tawa_ir::loc::Loc`].
+fn unsupported_at(f: &Func, op: OpId, msg: &str) -> CompileError {
+    match f.loc(op) {
+        Some(loc) => CompileError::Unsupported(format!("{msg} (at {loc})")),
+        None => CompileError::Unsupported(msg.to_string()),
+    }
+}
+
 fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
     let err = |m: &str| CompileError::Unsupported(m.to_string());
     let body = f.body_block();
@@ -330,7 +340,8 @@ fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
     let c_loop = warp_group_loop(f, consumer).ok_or_else(|| err("consumer has no loop"))?;
     let c_info = loop_info(f, c_loop);
     let c_block = f.entry_block(f.op(consumer).regions[0]);
-    let stages = identify_stages(f, c_loop).ok_or_else(|| err("consumer loop has no dot"))?;
+    let stages = identify_stages(f, c_loop)
+        .ok_or_else(|| unsupported_at(f, c_loop, "consumer loop has no dot"))?;
     let t_shape = dot_shape(f, stages.t_dot);
     let u_shape = stages.u_dot.map(|u| dot_shape(f, u));
 
@@ -511,7 +522,14 @@ pub fn lower_ws(
             let mut ev = ConstEval::new(f, spec, c.pid);
             ev.trip_count(a.loop_bounds.0, a.loop_bounds.1, a.loop_bounds.2)
                 .ok_or_else(|| {
-                    CompileError::Unsupported("loop bounds are not launch-constant".into())
+                    // Blame the author's loop bound when it carries a span.
+                    let msg = "loop bounds are not launch-constant";
+                    match f.value_loc(a.loop_bounds.1) {
+                        Some(loc) => {
+                            CompileError::Unsupported(format!("{msg} (bound defined at {loc})"))
+                        }
+                        None => CompileError::Unsupported(msg.into()),
+                    }
                 })
         })
         .collect::<Result<_, _>>()?;

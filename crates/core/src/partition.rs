@@ -591,7 +591,7 @@ mod tests {
 
     #[test]
     fn gemm_partitions_into_two_warp_groups() {
-        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256));
+        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         let report = specialize(&mut m, 2);
         let f = &m.funcs[0];
         let wgs: Vec<OpId> = f
@@ -609,7 +609,7 @@ mod tests {
 
     #[test]
     fn gemm_producer_has_loads_consumer_has_dot() {
-        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256));
+        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         specialize(&mut m, 2);
         let f = &m.funcs[0];
         let wgs: Vec<OpId> = f
@@ -639,7 +639,7 @@ mod tests {
     fn no_cross_partition_ssa_edges() {
         // The only values shared between warp groups must be the arefs and
         // function parameters / top-level constants defined before the WGs.
-        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256));
+        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         specialize(&mut m, 2);
         let f = &m.funcs[0];
         let wgs: Vec<OpId> = f
@@ -668,7 +668,7 @@ mod tests {
 
     #[test]
     fn attention_gets_two_arefs() {
-        let (mut m, _) = attention(&AttentionConfig::paper(1024, false, DType::F16));
+        let (mut m, _) = attention(&AttentionConfig::paper(1024, false, DType::F16)).into_parts();
         let report = specialize(&mut m, 2);
         // K feeds the first dot, V the second: separate arefs.
         assert_eq!(report.arefs, 2);
@@ -691,7 +691,7 @@ mod tests {
 
     #[test]
     fn causal_attention_duplicates_shared_offset() {
-        let (mut m, _) = attention(&AttentionConfig::paper(1024, true, DType::F16));
+        let (mut m, _) = attention(&AttentionConfig::paper(1024, true, DType::F16)).into_parts();
         let report = specialize(&mut m, 2);
         // o_kv = j·Bc feeds both the loads (producer) and the mask
         // (consumer): it must be duplicated.
@@ -703,7 +703,7 @@ mod tests {
 
     #[test]
     fn pass_runs_through_pass_manager() {
-        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256));
+        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         let mut pm = tawa_ir::pass::PassManager::new();
         pm.add(Box::new(WarpSpecialize { depth: 3 }));
         pm.run(&mut m).expect("pipeline");
@@ -713,7 +713,7 @@ mod tests {
 
     #[test]
     fn depth_zero_rejected() {
-        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256));
+        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         assert!(warp_specialize_func(&mut m.funcs[0], 0).is_err());
     }
 

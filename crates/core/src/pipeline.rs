@@ -229,13 +229,13 @@ mod tests {
     use tawa_ir::verify::verify_module;
 
     fn specialized_gemm() -> tawa_ir::Module {
-        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256));
+        let (mut m, _) = gemm(&GemmConfig::new(512, 512, 256)).into_parts();
         warp_specialize_func(&mut m.funcs[0], 2).unwrap();
         m
     }
 
     fn specialized_attention(causal: bool) -> tawa_ir::Module {
-        let (mut m, _) = attention(&AttentionConfig::paper(1024, causal, DType::F16));
+        let (mut m, _) = attention(&AttentionConfig::paper(1024, causal, DType::F16)).into_parts();
         warp_specialize_func(&mut m.funcs[0], 2).unwrap();
         m
     }

@@ -55,6 +55,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::{Device, SimReport};
+use tawa_frontend::dsl::Program;
 use tawa_ir::diag::Diagnostic;
 use tawa_ir::fingerprint::{fnv1a, module_fingerprint};
 use tawa_ir::func::Module;
@@ -76,6 +77,17 @@ pub const CLEANUP_PIPELINE: &str = "fixpoint(const-fold,dce)";
 /// [`DiskCache`] rooted there. Explicit
 /// [`CompileSession::with_disk_cache`] calls override it.
 pub const DISK_CACHE_ENV: &str = "TAWA_DISK_CACHE";
+
+/// Environment variable overriding the [`CompileSession::compile_batch`]
+/// worker cap: a positive integer read by [`CompileSession::new`] and
+/// [`CompileSession::in_memory`]. Explicit
+/// [`CompileSession::with_workers`] calls override it; unset, empty or
+/// unparsable values fall back to the default `min(cores, 8)`.
+pub const COMPILE_WORKERS_ENV: &str = "TAWA_COMPILE_WORKERS";
+
+/// Default ceiling on batch workers when neither
+/// [`CompileSession::with_workers`] nor [`COMPILE_WORKERS_ENV`] set one.
+const DEFAULT_WORKER_CAP: usize = 8;
 
 fn env_fingerprint(spec: &LaunchSpec, opts: &CompileOptions, device: &Device) -> u64 {
     // `CompileOptions` and `LaunchSpec` are plain data with derived Debug;
@@ -144,6 +156,7 @@ pub struct CompileSession {
     cleaned: Mutex<HashMap<u64, Arc<Module>>>,
     reports: Mutex<HashMap<CacheKey, SimReport>>,
     disk: Option<DiskCache>,
+    workers: Option<usize>,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
     sim_hits: AtomicU64,
@@ -174,7 +187,8 @@ impl CompileSession {
         session
     }
 
-    /// Creates a session with no disk tier, ignoring [`DISK_CACHE_ENV`].
+    /// Creates a session with no disk tier, ignoring [`DISK_CACHE_ENV`]
+    /// (the [`COMPILE_WORKERS_ENV`] worker override still applies).
     pub fn in_memory(device: &Device) -> CompileSession {
         CompileSession {
             device: device.clone(),
@@ -184,11 +198,28 @@ impl CompileSession {
             cleaned: Mutex::new(HashMap::new()),
             reports: Mutex::new(HashMap::new()),
             disk: None,
+            workers: workers_from_env(std::env::var(COMPILE_WORKERS_ENV).ok()),
             kernel_hits: AtomicU64::new(0),
             kernel_misses: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
             sim_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Caps [`CompileSession::compile_batch`] at `workers` OS threads
+    /// (instead of the default `min(cores, 8)`), overriding any
+    /// [`COMPILE_WORKERS_ENV`] setting. `0` restores the default. Large
+    /// sweeps on many-core machines want this raised; contended CI
+    /// machines want it lowered.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> CompileSession {
+        self.workers = (workers > 0).then_some(workers);
+        self
+    }
+
+    /// The configured batch worker cap, if any (session builder or env).
+    pub fn workers(&self) -> Option<usize> {
+        self.workers
     }
 
     /// Attaches a persistent kernel cache rooted at `path` (replacing any
@@ -358,6 +389,37 @@ impl CompileSession {
         }
     }
 
+    /// Compiles a DSL-authored [`Program`] — the typed-frontend entry
+    /// point. The program's module is fingerprinted exactly like a raw
+    /// module ([`Program::fingerprint`] over the canonical printed IR,
+    /// which source locations never perturb), so DSL programs share every
+    /// cache tier — in-memory, negative and disk — with modules compiled
+    /// through [`CompileSession::compile`], including entries written
+    /// before the kernel was ported to the DSL.
+    ///
+    /// # Errors
+    /// Same as [`CompileSession::compile`].
+    pub fn compile_program(
+        &self,
+        program: &Program,
+        opts: &CompileOptions,
+    ) -> Result<Arc<Kernel>, CompileError> {
+        self.compile(program.module(), program.spec(), opts)
+    }
+
+    /// Compiles and simulates a DSL-authored [`Program`]
+    /// (see [`CompileSession::compile_and_simulate`]).
+    ///
+    /// # Errors
+    /// Same as [`CompileSession::compile_and_simulate`].
+    pub fn compile_and_simulate_program(
+        &self,
+        program: &Program,
+        opts: &CompileOptions,
+    ) -> Result<SimReport, CompileError> {
+        self.compile_and_simulate(program.module(), program.spec(), opts)
+    }
+
     /// Compiles and immediately simulates, consulting the report cache.
     ///
     /// # Errors
@@ -418,11 +480,13 @@ impl CompileSession {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(jobs.len())
-            .min(8);
+        let cap = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(DEFAULT_WORKER_CAP)
+        });
+        let workers = cap.max(1).min(jobs.len());
         let slots: Vec<Mutex<Option<Result<T, CompileError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicU64::new(0);
@@ -525,7 +589,7 @@ fn config_tail(opts: &CompileOptions) -> String {
 fn pipeline_override_error(diagnostic: Diagnostic) -> CompileError {
     CompileError::Pass(PassError::Failed {
         pass: "pipeline-override".to_string(),
-        diagnostic,
+        diagnostic: Box::new(diagnostic),
     })
 }
 
@@ -548,6 +612,16 @@ fn default_disk_cache(env_value: Option<String>) -> Option<DiskCache> {
     env_value
         .filter(|p| !p.is_empty())
         .and_then(|p| DiskCache::open(p).ok())
+}
+
+/// Resolves the [`COMPILE_WORKERS_ENV`] override: a positive integer caps
+/// the batch workers; anything else (unset, empty, garbage, zero) keeps
+/// the default. Factored out so the policy is testable without mutating
+/// the process-global environment.
+fn workers_from_env(env_value: Option<String>) -> Option<usize> {
+    env_value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// The full Tawa pass registry: generic cleanups plus the paper's
@@ -594,7 +668,7 @@ mod tests {
     #[test]
     fn cache_hits_return_identical_kernels() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let opts = CompileOptions::default();
         let cold = session.compile(&m, &spec, &opts).unwrap();
         let hit = session.compile(&m, &spec, &opts).unwrap();
@@ -610,7 +684,7 @@ mod tests {
     #[test]
     fn distinct_options_are_distinct_entries() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let a = CompileOptions::default();
         let b = CompileOptions {
             aref_depth: 3,
@@ -628,7 +702,7 @@ mod tests {
 
     #[test]
     fn batch_matches_sequential_and_preserves_order() {
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let all_opts: Vec<CompileOptions> = (1..=3)
             .map(|d| CompileOptions {
                 aref_depth: d,
@@ -662,7 +736,7 @@ mod tests {
     #[test]
     fn infeasible_jobs_fail_in_batch_without_poisoning() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let jobs = vec![
             CompileJob {
                 module: &m,
@@ -687,7 +761,7 @@ mod tests {
     #[test]
     fn simulation_reports_are_cached() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let opts = CompileOptions::default();
         let r1 = session.compile_and_simulate(&m, &spec, &opts).unwrap();
         let r2 = session.compile_and_simulate(&m, &spec, &opts).unwrap();
@@ -738,7 +812,7 @@ mod tests {
     #[test]
     fn fresh_session_serves_disk_hits_byte_identical() {
         let dir = tmp_dir("warm");
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let opts = CompileOptions::default();
 
         let cold_session = CompileSession::in_memory(&dev())
@@ -763,7 +837,7 @@ mod tests {
     #[test]
     fn infeasible_verdicts_are_negatively_cached() {
         let dir = tmp_dir("negative");
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let infeasible = CompileOptions {
             aref_depth: 1,
             mma_depth: 3,
@@ -816,7 +890,7 @@ mod tests {
     #[test]
     fn pipeline_override_on_simt_path_is_rejected() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let opts = CompileOptions {
             warp_specialize: false,
             pipeline: Some("dce".to_string()),
@@ -832,7 +906,7 @@ mod tests {
     #[test]
     fn pipeline_override_matches_equivalent_default() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let explicit = CompileOptions {
             pipeline: Some(
                 "warp-specialize{depth=2},fine-grained-pipeline{depth=2},coarse-pipeline,dce"
@@ -860,7 +934,7 @@ mod tests {
     #[test]
     fn bad_pipeline_override_is_a_pass_error_not_a_panic() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         for bad in ["fixpoint(", "no-such-pass"] {
             let opts = CompileOptions {
                 pipeline: Some(bad.to_string()),
@@ -890,7 +964,7 @@ mod tests {
         session
             .registry_mut()
             .register("nop-probe", |_| Ok(Box::new(NopProbe)));
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         let opts = CompileOptions {
             pipeline: Some(
                 "nop-probe,warp-specialize{depth=2},fine-grained-pipeline{depth=2},\
@@ -912,9 +986,65 @@ mod tests {
     }
 
     #[test]
+    fn compile_program_shares_cache_keys_with_raw_modules() {
+        // A DSL Program and its decomposed (module, spec) must address the
+        // SAME cache entry: compiling one then the other is a hit, not a
+        // second compile.
+        let session = CompileSession::in_memory(&dev());
+        let program = gemm(&GemmConfig::new(1024, 1024, 512));
+        let opts = CompileOptions::default();
+        let via_program = session.compile_program(&program, &opts).unwrap();
+        let (m, spec) = program.clone().into_parts();
+        let via_parts = session.compile(&m, &spec, &opts).unwrap();
+        assert!(Arc::ptr_eq(&via_program, &via_parts));
+        let stats = session.cache_stats();
+        assert_eq!(stats.kernel_misses, 1);
+        assert_eq!(stats.kernel_hits, 1);
+    }
+
+    #[test]
+    fn with_workers_caps_batch_and_matches_default() {
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
+        let jobs: Vec<CompileJob<'_>> = (1..=4)
+            .map(|d| CompileJob {
+                module: &m,
+                spec: &spec,
+                opts: CompileOptions {
+                    aref_depth: d,
+                    mma_depth: 1,
+                    ..CompileOptions::default()
+                },
+            })
+            .collect();
+        let serial = CompileSession::in_memory(&dev()).with_workers(1);
+        assert_eq!(serial.workers(), Some(1));
+        let wide = CompileSession::in_memory(&dev()).with_workers(32);
+        let a = serial.compile_batch(&jobs);
+        let b = wide.compile_batch(&jobs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                print_kernel(x.as_ref().unwrap()),
+                print_kernel(y.as_ref().unwrap())
+            );
+        }
+        // with_workers(0) restores the default cap.
+        assert_eq!(serial.with_workers(0).workers(), None);
+    }
+
+    #[test]
+    fn workers_env_parsing() {
+        assert_eq!(workers_from_env(None), None);
+        assert_eq!(workers_from_env(Some(String::new())), None);
+        assert_eq!(workers_from_env(Some("garbage".into())), None);
+        assert_eq!(workers_from_env(Some("0".into())), None);
+        assert_eq!(workers_from_env(Some("12".into())), Some(12));
+        assert_eq!(workers_from_env(Some(" 3 ".into())), Some(3));
+    }
+
+    #[test]
     fn clear_cache_drops_entries_keeps_counters() {
         let session = CompileSession::in_memory(&dev());
-        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
         session
             .compile(&m, &spec, &CompileOptions::default())
             .unwrap();

@@ -1,0 +1,1287 @@
+//! The typed, source-located kernel builder.
+//!
+//! [`KernelBuilder`] is the authoring surface of `tawa::dsl`: every
+//! operation is a `#[track_caller]` method, so the [`Loc`] of the author's
+//! call site is stamped on the emitted IR op and travels with every
+//! diagnostic the compiler later produces about it. Misuse — a shape or
+//! element mismatch, a value escaping the region it was defined in, a
+//! kernel that never stores — is collected as source-located
+//! [`Diagnostic`]s and reported by [`KernelBuilder::finish`]; nothing in
+//! the DSL panics on bad kernels, and a kernel that finishes successfully
+//! is well-formed by construction (the IR verifier runs as a final belt
+//! and suspenders).
+
+use std::marker::PhantomData;
+
+use tawa_ir::diag::Diagnostic;
+use tawa_ir::func::{Func, Module};
+use tawa_ir::loc::Loc;
+use tawa_ir::op::{Attr, AttrMap, BlockId, CmpPred, OpId, OpKind, ValueId};
+use tawa_ir::spec::{LaunchSpec, ParamValue, SpecClass};
+use tawa_ir::types::{DType, Shape, Type};
+use tawa_ir::verify::verify_module;
+
+use super::elem::{Any, Bool, Elem, StaticElem, F32, I32, I64};
+use super::value::{
+    wrap_scalar, wrap_tile, Addrs, Carried, Desc, GlobalPtr, Join, Scalar, ScopeId, TileExpr, Value,
+};
+use super::Program;
+
+/// Builds one tile-program kernel: parameters, body, launch geometry.
+///
+/// See the [module docs](crate::dsl) for the full grammar and the
+/// `docs/dsl.md` reference. Construction never panics on a malformed
+/// kernel; all misuse is reported by [`KernelBuilder::finish`].
+pub struct KernelBuilder {
+    func: Func,
+    /// Insertion-point stack: the innermost open block.
+    blocks: Vec<BlockId>,
+    /// Process-unique id of this builder; baked into every handle's
+    /// [`ScopeId`] so a handle from another builder is detected even
+    /// when its `ValueId` happens to be in range here.
+    builder_id: u32,
+    /// Active structural scopes (root + every open region/branch).
+    scopes: Vec<u32>,
+    next_scope: u32,
+    errors: Vec<Diagnostic>,
+    params: Vec<ParamValue>,
+    /// Global-tensor rank of each descriptor parameter, for checking
+    /// `tma_load`/`tma_store` coordinate counts at the call site.
+    desc_ranks: Vec<(ValueId, usize)>,
+    launch: Option<(Vec<SpecClass>, [u64; 3], f64)>,
+    has_store: bool,
+    def_loc: Loc,
+}
+
+/// Source of process-unique builder ids (see `KernelBuilder::builder_id`).
+static NEXT_BUILDER_ID: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+impl std::fmt::Debug for KernelBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelBuilder")
+            .field("kernel", &self.func.name)
+            .field("params", &self.params.len())
+            .field("errors", &self.errors.len())
+            .finish()
+    }
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel named `name`.
+    #[track_caller]
+    pub fn new(name: &str) -> KernelBuilder {
+        let func = Func::new(name, &[]);
+        let body = func.body_block();
+        KernelBuilder {
+            func,
+            blocks: vec![body],
+            builder_id: NEXT_BUILDER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            scopes: vec![0],
+            next_scope: 1,
+            errors: Vec::new(),
+            params: Vec::new(),
+            desc_ranks: Vec::new(),
+            launch: None,
+            has_store: false,
+            def_loc: Loc::caller(),
+        }
+    }
+
+    /// The kernel name.
+    pub fn name_str(&self) -> &str {
+        &self.func.name
+    }
+
+    /// Diagnostics collected so far (misuse found before `finish`).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.errors
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn cur_block(&self) -> BlockId {
+        *self.blocks.last().expect("block stack nonempty")
+    }
+
+    fn cur_scope(&self) -> ScopeId {
+        ScopeId {
+            builder: self.builder_id,
+            region: *self.scopes.last().expect("scope stack nonempty"),
+        }
+    }
+
+    fn root_scope(&self) -> ScopeId {
+        ScopeId {
+            builder: self.builder_id,
+            region: 0,
+        }
+    }
+
+    fn diag(&mut self, loc: Loc, msg: impl Into<String>) {
+        let name = self.func.name.clone();
+        self.errors
+            .push(Diagnostic::error(msg).with_func(name).with_loc(loc));
+    }
+
+    fn emit(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        results: Vec<Type>,
+        attrs: AttrMap,
+        loc: Loc,
+    ) -> OpId {
+        let block = self.cur_block();
+        let op = self.func.push_op(block, kind, operands, results, attrs);
+        self.func.set_loc(op, Some(loc));
+        op
+    }
+
+    fn emit1(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<ValueId>,
+        result: Type,
+        attrs: AttrMap,
+        loc: Loc,
+    ) -> ValueId {
+        let op = self.emit(kind, operands, vec![result], attrs, loc);
+        self.func.result(op)
+    }
+
+    /// A placeholder value of type `ty`, emitted after an error so kernel
+    /// construction can continue and collect further independent
+    /// diagnostics. Poison never escapes: `finish` fails whenever any
+    /// diagnostic was recorded.
+    fn poison(&mut self, ty: Type, loc: Loc) -> ValueId {
+        let kind = match &ty {
+            Type::Tensor(..) => OpKind::ConstTensor,
+            _ => OpKind::ConstInt,
+        };
+        let mut attrs = AttrMap::new();
+        match kind {
+            OpKind::ConstTensor => attrs.set("value", Attr::Float(0.0)),
+            _ => attrs.set("value", Attr::Int(0)),
+        }
+        self.emit1(kind, vec![], ty, attrs, loc)
+    }
+
+    /// Registers a use of `v`, checking it belongs to this kernel and that
+    /// its defining region is still open. Returns a typed value id either
+    /// way (poison on a foreign value), so inference downstream proceeds.
+    fn use_val(&mut self, v: impl Value, what: &str, fallback: Type, loc: Loc) -> ValueId {
+        let id = v.value_id();
+        let scope = v.scope();
+        if scope.builder != self.builder_id || (id.0 as usize) >= self.func.num_values() {
+            self.diag(
+                loc,
+                format!("{what}: value does not belong to this kernel builder"),
+            );
+            return self.poison(fallback, loc);
+        }
+        if !self.scopes.contains(&scope.region) {
+            self.diag(
+                loc,
+                format!(
+                    "{what}: value used outside the region it was defined in \
+                     (loop-carried state must flow through the region's results)"
+                ),
+            );
+        }
+        id
+    }
+
+    fn ty_of(&self, id: ValueId) -> Type {
+        self.func.ty(id).clone()
+    }
+
+    /// Tensor shape and element of `id`, or a diagnostic.
+    fn tile_ty(&mut self, id: ValueId, what: &str, loc: Loc) -> Option<(Shape, DType)> {
+        match self.ty_of(id) {
+            Type::Tensor(s, d) => Some((s, d)),
+            other => {
+                self.diag(loc, format!("{what}: expected a tile, got {other}"));
+                None
+            }
+        }
+    }
+
+    fn open_region(&mut self, block: BlockId) -> ScopeId {
+        let s = self.open_scope();
+        self.blocks.push(block);
+        s
+    }
+
+    fn close_region(&mut self) {
+        self.scopes.pop();
+        self.blocks.pop();
+    }
+
+    fn open_scope(&mut self) -> ScopeId {
+        let s = self.next_scope;
+        self.next_scope += 1;
+        self.scopes.push(s);
+        ScopeId {
+            builder: self.builder_id,
+            region: s,
+        }
+    }
+
+    fn close_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    // ---- parameters -------------------------------------------------------
+
+    fn push_param(&mut self, ty: Type, value: ParamValue) -> ValueId {
+        let entry = self.func.body_block();
+        self.params.push(value);
+        self.func.add_block_arg(entry, ty)
+    }
+
+    /// Declares a TMA tensor-descriptor parameter over a global tensor of
+    /// `global_shape` and element type `dt` (the launch binds the shape).
+    #[track_caller]
+    pub fn desc_param(&mut self, dt: DType, global_shape: impl Into<Vec<usize>>) -> Desc<Any> {
+        let shape = global_shape.into();
+        let rank = shape.len();
+        let id = self.push_param(
+            Type::TensorDesc(dt),
+            ParamValue::Global { shape, dtype: dt },
+        );
+        self.desc_ranks.push((id, rank));
+        Desc {
+            id,
+            scope: self.root_scope(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Statically-typed variant of [`KernelBuilder::desc_param`]: the
+    /// element type comes from the marker (`typed_desc_param::<F16>(..)`).
+    #[track_caller]
+    pub fn typed_desc_param<E: StaticElem>(
+        &mut self,
+        global_shape: impl Into<Vec<usize>>,
+    ) -> Desc<E> {
+        let shape = global_shape.into();
+        let rank = shape.len();
+        let id = self.push_param(
+            Type::TensorDesc(E::DT),
+            ParamValue::Global {
+                shape,
+                dtype: E::DT,
+            },
+        );
+        self.desc_ranks.push((id, rank));
+        Desc {
+            id,
+            scope: self.root_scope(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Declares a global-memory pointer parameter with pointee type `dt`.
+    #[track_caller]
+    pub fn ptr_param(&mut self, dt: DType, global_shape: impl Into<Vec<usize>>) -> GlobalPtr<Any> {
+        let id = self.push_param(
+            Type::Ptr(dt),
+            ParamValue::Global {
+                shape: global_shape.into(),
+                dtype: dt,
+            },
+        );
+        GlobalPtr {
+            id,
+            scope: self.root_scope(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Statically-typed variant of [`KernelBuilder::ptr_param`].
+    #[track_caller]
+    pub fn typed_ptr_param<E: StaticElem>(
+        &mut self,
+        global_shape: impl Into<Vec<usize>>,
+    ) -> GlobalPtr<E> {
+        let id = self.push_param(
+            Type::Ptr(E::DT),
+            ParamValue::Global {
+                shape: global_shape.into(),
+                dtype: E::DT,
+            },
+        );
+        GlobalPtr {
+            id,
+            scope: self.root_scope(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Declares an `i32` scalar parameter bound to `value` at launch.
+    #[track_caller]
+    pub fn i32_param(&mut self, value: i64) -> Scalar<I32> {
+        let id = self.push_param(Type::i32(), ParamValue::Int(value));
+        let scope = self.root_scope();
+        wrap_scalar(id, scope)
+    }
+
+    // ---- launch geometry --------------------------------------------------
+
+    /// Declares a uniform launch: `grid` CTAs whose timing behaviour is
+    /// `program_id`-independent, performing `useful_flops` in total.
+    #[track_caller]
+    pub fn launch_uniform(&mut self, grid: u64, useful_flops: f64) {
+        self.launch = Some((
+            vec![SpecClass {
+                pid: [0, 0, 0],
+                multiplicity: grid,
+            }],
+            [grid, 1, 1],
+            useful_flops,
+        ));
+    }
+
+    /// Declares a general launch: explicit CTA classes and grid extents
+    /// (CTAs that observe different `program_id`s and may run different
+    /// trip counts each get a class; see [`SpecClass`]).
+    #[track_caller]
+    pub fn launch(&mut self, classes: Vec<SpecClass>, grid_dims: [u64; 3], useful_flops: f64) {
+        self.launch = Some((classes, grid_dims, useful_flops));
+    }
+
+    // ---- constants --------------------------------------------------------
+
+    /// `i32` constant.
+    #[track_caller]
+    pub fn i32(&mut self, v: i64) -> Scalar<I32> {
+        let loc = Loc::caller();
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Int(v));
+        let id = self.emit1(OpKind::ConstInt, vec![], Type::i32(), a, loc);
+        wrap_scalar(id, self.cur_scope())
+    }
+
+    /// `i64` constant.
+    #[track_caller]
+    pub fn i64(&mut self, v: i64) -> Scalar<I64> {
+        let loc = Loc::caller();
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Int(v));
+        let id = self.emit1(OpKind::ConstInt, vec![], Type::i64(), a, loc);
+        wrap_scalar(id, self.cur_scope())
+    }
+
+    /// `f32` scalar constant.
+    #[track_caller]
+    pub fn f32(&mut self, v: f64) -> Scalar<F32> {
+        let loc = Loc::caller();
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Float(v));
+        let id = self.emit1(OpKind::ConstFloat, vec![], Type::Scalar(DType::F32), a, loc);
+        wrap_scalar(id, self.cur_scope())
+    }
+
+    /// Float scalar constant of runtime element type `dt`.
+    #[track_caller]
+    pub fn float_dt(&mut self, v: f64, dt: DType) -> Scalar<Any> {
+        let loc = Loc::caller();
+        if !dt.is_float() {
+            self.diag(
+                loc,
+                format!("float constant requires a float type, got {dt}"),
+            );
+        }
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Float(v));
+        let id = self.emit1(OpKind::ConstFloat, vec![], Type::Scalar(dt), a, loc);
+        wrap_scalar(id, self.cur_scope())
+    }
+
+    fn full_impl(&mut self, shape: Shape, value: f64, dt: DType, loc: Loc) -> ValueId {
+        let mut a = AttrMap::new();
+        a.set("value", Attr::Float(value));
+        self.emit1(OpKind::ConstTensor, vec![], Type::Tensor(shape, dt), a, loc)
+    }
+
+    /// Splat-constant tile with element type from the marker.
+    #[track_caller]
+    pub fn full<E: StaticElem>(&mut self, shape: impl Into<Shape>, value: f64) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let id = self.full_impl(shape.into(), value, E::DT, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Splat-constant tile of runtime element type `dt`.
+    #[track_caller]
+    pub fn full_dt(&mut self, shape: impl Into<Shape>, value: f64, dt: DType) -> TileExpr<Any> {
+        let loc = Loc::caller();
+        let id = self.full_impl(shape.into(), value, dt, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// All-zero tile with element type from the marker.
+    #[track_caller]
+    pub fn zeros<E: StaticElem>(&mut self, shape: impl Into<Shape>) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let id = self.full_impl(shape.into(), 0.0, E::DT, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// All-zero tile of runtime element type `dt`.
+    #[track_caller]
+    pub fn zeros_dt(&mut self, shape: impl Into<Shape>, dt: DType) -> TileExpr<Any> {
+        let loc = Loc::caller();
+        let id = self.full_impl(shape.into(), 0.0, dt, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    // ---- program structure ------------------------------------------------
+
+    fn axis_op(&mut self, kind: OpKind, axis: usize, what: &str, loc: Loc) -> Scalar<I32> {
+        if axis > 2 {
+            self.diag(loc, format!("{what}: axis must be 0, 1 or 2, got {axis}"));
+        }
+        let mut a = AttrMap::new();
+        a.set("axis", Attr::Int(axis.min(2) as i64));
+        let id = self.emit1(kind, vec![], Type::i32(), a, loc);
+        wrap_scalar(id, self.cur_scope())
+    }
+
+    /// CTA id along `axis` (`tl.program_id`).
+    #[track_caller]
+    pub fn program_id(&mut self, axis: usize) -> Scalar<I32> {
+        let loc = Loc::caller();
+        self.axis_op(OpKind::ProgramId, axis, "program_id", loc)
+    }
+
+    /// Grid extent along `axis` (`tl.num_programs`).
+    #[track_caller]
+    pub fn num_programs(&mut self, axis: usize) -> Scalar<I32> {
+        let loc = Loc::caller();
+        self.axis_op(OpKind::NumPrograms, axis, "num_programs", loc)
+    }
+
+    // ---- arithmetic -------------------------------------------------------
+
+    fn binop<A, B>(&mut self, kind: OpKind, a: A, b: B, loc: Loc) -> A::Out
+    where
+        A: Join<B>,
+        B: Value,
+    {
+        let what = kind.name();
+        let ia = self.use_val(a, what, Type::i32(), loc);
+        let ib = self.use_val(b, what, Type::i32(), loc);
+        let ta = self.ty_of(ia);
+        let tb = self.ty_of(ib);
+        let id = match ta.broadcast_with(&tb) {
+            Some(rt) => self.emit1(kind, vec![ia, ib], rt, AttrMap::new(), loc),
+            None => {
+                self.diag(
+                    loc,
+                    format!("{what}: incompatible operand types {ta} and {tb}"),
+                );
+                self.poison(ta, loc)
+            }
+        };
+        A::wrap_out(id, self.cur_scope())
+    }
+
+    /// Addition (scalars broadcast against tiles).
+    #[track_caller]
+    pub fn add<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Add, a, b, loc)
+    }
+
+    /// Subtraction.
+    #[track_caller]
+    pub fn sub<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Sub, a, b, loc)
+    }
+
+    /// Multiplication.
+    #[track_caller]
+    pub fn mul<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Mul, a, b, loc)
+    }
+
+    /// Division (integer division for integer elements).
+    #[track_caller]
+    pub fn div<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Div, a, b, loc)
+    }
+
+    /// Remainder.
+    #[track_caller]
+    pub fn rem<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Rem, a, b, loc)
+    }
+
+    /// Elementwise/scalar minimum.
+    #[track_caller]
+    pub fn min<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Min, a, b, loc)
+    }
+
+    /// Elementwise/scalar maximum.
+    #[track_caller]
+    pub fn max<A: Join<B>, B: Value>(&mut self, a: A, b: B) -> A::Out {
+        let loc = Loc::caller();
+        self.binop(OpKind::Max, a, b, loc)
+    }
+
+    /// Ceiling division `(a + b - 1) / b` (`tl.cdiv`), expanded inline.
+    #[track_caller]
+    pub fn cdiv(&mut self, a: Scalar<I32>, b: Scalar<I32>) -> Scalar<I32> {
+        let loc = Loc::caller();
+        let one = {
+            let mut attrs = AttrMap::new();
+            attrs.set("value", Attr::Int(1));
+            self.emit1(OpKind::ConstInt, vec![], Type::i32(), attrs, loc)
+        };
+        let one = wrap_scalar::<I32>(one, self.cur_scope());
+        let bm1 = self.binop(OpKind::Sub, b, one, loc);
+        let sum = self.binop(OpKind::Add, a, bm1, loc);
+        self.binop(OpKind::Div, sum, b, loc)
+    }
+
+    /// Comparison producing a `bool`-element scalar or tile.
+    #[track_caller]
+    pub fn cmp<A: Join<B>, B: Value>(&mut self, pred: CmpPred, a: A, b: B) -> A::Pred {
+        let loc = Loc::caller();
+        let ia = self.use_val(a, "cmp", Type::i32(), loc);
+        let ib = self.use_val(b, "cmp", Type::i32(), loc);
+        let ta = self.ty_of(ia);
+        let tb = self.ty_of(ib);
+        let id = match ta.broadcast_with(&tb) {
+            Some(Type::Tensor(s, _)) => {
+                let mut attrs = AttrMap::new();
+                attrs.set("pred", Attr::Str(pred.name().into()));
+                self.emit1(
+                    OpKind::Cmp,
+                    vec![ia, ib],
+                    Type::Tensor(s, DType::Bool),
+                    attrs,
+                    loc,
+                )
+            }
+            Some(Type::Scalar(_)) => {
+                let mut attrs = AttrMap::new();
+                attrs.set("pred", Attr::Str(pred.name().into()));
+                self.emit1(OpKind::Cmp, vec![ia, ib], Type::bool(), attrs, loc)
+            }
+            Some(other) => {
+                self.diag(loc, format!("cmp: unsupported operand type {other}"));
+                self.poison(Type::bool(), loc)
+            }
+            None => {
+                self.diag(
+                    loc,
+                    format!("cmp: incompatible operand types {ta} and {tb}"),
+                );
+                self.poison(Type::bool(), loc)
+            }
+        };
+        A::wrap_pred(id, self.cur_scope())
+    }
+
+    /// Tile-level predicated select: `cond ? then_t : else_t` elementwise.
+    #[track_caller]
+    pub fn select<E: Elem>(
+        &mut self,
+        cond: TileExpr<Bool>,
+        then_t: TileExpr<E>,
+        else_t: TileExpr<E>,
+    ) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let id = self.select_impl(cond, then_t.id, then_t.scope, else_t.id, else_t.scope, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    fn select_impl(
+        &mut self,
+        cond: TileExpr<Bool>,
+        then_id: ValueId,
+        then_scope: ScopeId,
+        else_id: ValueId,
+        else_scope: ScopeId,
+        loc: Loc,
+    ) -> ValueId {
+        let ic = self.use_val(cond, "select", Type::tensor(vec![1], DType::Bool), loc);
+        let it = self.use_val(
+            wrap_tile::<Any>(then_id, then_scope),
+            "select",
+            Type::tensor(vec![1], DType::F32),
+            loc,
+        );
+        let ie = self.use_val(
+            wrap_tile::<Any>(else_id, else_scope),
+            "select",
+            Type::tensor(vec![1], DType::F32),
+            loc,
+        );
+        let tt = self.ty_of(it);
+        let te = self.ty_of(ie);
+        if tt != te {
+            self.diag(loc, format!("select: arms differ: {tt} vs {te}"));
+            return self.poison(tt, loc);
+        }
+        if let (Some(sc), Some(st)) = (self.ty_of(ic).shape(), tt.shape()) {
+            if sc != st {
+                let msg = format!("select: condition shape {sc} does not match arms {st}");
+                self.diag(loc, msg);
+            }
+        }
+        self.emit1(OpKind::Select, vec![ic, it, ie], tt, AttrMap::new(), loc)
+    }
+
+    fn unary<A: Join<A>>(&mut self, kind: OpKind, a: A, loc: Loc) -> A::Out {
+        let ia = self.use_val(a, kind.name(), Type::i32(), loc);
+        let rt = self.ty_of(ia);
+        let id = self.emit1(kind, vec![ia], rt, AttrMap::new(), loc);
+        A::wrap_out(id, self.cur_scope())
+    }
+
+    /// Negation.
+    #[track_caller]
+    pub fn neg<A: Join<A>>(&mut self, a: A) -> A::Out {
+        let loc = Loc::caller();
+        self.unary(OpKind::Neg, a, loc)
+    }
+
+    /// Base-e exponential.
+    #[track_caller]
+    pub fn exp<A: Join<A>>(&mut self, a: A) -> A::Out {
+        let loc = Loc::caller();
+        self.unary(OpKind::Exp, a, loc)
+    }
+
+    /// Base-2 exponential (the fast SFU `ex2` path, as in Triton).
+    #[track_caller]
+    pub fn exp2<A: Join<A>>(&mut self, a: A) -> A::Out {
+        let loc = Loc::caller();
+        self.unary(OpKind::Exp2, a, loc)
+    }
+
+    fn cast_impl(&mut self, id: ValueId, dt: DType, loc: Loc) -> ValueId {
+        let rt = match self.ty_of(id) {
+            Type::Tensor(s, _) => Type::Tensor(s, dt),
+            Type::Scalar(_) => Type::Scalar(dt),
+            other => {
+                self.diag(loc, format!("cast: unsupported operand type {other}"));
+                other
+            }
+        };
+        self.emit1(OpKind::Cast, vec![id], rt, AttrMap::new(), loc)
+    }
+
+    /// Shape-preserving cast to the marker's element type.
+    #[track_caller]
+    pub fn cast<To: StaticElem, E: Elem>(&mut self, t: TileExpr<E>) -> TileExpr<To> {
+        let loc = Loc::caller();
+        let id = self.use_val(t, "cast", Type::tensor(vec![1], DType::F32), loc);
+        let id = self.cast_impl(id, To::DT, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Shape-preserving cast to a runtime element type.
+    #[track_caller]
+    pub fn cast_dt<E: Elem>(&mut self, t: TileExpr<E>, dt: DType) -> TileExpr<Any> {
+        let loc = Loc::caller();
+        let id = self.use_val(t, "cast", Type::tensor(vec![1], DType::F32), loc);
+        let id = self.cast_impl(id, dt, loc);
+        wrap_tile(id, self.cur_scope())
+    }
+
+    // ---- tile shape ops ---------------------------------------------------
+
+    /// `[start, end)` iota tile (`tl.arange`).
+    #[track_caller]
+    pub fn arange(&mut self, start: i64, end: i64) -> TileExpr<I32> {
+        let loc = Loc::caller();
+        let len = match end.checked_sub(start) {
+            Some(n) if n > 0 => n as usize,
+            _ => {
+                // Empty or overflowing range: both are misuse, neither may
+                // panic (the DSL's no-panics contract).
+                self.diag(loc, format!("arange: empty range [{start}, {end})"));
+                let id = self.poison(Type::tensor(vec![1], DType::I32), loc);
+                return wrap_tile(id, self.cur_scope());
+            }
+        };
+        let mut a = AttrMap::new();
+        a.set("start", Attr::Int(start));
+        a.set("end", Attr::Int(end));
+        let n = len;
+        let id = self.emit1(
+            OpKind::Arange,
+            vec![],
+            Type::tensor(vec![n], DType::I32),
+            a,
+            loc,
+        );
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Scalar → tile splat.
+    #[track_caller]
+    pub fn splat<E: Elem>(&mut self, v: Scalar<E>, shape: impl Into<Shape>) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let iv = self.use_val(v, "splat", Type::i32(), loc);
+        let dt = match self.ty_of(iv) {
+            Type::Scalar(d) => d,
+            other => {
+                self.diag(loc, format!("splat: operand must be scalar, got {other}"));
+                DType::F32
+            }
+        };
+        let id = self.emit1(
+            OpKind::Splat,
+            vec![iv],
+            Type::Tensor(shape.into(), dt),
+            AttrMap::new(),
+            loc,
+        );
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Insert a size-1 axis at `axis` (`tensor[:, None]` etc.).
+    #[track_caller]
+    pub fn expand_dims<E: Elem>(&mut self, t: TileExpr<E>, axis: usize) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let it = self.use_val(t, "expand_dims", Type::tensor(vec![1], DType::F32), loc);
+        let id = match self.tile_ty(it, "expand_dims", loc) {
+            Some((shape, dt)) if axis <= shape.rank() => {
+                let mut s = shape.0;
+                s.insert(axis, 1);
+                let mut a = AttrMap::new();
+                a.set("axis", Attr::Int(axis as i64));
+                self.emit1(OpKind::ExpandDims, vec![it], Type::tensor(s, dt), a, loc)
+            }
+            Some((shape, dt)) => {
+                self.diag(
+                    loc,
+                    format!("expand_dims: axis {axis} out of range for {shape}"),
+                );
+                self.poison(Type::Tensor(shape, dt), loc)
+            }
+            None => self.poison(Type::tensor(vec![1], DType::F32), loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Broadcast size-1 axes up to `shape`.
+    #[track_caller]
+    pub fn broadcast_to<E: Elem>(
+        &mut self,
+        t: TileExpr<E>,
+        shape: impl Into<Shape>,
+    ) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let target: Shape = shape.into();
+        let it = self.use_val(t, "broadcast_to", Type::tensor(vec![1], DType::F32), loc);
+        let id = match self.tile_ty(it, "broadcast_to", loc) {
+            Some((src, dt)) => {
+                let compatible = src.rank() == target.rank()
+                    && src
+                        .0
+                        .iter()
+                        .zip(target.0.iter())
+                        .all(|(&s, &d)| s == d || s == 1);
+                if !compatible {
+                    self.diag(
+                        loc,
+                        format!("broadcast_to: cannot broadcast {src} to {target}"),
+                    );
+                }
+                self.emit1(
+                    OpKind::BroadcastTo,
+                    vec![it],
+                    Type::Tensor(target, dt),
+                    AttrMap::new(),
+                    loc,
+                )
+            }
+            None => self.poison(Type::Tensor(target, DType::F32), loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// 2-D transpose.
+    #[track_caller]
+    pub fn transpose<E: Elem>(&mut self, t: TileExpr<E>) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let it = self.use_val(t, "transpose", Type::tensor(vec![1, 1], DType::F32), loc);
+        let id = match self.tile_ty(it, "transpose", loc) {
+            Some((shape, dt)) if shape.rank() == 2 => {
+                let s = vec![shape.dim(1), shape.dim(0)];
+                self.emit1(
+                    OpKind::Transpose,
+                    vec![it],
+                    Type::tensor(s, dt),
+                    AttrMap::new(),
+                    loc,
+                )
+            }
+            Some((shape, dt)) => {
+                self.diag(loc, format!("transpose: rank-2 only, got {shape}"));
+                self.poison(Type::Tensor(shape, dt), loc)
+            }
+            None => self.poison(Type::tensor(vec![1, 1], DType::F32), loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    fn reduce<E: Elem>(
+        &mut self,
+        kind: OpKind,
+        t: TileExpr<E>,
+        axis: usize,
+        loc: Loc,
+    ) -> TileExpr<E> {
+        let what = kind.name();
+        let it = self.use_val(t, what, Type::tensor(vec![1], DType::F32), loc);
+        let id = match self.tile_ty(it, what, loc) {
+            Some((shape, dt)) if axis < shape.rank() => {
+                let mut s = shape.0;
+                s.remove(axis);
+                let mut a = AttrMap::new();
+                a.set("axis", Attr::Int(axis as i64));
+                self.emit1(kind, vec![it], Type::tensor(s, dt), a, loc)
+            }
+            Some((shape, dt)) => {
+                self.diag(loc, format!("{what}: axis {axis} out of range for {shape}"));
+                self.poison(Type::Tensor(shape, dt), loc)
+            }
+            None => self.poison(Type::tensor(vec![1], DType::F32), loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Reduce-maximum along `axis`, removing that axis.
+    #[track_caller]
+    pub fn reduce_max<E: Elem>(&mut self, t: TileExpr<E>, axis: usize) -> TileExpr<E> {
+        let loc = Loc::caller();
+        self.reduce(OpKind::ReduceMax, t, axis, loc)
+    }
+
+    /// Reduce-sum along `axis`, removing that axis.
+    #[track_caller]
+    pub fn reduce_sum<E: Elem>(&mut self, t: TileExpr<E>, axis: usize) -> TileExpr<E> {
+        let loc = Loc::caller();
+        self.reduce(OpKind::ReduceSum, t, axis, loc)
+    }
+
+    /// Tile MMA `acc + a·b` (`tl.dot`). `a` and `b` share an input element
+    /// type; the accumulator's element type (typically `f32`) is the
+    /// result type.
+    #[track_caller]
+    pub fn dot<E: Elem, A: Elem>(
+        &mut self,
+        a: TileExpr<E>,
+        b: TileExpr<E>,
+        acc: TileExpr<A>,
+    ) -> TileExpr<A> {
+        let loc = Loc::caller();
+        let ia = self.use_val(a, "dot", Type::tensor(vec![1, 1], DType::F16), loc);
+        let ib = self.use_val(b, "dot", Type::tensor(vec![1, 1], DType::F16), loc);
+        let ic = self.use_val(acc, "dot", Type::tensor(vec![1, 1], DType::F32), loc);
+        let sa = self.tile_ty(ia, "dot lhs", loc);
+        let sb = self.tile_ty(ib, "dot rhs", loc);
+        let sc = self.tile_ty(ic, "dot accumulator", loc);
+        let acc_ty = self.ty_of(ic);
+        let id = match (sa, sb, sc) {
+            (Some((sa, da)), Some((sb, db)), Some((sc, _))) => {
+                let mut ok = true;
+                if sa.rank() != 2 || sb.rank() != 2 || sc.rank() != 2 {
+                    self.diag(loc, "dot: all operands must be rank-2 tiles".to_string());
+                    ok = false;
+                } else {
+                    if da != db {
+                        self.diag(
+                            loc,
+                            format!("dot: input element types differ: {da} vs {db}"),
+                        );
+                        ok = false;
+                    }
+                    if sa.dim(1) != sb.dim(0) {
+                        self.diag(loc, format!("dot: contraction mismatch {sa} · {sb}"));
+                        ok = false;
+                    }
+                    if sc.dim(0) != sa.dim(0) || sc.dim(1) != sb.dim(1) {
+                        self.diag(
+                            loc,
+                            format!("dot: accumulator {sc} does not fit {sa} · {sb}"),
+                        );
+                        ok = false;
+                    }
+                }
+                if ok {
+                    self.emit1(OpKind::Dot, vec![ia, ib, ic], acc_ty, AttrMap::new(), loc)
+                } else {
+                    self.poison(acc_ty, loc)
+                }
+            }
+            _ => self.poison(acc_ty, loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// Asynchronous TMA tile load from `desc` at `coords`, producing a
+    /// tile of shape `tile`.
+    #[track_caller]
+    pub fn tma_load<E: Elem>(
+        &mut self,
+        desc: Desc<E>,
+        coords: &[Scalar<I32>],
+        tile: impl Into<Shape>,
+    ) -> TileExpr<E> {
+        let loc = Loc::caller();
+        let idesc = self.use_val(desc, "tma_load", Type::TensorDesc(DType::F16), loc);
+        let dt = match self.ty_of(idesc) {
+            Type::TensorDesc(d) => d,
+            other => {
+                self.diag(
+                    loc,
+                    format!("tma_load: first operand must be a descriptor, got {other}"),
+                );
+                DType::F16
+            }
+        };
+        self.check_desc_rank(idesc, coords.len(), "tma_load", loc);
+        let mut operands = vec![idesc];
+        for &c in coords {
+            operands.push(self.use_val(c, "tma_load coordinate", Type::i32(), loc));
+        }
+        let id = self.emit1(
+            OpKind::TmaLoad,
+            operands,
+            Type::Tensor(tile.into(), dt),
+            AttrMap::new(),
+            loc,
+        );
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Checks a TMA access supplies one coordinate per dimension of the
+    /// descriptor's global tensor (known from its parameter declaration).
+    fn check_desc_rank(&mut self, desc: ValueId, coords: usize, what: &str, loc: Loc) {
+        if let Some(&(_, rank)) = self.desc_ranks.iter().find(|&&(id, _)| id == desc) {
+            if coords != rank {
+                self.diag(
+                    loc,
+                    format!(
+                        "{what}: descriptor describes a rank-{rank} global tensor \
+                         but {coords} coordinates were supplied"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Asynchronous TMA tile store of `tile` to `desc` at `coords`.
+    #[track_caller]
+    pub fn tma_store<E: Elem>(&mut self, desc: Desc<E>, coords: &[Scalar<I32>], tile: TileExpr<E>) {
+        let loc = Loc::caller();
+        let idesc = self.use_val(desc, "tma_store", Type::TensorDesc(DType::F16), loc);
+        let itile = self.use_val(tile, "tma_store", Type::tensor(vec![1], DType::F16), loc);
+        if let (Type::TensorDesc(dd), Some((_, dt))) =
+            (self.ty_of(idesc), self.tile_ty(itile, "tma_store", loc))
+        {
+            if dd != dt {
+                self.diag(
+                    loc,
+                    format!("tma_store: tile element {dt} does not match descriptor {dd}"),
+                );
+            }
+        }
+        self.check_desc_rank(idesc, coords.len(), "tma_store", loc);
+        let mut operands = vec![idesc];
+        for &c in coords {
+            operands.push(self.use_val(c, "tma_store coordinate", Type::i32(), loc));
+        }
+        operands.push(itile);
+        self.emit(OpKind::TmaStore, operands, vec![], AttrMap::new(), loc);
+        self.has_store = true;
+    }
+
+    /// Pointer arithmetic: base pointer plus per-element integer offsets →
+    /// a tile of global addresses.
+    #[track_caller]
+    pub fn addptr<E: Elem, O: Elem>(&mut self, ptr: GlobalPtr<E>, offsets: TileExpr<O>) -> Addrs {
+        let loc = Loc::caller();
+        let ip = self.use_val(ptr, "addptr", Type::Ptr(DType::F16), loc);
+        let io = self.use_val(offsets, "addptr", Type::tensor(vec![1], DType::I32), loc);
+        let id = match self.tile_ty(io, "addptr offsets", loc) {
+            Some((shape, dt)) => {
+                if !dt.is_int() {
+                    self.diag(loc, format!("addptr: offsets must be integers, got {dt}"));
+                }
+                self.emit1(
+                    OpKind::AddPtr,
+                    vec![ip, io],
+                    Type::Tensor(shape, DType::I64),
+                    AttrMap::new(),
+                    loc,
+                )
+            }
+            None => self.poison(Type::tensor(vec![1], DType::I64), loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Gather load of `dt` elements from computed addresses.
+    #[track_caller]
+    pub fn load_dt(&mut self, addrs: Addrs, dt: DType) -> TileExpr<Any> {
+        let loc = Loc::caller();
+        let ia = self.use_val(addrs, "load", Type::tensor(vec![1], DType::I64), loc);
+        let id = match self.tile_ty(ia, "load addresses", loc) {
+            Some((shape, _)) => self.emit1(
+                OpKind::Load,
+                vec![ia],
+                Type::Tensor(shape, dt),
+                AttrMap::new(),
+                loc,
+            ),
+            None => self.poison(Type::tensor(vec![1], dt), loc),
+        };
+        wrap_tile(id, self.cur_scope())
+    }
+
+    /// Scatter store of `value` to computed addresses.
+    #[track_caller]
+    pub fn store<E: Elem>(&mut self, addrs: Addrs, value: TileExpr<E>) {
+        let loc = Loc::caller();
+        let ia = self.use_val(addrs, "store", Type::tensor(vec![1], DType::I64), loc);
+        let iv = self.use_val(value, "store", Type::tensor(vec![1], DType::F16), loc);
+        let sa = self.ty_of(ia).shape().cloned();
+        let sv = self.ty_of(iv).shape().cloned();
+        if let (Some(sa), Some(sv)) = (&sa, &sv) {
+            if sa != sv {
+                self.diag(
+                    loc,
+                    format!("store: value shape {sv} does not match addresses {sa}"),
+                );
+            }
+        }
+        self.emit(OpKind::Store, vec![ia, iv], vec![], AttrMap::new(), loc);
+        self.has_store = true;
+    }
+
+    // ---- structured control flow ------------------------------------------
+
+    /// A counted loop `for iv in (lo..hi).step_by(step)` carrying `inits`
+    /// through its body. The closure receives the induction variable and
+    /// the current iteration values and returns the next iteration values;
+    /// `for_range` returns the final values. Values defined inside the
+    /// body are scoped to it — letting one escape through a captured
+    /// variable is reported as a diagnostic at the escaping use.
+    #[track_caller]
+    pub fn for_range<C: Carried>(
+        &mut self,
+        lo: Scalar<I32>,
+        hi: Scalar<I32>,
+        step: Scalar<I32>,
+        inits: C,
+        body: impl FnOnce(&mut KernelBuilder, Scalar<I32>, C) -> C,
+    ) -> C {
+        let loc = Loc::caller();
+        let il = self.use_val(lo, "for_range lower bound", Type::i32(), loc);
+        let ih = self.use_val(hi, "for_range upper bound", Type::i32(), loc);
+        let is = self.use_val(step, "for_range step", Type::i32(), loc);
+        let mut init_uses = Vec::new();
+        inits.push_uses(&mut init_uses);
+        let mut operands = vec![il, ih, is];
+        let mut result_tys = Vec::with_capacity(init_uses.len());
+        for &(id, scope) in &init_uses {
+            let id = self.use_val(
+                wrap_scalar::<Any>(id, scope),
+                "for_range initial value",
+                Type::i32(),
+                loc,
+            );
+            operands.push(id);
+            result_tys.push(self.ty_of(id));
+        }
+        let for_op = self.emit(
+            OpKind::For,
+            operands,
+            result_tys.clone(),
+            AttrMap::new(),
+            loc,
+        );
+        let (_, body_block) = self.func.add_region(for_op);
+        let iv_id = self.func.add_block_arg(body_block, Type::i32());
+        let iter_ids: Vec<ValueId> = result_tys
+            .iter()
+            .map(|ty| self.func.add_block_arg(body_block, ty.clone()))
+            .collect();
+        let body_scope = self.open_region(body_block);
+        let iv = wrap_scalar::<I32>(iv_id, body_scope);
+        let iters = C::rebind(&mut iter_ids.into_iter(), body_scope);
+        let yields = body(self, iv, iters);
+        let mut yield_uses = Vec::new();
+        yields.push_uses(&mut yield_uses);
+        let mut yield_ids = Vec::with_capacity(yield_uses.len());
+        for (i, &(id, scope)) in yield_uses.iter().enumerate() {
+            let id = self.use_val(
+                wrap_scalar::<Any>(id, scope),
+                "for_range yielded value",
+                Type::i32(),
+                loc,
+            );
+            let ty = self.ty_of(id);
+            if ty != result_tys[i] {
+                self.diag(
+                    loc,
+                    format!(
+                        "for_range: iteration value {i} changed type across the loop: \
+                         starts as {} but is yielded as {ty}",
+                        result_tys[i]
+                    ),
+                );
+            }
+            yield_ids.push(id);
+        }
+        self.emit(OpKind::Yield, yield_ids, vec![], AttrMap::new(), loc);
+        self.close_region();
+        let results = self.func.results(for_op).to_vec();
+        C::rebind(&mut results.into_iter(), self.cur_scope())
+    }
+
+    /// Structured conditional over tile values, lowered to tile-level
+    /// predication: both branches are evaluated and joined elementwise by
+    /// `cond` with selects (the standard tile-language `where` semantics —
+    /// there is no divergent control flow at tile granularity). All
+    /// carried values must be tiles of the condition's shape.
+    #[track_caller]
+    pub fn if_<C: Carried>(
+        &mut self,
+        cond: TileExpr<Bool>,
+        then_branch: impl FnOnce(&mut KernelBuilder) -> C,
+        else_branch: impl FnOnce(&mut KernelBuilder) -> C,
+    ) -> C {
+        let loc = Loc::caller();
+        if !C::all_tiles() {
+            self.diag(
+                loc,
+                "if_ carries tile values only (scalar control flow must be \
+                 expressed arithmetically, e.g. with min/max)",
+            );
+        }
+        let then_ids = self.run_branch(then_branch, loc);
+        let else_ids = self.run_branch(else_branch, loc);
+        // Join the branch results with predicated selects. Branch values
+        // live in the same block (predication, not divergence), so using
+        // them here is structurally sound even though their branch scopes
+        // have closed — the scopes exist to stop *user code* leaking them;
+        // the results were use-checked inside `run_branch` while the
+        // branch scope was still open.
+        let joined: Vec<ValueId> = then_ids
+            .iter()
+            .zip(else_ids.iter())
+            .map(|(&t, &e)| self.select_impl(cond, t, self.cur_scope(), e, self.cur_scope(), loc))
+            .collect();
+        C::rebind(&mut joined.into_iter(), self.cur_scope())
+    }
+
+    /// Runs one `if_` branch in a fresh scope and use-checks its results
+    /// *before* the scope closes — so a foreign or out-of-scope handle
+    /// returned from the branch is diagnosed (and replaced with poison)
+    /// rather than silently aliasing a value of this kernel.
+    fn run_branch<C: Carried>(
+        &mut self,
+        branch: impl FnOnce(&mut KernelBuilder) -> C,
+        loc: Loc,
+    ) -> Vec<ValueId> {
+        self.open_scope();
+        let vals = branch(self);
+        let mut uses = Vec::new();
+        vals.push_uses(&mut uses);
+        let ids = uses
+            .into_iter()
+            .map(|(id, scope)| {
+                self.use_val(
+                    wrap_tile::<Any>(id, scope),
+                    "if_ branch result",
+                    Type::tensor(vec![1], DType::F32),
+                    loc,
+                )
+            })
+            .collect();
+        self.close_scope();
+        ids
+    }
+
+    // ---- misc -------------------------------------------------------------
+
+    /// Names a value for readable IR dumps (`%acc` instead of `%12`).
+    #[track_caller]
+    pub fn name(&mut self, v: impl Value, hint: &str) {
+        let loc = Loc::caller();
+        let id = self.use_val(v, "name", Type::i32(), loc);
+        self.func.set_name_hint(id, hint);
+    }
+
+    /// Finishes the kernel: reports collected misuse diagnostics, checks
+    /// the kernel stores a result and declared its launch geometry, runs
+    /// the IR verifier, and packages the result as a [`Program`].
+    ///
+    /// # Errors
+    /// Every diagnostic collected during construction (source-located at
+    /// the offending DSL call), plus structural errors located at the
+    /// [`KernelBuilder::new`] call site.
+    pub fn finish(mut self) -> Result<Program, Vec<Diagnostic>> {
+        if !self.has_store {
+            let loc = self.def_loc;
+            self.diag(
+                loc,
+                "kernel never stores a result: every tile program must end in \
+                 a store or tma_store (dead kernels would be eliminated whole)",
+            );
+        }
+        if self.launch.is_none() {
+            let loc = self.def_loc;
+            self.diag(
+                loc,
+                "kernel never declared its launch geometry: call launch_uniform \
+                 or launch before finish",
+            );
+        }
+        if !self.errors.is_empty() {
+            return Err(self.errors);
+        }
+        let mut module = Module::new();
+        module.add_func(self.func);
+        if let Err(verrs) = verify_module(&module) {
+            return Err(verrs
+                .into_iter()
+                .map(|e| {
+                    let mut d = Diagnostic::error(e.msg)
+                        .with_func(e.func)
+                        .with_default_loc(e.loc);
+                    d.op = e.op;
+                    d
+                })
+                .collect());
+        }
+        let (classes, grid_dims, useful_flops) = self.launch.expect("launch checked above");
+        Ok(Program::from_parts(
+            module,
+            LaunchSpec {
+                params: self.params,
+                classes,
+                grid_dims,
+                useful_flops,
+            },
+        ))
+    }
+}

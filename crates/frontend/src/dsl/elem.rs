@@ -1,0 +1,90 @@
+//! Element-type markers for the typed DSL handles.
+//!
+//! A handle like [`crate::dsl::TileExpr`]`<F16>` carries its element type
+//! in the Rust type system: mixing an `f16` tile into `f32` arithmetic is
+//! a *compile-time* error in the author's crate, not a runtime diagnostic.
+//! Kernels that are generic over the input precision (the whole zoo: the
+//! paper evaluates FP16 and FP8 through one kernel body) use the [`Any`]
+//! marker instead, deferring the element check to kernel-construction
+//! time, where a mismatch surfaces as a source-located
+//! [`tawa_ir::diag::Diagnostic`].
+
+use tawa_ir::types::DType;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// An element-type marker: either a concrete IR [`DType`] or [`Any`].
+///
+/// The trait is sealed — the marker set mirrors [`DType`] exactly.
+pub trait Elem: sealed::Sealed + Copy + std::fmt::Debug + 'static {
+    /// The statically known element type, or `None` for [`Any`].
+    const STATIC: Option<DType>;
+}
+
+/// A marker naming one concrete [`DType`] (everything except [`Any`]).
+/// Enables the element-inferring constructors (`zeros::<F32>(..)`,
+/// `typed_desc_param::<F16>(..)`).
+pub trait StaticElem: Elem {
+    /// The element type this marker denotes.
+    const DT: DType;
+}
+
+macro_rules! markers {
+    ($($(#[$doc:meta])* $name:ident => $dt:expr,)*) => {
+        $(
+            $(#[$doc])*
+            #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+            pub struct $name;
+            impl sealed::Sealed for $name {}
+            impl Elem for $name {
+                const STATIC: Option<DType> = Some($dt);
+            }
+            impl StaticElem for $name {
+                const DT: DType = $dt;
+            }
+        )*
+    };
+}
+
+markers! {
+    /// 1-bit predicate element (comparison results, masks).
+    Bool => DType::Bool,
+    /// 32-bit signed integer (indices, loop counters).
+    I32 => DType::I32,
+    /// 64-bit signed integer (linear global-memory offsets).
+    I64 => DType::I64,
+    /// IEEE 754 half precision.
+    F16 => DType::F16,
+    /// bfloat16.
+    BF16 => DType::BF16,
+    /// FP8 e4m3 (Hopper tensor-core input format).
+    F8E4M3 => DType::F8E4M3,
+    /// IEEE 754 single precision (accumulators, softmax arithmetic).
+    F32 => DType::F32,
+}
+
+/// The dynamic marker: the element type is known only at kernel
+/// construction time (e.g. a `GemmConfig::dtype` that is FP16 in one
+/// sweep point and FP8 in the next). All element checks still happen —
+/// as runtime diagnostics instead of Rust type errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Any;
+impl sealed::Sealed for Any {}
+impl Elem for Any {
+    const STATIC: Option<DType> = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_name_their_dtype() {
+        assert_eq!(F16::STATIC, Some(DType::F16));
+        assert_eq!(<F8E4M3 as StaticElem>::DT, DType::F8E4M3);
+        assert_eq!(I32::STATIC, Some(DType::I32));
+        assert_eq!(Any::STATIC, None);
+    }
+}

@@ -5,15 +5,19 @@
 //! first Tensor Core stage `T = Q·Kᵀ`, a CUDA-core softmax stage `C`, and a
 //! second Tensor Core stage `U = P·V` — with online-softmax rescaling as in
 //! FlashAttention-2.
+//!
+//! Written in [`crate::dsl`]: the `f32` softmax state is statically typed
+//! ([`crate::dsl::elem::F32`] tiles), the Q/K/V tiles use the dynamic
+//! element marker because the input precision is a config knob.
 
-use tawa_ir::builder::build_module;
-use tawa_ir::func::Module;
-use tawa_ir::spec::{LaunchSpec, ParamValue, SpecClass};
-use tawa_ir::types::{DType, Type};
+use tawa_ir::op::CmpPred;
+use tawa_ir::spec::SpecClass;
 
 use crate::config::AttentionConfig;
+use crate::dsl::elem::F32;
+use crate::dsl::{KernelBuilder, Program};
 
-/// Builds the attention kernel module and its launch specialization.
+/// Builds the attention kernel and its launch specialization.
 ///
 /// Parameters (in order): `q_desc`, `k_desc`, `v_desc` (all
 /// `desc<dt>` over `[B·H, L, Dh]`), `o_ptr: ptr<dt>`, `L: i32`.
@@ -22,119 +26,116 @@ use crate::config::AttentionConfig;
 /// (batch, head) pair. Under causal masking the KV trip count depends on
 /// the query tile, so the launch spec enumerates one CTA class per query
 /// tile index.
-pub fn attention(cfg: &AttentionConfig) -> (Module, LaunchSpec) {
+pub fn attention(cfg: &AttentionConfig) -> Program {
     let (br, bc, dh) = (cfg.block_m, cfg.block_n, cfg.head_dim);
     let dt = cfg.dtype;
     let causal = cfg.causal;
     // Softmax scale 1/sqrt(Dh), folded together with log2(e) so the kernel
     // uses the fast exp2 path, as Triton's FA2 tutorial kernel does.
     let qk_scale = (1.0 / (dh as f64).sqrt()) * std::f64::consts::LOG2_E;
-    let params = [
-        Type::TensorDesc(dt),
-        Type::TensorDesc(dt),
-        Type::TensorDesc(dt),
-        Type::Ptr(dt),
-        Type::i32(),
-    ];
-    let module = build_module("mha_fwd", &params, |b, args| {
-        let (q_desc, k_desc, v_desc, o_ptr, l_arg) = (args[0], args[1], args[2], args[3], args[4]);
-        let pid_q = b.program_id(0);
-        let pid_bh = b.program_id(1);
-        let c_br = b.const_i32(br as i64);
-        let c_bc = b.const_i32(bc as i64);
-        let zero = b.const_i32(0);
-        let o_qm = b.mul(pid_q, c_br);
-        let q = b.tma_load(q_desc, &[pid_bh, o_qm, zero], vec![br, dh]);
-        let m0 = b.const_tensor(-1.0e30, vec![br], DType::F32);
-        let l0 = b.zeros(vec![br], DType::F32);
-        let acc0 = b.zeros(vec![br, dh], DType::F32);
-        let lo = b.const_i32(0);
-        // Non-causal: all L/Bc tiles. Causal: tiles covering rows
-        // 0 ..= (pid_q+1)·Br - 1, i.e. cdiv((pid_q+1)·Br, Bc).
-        let full_hi = b.cdiv(l_arg, c_bc);
-        let hi = if causal {
-            let one = b.const_i32(1);
-            let next = b.add(pid_q, one);
-            let rows = b.mul(next, c_br);
-            let tiles = b.cdiv(rows, c_bc);
-            b.min(tiles, full_hi)
-        } else {
-            full_hi
-        };
-        let step = b.const_i32(1);
-        let results = b.for_loop(lo, hi, step, &[m0, l0, acc0], |b, j, iters| {
-            let (m_i, l_i, acc) = (iters[0], iters[1], iters[2]);
-            let o_kv = b.mul(j, c_bc);
-            let k_t = b.tma_load(k_desc, &[pid_bh, o_kv, zero], vec![bc, dh]);
-            let v_t = b.tma_load(v_desc, &[pid_bh, o_kv, zero], vec![bc, dh]);
-            // T stage: S = Q · Kᵀ (scaled).
-            let ktt = b.transpose(k_t);
-            let s_zero = b.zeros(vec![br, bc], DType::F32);
-            let s_raw = b.dot(q, ktt, s_zero);
-            let scale_s = b.const_float(qk_scale, DType::F32);
-            let scale = b.splat(scale_s, vec![br, bc]);
-            let mut s = b.mul(s_raw, scale);
-            if causal {
-                // Mask the upper-triangular part of the diagonal tile:
-                // valid iff o_qm + row >= o_kv + col.
-                let rows = b.arange(0, br as i64);
-                let rows_g = b.add(rows, o_qm);
-                let cols = b.arange(0, bc as i64);
-                let cols_g = b.add(cols, o_kv);
-                let re = b.expand_dims(rows_g, 1);
-                let rb = b.broadcast_to(re, vec![br, bc]);
-                let ce = b.expand_dims(cols_g, 0);
-                let cb = b.broadcast_to(ce, vec![br, bc]);
-                let mask = b.cmp(tawa_ir::op::CmpPred::Ge, rb, cb);
-                let neg_s = b.const_float(-1.0e30, DType::F32);
-                let neg = b.splat(neg_s, vec![br, bc]);
-                s = b.select(mask, s, neg);
-            }
-            // C stage: online softmax.
-            let row_max = b.reduce_max(s, 1);
-            let m_new = b.max(m_i, row_max);
-            let me = b.expand_dims(m_new, 1);
-            let mb = b.broadcast_to(me, vec![br, bc]);
-            let s_shift = b.sub(s, mb);
-            let p = b.exp2(s_shift);
-            let alpha_arg = b.sub(m_i, m_new);
-            let alpha = b.exp2(alpha_arg);
-            let p_sum = b.reduce_sum(p, 1);
-            let l_scaled = b.mul(l_i, alpha);
-            let l_new = b.add(l_scaled, p_sum);
-            // U stage: O += P · V (with rescale of the accumulator).
-            let ae = b.expand_dims(alpha, 1);
-            let ab = b.broadcast_to(ae, vec![br, dh]);
-            let acc_scaled = b.mul(acc, ab);
-            let p_cast = b.cast(p, dt);
-            let acc_new = b.dot(p_cast, v_t, acc_scaled);
-            vec![m_new, l_new, acc_new]
-        });
-        let (l_f, acc_f) = (results[1], results[2]);
-        // Epilogue: O = acc / l, stored at [pid_bh, o_qm + i, :].
-        let le = b.expand_dims(l_f, 1);
-        let lb = b.broadcast_to(le, vec![br, dh]);
-        let o_norm = b.div(acc_f, lb);
-        let offs_m = b.arange(0, br as i64);
-        let offs_d = b.arange(0, dh as i64);
-        let rows_g = b.add(offs_m, o_qm);
-        let re = b.expand_dims(rows_g, 1);
-        let rb = b.broadcast_to(re, vec![br, dh]);
-        let c_dh = b.const_i32(dh as i64);
-        let dh_splat = b.splat(c_dh, vec![br, dh]);
-        let row_off = b.mul(rb, dh_splat);
-        let de = b.expand_dims(offs_d, 0);
-        let db = b.broadcast_to(de, vec![br, dh]);
-        let within = b.add(row_off, db);
-        // (batch, head) plane offset: pid_bh · L · Dh.
-        let ld = b.mul(l_arg, c_dh);
-        let plane = b.mul(pid_bh, ld);
-        let plane_splat = b.splat(plane, vec![br, dh]);
-        let offs = b.add(within, plane_splat);
-        let addrs = b.addptr(o_ptr, offs);
-        let out = b.cast(o_norm, dt);
-        b.store(addrs, out);
+    let qkv_shape = vec![cfg.batch * cfg.heads, cfg.seq_len, dh];
+
+    let mut k = KernelBuilder::new("mha_fwd");
+    let q_desc = k.desc_param(dt, qkv_shape.clone());
+    let k_desc = k.desc_param(dt, qkv_shape.clone());
+    let v_desc = k.desc_param(dt, qkv_shape.clone());
+    let o_ptr = k.ptr_param(dt, qkv_shape);
+    let l_arg = k.i32_param(cfg.seq_len as i64);
+
+    let pid_q = k.program_id(0);
+    let pid_bh = k.program_id(1);
+    let c_br = k.i32(br as i64);
+    let c_bc = k.i32(bc as i64);
+    let zero = k.i32(0);
+    let o_qm = k.mul(pid_q, c_br);
+    let q = k.tma_load(q_desc, &[pid_bh, o_qm, zero], [br, dh]);
+    let m0 = k.full::<F32>([br], -1.0e30);
+    let l0 = k.zeros::<F32>([br]);
+    let acc0 = k.zeros::<F32>([br, dh]);
+    let lo = k.i32(0);
+    // Non-causal: all L/Bc tiles. Causal: tiles covering rows
+    // 0 ..= (pid_q+1)·Br - 1, i.e. cdiv((pid_q+1)·Br, Bc).
+    let full_hi = k.cdiv(l_arg, c_bc);
+    let hi = if causal {
+        let one = k.i32(1);
+        let next = k.add(pid_q, one);
+        let rows = k.mul(next, c_br);
+        let tiles = k.cdiv(rows, c_bc);
+        k.min(tiles, full_hi)
+    } else {
+        full_hi
+    };
+    let step = k.i32(1);
+    let (_, l_f, acc_f) = k.for_range(lo, hi, step, (m0, l0, acc0), |k, j, (m_i, l_i, acc)| {
+        let o_kv = k.mul(j, c_bc);
+        let k_t = k.tma_load(k_desc, &[pid_bh, o_kv, zero], [bc, dh]);
+        let v_t = k.tma_load(v_desc, &[pid_bh, o_kv, zero], [bc, dh]);
+        // T stage: S = Q · Kᵀ (scaled).
+        let ktt = k.transpose(k_t);
+        let s_zero = k.zeros::<F32>([br, bc]);
+        let s_raw = k.dot(q, ktt, s_zero);
+        let scale_s = k.f32(qk_scale);
+        let scale = k.splat(scale_s, [br, bc]);
+        let mut s = k.mul(s_raw, scale);
+        if causal {
+            // Mask the upper-triangular part of the diagonal tile:
+            // valid iff o_qm + row >= o_kv + col.
+            let rows = k.arange(0, br as i64);
+            let rows_g = k.add(rows, o_qm);
+            let cols = k.arange(0, bc as i64);
+            let cols_g = k.add(cols, o_kv);
+            let re = k.expand_dims(rows_g, 1);
+            let rb = k.broadcast_to(re, [br, bc]);
+            let ce = k.expand_dims(cols_g, 0);
+            let cb = k.broadcast_to(ce, [br, bc]);
+            let mask = k.cmp(CmpPred::Ge, rb, cb);
+            let neg_s = k.f32(-1.0e30);
+            let neg = k.splat(neg_s, [br, bc]);
+            s = k.select(mask, s, neg);
+        }
+        // C stage: online softmax.
+        let row_max = k.reduce_max(s, 1);
+        let m_new = k.max(m_i, row_max);
+        let me = k.expand_dims(m_new, 1);
+        let mb = k.broadcast_to(me, [br, bc]);
+        let s_shift = k.sub(s, mb);
+        let p = k.exp2(s_shift);
+        let alpha_arg = k.sub(m_i, m_new);
+        let alpha = k.exp2(alpha_arg);
+        let p_sum = k.reduce_sum(p, 1);
+        let l_scaled = k.mul(l_i, alpha);
+        let l_new = k.add(l_scaled, p_sum);
+        // U stage: O += P · V (with rescale of the accumulator).
+        let ae = k.expand_dims(alpha, 1);
+        let ab = k.broadcast_to(ae, [br, dh]);
+        let acc_scaled = k.mul(acc, ab);
+        let p_cast = k.cast_dt(p, dt);
+        let acc_new = k.dot(p_cast, v_t, acc_scaled);
+        (m_new, l_new, acc_new)
     });
+    // Epilogue: O = acc / l, stored at [pid_bh, o_qm + i, :].
+    let le = k.expand_dims(l_f, 1);
+    let lb = k.broadcast_to(le, [br, dh]);
+    let o_norm = k.div(acc_f, lb);
+    let offs_m = k.arange(0, br as i64);
+    let offs_d = k.arange(0, dh as i64);
+    let rows_g = k.add(offs_m, o_qm);
+    let re = k.expand_dims(rows_g, 1);
+    let rb = k.broadcast_to(re, [br, dh]);
+    let c_dh = k.i32(dh as i64);
+    let dh_splat = k.splat(c_dh, [br, dh]);
+    let row_off = k.mul(rb, dh_splat);
+    let de = k.expand_dims(offs_d, 0);
+    let db = k.broadcast_to(de, [br, dh]);
+    let within = k.add(row_off, db);
+    // (batch, head) plane offset: pid_bh · L · Dh.
+    let ld = k.mul(l_arg, c_dh);
+    let plane = k.mul(pid_bh, ld);
+    let plane_splat = k.splat(plane, [br, dh]);
+    let offs = k.add(within, plane_splat);
+    let addrs = k.addptr(o_ptr, offs);
+    let out = k.cast_dt(o_norm, dt);
+    k.store(addrs, out);
 
     let bh = (cfg.batch * cfg.heads) as u64;
     let classes = if causal {
@@ -150,54 +151,31 @@ pub fn attention(cfg: &AttentionConfig) -> (Module, LaunchSpec) {
             multiplicity: cfg.q_tiles() * bh,
         }]
     };
-    let qkv_shape = vec![cfg.batch * cfg.heads, cfg.seq_len, dh];
-    let spec = LaunchSpec {
-        params: vec![
-            ParamValue::Global {
-                shape: qkv_shape.clone(),
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: qkv_shape.clone(),
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: qkv_shape.clone(),
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: qkv_shape,
-                dtype: dt,
-            },
-            ParamValue::Int(cfg.seq_len as i64),
-        ],
-        classes,
-        grid_dims: [cfg.q_tiles(), bh, 1],
-        useful_flops: cfg.flops(),
-    };
-    (module, spec)
+    k.launch(classes, [cfg.q_tiles(), bh, 1], cfg.flops());
+    k.finish().expect("attention zoo kernel is well-formed")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tawa_ir::op::OpKind;
+    use tawa_ir::types::DType;
     use tawa_ir::verify::verify_module;
 
     #[test]
     fn attention_module_verifies() {
         for causal in [false, true] {
             let cfg = AttentionConfig::paper(1024, causal, DType::F16);
-            let (m, spec) = attention(&cfg);
-            verify_module(&m).unwrap_or_else(|e| panic!("causal={causal}: {e:?}"));
-            assert_eq!(spec.grid_size(), cfg.grid());
+            let p = attention(&cfg);
+            verify_module(p.module()).unwrap_or_else(|e| panic!("causal={causal}: {e:?}"));
+            assert_eq!(p.spec().grid_size(), cfg.grid());
         }
     }
 
     #[test]
     fn attention_has_two_dots_and_softmax() {
-        let (m, _) = attention(&AttentionConfig::paper(1024, false, DType::F16));
-        let f = &m.funcs[0];
+        let p = attention(&AttentionConfig::paper(1024, false, DType::F16));
+        let f = &p.module().funcs[0];
         let kinds: Vec<OpKind> = f.walk().iter().map(|&o| f.op(o).kind).collect();
         assert_eq!(kinds.iter().filter(|&&k| k == OpKind::Dot).count(), 2);
         assert!(kinds.contains(&OpKind::Exp2));
@@ -213,16 +191,16 @@ mod tests {
     #[test]
     fn causal_enumerates_classes() {
         let cfg = AttentionConfig::paper(2048, true, DType::F16);
-        let (_, spec) = attention(&cfg);
-        assert_eq!(spec.classes.len(), 16);
-        assert_eq!(spec.classes[3].pid[0], 3);
-        assert!(spec.grid_size() == cfg.grid());
+        let p = attention(&cfg);
+        assert_eq!(p.spec().classes.len(), 16);
+        assert_eq!(p.spec().classes[3].pid[0], 3);
+        assert!(p.spec().grid_size() == cfg.grid());
     }
 
     #[test]
     fn causal_ir_uses_select_mask() {
-        let (m, _) = attention(&AttentionConfig::paper(1024, true, DType::F16));
-        let f = &m.funcs[0];
+        let p = attention(&AttentionConfig::paper(1024, true, DType::F16));
+        let f = &p.module().funcs[0];
         let kinds: Vec<OpKind> = f.walk().iter().map(|&o| f.op(o).kind).collect();
         assert!(kinds.contains(&OpKind::Select));
         assert!(kinds.contains(&OpKind::Cmp));
@@ -231,8 +209,8 @@ mod tests {
 
     #[test]
     fn attention_roundtrips_through_printer() {
-        let (m, _) = attention(&AttentionConfig::paper(1024, true, DType::F8E4M3));
-        let s = tawa_ir::print::print_module(&m);
+        let p = attention(&AttentionConfig::paper(1024, true, DType::F8E4M3));
+        let s = tawa_ir::print::print_module(p.module());
         let m2 = tawa_ir::parse::parse_module(&s).expect("reparse");
         assert_eq!(tawa_ir::print::print_module(&m2), s);
     }

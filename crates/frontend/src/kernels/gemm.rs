@@ -1,187 +1,144 @@
 //! Triton-style GEMM kernels (plain, batched and grouped), mirroring the
 //! paper's Fig. 2b program structure: TMA tile loads inside a K-loop
 //! feeding `tl.dot`, with a pointer-arithmetic epilogue store.
+//!
+//! Written in [`crate::dsl`] — the kernels are precision-generic
+//! (`GemmConfig::dtype` selects FP16 or FP8 at build time), so tiles use
+//! the dynamic [`crate::dsl::elem::Any`] element marker while the `f32`
+//! accumulator is statically typed.
 
-use tawa_ir::builder::build_module;
-use tawa_ir::func::Module;
-use tawa_ir::spec::{LaunchSpec, ParamValue};
-use tawa_ir::types::{DType, Type};
+use tawa_ir::spec::SpecClass;
 
 use crate::config::GemmConfig;
+use crate::dsl::elem::F32;
+use crate::dsl::{KernelBuilder, Program};
 
-/// Builds the GEMM kernel module and its launch specialization.
+/// Builds the GEMM kernel and its launch specialization.
 ///
 /// Parameters (in order): `a_desc: desc<dt>`, `b_desc: desc<dt>`,
 /// `c_ptr: ptr<dt>`, `M: i32`, `N: i32`, `K: i32`.
 ///
 /// The kernel computes `C = A · Bᵀ` with `A: M×K`, `B: N×K` (K-major B, as
 /// in the paper, so both operands stream K-contiguous tiles through TMA).
-pub fn gemm(cfg: &GemmConfig) -> (Module, LaunchSpec) {
+pub fn gemm(cfg: &GemmConfig) -> Program {
     assert_eq!(cfg.batch, 1, "use batched_gemm for batch > 1");
     let (mt, nt, kt) = (cfg.tile.m, cfg.tile.n, cfg.tile.k);
     let dt = cfg.dtype;
-    let params = [
-        Type::TensorDesc(dt),
-        Type::TensorDesc(dt),
-        Type::Ptr(dt),
-        Type::i32(),
-        Type::i32(),
-        Type::i32(),
-    ];
-    let module = build_module("matmul", &params, |b, args| {
-        let (a_desc, b_desc, c_ptr) = (args[0], args[1], args[2]);
-        let (m_arg, n_arg, k_arg) = (args[3], args[4], args[5]);
-        let pid = b.program_id(0);
-        let c_mt = b.const_i32(mt as i64);
-        let c_nt = b.const_i32(nt as i64);
-        let c_kt = b.const_i32(kt as i64);
-        let num_pid_m = b.cdiv(m_arg, c_mt);
-        let pid_m = b.rem(pid, num_pid_m);
-        let pid_n = b.div(pid, num_pid_m);
-        let o_am = b.mul(pid_m, c_mt);
-        let o_bn = b.mul(pid_n, c_nt);
-        let acc0 = b.zeros(vec![mt, nt], DType::F32);
-        b.func().set_name_hint(acc0, "acc");
-        let o_k0 = b.const_i32(0);
-        let lo = b.const_i32(0);
-        let hi = b.cdiv(k_arg, c_kt);
-        let step = b.const_i32(1);
-        let results = b.for_loop(lo, hi, step, &[acc0, o_k0], |b, _k, iters| {
-            let (acc, o_k) = (iters[0], iters[1]);
-            let a = b.tma_load(a_desc, &[o_am, o_k], vec![mt, kt]);
-            let bt = b.tma_load(b_desc, &[o_bn, o_k], vec![nt, kt]);
-            let btt = b.transpose(bt);
-            let acc2 = b.dot(a, btt, acc);
-            let o_k2 = b.add(o_k, c_kt);
-            vec![acc2, o_k2]
-        });
-        let acc = results[0];
-        // Epilogue: C[pid_m·Mt + i, pid_n·Nt + j] = acc[i, j].
-        let offs_m = b.arange(0, mt as i64);
-        let offs_n = b.arange(0, nt as i64);
-        let offs_cm = b.add(offs_m, o_am);
-        let offs_cn = b.add(offs_n, o_bn);
-        let em = b.expand_dims(offs_cm, 1);
-        let bm = b.broadcast_to(em, vec![mt, nt]);
-        let en = b.expand_dims(offs_cn, 0);
-        let bn = b.broadcast_to(en, vec![mt, nt]);
-        let n_splat = b.splat(n_arg, vec![mt, nt]);
-        let row_scaled = b.mul(bm, n_splat);
-        let offs = b.add(row_scaled, bn);
-        let addrs = b.addptr(c_ptr, offs);
-        let out = b.cast(acc, dt);
-        b.store(addrs, out);
+    let mut k = KernelBuilder::new("matmul");
+    let a_desc = k.desc_param(dt, [cfg.m, cfg.k]);
+    let b_desc = k.desc_param(dt, [cfg.n, cfg.k]);
+    let c_ptr = k.ptr_param(dt, [cfg.m, cfg.n]);
+    let m_arg = k.i32_param(cfg.m as i64);
+    let n_arg = k.i32_param(cfg.n as i64);
+    let k_arg = k.i32_param(cfg.k as i64);
+
+    let pid = k.program_id(0);
+    let c_mt = k.i32(mt as i64);
+    let c_nt = k.i32(nt as i64);
+    let c_kt = k.i32(kt as i64);
+    let num_pid_m = k.cdiv(m_arg, c_mt);
+    let pid_m = k.rem(pid, num_pid_m);
+    let pid_n = k.div(pid, num_pid_m);
+    let o_am = k.mul(pid_m, c_mt);
+    let o_bn = k.mul(pid_n, c_nt);
+    let acc0 = k.zeros::<F32>([mt, nt]);
+    k.name(acc0, "acc");
+    let o_k0 = k.i32(0);
+    let lo = k.i32(0);
+    let hi = k.cdiv(k_arg, c_kt);
+    let step = k.i32(1);
+    let (acc, _) = k.for_range(lo, hi, step, (acc0, o_k0), |k, _kv, (acc, o_k)| {
+        let a = k.tma_load(a_desc, &[o_am, o_k], [mt, kt]);
+        let bt = k.tma_load(b_desc, &[o_bn, o_k], [nt, kt]);
+        let btt = k.transpose(bt);
+        let acc2 = k.dot(a, btt, acc);
+        let o_k2 = k.add(o_k, c_kt);
+        (acc2, o_k2)
     });
-    let spec = LaunchSpec::uniform(
-        vec![
-            ParamValue::Global {
-                shape: vec![cfg.m, cfg.k],
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: vec![cfg.n, cfg.k],
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: vec![cfg.m, cfg.n],
-                dtype: dt,
-            },
-            ParamValue::Int(cfg.m as i64),
-            ParamValue::Int(cfg.n as i64),
-            ParamValue::Int(cfg.k as i64),
-        ],
-        cfg.grid(),
-        cfg.flops(),
-    );
-    (module, spec)
+    // Epilogue: C[pid_m·Mt + i, pid_n·Nt + j] = acc[i, j].
+    let offs_m = k.arange(0, mt as i64);
+    let offs_n = k.arange(0, nt as i64);
+    let offs_cm = k.add(offs_m, o_am);
+    let offs_cn = k.add(offs_n, o_bn);
+    let em = k.expand_dims(offs_cm, 1);
+    let bm = k.broadcast_to(em, [mt, nt]);
+    let en = k.expand_dims(offs_cn, 0);
+    let bn = k.broadcast_to(en, [mt, nt]);
+    let n_splat = k.splat(n_arg, [mt, nt]);
+    let row_scaled = k.mul(bm, n_splat);
+    let offs = k.add(row_scaled, bn);
+    let addrs = k.addptr(c_ptr, offs);
+    let out = k.cast_dt(acc, dt);
+    k.store(addrs, out);
+    k.launch_uniform(cfg.grid(), cfg.flops());
+    k.finish().expect("gemm zoo kernel is well-formed")
 }
 
 /// Batched GEMM: identical inner structure with a third descriptor
 /// coordinate selecting the batch (`program_id(1)`).
-pub fn batched_gemm(cfg: &GemmConfig) -> (Module, LaunchSpec) {
+pub fn batched_gemm(cfg: &GemmConfig) -> Program {
     assert!(cfg.batch > 1, "use gemm for batch == 1");
     let (mt, nt, kt) = (cfg.tile.m, cfg.tile.n, cfg.tile.k);
     let dt = cfg.dtype;
-    let params = [
-        Type::TensorDesc(dt),
-        Type::TensorDesc(dt),
-        Type::Ptr(dt),
-        Type::i32(),
-        Type::i32(),
-        Type::i32(),
-    ];
-    let module = build_module("batched_matmul", &params, |b, args| {
-        let (a_desc, b_desc, c_ptr) = (args[0], args[1], args[2]);
-        let (m_arg, n_arg, k_arg) = (args[3], args[4], args[5]);
-        let pid = b.program_id(0);
-        let pid_b = b.program_id(1);
-        let c_mt = b.const_i32(mt as i64);
-        let c_nt = b.const_i32(nt as i64);
-        let c_kt = b.const_i32(kt as i64);
-        let num_pid_m = b.cdiv(m_arg, c_mt);
-        let pid_m = b.rem(pid, num_pid_m);
-        let pid_n = b.div(pid, num_pid_m);
-        let o_am = b.mul(pid_m, c_mt);
-        let o_bn = b.mul(pid_n, c_nt);
-        let acc0 = b.zeros(vec![mt, nt], DType::F32);
-        let o_k0 = b.const_i32(0);
-        let lo = b.const_i32(0);
-        let hi = b.cdiv(k_arg, c_kt);
-        let step = b.const_i32(1);
-        let results = b.for_loop(lo, hi, step, &[acc0, o_k0], |b, _k, iters| {
-            let (acc, o_k) = (iters[0], iters[1]);
-            let a = b.tma_load(a_desc, &[pid_b, o_am, o_k], vec![mt, kt]);
-            let bt = b.tma_load(b_desc, &[pid_b, o_bn, o_k], vec![nt, kt]);
-            let btt = b.transpose(bt);
-            let acc2 = b.dot(a, btt, acc);
-            let o_k2 = b.add(o_k, c_kt);
-            vec![acc2, o_k2]
-        });
-        let acc = results[0];
-        let offs_m = b.arange(0, mt as i64);
-        let offs_n = b.arange(0, nt as i64);
-        let offs_cm = b.add(offs_m, o_am);
-        let offs_cn = b.add(offs_n, o_bn);
-        let em = b.expand_dims(offs_cm, 1);
-        let bm = b.broadcast_to(em, vec![mt, nt]);
-        let en = b.expand_dims(offs_cn, 0);
-        let bn = b.broadcast_to(en, vec![mt, nt]);
-        let n_splat = b.splat(n_arg, vec![mt, nt]);
-        let row_scaled = b.mul(bm, n_splat);
-        let within = b.add(row_scaled, bn);
-        // Batch offset: pid_b · M · N.
-        let mn = b.mul(m_arg, n_arg);
-        let batch_off = b.mul(pid_b, mn);
-        let batch_splat = b.splat(batch_off, vec![mt, nt]);
-        let offs = b.add(within, batch_splat);
-        let addrs = b.addptr(c_ptr, offs);
-        let out = b.cast(acc, dt);
-        b.store(addrs, out);
+    let mut k = KernelBuilder::new("batched_matmul");
+    let a_desc = k.desc_param(dt, [cfg.batch, cfg.m, cfg.k]);
+    let b_desc = k.desc_param(dt, [cfg.batch, cfg.n, cfg.k]);
+    let c_ptr = k.ptr_param(dt, [cfg.batch, cfg.m, cfg.n]);
+    let m_arg = k.i32_param(cfg.m as i64);
+    let n_arg = k.i32_param(cfg.n as i64);
+    let k_arg = k.i32_param(cfg.k as i64);
+
+    let pid = k.program_id(0);
+    let pid_b = k.program_id(1);
+    let c_mt = k.i32(mt as i64);
+    let c_nt = k.i32(nt as i64);
+    let c_kt = k.i32(kt as i64);
+    let num_pid_m = k.cdiv(m_arg, c_mt);
+    let pid_m = k.rem(pid, num_pid_m);
+    let pid_n = k.div(pid, num_pid_m);
+    let o_am = k.mul(pid_m, c_mt);
+    let o_bn = k.mul(pid_n, c_nt);
+    let acc0 = k.zeros::<F32>([mt, nt]);
+    let o_k0 = k.i32(0);
+    let lo = k.i32(0);
+    let hi = k.cdiv(k_arg, c_kt);
+    let step = k.i32(1);
+    let (acc, _) = k.for_range(lo, hi, step, (acc0, o_k0), |k, _kv, (acc, o_k)| {
+        let a = k.tma_load(a_desc, &[pid_b, o_am, o_k], [mt, kt]);
+        let bt = k.tma_load(b_desc, &[pid_b, o_bn, o_k], [nt, kt]);
+        let btt = k.transpose(bt);
+        let acc2 = k.dot(a, btt, acc);
+        let o_k2 = k.add(o_k, c_kt);
+        (acc2, o_k2)
     });
-    let spec = LaunchSpec::uniform(
-        vec![
-            ParamValue::Global {
-                shape: vec![cfg.batch, cfg.m, cfg.k],
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: vec![cfg.batch, cfg.n, cfg.k],
-                dtype: dt,
-            },
-            ParamValue::Global {
-                shape: vec![cfg.batch, cfg.m, cfg.n],
-                dtype: dt,
-            },
-            ParamValue::Int(cfg.m as i64),
-            ParamValue::Int(cfg.n as i64),
-            ParamValue::Int(cfg.k as i64),
-        ],
-        cfg.grid(),
+    let offs_m = k.arange(0, mt as i64);
+    let offs_n = k.arange(0, nt as i64);
+    let offs_cm = k.add(offs_m, o_am);
+    let offs_cn = k.add(offs_n, o_bn);
+    let em = k.expand_dims(offs_cm, 1);
+    let bm = k.broadcast_to(em, [mt, nt]);
+    let en = k.expand_dims(offs_cn, 0);
+    let bn = k.broadcast_to(en, [mt, nt]);
+    let n_splat = k.splat(n_arg, [mt, nt]);
+    let row_scaled = k.mul(bm, n_splat);
+    let within = k.add(row_scaled, bn);
+    // Batch offset: pid_b · M · N.
+    let mn = k.mul(m_arg, n_arg);
+    let batch_off = k.mul(pid_b, mn);
+    let batch_splat = k.splat(batch_off, [mt, nt]);
+    let offs = k.add(within, batch_splat);
+    let addrs = k.addptr(c_ptr, offs);
+    let out = k.cast_dt(acc, dt);
+    k.store(addrs, out);
+    k.launch(
+        vec![SpecClass {
+            pid: [0, 0, 0],
+            multiplicity: cfg.grid(),
+        }],
+        [cfg.grid() / cfg.batch as u64, cfg.batch as u64, 1],
         cfg.flops(),
     );
-    let mut spec = spec;
-    spec.grid_dims = [cfg.grid() / cfg.batch as u64, cfg.batch as u64, 1];
-    (module, spec)
+    k.finish().expect("batched gemm zoo kernel is well-formed")
 }
 
 #[cfg(test)]
@@ -189,20 +146,21 @@ mod tests {
     use super::*;
     use tawa_ir::op::OpKind;
     use tawa_ir::print::print_module;
+    use tawa_ir::types::DType;
     use tawa_ir::verify::verify_module;
 
     #[test]
     fn gemm_module_verifies() {
-        let (m, spec) = gemm(&GemmConfig::new(512, 512, 256));
-        verify_module(&m).expect("gemm IR must verify");
-        assert_eq!(spec.grid_size(), 4 * 4);
-        assert_eq!(spec.int(5), 256);
+        let p = gemm(&GemmConfig::new(512, 512, 256));
+        verify_module(p.module()).expect("gemm IR must verify");
+        assert_eq!(p.spec().grid_size(), 4 * 4);
+        assert_eq!(p.spec().int(5), 256);
     }
 
     #[test]
     fn gemm_has_expected_ops() {
-        let (m, _) = gemm(&GemmConfig::new(512, 512, 256));
-        let f = &m.funcs[0];
+        let p = gemm(&GemmConfig::new(512, 512, 256));
+        let f = &p.module().funcs[0];
         let kinds: Vec<OpKind> = f.walk().iter().map(|&o| f.op(o).kind).collect();
         assert_eq!(
             kinds.iter().filter(|&&k| k == OpKind::TmaLoad).count(),
@@ -215,19 +173,29 @@ mod tests {
     }
 
     #[test]
+    fn gemm_ops_carry_source_locations() {
+        let p = gemm(&GemmConfig::new(512, 512, 256));
+        let f = &p.module().funcs[0];
+        let located = f.walk().iter().filter(|&&o| f.loc(o).is_some()).count();
+        assert_eq!(located, f.walk().len(), "every op has a DSL call site");
+        let loc = f.loc(f.walk()[0]).unwrap();
+        assert!(loc.file.ends_with("gemm.rs"), "{loc}");
+    }
+
+    #[test]
     fn gemm_prints_and_reparses() {
-        let (m, _) = gemm(&GemmConfig::new(256, 256, 128));
-        let s = print_module(&m);
+        let p = gemm(&GemmConfig::new(256, 256, 128));
+        let s = print_module(p.module());
         let m2 = tawa_ir::parse::parse_module(&s).expect("reparse");
         assert_eq!(print_module(&m2), s);
     }
 
     #[test]
     fn batched_gemm_verifies() {
-        let (m, spec) = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(8));
-        verify_module(&m).expect("batched gemm IR must verify");
-        assert_eq!(spec.grid_size(), 8 * 8 * 8);
-        let f = &m.funcs[0];
+        let p = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(8));
+        verify_module(p.module()).expect("batched gemm IR must verify");
+        assert_eq!(p.spec().grid_size(), 8 * 8 * 8);
+        let f = &p.module().funcs[0];
         // Loads carry the batch coordinate: 3 coords + desc = 4 operands.
         let loads: Vec<_> = f
             .walk()
@@ -239,8 +207,8 @@ mod tests {
 
     #[test]
     fn fp8_gemm_types() {
-        let (m, _) = gemm(&GemmConfig::new(256, 256, 128).with_dtype(DType::F8E4M3));
-        let f = &m.funcs[0];
+        let p = gemm(&GemmConfig::new(256, 256, 128).with_dtype(DType::F8E4M3));
+        let f = &p.module().funcs[0];
         let load = f
             .walk()
             .into_iter()

@@ -6,19 +6,21 @@
 //! that do not fuse pay one kernel launch (plus a wave tail) per group
 //! (paper §V-C). The fused kernel body is identical to plain GEMM — only
 //! the CTA→(group, tile) mapping differs, which is pure address arithmetic
-//! and does not change the pipelined loop structure.
+//! and does not change the pipelined loop structure — so the builder
+//! re-specializes the DSL-built GEMM [`Program`] with a grouped launch
+//! ([`Program::with_launch`]).
 
-use tawa_ir::func::Module;
 use tawa_ir::spec::{LaunchSpec, ParamValue, SpecClass};
 
 use crate::config::{GemmConfig, GroupedGemmConfig};
+use crate::dsl::Program;
 use crate::kernels::gemm::gemm;
 
-/// Builds the fused grouped-GEMM module and launch spec.
+/// Builds the fused grouped-GEMM program.
 ///
 /// All groups share `N` and `K`, so every CTA runs the same K-loop trip
 /// count; the grid covers the union of all groups' output tiles.
-pub fn grouped_gemm(cfg: &GroupedGemmConfig) -> (Module, LaunchSpec) {
+pub fn grouped_gemm(cfg: &GroupedGemmConfig) -> Program {
     assert!(!cfg.group_ms.is_empty(), "grouped gemm needs >= 1 group");
     let total_m: usize = cfg.group_ms.iter().sum();
     let fused = GemmConfig {
@@ -29,7 +31,6 @@ pub fn grouped_gemm(cfg: &GroupedGemmConfig) -> (Module, LaunchSpec) {
         dtype: cfg.dtype,
         tile: cfg.tile,
     };
-    let (module, _) = gemm(&fused);
     // One class per group (they share trip counts but harnesses report
     // per-group shares; multiplicity is the group's tile count).
     let tn = cfg.n.div_ceil(cfg.tile.n) as u64;
@@ -64,7 +65,7 @@ pub fn grouped_gemm(cfg: &GroupedGemmConfig) -> (Module, LaunchSpec) {
         classes,
         useful_flops: cfg.flops(),
     };
-    (module, spec)
+    gemm(&fused).with_launch(spec)
 }
 
 #[cfg(test)]
@@ -75,23 +76,23 @@ mod tests {
     #[test]
     fn grouped_gemm_verifies_and_counts_tiles() {
         let cfg = GroupedGemmConfig::paper_sweep(4);
-        let (m, spec) = grouped_gemm(&cfg);
-        verify_module(&m).expect("grouped gemm IR");
+        let p = grouped_gemm(&cfg);
+        verify_module(p.module()).expect("grouped gemm IR");
         // Groups of M = 512·g, tile 128 ⇒ 4g tiles of M each, N/128 = 32.
         let expected: u64 = (1..=4u64).map(|g| 4 * g * 32).sum();
-        assert_eq!(spec.grid_size(), expected);
-        assert_eq!(spec.classes.len(), 4);
+        assert_eq!(p.spec().grid_size(), expected);
+        assert_eq!(p.spec().classes.len(), 4);
     }
 
     #[test]
     fn grouped_flops_sum_groups() {
         let cfg = GroupedGemmConfig::paper_sweep(3);
-        let (_, spec) = grouped_gemm(&cfg);
+        let p = grouped_gemm(&cfg);
         let manual: f64 = cfg
             .to_gemms()
             .iter()
             .map(|g| 2.0 * g.m as f64 * g.n as f64 * g.k as f64)
             .sum();
-        assert!((spec.useful_flops - manual).abs() < 1.0);
+        assert!((p.spec().useful_flops - manual).abs() < 1.0);
     }
 }

@@ -1,6 +1,9 @@
 //! The kernel zoo: tile-level programs matching the paper's evaluation
-//! workloads, written against the `tawa-ir` builder exactly the way a
-//! Triton user writes Python — with no warp-specialization annotations.
+//! workloads, written in the [`crate::dsl`] authoring API exactly the way
+//! a Triton user writes Python — with no warp-specialization annotations.
+//! Every builder returns a [`crate::dsl::Program`] (module + launch spec);
+//! the zoo is also living documentation of the DSL, and `tests/e2e_dsl.rs`
+//! pins its IR byte-for-byte against hand-built reference modules.
 
 pub mod attention;
 pub mod gemm;

@@ -1,9 +1,14 @@
 //! # tawa-frontend
 //!
 //! The Triton-like tile-language frontend of the Tawa reproduction:
-//! workload configurations ([`config`]) and a kernel zoo ([`kernels`])
-//! covering every workload in the paper's evaluation — GEMM (FP16/FP8),
-//! batched GEMM, grouped GEMM, and causal/non-causal multi-head attention.
+//!
+//! * [`dsl`] — the typed, source-located tile-program authoring API
+//!   ([`dsl::KernelBuilder`] → [`dsl::Program`]), the only public way to
+//!   write Tawa kernels;
+//! * [`kernels`] — the zoo covering every workload in the paper's
+//!   evaluation (GEMM FP16/FP8, batched GEMM, grouped GEMM, causal and
+//!   non-causal multi-head attention), written in the DSL;
+//! * [`config`] — workload configurations.
 //!
 //! Kernels are plain tile-level programs with **no warp-specialization
 //! annotations** — turning them into warp-specialized pipelines is entirely
@@ -16,14 +21,16 @@
 //! use tawa_frontend::kernels::gemm;
 //! use tawa_ir::verify::verify_module;
 //!
-//! let (module, spec) = gemm(&GemmConfig::new(512, 512, 256));
-//! assert!(verify_module(&module).is_ok());
-//! assert_eq!(spec.grid_size(), 16);
+//! let program = gemm(&GemmConfig::new(512, 512, 256));
+//! assert!(verify_module(program.module()).is_ok());
+//! assert_eq!(program.spec().grid_size(), 16);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dsl;
 pub mod kernels;
 
 pub use config::{AttentionConfig, GemmConfig, GroupedGemmConfig, Tile};
+pub use dsl::{KernelBuilder, Program};

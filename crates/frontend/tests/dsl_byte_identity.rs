@@ -1,0 +1,294 @@
+//! The DSL rebase of the kernel zoo must be a pure refactor: for every
+//! zoo kernel, the IR built through `tawa_frontend::dsl` is **byte
+//! identical** (canonical printed form, hence module fingerprint and every
+//! cache key derived from it) to the IR the pre-redesign raw-builder code
+//! produced. The reference builders below are verbatim copies of that
+//! code, kept here as the regression oracle.
+
+use tawa_frontend::config::{AttentionConfig, GemmConfig};
+use tawa_frontend::kernels::{attention, batched_gemm, gemm};
+use tawa_ir::builder::build_module;
+use tawa_ir::fingerprint::module_fingerprint;
+use tawa_ir::func::Module;
+use tawa_ir::print::print_module;
+use tawa_ir::types::{DType, Type};
+
+/// The pre-redesign `gemm` module builder (raw `tawa_ir::builder` code).
+fn reference_gemm(cfg: &GemmConfig) -> Module {
+    let (mt, nt, kt) = (cfg.tile.m, cfg.tile.n, cfg.tile.k);
+    let dt = cfg.dtype;
+    let params = [
+        Type::TensorDesc(dt),
+        Type::TensorDesc(dt),
+        Type::Ptr(dt),
+        Type::i32(),
+        Type::i32(),
+        Type::i32(),
+    ];
+    build_module("matmul", &params, |b, args| {
+        let (a_desc, b_desc, c_ptr) = (args[0], args[1], args[2]);
+        let (m_arg, n_arg, k_arg) = (args[3], args[4], args[5]);
+        let pid = b.program_id(0);
+        let c_mt = b.const_i32(mt as i64);
+        let c_nt = b.const_i32(nt as i64);
+        let c_kt = b.const_i32(kt as i64);
+        let num_pid_m = b.cdiv(m_arg, c_mt);
+        let pid_m = b.rem(pid, num_pid_m);
+        let pid_n = b.div(pid, num_pid_m);
+        let o_am = b.mul(pid_m, c_mt);
+        let o_bn = b.mul(pid_n, c_nt);
+        let acc0 = b.zeros(vec![mt, nt], DType::F32);
+        b.func().set_name_hint(acc0, "acc");
+        let o_k0 = b.const_i32(0);
+        let lo = b.const_i32(0);
+        let hi = b.cdiv(k_arg, c_kt);
+        let step = b.const_i32(1);
+        let results = b.for_loop(lo, hi, step, &[acc0, o_k0], |b, _k, iters| {
+            let (acc, o_k) = (iters[0], iters[1]);
+            let a = b.tma_load(a_desc, &[o_am, o_k], vec![mt, kt]);
+            let bt = b.tma_load(b_desc, &[o_bn, o_k], vec![nt, kt]);
+            let btt = b.transpose(bt);
+            let acc2 = b.dot(a, btt, acc);
+            let o_k2 = b.add(o_k, c_kt);
+            vec![acc2, o_k2]
+        });
+        let acc = results[0];
+        let offs_m = b.arange(0, mt as i64);
+        let offs_n = b.arange(0, nt as i64);
+        let offs_cm = b.add(offs_m, o_am);
+        let offs_cn = b.add(offs_n, o_bn);
+        let em = b.expand_dims(offs_cm, 1);
+        let bm = b.broadcast_to(em, vec![mt, nt]);
+        let en = b.expand_dims(offs_cn, 0);
+        let bn = b.broadcast_to(en, vec![mt, nt]);
+        let n_splat = b.splat(n_arg, vec![mt, nt]);
+        let row_scaled = b.mul(bm, n_splat);
+        let offs = b.add(row_scaled, bn);
+        let addrs = b.addptr(c_ptr, offs);
+        let out = b.cast(acc, dt);
+        b.store(addrs, out);
+    })
+}
+
+/// The pre-redesign `batched_gemm` module builder.
+fn reference_batched_gemm(cfg: &GemmConfig) -> Module {
+    let (mt, nt, kt) = (cfg.tile.m, cfg.tile.n, cfg.tile.k);
+    let dt = cfg.dtype;
+    let params = [
+        Type::TensorDesc(dt),
+        Type::TensorDesc(dt),
+        Type::Ptr(dt),
+        Type::i32(),
+        Type::i32(),
+        Type::i32(),
+    ];
+    build_module("batched_matmul", &params, |b, args| {
+        let (a_desc, b_desc, c_ptr) = (args[0], args[1], args[2]);
+        let (m_arg, n_arg, k_arg) = (args[3], args[4], args[5]);
+        let pid = b.program_id(0);
+        let pid_b = b.program_id(1);
+        let c_mt = b.const_i32(mt as i64);
+        let c_nt = b.const_i32(nt as i64);
+        let c_kt = b.const_i32(kt as i64);
+        let num_pid_m = b.cdiv(m_arg, c_mt);
+        let pid_m = b.rem(pid, num_pid_m);
+        let pid_n = b.div(pid, num_pid_m);
+        let o_am = b.mul(pid_m, c_mt);
+        let o_bn = b.mul(pid_n, c_nt);
+        let acc0 = b.zeros(vec![mt, nt], DType::F32);
+        let o_k0 = b.const_i32(0);
+        let lo = b.const_i32(0);
+        let hi = b.cdiv(k_arg, c_kt);
+        let step = b.const_i32(1);
+        let results = b.for_loop(lo, hi, step, &[acc0, o_k0], |b, _k, iters| {
+            let (acc, o_k) = (iters[0], iters[1]);
+            let a = b.tma_load(a_desc, &[pid_b, o_am, o_k], vec![mt, kt]);
+            let bt = b.tma_load(b_desc, &[pid_b, o_bn, o_k], vec![nt, kt]);
+            let btt = b.transpose(bt);
+            let acc2 = b.dot(a, btt, acc);
+            let o_k2 = b.add(o_k, c_kt);
+            vec![acc2, o_k2]
+        });
+        let acc = results[0];
+        let offs_m = b.arange(0, mt as i64);
+        let offs_n = b.arange(0, nt as i64);
+        let offs_cm = b.add(offs_m, o_am);
+        let offs_cn = b.add(offs_n, o_bn);
+        let em = b.expand_dims(offs_cm, 1);
+        let bm = b.broadcast_to(em, vec![mt, nt]);
+        let en = b.expand_dims(offs_cn, 0);
+        let bn = b.broadcast_to(en, vec![mt, nt]);
+        let n_splat = b.splat(n_arg, vec![mt, nt]);
+        let row_scaled = b.mul(bm, n_splat);
+        let within = b.add(row_scaled, bn);
+        let mn = b.mul(m_arg, n_arg);
+        let batch_off = b.mul(pid_b, mn);
+        let batch_splat = b.splat(batch_off, vec![mt, nt]);
+        let offs = b.add(within, batch_splat);
+        let addrs = b.addptr(c_ptr, offs);
+        let out = b.cast(acc, dt);
+        b.store(addrs, out);
+    })
+}
+
+/// The pre-redesign `attention` module builder.
+fn reference_attention(cfg: &AttentionConfig) -> Module {
+    let (br, bc, dh) = (cfg.block_m, cfg.block_n, cfg.head_dim);
+    let dt = cfg.dtype;
+    let causal = cfg.causal;
+    let qk_scale = (1.0 / (dh as f64).sqrt()) * std::f64::consts::LOG2_E;
+    let params = [
+        Type::TensorDesc(dt),
+        Type::TensorDesc(dt),
+        Type::TensorDesc(dt),
+        Type::Ptr(dt),
+        Type::i32(),
+    ];
+    build_module("mha_fwd", &params, |b, args| {
+        let (q_desc, k_desc, v_desc, o_ptr, l_arg) = (args[0], args[1], args[2], args[3], args[4]);
+        let pid_q = b.program_id(0);
+        let pid_bh = b.program_id(1);
+        let c_br = b.const_i32(br as i64);
+        let c_bc = b.const_i32(bc as i64);
+        let zero = b.const_i32(0);
+        let o_qm = b.mul(pid_q, c_br);
+        let q = b.tma_load(q_desc, &[pid_bh, o_qm, zero], vec![br, dh]);
+        let m0 = b.const_tensor(-1.0e30, vec![br], DType::F32);
+        let l0 = b.zeros(vec![br], DType::F32);
+        let acc0 = b.zeros(vec![br, dh], DType::F32);
+        let lo = b.const_i32(0);
+        let full_hi = b.cdiv(l_arg, c_bc);
+        let hi = if causal {
+            let one = b.const_i32(1);
+            let next = b.add(pid_q, one);
+            let rows = b.mul(next, c_br);
+            let tiles = b.cdiv(rows, c_bc);
+            b.min(tiles, full_hi)
+        } else {
+            full_hi
+        };
+        let step = b.const_i32(1);
+        let results = b.for_loop(lo, hi, step, &[m0, l0, acc0], |b, j, iters| {
+            let (m_i, l_i, acc) = (iters[0], iters[1], iters[2]);
+            let o_kv = b.mul(j, c_bc);
+            let k_t = b.tma_load(k_desc, &[pid_bh, o_kv, zero], vec![bc, dh]);
+            let v_t = b.tma_load(v_desc, &[pid_bh, o_kv, zero], vec![bc, dh]);
+            let ktt = b.transpose(k_t);
+            let s_zero = b.zeros(vec![br, bc], DType::F32);
+            let s_raw = b.dot(q, ktt, s_zero);
+            let scale_s = b.const_float(qk_scale, DType::F32);
+            let scale = b.splat(scale_s, vec![br, bc]);
+            let mut s = b.mul(s_raw, scale);
+            if causal {
+                let rows = b.arange(0, br as i64);
+                let rows_g = b.add(rows, o_qm);
+                let cols = b.arange(0, bc as i64);
+                let cols_g = b.add(cols, o_kv);
+                let re = b.expand_dims(rows_g, 1);
+                let rb = b.broadcast_to(re, vec![br, bc]);
+                let ce = b.expand_dims(cols_g, 0);
+                let cb = b.broadcast_to(ce, vec![br, bc]);
+                let mask = b.cmp(tawa_ir::op::CmpPred::Ge, rb, cb);
+                let neg_s = b.const_float(-1.0e30, DType::F32);
+                let neg = b.splat(neg_s, vec![br, bc]);
+                s = b.select(mask, s, neg);
+            }
+            let row_max = b.reduce_max(s, 1);
+            let m_new = b.max(m_i, row_max);
+            let me = b.expand_dims(m_new, 1);
+            let mb = b.broadcast_to(me, vec![br, bc]);
+            let s_shift = b.sub(s, mb);
+            let p = b.exp2(s_shift);
+            let alpha_arg = b.sub(m_i, m_new);
+            let alpha = b.exp2(alpha_arg);
+            let p_sum = b.reduce_sum(p, 1);
+            let l_scaled = b.mul(l_i, alpha);
+            let l_new = b.add(l_scaled, p_sum);
+            let ae = b.expand_dims(alpha, 1);
+            let ab = b.broadcast_to(ae, vec![br, dh]);
+            let acc_scaled = b.mul(acc, ab);
+            let p_cast = b.cast(p, dt);
+            let acc_new = b.dot(p_cast, v_t, acc_scaled);
+            vec![m_new, l_new, acc_new]
+        });
+        let (l_f, acc_f) = (results[1], results[2]);
+        let le = b.expand_dims(l_f, 1);
+        let lb = b.broadcast_to(le, vec![br, dh]);
+        let o_norm = b.div(acc_f, lb);
+        let offs_m = b.arange(0, br as i64);
+        let offs_d = b.arange(0, dh as i64);
+        let rows_g = b.add(offs_m, o_qm);
+        let re = b.expand_dims(rows_g, 1);
+        let rb = b.broadcast_to(re, vec![br, dh]);
+        let c_dh = b.const_i32(dh as i64);
+        let dh_splat = b.splat(c_dh, vec![br, dh]);
+        let row_off = b.mul(rb, dh_splat);
+        let de = b.expand_dims(offs_d, 0);
+        let db = b.broadcast_to(de, vec![br, dh]);
+        let within = b.add(row_off, db);
+        let ld = b.mul(l_arg, c_dh);
+        let plane = b.mul(pid_bh, ld);
+        let plane_splat = b.splat(plane, vec![br, dh]);
+        let offs = b.add(within, plane_splat);
+        let addrs = b.addptr(o_ptr, offs);
+        let out = b.cast(o_norm, dt);
+        b.store(addrs, out);
+    })
+}
+
+#[test]
+fn dsl_gemm_is_byte_identical_to_raw_builder() {
+    for cfg in [
+        GemmConfig::new(512, 512, 256),
+        GemmConfig::new(4096, 4096, 4096),
+        GemmConfig::new(1024, 1024, 512).with_dtype(DType::F8E4M3),
+    ] {
+        let dsl = gemm(&cfg);
+        let reference = reference_gemm(&cfg);
+        assert_eq!(print_module(dsl.module()), print_module(&reference));
+        assert_eq!(dsl.fingerprint(), module_fingerprint(&reference));
+    }
+}
+
+#[test]
+fn dsl_batched_gemm_is_byte_identical_to_raw_builder() {
+    let cfg = GemmConfig::new(1024, 1024, 1024).with_batch(8);
+    let dsl = batched_gemm(&cfg);
+    let reference = reference_batched_gemm(&cfg);
+    assert_eq!(print_module(dsl.module()), print_module(&reference));
+    assert_eq!(dsl.fingerprint(), module_fingerprint(&reference));
+}
+
+#[test]
+fn dsl_attention_is_byte_identical_to_raw_builder() {
+    for causal in [false, true] {
+        for dt in [DType::F16, DType::F8E4M3] {
+            let cfg = AttentionConfig::paper(1024, causal, dt);
+            let dsl = attention(&cfg);
+            let reference = reference_attention(&cfg);
+            assert_eq!(
+                print_module(dsl.module()),
+                print_module(&reference),
+                "causal={causal} dt={dt}"
+            );
+            assert_eq!(dsl.fingerprint(), module_fingerprint(&reference));
+        }
+    }
+}
+
+#[test]
+fn grouped_gemm_shares_the_fused_gemm_module() {
+    let cfg = tawa_frontend::config::GroupedGemmConfig::paper_sweep(3);
+    let grouped = tawa_frontend::kernels::grouped_gemm(&cfg);
+    let total_m: usize = cfg.group_ms.iter().sum();
+    let fused = GemmConfig {
+        m: total_m,
+        n: cfg.n,
+        k: cfg.k,
+        batch: 1,
+        dtype: cfg.dtype,
+        tile: cfg.tile,
+    };
+    let reference = reference_gemm(&fused);
+    assert_eq!(print_module(grouped.module()), print_module(&reference));
+}

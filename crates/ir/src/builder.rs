@@ -6,6 +6,7 @@
 //! to synthesize replacement IR.
 
 use crate::func::{Func, Module};
+use crate::loc::Loc;
 use crate::op::{Attr, AttrMap, BlockId, CmpPred, OpId, OpKind, ValueId};
 use crate::types::{DType, Shape, Type};
 
@@ -14,18 +15,27 @@ use crate::types::{DType, Shape, Type};
 pub struct Builder<'f> {
     func: &'f mut Func,
     block: BlockId,
+    loc: Option<Loc>,
 }
 
 impl<'f> Builder<'f> {
     /// Creates a builder inserting at the end of `block`.
     pub fn new(func: &'f mut Func, block: BlockId) -> Builder<'f> {
-        Builder { func, block }
+        Builder {
+            func,
+            block,
+            loc: None,
+        }
     }
 
     /// Creates a builder inserting at the end of the function body.
     pub fn at_body(func: &'f mut Func) -> Builder<'f> {
         let block = func.body_block();
-        Builder { func, block }
+        Builder {
+            func,
+            block,
+            loc: None,
+        }
     }
 
     /// Current insertion block.
@@ -48,6 +58,18 @@ impl<'f> Builder<'f> {
         self.func.ty(v).clone()
     }
 
+    /// Sets the sticky source location stamped on every subsequently
+    /// emitted op (until changed). Frontends set this to the user's kernel
+    /// source line before each statement; `None` clears it.
+    pub fn set_loc(&mut self, loc: Option<Loc>) {
+        self.loc = loc;
+    }
+
+    /// The current sticky source location.
+    pub fn loc(&self) -> Option<Loc> {
+        self.loc
+    }
+
     fn emit(
         &mut self,
         kind: OpKind,
@@ -55,8 +77,11 @@ impl<'f> Builder<'f> {
         results: Vec<Type>,
         attrs: AttrMap,
     ) -> OpId {
-        self.func
-            .push_op(self.block, kind, operands, results, attrs)
+        let op = self
+            .func
+            .push_op(self.block, kind, operands, results, attrs);
+        self.func.set_loc(op, self.loc);
+        op
     }
 
     fn emit1(

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use crate::loc::Loc;
 use crate::op::OpId;
 
 /// How serious a diagnostic is.
@@ -43,6 +44,11 @@ pub struct Diagnostic {
     pub func: Option<String>,
     /// Operation the diagnostic refers to, if attributable.
     pub op: Option<OpId>,
+    /// Tile-program source location of the offending statement, when the
+    /// frontend recorded one on the op (see [`crate::loc::Loc`]). This is
+    /// what user-facing tooling should print: the author's `file:line:col`
+    /// rather than an IR op id.
+    pub loc: Option<Loc>,
     /// Human-readable message.
     pub message: String,
 }
@@ -55,6 +61,7 @@ impl Diagnostic {
             pass: None,
             func: None,
             op: None,
+            loc: None,
             message: message.into(),
         }
     }
@@ -104,6 +111,23 @@ impl Diagnostic {
         self.op = Some(op);
         self
     }
+
+    /// Attributes the diagnostic to a tile-program source location.
+    #[must_use]
+    pub fn with_loc(mut self, loc: Loc) -> Diagnostic {
+        self.loc = Some(loc);
+        self
+    }
+
+    /// Attributes the diagnostic to a source location only if none is set
+    /// yet (used by drivers back-filling locations from op metadata).
+    #[must_use]
+    pub fn with_default_loc(mut self, loc: Option<Loc>) -> Diagnostic {
+        if self.loc.is_none() {
+            self.loc = loc;
+        }
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -113,10 +137,15 @@ impl fmt::Display for Diagnostic {
             write!(f, "[{pass}]")?;
         }
         write!(f, ": ")?;
+        if let Some(loc) = self.loc {
+            write!(f, "{loc}: ")?;
+        }
         if let Some(func) = &self.func {
             write!(f, "in @{func}: ")?;
         }
-        if let Some(op) = self.op {
+        // The op id is compiler-internal; print it only when no source
+        // location is available to anchor the message instead.
+        if let (Some(op), None) = (self.op, self.loc) {
             write!(f, "at {op}: ")?;
         }
         write!(f, "{}", self.message)
@@ -157,6 +186,44 @@ mod tests {
     fn severity_ordering() {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn loc_replaces_op_id_in_display() {
+        let loc = Loc {
+            file: "kernel.rs",
+            line: 12,
+            col: 9,
+        };
+        let with_loc = Diagnostic::error("bad shape")
+            .with_op(crate::op::OpId(7))
+            .with_loc(loc);
+        let s = with_loc.to_string();
+        assert!(s.contains("kernel.rs:12:9"), "{s}");
+        assert!(
+            !s.contains("op7"),
+            "op ids are noise once a loc exists: {s}"
+        );
+        let without = Diagnostic::error("bad shape").with_op(crate::op::OpId(7));
+        assert!(without.to_string().contains("op7"));
+    }
+
+    #[test]
+    fn default_loc_does_not_overwrite() {
+        let a = Loc {
+            file: "a.rs",
+            line: 1,
+            col: 1,
+        };
+        let b = Loc {
+            file: "b.rs",
+            line: 2,
+            col: 2,
+        };
+        let d = Diagnostic::error("x").with_loc(a).with_default_loc(Some(b));
+        assert_eq!(d.loc, Some(a));
+        let d = Diagnostic::error("x").with_default_loc(Some(b));
+        assert_eq!(d.loc, Some(b));
     }
 
     #[test]

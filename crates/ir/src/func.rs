@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::loc::Loc;
 use crate::op::{Attr, AttrMap, BlockId, OpId, OpKind, RegionId, ValueId};
 use crate::types::Type;
 
@@ -59,6 +60,12 @@ pub struct OpData {
     pub parent: Option<BlockId>,
     /// True once erased; dead ops are skipped by all traversals.
     pub dead: bool,
+    /// Source location of the tile-program statement this op came from,
+    /// when the frontend captured one. Deliberately *not* an attribute:
+    /// locations never appear in the printed IR, so two modules that
+    /// differ only in spans share one canonical text, one fingerprint and
+    /// one cache entry.
+    pub loc: Option<Loc>,
 }
 
 /// Arena record for a basic block.
@@ -191,6 +198,7 @@ impl Func {
             regions: Vec::new(),
             parent: Some(block),
             dead: false,
+            loc: None,
         });
         self.blocks[block.0 as usize].ops.push(id);
         id
@@ -411,6 +419,7 @@ impl Func {
             .map(|&r| self.values[r.0 as usize].ty.clone())
             .collect();
         let new_op = self.push_op(dst_block, data.kind, operands, result_types, data.attrs);
+        self.ops[new_op.0 as usize].loc = data.loc;
         for (&old_r, &new_r) in data
             .results
             .iter()
@@ -467,6 +476,24 @@ impl Func {
     /// Sets the printer name hint for a value (used for readable IR dumps).
     pub fn set_name_hint(&mut self, v: ValueId, hint: &str) {
         self.values[v.0 as usize].name_hint = Some(hint.to_string());
+    }
+
+    /// Source location of `op`, if the frontend recorded one. Out-of-range
+    /// ids (e.g. from a diagnostic that outlived a transformation) are
+    /// simply unlocated rather than a panic.
+    pub fn loc(&self, op: OpId) -> Option<Loc> {
+        self.ops.get(op.0 as usize).and_then(|o| o.loc)
+    }
+
+    /// Attaches a source location to `op` (see [`OpData::loc`]).
+    pub fn set_loc(&mut self, op: OpId, loc: Option<Loc>) {
+        self.ops[op.0 as usize].loc = loc;
+    }
+
+    /// Source location of the op defining `v`, walking to the defining op
+    /// for op results (block arguments have no location).
+    pub fn value_loc(&self, v: ValueId) -> Option<Loc> {
+        self.defining_op(v).and_then(|op| self.loc(op))
     }
 
     /// Convenience: builds an integer-constant op in `block`.

@@ -49,6 +49,7 @@ pub mod builder;
 pub mod diag;
 pub mod fingerprint;
 pub mod func;
+pub mod loc;
 pub mod op;
 pub mod parse;
 pub mod pass;
@@ -63,6 +64,7 @@ pub use builder::Builder;
 pub use diag::{Diagnostic, Severity};
 pub use fingerprint::module_fingerprint;
 pub use func::{Func, Module};
+pub use loc::Loc;
 pub use op::{Attr, AttrMap, OpId, OpKind, ValueId};
 pub use pipeline_spec::{PassRegistry, PipelineSpec, StageSpec};
 pub use types::{DType, Shape, Type};

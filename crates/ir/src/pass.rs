@@ -29,8 +29,10 @@ pub enum PassError {
     Failed {
         /// Pass name.
         pass: String,
-        /// The failure diagnostic.
-        diagnostic: Diagnostic,
+        /// The failure diagnostic (boxed: diagnostics carry pass/func
+        /// names and a source span, and errors should stay pointer-sized
+        /// on the `Result` hot path).
+        diagnostic: Box<Diagnostic>,
     },
     /// Verification failed after the named pass.
     VerifyFailed {
@@ -53,13 +55,14 @@ impl PassError {
     /// [`Diagnostic`]s so callers handle one shape.
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
         match self {
-            PassError::Failed { diagnostic, .. } => vec![diagnostic.clone()],
+            PassError::Failed { diagnostic, .. } => vec![(**diagnostic).clone()],
             PassError::VerifyFailed { pass, errors } => errors
                 .iter()
                 .map(|e| {
                     let mut d = Diagnostic::error(e.msg.clone())
                         .with_pass(pass.clone())
-                        .with_func(e.func.clone());
+                        .with_func(e.func.clone())
+                        .with_default_loc(e.loc);
                     d.op = e.op;
                     d
                 })
@@ -258,9 +261,23 @@ fn run_one(
         micros,
         changed,
     });
-    result.map_err(|diagnostic| PassError::Failed {
-        pass: name.clone(),
-        diagnostic: diagnostic.with_default_pass(&name),
+    result.map_err(|diagnostic| {
+        // Back-fill the source location from the op the pass blamed, so
+        // pass failures point at the author's kernel line when the
+        // frontend recorded one.
+        let loc = match (diagnostic.loc, diagnostic.op) {
+            (None, Some(op)) => diagnostic
+                .func
+                .as_deref()
+                .and_then(|name| module.func(name))
+                .or_else(|| module.funcs.first())
+                .and_then(|f| f.loc(op)),
+            _ => None,
+        };
+        PassError::Failed {
+            pass: name.clone(),
+            diagnostic: Box::new(diagnostic.with_default_pass(&name).with_default_loc(loc)),
+        }
     })?;
     if verify && changed {
         if let Err(errors) = verify_module(module) {

@@ -119,6 +119,12 @@ impl From<&[usize]> for Shape {
     }
 }
 
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, d) in self.0.iter().enumerate() {

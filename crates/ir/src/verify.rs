@@ -8,6 +8,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use crate::func::{Func, Module};
+use crate::loc::Loc;
 use crate::op::{CmpPred, OpId, OpKind, RegionId, ValueId};
 use crate::types::Type;
 
@@ -18,15 +19,19 @@ pub struct VerifyError {
     pub func: String,
     /// Offending op, if attributable.
     pub op: Option<OpId>,
+    /// Tile-program source location of the offending op, when the
+    /// frontend recorded one.
+    pub loc: Option<Loc>,
     /// Human-readable message.
     pub msg: String,
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.op {
-            Some(op) => write!(f, "[{}] {}: {}", self.func, op, self.msg),
-            None => write!(f, "[{}] {}", self.func, self.msg),
+        match (self.loc, self.op) {
+            (Some(loc), _) => write!(f, "[{}] {}: {}", self.func, loc, self.msg),
+            (None, Some(op)) => write!(f, "[{}] {}: {}", self.func, op, self.msg),
+            (None, None) => write!(f, "[{}] {}", self.func, self.msg),
         }
     }
 }
@@ -78,6 +83,7 @@ impl<'f> Verifier<'f> {
         self.errs.push(VerifyError {
             func: self.f.name.clone(),
             op,
+            loc: op.and_then(|o| self.f.loc(o)),
             msg,
         });
     }
@@ -708,9 +714,19 @@ mod tests {
         let e = VerifyError {
             func: "k".into(),
             op: Some(OpId(3)),
+            loc: None,
             msg: "boom".into(),
         };
         assert_eq!(e.to_string(), "[k] op3: boom");
+        let located = VerifyError {
+            loc: Some(Loc {
+                file: "kernel.rs",
+                line: 4,
+                col: 2,
+            }),
+            ..e
+        };
+        assert_eq!(located.to_string(), "[k] kernel.rs:4:2: boom");
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub fn tawa_gemm(cfg: &GemmConfig, device: &Device) -> BenchOutcome {
         tile: Tile::LARGE,
         ..*cfg
     };
-    let (module, spec) = if cfg.batch > 1 {
+    let program = if cfg.batch > 1 {
         zoo::batched_gemm(&cfg)
     } else {
         zoo::gemm(&cfg)
@@ -105,12 +105,12 @@ pub fn tawa_gemm(cfg: &GemmConfig, device: &Device) -> BenchOutcome {
     // One session for the sweep and the final measurement: the winning
     // configuration's report comes straight from the sweep's cache.
     let session = CompileSession::new(device);
-    let tuned = autotune_with_session(&session, &module, &spec, &base, &space);
+    let tuned = autotune_with_session(&session, program.module(), program.spec(), &base, &space);
     let opts = tuned
         .best_options(&base)
         .ok_or_else(|| "no feasible configuration".to_string())?;
     session
-        .compile_and_simulate(&module, &spec, &opts)
+        .compile_and_simulate_program(&program, &opts)
         .map_err(|e| e.to_string())
 }
 
@@ -122,7 +122,7 @@ pub fn triton_gemm(cfg: &GemmConfig, device: &Device) -> BenchOutcome {
         tile: Tile::LARGE,
         ..*cfg
     };
-    let (module, spec) = if cfg.batch > 1 {
+    let program = if cfg.batch > 1 {
         zoo::batched_gemm(&cfg)
     } else {
         zoo::gemm(&cfg)
@@ -132,7 +132,7 @@ pub fn triton_gemm(cfg: &GemmConfig, device: &Device) -> BenchOutcome {
         launch_overhead_ns: maturity::DSL_LAUNCH_NS,
         ..CompileOptions::default()
     };
-    compile_and_simulate(&module, &spec, &opts, device).map_err(|e| e.to_string())
+    compile_and_simulate(program.module(), program.spec(), &opts, device).map_err(|e| e.to_string())
 }
 
 /// TileLang: warp-specialized, but with a fixed coarse pipeline (P=1 — no
@@ -200,7 +200,6 @@ pub fn tawa_batched_gemm(cfg: &GemmConfig, device: &Device) -> BenchOutcome {
 
 /// Grouped GEMM on Tawa: one fused persistent launch over all groups.
 pub fn tawa_grouped_gemm(cfg: &GroupedGemmConfig, device: &Device) -> BenchOutcome {
-    let (module, spec) = zoo::grouped_gemm(cfg);
     let opts = CompileOptions {
         cooperative: 2,
         aref_depth: 3,
@@ -210,16 +209,12 @@ pub fn tawa_grouped_gemm(cfg: &GroupedGemmConfig, device: &Device) -> BenchOutco
         ..CompileOptions::default()
     };
     // Grouped grids use the LARGE tile like the fused kernels above.
-    let _ = &opts;
     let cfg_large = GroupedGemmConfig {
         tile: Tile::LARGE,
         ..cfg.clone()
     };
-    let (module, spec) = {
-        let _ = (module, spec);
-        zoo::grouped_gemm(&cfg_large)
-    };
-    compile_and_simulate(&module, &spec, &opts, device).map_err(|e| e.to_string())
+    let program = zoo::grouped_gemm(&cfg_large);
+    compile_and_simulate(program.module(), program.spec(), &opts, device).map_err(|e| e.to_string())
 }
 
 /// Grouped GEMM on Triton: one software-pipelined launch per group.
@@ -270,27 +265,27 @@ pub fn fa3_attention(cfg: &AttentionConfig, device: &Device) -> BenchOutcome {
 /// Tawa attention: the compiler's coarse-grained T/C/U pipeline with
 /// cooperative consumer warp groups.
 pub fn tawa_attention(cfg: &AttentionConfig, device: &Device) -> BenchOutcome {
-    let (module, spec) = zoo::attention(cfg);
+    let program = zoo::attention(cfg);
     let opts = CompileOptions {
         cooperative: 2,
         aref_depth: 2,
         launch_overhead_ns: maturity::DSL_LAUNCH_NS,
         ..CompileOptions::default()
     };
-    compile_and_simulate(&module, &spec, &opts, device).map_err(|e| e.to_string())
+    compile_and_simulate(program.module(), program.spec(), &opts, device).map_err(|e| e.to_string())
 }
 
 /// Triton attention baseline: FA2-style, no warp specialization (§V-D:
 /// "the Triton baseline being effectively a FlashAttention-2 style
 /// implementation").
 pub fn triton_attention(cfg: &AttentionConfig, device: &Device) -> BenchOutcome {
-    let (module, spec) = zoo::attention(cfg);
+    let program = zoo::attention(cfg);
     let opts = CompileOptions {
         warp_specialize: false,
         launch_overhead_ns: maturity::DSL_LAUNCH_NS,
         ..CompileOptions::default()
     };
-    compile_and_simulate(&module, &spec, &opts, device).map_err(|e| e.to_string())
+    compile_and_simulate(program.module(), program.spec(), &opts, device).map_err(|e| e.to_string())
 }
 
 /// TileLang attention: warp-specialized but with the softmax largely

@@ -641,7 +641,7 @@ mod tests {
         };
         let k = ws_gemm(&cfg, &s, &dev()).unwrap();
         let expert = simulate(&k, &dev()).unwrap();
-        let (m, spec) = tawa_frontend::kernels::gemm(&cfg);
+        let (m, spec) = tawa_frontend::kernels::gemm(&cfg).into_parts();
         let compiled = tawa_core::compile_and_simulate(
             &m,
             &spec,

@@ -4,9 +4,15 @@
 //! Warp Specialization for Modern GPUs with Asynchronous References"
 //! (CGO 2026) — re-exported under one roof:
 //!
-//! * [`ir`] — the MLIR-like tile IR, printer/parser, verifier, passes;
-//! * [`frontend`] — the Triton-style kernel zoo (GEMM, batched/grouped
-//!   GEMM, multi-head attention) and workload configurations;
+//! * [`ir`] — the MLIR-like tile IR, printer/parser, verifier, passes,
+//!   and source-location plumbing ([`Loc`] spans on ops and
+//!   [`Diagnostic`]s);
+//! * [`frontend`] — **[`dsl`]**, the typed,
+//!   source-located tile-program authoring API
+//!   ([`KernelBuilder`] → [`Program`], the only public way to write
+//!   kernels), plus the Triton-style zoo (GEMM, batched/grouped GEMM,
+//!   multi-head attention) written in it and the workload
+//!   configurations;
 //! * [`core`] — the Tawa compiler: aref semantics, task-aware
 //!   partitioning, multi-granularity pipelining, WSIR code generation,
 //!   the functional interpreter, the autotuner, and the
@@ -32,17 +38,18 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let session = CompileSession::new(&Device::h100_sxm5());
-//! let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 4096));
-//! let report = session.compile_and_simulate(
-//!     &module, &spec, &CompileOptions::default())?;
+//! // A DSL-authored Program: verified tile IR + launch specialization.
+//! let program = gemm(&GemmConfig::new(4096, 4096, 4096));
+//! let report = session.compile_and_simulate_program(
+//!     &program, &CompileOptions::default())?;
 //! // The simulated kernel must make progress and report a finite,
 //! // positive throughput. (Deliberately not a hard TFLOP/s floor: the
 //! // absolute number shifts whenever the simulator's cost model is
 //! // refined, and a doctest should not flake on model changes.)
 //! assert!(report.cycles > 0);
 //! assert!(report.tflops.is_finite() && report.tflops > 0.0);
-//! // Recompiling the same (module, options, device) is a cache hit.
-//! session.compile_and_simulate(&module, &spec, &CompileOptions::default())?;
+//! // Recompiling the same (program, options, device) is a cache hit.
+//! session.compile_and_simulate_program(&program, &CompileOptions::default())?;
 //! assert_eq!(session.cache_stats().hits(), 1);
 //! # Ok(())
 //! # }
@@ -58,12 +65,20 @@ pub use tawa_kernels as kernels;
 pub use tawa_wsir as wsir;
 
 pub use tawa_core::{
-    CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, DISK_CACHE_ENV,
+    CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, COMPILE_WORKERS_ENV,
+    DISK_CACHE_ENV,
 };
-pub use tawa_ir::{Diagnostic, PassRegistry, PipelineSpec, Severity};
+pub use tawa_frontend::{dsl, KernelBuilder, Program};
+pub use tawa_ir::{Diagnostic, Loc, PassRegistry, PipelineSpec, Severity};
 
 /// Compiles the code blocks of `docs/pipelines.md` as doctests, so the
 /// pipeline-spec reference page cannot drift from the implementation.
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/pipelines.md")]
 pub struct PipelinesDocTests;
+
+/// Compiles the code blocks of `docs/dsl.md` as doctests, so the DSL
+/// reference page cannot drift from the implementation.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/dsl.md")]
+pub struct DslDocTests;

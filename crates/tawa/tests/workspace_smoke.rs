@@ -46,7 +46,7 @@ fn compile_nonempty_with(
 
 #[test]
 fn gemm_family_compiles_to_nonempty_wsir() {
-    let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 1024));
+    let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 1024)).into_parts();
     compile_nonempty("gemm", &module, &spec);
 }
 
@@ -54,7 +54,7 @@ fn gemm_family_compiles_to_nonempty_wsir() {
 fn batched_gemm_family_compiles_to_nonempty_wsir() {
     let mut cfg = GemmConfig::new(2048, 2048, 1024);
     cfg.batch = 4;
-    let (module, spec) = batched_gemm(&cfg);
+    let (module, spec) = batched_gemm(&cfg).into_parts();
     compile_nonempty("batched_gemm", &module, &spec);
 }
 
@@ -62,7 +62,8 @@ fn batched_gemm_family_compiles_to_nonempty_wsir() {
 fn attention_family_compiles_to_nonempty_wsir() {
     use tawa::ir::types::DType;
     for causal in [false, true] {
-        let (module, spec) = attention(&AttentionConfig::paper(2048, causal, DType::F16));
+        let (module, spec) =
+            attention(&AttentionConfig::paper(2048, causal, DType::F16)).into_parts();
         // Attention's register pressure requires the paper's cooperative
         // warp groups (§IV-A); a single consumer group does not fit.
         let coop = CompileOptions {
@@ -84,14 +85,14 @@ fn attention_family_compiles_to_nonempty_wsir() {
 
 #[test]
 fn grouped_gemm_family_compiles_to_nonempty_wsir() {
-    let (module, spec) = grouped_gemm(&GroupedGemmConfig::paper_sweep(4));
+    let (module, spec) = grouped_gemm(&GroupedGemmConfig::paper_sweep(4)).into_parts();
     compile_nonempty("grouped_gemm", &module, &spec);
 }
 
 #[test]
 fn warp_specialization_produces_specialized_roles() {
     use tawa::wsir::Role;
-    let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 1024));
+    let (module, spec) = gemm(&GemmConfig::new(4096, 4096, 1024)).into_parts();
     let kernel = compile_nonempty("gemm", &module, &spec);
     let has_producer = kernel
         .warp_groups

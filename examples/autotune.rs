@@ -24,7 +24,7 @@ fn main() {
     let device = Device::h100_sxm5();
     let session = CompileSession::new(&device);
     let cfg = GemmConfig::new(8192, 8192, 16384).with_tile(Tile::LARGE);
-    let (module, spec) = gemm(&cfg);
+    let (module, spec) = gemm(&cfg).into_parts();
     let base = CompileOptions {
         cooperative: 2,
         ..CompileOptions::default()

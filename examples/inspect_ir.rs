@@ -18,10 +18,21 @@ use tawa::{CompileSession, PipelineSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = AttentionConfig::paper(1024, true, DType::F16);
-    let (module, spec) = attention(&cfg);
+    let (module, spec) = attention(&cfg).into_parts();
 
     println!("========== 1. Frontend tile IR (annotation-free) ==========\n");
     println!("{}", print_module(&module));
+
+    // Every op carries the DSL author's source span (outside the printed
+    // IR, so fingerprints and cache keys never see it). Show a few.
+    let f = &module.funcs[0];
+    println!("// source spans (first 5 ops):");
+    for op in f.walk().into_iter().take(5) {
+        if let Some(loc) = f.loc(op) {
+            println!("//   {:<20} <- {loc}", f.op(op).kind.to_string());
+        }
+    }
+    println!();
 
     let mut ws = module.clone();
     let report = warp_specialize_func(&mut ws.funcs[0], 2).map_err(std::io::Error::other)?;

@@ -1,5 +1,5 @@
-//! Quickstart: write a Triton-style GEMM, let Tawa warp-specialize it, and
-//! run it on the simulated H100.
+//! Quickstart: author a Triton-style GEMM in `tawa::dsl`, let Tawa
+//! warp-specialize it, and run it on the simulated H100.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -16,21 +16,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::h100_sxm5();
     let session = CompileSession::new(&device);
 
-    // 1. A tile-level GEMM, exactly like a Triton kernel: no warp
-    //    specialization annotations anywhere.
+    // 1. A tile-level GEMM authored in `tawa::dsl`, exactly like a Triton
+    //    kernel: typed tile handles, no warp-specialization annotations
+    //    anywhere. `gemm` returns a Program — the verified module plus
+    //    its launch specialization. (Write your own with
+    //    `tawa::frontend::dsl::KernelBuilder`; see examples/dsl_custom_kernel.rs
+    //    for a kernel that is not in the zoo.)
     let cfg = GemmConfig::new(4096, 4096, 4096);
-    let (module, spec) = gemm(&cfg);
-    println!("== Tile IR (frontend output) ==\n");
-    println!("{}", print_module(&module));
+    let program = gemm(&cfg);
+    println!("== Tile IR (DSL frontend output) ==\n");
+    println!("{}", print_module(program.module()));
 
     // 2. Compile with automatic warp specialization (the paper's
-    //    enable_warp_specialization=True).
+    //    enable_warp_specialization=True). Programs are fingerprinted for
+    //    the session's memory/disk cache tiers like raw modules.
     let opts = CompileOptions::default();
     println!(
         "== Pass pipeline ==\n\n{}\n",
         CompileSession::pipeline_spec(&opts)?
     );
-    let kernel = session.compile(&module, &spec, &opts)?;
+    let kernel = session.compile_program(&program, &opts)?;
     println!("== Generated warp-specialized WSIR ==\n");
     println!("{}", tawa::wsir::print_kernel(&kernel));
 
@@ -52,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warp_specialize: false,
         ..opts
     };
-    let baseline = session.compile(&module, &spec, &simt)?;
+    let baseline = session.compile_program(&program, &simt)?;
     let base_report = simulate(&baseline, &device)?;
     println!(
         "Triton-style software pipelining: {:.1} TFLOP/s  →  warp specialization wins {:.2}x",

@@ -21,7 +21,7 @@ fn coop() -> CompileOptions {
 
 #[test]
 fn attention_compiles_to_three_warp_groups() {
-    let (m, spec) = attention(&AttentionConfig::paper(2048, false, DType::F16));
+    let (m, spec) = attention(&AttentionConfig::paper(2048, false, DType::F16)).into_parts();
     let k = compile(&m, &spec, &coop(), &dev()).unwrap();
     assert_eq!(k.warp_groups.len(), 3); // producer + 2 cooperative consumers
     assert!(k.barriers.len() >= 8, "K and V rings need 2·2·D barriers");
@@ -30,12 +30,12 @@ fn attention_compiles_to_three_warp_groups() {
 #[test]
 fn causal_attention_runs_all_classes() {
     let cfg = AttentionConfig::paper(4096, true, DType::F16);
-    let (m, spec) = attention(&cfg);
+    let (m, spec) = attention(&cfg).into_parts();
     let r = compile_and_simulate(&m, &spec, &coop(), &dev()).unwrap();
     assert!(r.tflops > 100.0, "{}", r.tflops);
     // Causal throughput (counting only visited tiles) lands in the same
     // band as non-causal, slightly lower (mask work + short rows).
-    let (mn, sn) = attention(&AttentionConfig::paper(4096, false, DType::F16));
+    let (mn, sn) = attention(&AttentionConfig::paper(4096, false, DType::F16)).into_parts();
     let rn = compile_and_simulate(&mn, &sn, &coop(), &dev()).unwrap();
     assert!(
         r.tflops < rn.tflops,

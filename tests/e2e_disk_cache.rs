@@ -40,13 +40,14 @@ fn disk_session(dir: &PathBuf) -> CompileSession {
 
 /// One feasible compile job per kernel family.
 fn family_jobs() -> Vec<(Module, LaunchSpec, CompileOptions)> {
-    let (g_m, g_s) = gemm(&GemmConfig::new(1024, 1024, 512));
-    let (b_m, b_s) = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(4));
-    let (gr_m, gr_s) = grouped_gemm(&GroupedGemmConfig::paper_sweep(4));
+    let (g_m, g_s) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
+    let (b_m, b_s) = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(4)).into_parts();
+    let (gr_m, gr_s) = grouped_gemm(&GroupedGemmConfig::paper_sweep(4)).into_parts();
     let (a_m, a_s) = attention(&AttentionConfig {
         block_m: 64,
         ..AttentionConfig::paper(2048, false, DType::F16)
-    });
+    })
+    .into_parts();
     vec![
         (g_m, g_s, CompileOptions::default()),
         (b_m, b_s, CompileOptions::default()),
@@ -88,7 +89,7 @@ fn fresh_session_over_warm_dir_serves_byte_identical_kernels() {
 #[test]
 fn warm_autotune_sweep_skips_pruning_via_negative_cache() {
     let dir = cache_dir("negative-sweep");
-    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
     let base = CompileOptions::default();
     // The fig11 D × P grid contains the infeasible P > D triangle.
     let space = TuneSpace::fig11(false);
@@ -167,7 +168,7 @@ fn corrupted_entries_degrade_to_recompile() {
 #[test]
 fn format_version_bump_degrades_to_recompile() {
     let dir = cache_dir("version-bump");
-    let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+    let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
     let opts = CompileOptions::default();
 
     let cold_session = disk_session(&dir);
@@ -247,7 +248,7 @@ fn eviction_bounds_disk_usage_without_breaking_compiles() {
         .with_disk(tawa::DiskCache::open(&dir).unwrap().with_max_bytes(budget));
 
     // Compile more distinct configurations than the budget can hold.
-    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
+    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
     for d in 1..=3usize {
         for p in 1..=d {
             for persistent in [false, true] {
@@ -279,7 +280,7 @@ fn eviction_bounds_disk_usage_without_breaking_compiles() {
 #[test]
 fn pipeline_override_is_part_of_the_disk_key() {
     let dir = cache_dir("pipeline-key");
-    let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512));
+    let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
     let default_opts = CompileOptions::default();
     let override_opts = CompileOptions {
         pipeline: Some(

@@ -14,7 +14,7 @@ fn dev() -> Device {
 
 #[test]
 fn full_pipeline_produces_valid_wsir() {
-    let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 4096));
+    let (m, spec) = gemm(&GemmConfig::new(4096, 4096, 4096)).into_parts();
     let k = compile(&m, &spec, &CompileOptions::default(), &dev()).unwrap();
     tawa::wsir::validate(&k).unwrap();
     assert_eq!(k.warp_groups.len(), 2); // producer + 1 consumer
@@ -27,7 +27,7 @@ fn warp_specialization_beats_software_pipelining_across_k() {
     let d = dev();
     for k in [1024usize, 4096, 16384] {
         let cfg = GemmConfig::new(8192, 8192, k).with_tile(Tile::LARGE);
-        let (m, spec) = gemm(&cfg);
+        let (m, spec) = gemm(&cfg).into_parts();
         let ws = compile_and_simulate(
             &m,
             &spec,
@@ -94,7 +94,7 @@ fn fp8_roughly_doubles_large_k_throughput() {
 fn batched_gemm_full_pipeline() {
     let d = dev();
     let cfg = GemmConfig::new(2048, 2048, 2048).with_batch(8);
-    let (m, spec) = batched_gemm(&cfg);
+    let (m, spec) = batched_gemm(&cfg).into_parts();
     let r = compile_and_simulate(&m, &spec, &CompileOptions::default(), &d).unwrap();
     assert!(r.tflops > 100.0, "{}", r.tflops);
     // Conservation: loaded bytes = batch × k-tiles × (A tile + B tile).

@@ -22,7 +22,7 @@ fn fill_b(i: usize) -> f32 {
 #[test]
 fn gemm_matches_reference_matmul() {
     let cfg = GemmConfig::new(256, 256, 128);
-    let (module, spec) = gemm(&cfg);
+    let (module, spec) = gemm(&cfg).into_parts();
     let mut mem = DeviceMemory::from_spec(&spec);
     mem.fill(0, fill_a);
     mem.fill(1, fill_b);
@@ -46,7 +46,7 @@ fn gemm_matches_reference_matmul() {
 #[test]
 fn warp_specialization_is_semantics_preserving_for_gemm() {
     let cfg = GemmConfig::new(256, 256, 192);
-    let (module, spec) = gemm(&cfg);
+    let (module, spec) = gemm(&cfg).into_parts();
 
     let mut mem_ref = DeviceMemory::from_spec(&spec);
     mem_ref.fill(0, fill_a);
@@ -71,7 +71,7 @@ fn warp_specialization_is_semantics_preserving_for_gemm() {
 #[test]
 fn pipelining_passes_are_semantics_preserving() {
     let cfg = GemmConfig::new(128, 128, 128);
-    let (module, spec) = gemm(&cfg);
+    let (module, spec) = gemm(&cfg).into_parts();
     let mut mem_ref = DeviceMemory::from_spec(&spec);
     mem_ref.fill(0, fill_a);
     mem_ref.fill(1, fill_b);
@@ -145,7 +145,7 @@ fn warp_specialized_attention_matches_reference() {
             block_m: 128,
             block_n: 128,
         };
-        let (module, spec) = attention(&cfg);
+        let (module, spec) = attention(&cfg).into_parts();
         let mut ws = module.clone();
         warp_specialize_func(&mut ws.funcs[0], 2).unwrap();
 

@@ -26,15 +26,16 @@ fn families() -> impl Strategy<Value = (&'static str, Module, LaunchSpec)> {
             prop_oneof![Just(512usize), Just(2048)],
         )
             .prop_map(|(mn, k)| {
-                let (m, s) = gemm(&GemmConfig::new(mn, mn, k));
+                let (m, s) = gemm(&GemmConfig::new(mn, mn, k)).into_parts();
                 ("gemm", m, s)
             }),
         prop_oneof![Just(2usize), Just(8)].prop_map(|b| {
-            let (m, s) = batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(b));
+            let (m, s) =
+                batched_gemm(&GemmConfig::new(1024, 1024, 1024).with_batch(b)).into_parts();
             ("batched_gemm", m, s)
         }),
         prop_oneof![Just(2usize), Just(4)].prop_map(|g| {
-            let (m, s) = grouped_gemm(&GroupedGemmConfig::paper_sweep(g));
+            let (m, s) = grouped_gemm(&GroupedGemmConfig::paper_sweep(g)).into_parts();
             ("grouped_gemm", m, s)
         }),
         (
@@ -46,7 +47,7 @@ fn families() -> impl Strategy<Value = (&'static str, Module, LaunchSpec)> {
                     block_m: 64,
                     ..AttentionConfig::paper(l, causal, DType::F16)
                 };
-                let (m, s) = attention(&cfg);
+                let (m, s) = attention(&cfg).into_parts();
                 ("attention", m, s)
             }),
     ]

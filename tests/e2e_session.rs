@@ -60,7 +60,7 @@ proptest! {
         opts in compile_options(),
     ) {
         let device = dev();
-        let (m, spec) = gemm(&cfg);
+        let (m, spec) = gemm(&cfg).into_parts();
         let session = CompileSession::in_memory(&device);
         match (compile(&m, &spec, &opts, &device), session.compile(&m, &spec, &opts)) {
             (Ok(cold), Ok(warm_miss)) => {
@@ -85,8 +85,9 @@ proptest! {
 #[test]
 fn compile_batch_equals_sequential_compiles() {
     let device = dev();
-    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048));
-    let (m_large, spec_large) = gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE));
+    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048)).into_parts();
+    let (m_large, spec_large) =
+        gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE)).into_parts();
     // N heterogeneous jobs: two modules, several option points, one
     // infeasible (P > D) and one register-infeasible (large tile, coop 1).
     let mut jobs = Vec::new();
@@ -143,7 +144,7 @@ fn warm_autotune_sweep_hits_cache_and_is_faster() {
     let device = dev();
     let session = CompileSession::in_memory(&device);
     let cfg = GemmConfig::new(4096, 4096, 4096).with_tile(Tile::LARGE);
-    let (m, spec) = gemm(&cfg);
+    let (m, spec) = gemm(&cfg).into_parts();
     let base = CompileOptions {
         cooperative: 2,
         ..CompileOptions::default()
@@ -190,7 +191,7 @@ fn simulation_failures_are_not_reported_as_infeasible() {
     // Infeasible — the variants are distinct by construction.
     let device = dev();
     let session = CompileSession::in_memory(&device);
-    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE));
+    let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 2048).with_tile(Tile::LARGE)).into_parts();
     let compile_err = session
         .compile(
             &m,
