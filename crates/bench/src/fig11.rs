@@ -99,8 +99,9 @@ pub fn run_panel(device: &Device, persistent: bool, scale: Scale) -> Heatmap {
 
 /// Both panels over a caller-provided session. With a disk-backed session
 /// (`CompileSession::with_disk_cache`, or `TAWA_DISK_CACHE` in the
-/// environment) a regenerated figure reuses the kernels — and the
-/// infeasibility verdicts — of every previous run.
+/// environment) a regenerated figure reuses the kernels, the persisted
+/// simulation reports and the infeasibility verdicts of every previous
+/// run — it replays without compiling or simulating anything.
 pub fn run_with_session(session: &CompileSession, scale: Scale) -> Vec<Heatmap> {
     vec![
         run_panel_with_session(session, false, scale),
@@ -146,16 +147,19 @@ mod tests {
         assert!(cold.cache_stats().disk.writes > 0);
 
         // A fresh session over the same directory simulates regenerating
-        // the figure in a new process: every feasible point is a disk
-        // hit, every infeasible point a negative hit, zero compiles.
+        // the figure in a new process: every feasible point is served
+        // straight from the persisted simulation reports (never touching
+        // the compiler OR the simulator), every infeasible point from a
+        // negative entry — zero compiles, zero simulations.
         let warm = CompileSession::in_memory(&dev)
             .with_disk_cache(&dir)
             .unwrap();
         let warm_maps = run_with_session(&warm, Scale::Quick);
         let stats = warm.cache_stats();
-        assert!(stats.disk.hits > 0, "{stats:?}");
+        assert!(stats.disk.sim_hits > 0, "{stats:?}");
         assert!(stats.disk.negative_hits > 0, "{stats:?}");
         assert_eq!(stats.kernel_misses, 0, "{stats:?}");
+        assert_eq!(stats.sim_misses, 0, "{stats:?}");
         for (c, w) in cold_maps.iter().zip(&warm_maps) {
             assert_eq!(c.values, w.values, "warm figure must be identical");
         }

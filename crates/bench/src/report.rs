@@ -137,11 +137,14 @@ pub fn disk_cache_summary(session: &tawa_core::CompileSession) -> Option<String>
     let disk = session.disk_cache()?;
     let d = session.cache_stats().disk;
     Some(format!(
-        "disk cache {}: {} hits, {} negative hits, {} writes, \
-         {} invalidations, {} evictions, {} entries ({} bytes)",
+        "disk cache {}: {} kernel hits, {} negative hits, {} sim hits, \
+         {} sim failure hits, {} writes, {} invalidations, {} evictions, \
+         {} entries ({} bytes)",
         disk.root().display(),
         d.hits,
         d.negative_hits,
+        d.sim_hits,
+        d.sim_negative_hits,
         d.writes,
         d.invalidations,
         d.evictions,

@@ -4,7 +4,9 @@
 //! `CompileSession` (the directory named by `TAWA_DISK_CACHE` or
 //! `CompileSession::with_disk_cache`), built entirely on the public
 //! [`tawa_core::cache::DiskCache`] API and the key-echo headers every
-//! entry carries:
+//! entry carries. It understands all three entry kinds: compiled
+//! kernels (`.wsir`), infeasibility verdicts (`.neg`) and simulation
+//! outcomes (`.sim`, keyed by the simulator's cost-model version):
 //!
 //! ```text
 //! tawa-cache ls <dir>                 list entries (key, kind, size, age)
@@ -25,8 +27,9 @@ const USAGE: &str = "usage:
   tawa-cache verify <dir>             validate all entries, deleting defects
   tawa-cache gc <dir> --max-bytes N   evict least-recently-used entries to N bytes
 
-The directory is a Tawa kernel cache as written by CompileSession
-(TAWA_DISK_CACHE). Keys are printed as <module_fp>-<env_fp>.";
+The directory is a Tawa compile cache as written by CompileSession
+(TAWA_DISK_CACHE): kernel, infeasible and sim-report entries. Keys are
+printed as <module_fp>-<env_fp>.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +90,7 @@ fn kind_str(kind: EntryKind) -> &'static str {
     match kind {
         EntryKind::Kernel => "kernel",
         EntryKind::Infeasible => "infeasible",
+        EntryKind::SimReport => "sim-report",
     }
 }
 

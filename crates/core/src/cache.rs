@@ -2,10 +2,12 @@
 //!
 //! [`DiskCache`] is the second tier behind a
 //! [`crate::session::CompileSession`]'s in-memory caches: compiled WSIR
-//! kernels — and *negative* results, i.e. configurations proven
+//! kernels, **simulation outcomes** (reports and failure verdicts), and
+//! *negative* compile results, i.e. configurations proven
 //! [`crate::lower::CompileError::Infeasible`] — survive process restarts,
 //! so a fresh session pointed at a warm cache directory serves kernels
-//! without recompiling and autotune sweeps skip even the pruning work.
+//! *and reports* without recompiling or re-simulating, and autotune
+//! sweeps skip even the pruning work.
 //!
 //! ## Cache key derivation
 //!
@@ -17,21 +19,32 @@
 //!   print identically are the same entry, and
 //! * `env_fp` — FNV-1a over the `Debug` form of every other compilation
 //!   input: [`crate::lower::CompileOptions`] (including the `pipeline`
-//!   override), the launch spec and the device name.
+//!   override), the launch spec and the full device description.
 //!
 //! Both halves appear in the entry filename
-//! (`k-<module_fp>-<env_fp>.wsir` / `.neg`) and are echoed inside the
-//! entry header, which the loader verifies against the requested key.
+//! (`k-<module_fp>-<env_fp>.wsir` / `.neg` / `.sim`) and are echoed
+//! inside the entry header, which the loader verifies against the
+//! requested key.
 //!
 //! ## On-disk format and version policy
 //!
 //! Every entry starts with the header line
 //! `tawa-kernel-cache <DISK_FORMAT_VERSION>` followed by a `key` echo
-//! line; positive entries then carry the kernel in the versioned WSIR
+//! line; kernel entries then carry the kernel in the versioned WSIR
 //! serialization format ([`tawa_wsir::serialize`]), negative entries the
 //! infeasibility message. [`DISK_FORMAT_VERSION`] is bumped whenever the
 //! entry layout, the key derivation or the WSIR format changes
 //! incompatibly.
+//!
+//! **Simulation entries** (`.sim`) record the outcome of simulating the
+//! kernel under the same [`CacheKey`]: after the key echo they carry a
+//! `cost-model <N>` line echoing [`gpu_sim::COST_MODEL_VERSION`], then
+//! either a serialized [`gpu_sim::SimReport`]
+//! ([`gpu_sim::report_serde`], `sim-report 1` grammar) or a one-line
+//! `sim-error "<message>"` failure verdict (deadlock, placement). The
+//! sim tier is therefore keyed by `(CacheKey, COST_MODEL_VERSION)`: a
+//! cost-model bump invalidates exactly the stale reports while every
+//! cached kernel keeps serving — the IR and lowering did not change.
 //!
 //! ## Invalidation rules — never error, always recompile
 //!
@@ -57,6 +70,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
 
+use gpu_sim::{deserialize_report, serialize_report, SimReport, COST_MODEL_VERSION};
+use tawa_wsir::serialize::{quote, tokenize, unquote};
 use tawa_wsir::{deserialize_kernel, serialize_kernel, Kernel};
 
 /// Version of the on-disk entry layout. Bumped on any incompatible change
@@ -74,7 +89,7 @@ const MAGIC: &str = "tawa-kernel-cache";
 pub struct CacheKey {
     /// FNV-1a of the module's canonical printed IR.
     pub module_fp: u64,
-    /// FNV-1a over options, launch spec and device name.
+    /// FNV-1a over options, launch spec and the full device description.
     pub env_fp: u64,
 }
 
@@ -85,6 +100,20 @@ pub enum EntryKind {
     Kernel,
     /// A negative infeasibility verdict (`.neg`).
     Infeasible,
+    /// A simulation outcome (`.sim`): a serialized report or a recorded
+    /// simulation failure, keyed by [`gpu_sim::COST_MODEL_VERSION`].
+    SimReport,
+}
+
+/// What a `.sim` entry recorded: the simulation either produced a report
+/// or failed deterministically (deadlock, unplaceable kernel) — both
+/// outcomes are worth remembering so warm sweeps skip the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOutcome {
+    /// Simulation succeeded with this report.
+    Report(SimReport),
+    /// Simulation failed with this message (e.g. a deadlock dump).
+    Failed(String),
 }
 
 /// One entry as enumerated by [`DiskCache::entries`] — the introspection
@@ -112,6 +141,7 @@ fn parse_entry_name(name: &str) -> Option<(CacheKey, EntryKind)> {
     let kind = match ext {
         "wsir" => EntryKind::Kernel,
         "neg" => EntryKind::Infeasible,
+        "sim" => EntryKind::SimReport,
         _ => return None,
     };
     let rest = stem.strip_prefix("k-")?;
@@ -125,6 +155,35 @@ fn parse_entry_name(name: &str) -> Option<(CacheKey, EntryKind)> {
     ))
 }
 
+/// Parses the body of a `.sim` entry (everything after the key echo):
+/// the `cost-model` line keying the sim tier by
+/// [`COST_MODEL_VERSION`], then either a serialized report or a
+/// `sim-error` verdict. Returns `None` for a stale cost model or any
+/// structural defect — callers treat both as an invalidating miss.
+fn parse_sim_body(body: &str) -> Option<SimOutcome> {
+    let (first, rest) = body.split_once('\n')?;
+    let version = first
+        .strip_prefix("cost-model ")?
+        .trim()
+        .parse::<u32>()
+        .ok()?;
+    if version != COST_MODEL_VERSION {
+        return None;
+    }
+    let trimmed = rest.trim();
+    if trimmed.starts_with("sim-error") {
+        let tokens = tokenize(trimmed, 1).ok()?;
+        // Exactly the `sim-error "<msg>"` shape; a merely similar first
+        // token (corruption) must invalidate, not serve a false verdict.
+        if tokens.len() != 2 || tokens[0] != "sim-error" {
+            return None;
+        }
+        Some(SimOutcome::Failed(unquote(&tokens[1], 1).ok()?))
+    } else {
+        deserialize_report(rest).ok().map(SimOutcome::Report)
+    }
+}
+
 /// Counters of one [`DiskCache`]'s activity, plus a point-in-time scan of
 /// the directory (`entries`, `bytes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -135,7 +194,13 @@ pub struct DiskCacheStats {
     pub misses: u64,
     /// Negative (infeasible) entries served from disk.
     pub negative_hits: u64,
-    /// Entries written (positive and negative).
+    /// Simulation reports served from disk (`.sim` entries recording a
+    /// successful simulation).
+    pub sim_hits: u64,
+    /// Simulation *failure* verdicts served from disk (`.sim` entries
+    /// recording a deterministic simulation error).
+    pub sim_negative_hits: u64,
+    /// Entries written (kernels, negative verdicts and sim outcomes).
     pub writes: u64,
     /// Entries discarded as unreadable, version-mismatched or corrupt.
     pub invalidations: u64,
@@ -168,10 +233,22 @@ pub struct DiskCache {
     hits: AtomicU64,
     misses: AtomicU64,
     negative_hits: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_negative_hits: AtomicU64,
     writes: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
-    tmp_seq: AtomicU64,
+}
+
+/// Process-global sequence for temp-file names. Deliberately **not**
+/// per-`DiskCache`: several instances in one process (a figure harness
+/// racing sessions, a test suite) may share one directory, and
+/// per-instance counters all start at 0 — two writers would collide on
+/// `.tmp-<pid>-0`, truncate each other's in-flight document, and publish
+/// a corrupt entry under a valid name.
+fn next_tmp_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
 }
 
 impl std::fmt::Debug for DiskCache {
@@ -201,10 +278,11 @@ impl DiskCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             negative_hits: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            sim_negative_hits: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            tmp_seq: AtomicU64::new(0),
         })
     }
 
@@ -239,6 +317,8 @@ impl DiskCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            sim_negative_hits: self.sim_negative_hits.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -308,6 +388,64 @@ impl DiskCache {
         self.write_entry(self.entry_path(key, "neg"), &doc);
     }
 
+    /// Loads the simulation outcome stored under
+    /// `(key, COST_MODEL_VERSION)`, if a valid `.sim` entry exists.
+    ///
+    /// Any defect — missing file, bad header, key-echo mismatch, a
+    /// `cost-model` line naming a different [`COST_MODEL_VERSION`], or a
+    /// corrupted body — is a miss; defective or stale entries are deleted
+    /// so they are not re-parsed on every lookup. A cost-model mismatch
+    /// invalidates *only* this `.sim` entry: the kernel entry under the
+    /// same key keeps serving, because the compiler did not change.
+    pub fn load_sim(&self, key: &CacheKey) -> Option<SimOutcome> {
+        let path = self.entry_path(key, "sim");
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let Some(body) = self.validate_entry(&text, key, &path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match parse_sim_body(body) {
+            Some(SimOutcome::Report(report)) => {
+                self.sim_hits.fetch_add(1, Ordering::Relaxed);
+                touch(&path);
+                Some(SimOutcome::Report(report))
+            }
+            Some(SimOutcome::Failed(msg)) => {
+                self.sim_negative_hits.fetch_add(1, Ordering::Relaxed);
+                touch(&path);
+                Some(SimOutcome::Failed(msg))
+            }
+            None => {
+                self.invalidate(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a simulation report under `(key, COST_MODEL_VERSION)`
+    /// (atomic write; best-effort).
+    pub fn store_sim_report(&self, key: &CacheKey, report: &SimReport) {
+        let mut doc = self.sim_header(key);
+        doc.push_str(&serialize_report(report));
+        self.write_entry(self.entry_path(key, "sim"), &doc);
+    }
+
+    /// Records that simulating `key` fails deterministically under the
+    /// current cost model (deadlock, unplaceable kernel), so warm sweeps
+    /// skip the doomed simulation too (atomic write; best-effort).
+    pub fn store_sim_failure(&self, key: &CacheKey, message: &str) {
+        let mut doc = self.sim_header(key);
+        doc.push_str(&format!("sim-error {}\n", quote(message)));
+        self.write_entry(self.entry_path(key, "sim"), &doc);
+    }
+
     /// Removes every entry file. Counters are kept.
     pub fn clear(&self) {
         for (path, _, _) in self.scan_entries() {
@@ -339,8 +477,10 @@ impl DiskCache {
     }
 
     /// Re-validates one entry: header magic and version, key echo against
-    /// the filename, and (for kernels) a full deserialization of the WSIR
-    /// body. Returns `true` for a sound entry; defective entries are
+    /// the filename, and a full deserialization of the body — the WSIR
+    /// kernel for `.wsir` entries, the cost-model echo plus report or
+    /// failure verdict for `.sim` entries. Returns `true` for a sound
+    /// entry; defective entries are
     /// deleted (counted as invalidations), exactly as a cache lookup
     /// would, so `verify` doubles as repair. Unlike a lookup it does not
     /// bump hit counters or the LRU mtime.
@@ -361,6 +501,17 @@ impl DiskCache {
             EntryKind::Infeasible => true,
             EntryKind::Kernel => {
                 if deserialize_kernel(body).is_ok() {
+                    true
+                } else {
+                    self.invalidate(&path);
+                    false
+                }
+            }
+            EntryKind::SimReport => {
+                // A stale cost-model echo is a defect too: this binary
+                // can never serve the entry, so `verify` reclaims it just
+                // like a lookup would.
+                if parse_sim_body(body).is_some() {
                     true
                 } else {
                     self.invalidate(&path);
@@ -394,6 +545,12 @@ impl DiskCache {
         )
     }
 
+    /// The `.sim` entry header: the common header plus the cost-model
+    /// echo that keys the sim tier by [`COST_MODEL_VERSION`].
+    fn sim_header(&self, key: &CacheKey) -> String {
+        format!("{}cost-model {COST_MODEL_VERSION}\n", self.header(key))
+    }
+
     /// Checks the header and key echo of `text`; returns the body on
     /// success, or deletes the entry and returns `None`.
     fn validate_entry<'a>(&self, text: &'a str, key: &CacheKey, path: &Path) -> Option<&'a str> {
@@ -415,11 +572,9 @@ impl DiskCache {
     /// Atomically publishes `doc` at `path` via a temp file + rename, then
     /// enforces the size budget.
     fn write_entry(&self, path: PathBuf, doc: &str) {
-        let tmp = self.root.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
+        let tmp = self
+            .root
+            .join(format!(".tmp-{}-{}", std::process::id(), next_tmp_seq()));
         let ok = fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(doc.as_bytes()).and_then(|()| f.sync_all()))
             .and_then(|()| fs::rename(&tmp, &path))
@@ -448,7 +603,7 @@ impl DiskCache {
             let path = entry.path();
             let is_entry = path
                 .extension()
-                .map(|e| e == "wsir" || e == "neg")
+                .map(|e| e == "wsir" || e == "neg" || e == "sim")
                 .unwrap_or(false);
             if !is_entry {
                 continue;
@@ -614,6 +769,105 @@ mod tests {
             Some("P=3 exceeds D=1")
         );
         assert_eq!(cache.stats().negative_hits, 1);
+    }
+
+    fn sample_report(tag: u64) -> SimReport {
+        SimReport {
+            kernel: format!("k{tag}"),
+            total_time_us: 12.5 + tag as f64,
+            kernel_time_us: 11.25,
+            tflops: 600.0,
+            tc_utilization: 0.875,
+            occupancy: 2,
+            waves: 3 + tag,
+            cycles: 1_000 * (tag + 1),
+            bytes_loaded: 1 << 20,
+            bytes_stored: 1 << 14,
+            tc_flops: 1 << 30,
+            wave_stats: gpu_sim::EngineStats {
+                cycles: 900,
+                tc_busy: 800,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sim_outcomes_round_trip() {
+        let cache = DiskCache::open(tmp_dir("sim-roundtrip")).unwrap();
+        assert_eq!(cache.load_sim(&key(1, 1)), None);
+        cache.store_sim_report(&key(1, 1), &sample_report(7));
+        assert_eq!(
+            cache.load_sim(&key(1, 1)),
+            Some(SimOutcome::Report(sample_report(7)))
+        );
+        cache.store_sim_failure(&key(2, 2), "deadlock: [cta0 wg1 BlockedBar(0) since 42]");
+        assert_eq!(
+            cache.load_sim(&key(2, 2)),
+            Some(SimOutcome::Failed(
+                "deadlock: [cta0 wg1 BlockedBar(0) since 42]".to_string()
+            ))
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.sim_hits, 1);
+        assert_eq!(stats.sim_negative_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn stale_cost_model_invalidates_only_the_sim_entry() {
+        let dir = tmp_dir("sim-cost-model");
+        let cache = DiskCache::open(&dir).unwrap();
+        let k = key(4, 4);
+        cache.store(&k, &sample_kernel(1));
+        cache.store_sim_report(&k, &sample_report(1));
+        // Rewrite the cost-model echo, simulating an entry written by a
+        // build with a different timing model.
+        let path = dir.join(format!("k-{:016x}-{:016x}.sim", 4, 4));
+        let text = fs::read_to_string(&path).unwrap();
+        let stale = text.replacen(
+            &format!("cost-model {COST_MODEL_VERSION}"),
+            &format!("cost-model {}", COST_MODEL_VERSION + 1),
+            1,
+        );
+        assert_ne!(stale, text, "entry must echo the current cost model");
+        fs::write(&path, stale).unwrap();
+
+        assert_eq!(cache.load_sim(&k), None, "stale report must be a miss");
+        assert!(!path.exists(), "stale sim entry must be deleted");
+        assert_eq!(cache.stats().invalidations, 1);
+        // The kernel under the same key is untouched and still serves.
+        assert_eq!(cache.load(&k), Some(sample_kernel(1)));
+    }
+
+    #[test]
+    fn corrupt_sim_entries_are_invalidated_and_verified_away() {
+        let dir = tmp_dir("sim-verify");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store_sim_report(&key(1, 1), &sample_report(1));
+        cache.store_sim_failure(&key(2, 2), "deadlock");
+        for e in cache.entries() {
+            assert_eq!(e.kind, EntryKind::SimReport);
+            assert!(cache.verify_entry(&e), "{e:?}");
+        }
+        // Corrupt the report body past the valid headers.
+        let path = dir.join(format!("k-{:016x}-{:016x}.sim", 1, 1));
+        let text = fs::read_to_string(&path).unwrap();
+        let header_len = cache.sim_header(&key(1, 1)).len();
+        fs::write(&path, format!("{}garbage body", &text[..header_len])).unwrap();
+        assert_eq!(cache.load_sim(&key(1, 1)), None);
+        assert!(!path.exists(), "corrupt sim entry must be deleted");
+        // verify repairs defects the same way lookups do.
+        cache.store_sim_report(&key(1, 1), &sample_report(1));
+        let path = dir.join(format!("k-{:016x}-{:016x}.sim", 1, 1));
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, format!("{}sim-error unquoted", &text[..header_len])).unwrap();
+        let entries = cache.entries();
+        let bad = entries.iter().filter(|e| !cache.verify_entry(e)).count();
+        assert_eq!(bad, 1);
+        assert!(!path.exists());
     }
 
     #[test]

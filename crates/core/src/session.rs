@@ -7,17 +7,23 @@
 //!   (`warp-specialize`, `fine-grained-pipeline`, `coarse-pipeline`, plus
 //!   the generic `const-fold`/`dce` cleanups),
 //! * a **content-addressed kernel cache** keyed by (module fingerprint,
-//!   [`CompileOptions`], launch spec, device name) with hit/miss counters,
+//!   [`CompileOptions`], launch spec, device) with hit/miss counters,
 //! * a **cleanup-prefix cache**: the options-independent
 //!   `fixpoint(const-fold,dce)` front of the pipeline runs once per
 //!   distinct input module and is shared by every configuration the
 //!   autotuner tries,
-//! * a simulation-report cache so repeated sweeps skip the simulator too,
+//! * a simulation-report cache so repeated sweeps skip the simulator too
+//!   (simulation *failures* — deadlocks, unplaceable kernels — are
+//!   remembered in the negative tier alongside infeasibility verdicts,
+//!   so a doomed configuration is simulated once, not once per retry),
 //!   and
-//! * optionally a **persistent on-disk kernel cache**
+//! * optionally a **persistent on-disk cache**
 //!   ([`crate::cache::DiskCache`]) behind the in-memory tiers, so
-//!   compiled kernels — and negative [`CompileError::Infeasible`]
-//!   verdicts — survive process restarts.
+//!   compiled kernels, simulation outcomes (keyed by
+//!   [`gpu_sim::COST_MODEL_VERSION`]) and negative
+//!   [`CompileError::Infeasible`] verdicts survive process restarts —
+//!   a restart-warm autotune sweep replays without invoking the
+//!   compiler *or* the simulator.
 //!
 //! ## Cache key derivation
 //!
@@ -26,7 +32,9 @@
 //! ([`module_fingerprint`]), and `env_fp` hashes the `Debug` form of the
 //! remaining compilation inputs — [`CompileOptions`] (every knob,
 //! including the [`CompileOptions::pipeline`] override), the
-//! [`LaunchSpec`] and the device name. Two compilations share an entry
+//! [`LaunchSpec`] and the full [`Device`] (every calibration constant,
+//! not just the name — simulation outcomes depend on all of them). Two
+//! compilations share an entry
 //! iff every input matches, which is why a cache hit is byte-identical
 //! to a cold compile (property-tested in `tests/e2e_session.rs` and
 //! `tests/e2e_disk_cache.rs`).
@@ -36,11 +44,17 @@
 //! [`CompileSession::compile`] consults, in order: the in-memory kernel
 //! cache, the in-memory negative cache, the disk cache's negative then
 //! positive entries (each promoted into memory on hit), and finally the
-//! compiler. Successful compiles and infeasibility verdicts propagate
-//! back down to disk. Disk entries that are corrupt, truncated or carry
-//! a different [`crate::cache::DISK_FORMAT_VERSION`] /
-//! [`tawa_wsir::FORMAT_VERSION`] are silently invalidated and recompiled
-//! — a damaged cache directory can cost time, never correctness.
+//! compiler. [`CompileSession::compile_and_simulate`] prepends the
+//! report tiers: the in-memory report cache, the in-memory negative
+//! cache (simulation-failure verdicts), and the disk cache's `.sim`
+//! entries — so a warm lookup can skip the simulator without even
+//! touching the kernel tiers. Successful compiles, simulation outcomes
+//! and infeasibility verdicts propagate back down to disk. Disk entries
+//! that are corrupt, truncated or carry a different
+//! [`crate::cache::DISK_FORMAT_VERSION`] / [`tawa_wsir::FORMAT_VERSION`]
+//! / [`gpu_sim::COST_MODEL_VERSION`] are silently invalidated and
+//! recomputed — a damaged cache directory can cost time, never
+//! correctness.
 //! [`CompileSession::clear_cache`] drops the in-memory tiers only; use
 //! [`crate::cache::DiskCache::clear`] to wipe the directory.
 //!
@@ -64,7 +78,7 @@ use tawa_ir::pipeline_spec::{PassRegistry, PipelineSpec};
 use tawa_ir::spec::LaunchSpec;
 use tawa_wsir::Kernel;
 
-use crate::cache::{CacheKey, DiskCache, DiskCacheStats};
+use crate::cache::{CacheKey, DiskCache, DiskCacheStats, SimOutcome};
 use crate::lower::{lower_simt, lower_ws, CompileError, CompileOptions};
 use crate::partition::WarpSpecialize;
 use crate::pipeline::{CoarsePipeline, FineGrainedPipeline};
@@ -90,9 +104,14 @@ pub const COMPILE_WORKERS_ENV: &str = "TAWA_COMPILE_WORKERS";
 const DEFAULT_WORKER_CAP: usize = 8;
 
 fn env_fingerprint(spec: &LaunchSpec, opts: &CompileOptions, device: &Device) -> u64 {
-    // `CompileOptions` and `LaunchSpec` are plain data with derived Debug;
-    // their debug form is a canonical serialization of every field.
-    fnv1a(format!("{opts:?}|{spec:?}|{}", device.name).as_bytes())
+    // `CompileOptions`, `LaunchSpec` and `Device` are plain data with
+    // derived Debug; their debug form is a canonical serialization of
+    // every field. The WHOLE device is hashed, not just its name: two
+    // same-named devices with different calibration constants (a tweaked
+    // preset, a test double) produce different kernels and different
+    // simulation outcomes, and persisted cache entries keyed by name
+    // alone would serve one device's results to the other.
+    fnv1a(format!("{opts:?}|{spec:?}|{device:?}").as_bytes())
 }
 
 /// Hit/miss counters of a session's caches.
@@ -112,7 +131,8 @@ pub struct CacheStats {
     pub module_entries: usize,
     /// Cached simulation reports.
     pub report_entries: usize,
-    /// In-memory negative entries (configurations known infeasible).
+    /// In-memory negative entries: configurations known infeasible plus
+    /// configurations whose simulation fails deterministically.
     pub negative_entries: usize,
     /// Disk-cache counters (all zero when no disk cache is attached).
     pub disk: DiskCacheStats,
@@ -120,9 +140,14 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Total cache hits: in-memory kernels and simulation reports, plus
-    /// positive and negative disk hits.
+    /// positive, negative and sim-tier disk hits.
     pub fn hits(&self) -> u64 {
-        self.kernel_hits + self.sim_hits + self.disk.hits + self.disk.negative_hits
+        self.kernel_hits
+            + self.sim_hits
+            + self.disk.hits
+            + self.disk.negative_hits
+            + self.disk.sim_hits
+            + self.disk.sim_negative_hits
     }
 
     /// Total in-memory cache misses across kernels and simulation reports.
@@ -131,6 +156,23 @@ impl CacheStats {
     pub fn misses(&self) -> u64 {
         self.kernel_misses + self.sim_misses
     }
+}
+
+/// One verdict in the in-memory negative tier: the configuration is
+/// known-doomed, and rerunning the work would reproduce the same error.
+///
+/// The two kinds gate different stages — an `Infeasible` entry
+/// short-circuits [`CompileSession::compile`], while a `Simulation`
+/// entry only short-circuits
+/// [`CompileSession::compile_and_simulate`]: the kernel itself compiled
+/// fine and must stay obtainable.
+#[derive(Debug, Clone)]
+enum Negative {
+    /// Compilation was pruned as [`CompileError::Infeasible`].
+    Infeasible(String),
+    /// Compilation succeeded but simulation failed deterministically
+    /// ([`CompileError::Simulation`]: deadlock, unplaceable kernel).
+    Simulation(String),
 }
 
 /// One batch-compilation job.
@@ -152,7 +194,7 @@ pub struct CompileSession {
     device: Device,
     registry: PassRegistry,
     kernels: Mutex<HashMap<CacheKey, Arc<Kernel>>>,
-    negatives: Mutex<HashMap<CacheKey, String>>,
+    negatives: Mutex<HashMap<CacheKey, Negative>>,
     cleaned: Mutex<HashMap<u64, Arc<Module>>>,
     reports: Mutex<HashMap<CacheKey, SimReport>>,
     disk: Option<DiskCache>,
@@ -352,13 +394,19 @@ impl CompileSession {
             self.kernel_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(kernel.clone());
         }
-        if let Some(msg) = self.negatives.lock().unwrap().get(&key) {
+        // Only infeasibility verdicts gate compilation; a cached
+        // *simulation* failure under the same key means the kernel itself
+        // compiled fine and must stay obtainable.
+        if let Some(Negative::Infeasible(msg)) = self.negatives.lock().unwrap().get(&key) {
             self.kernel_hits.fetch_add(1, Ordering::Relaxed);
             return Err(CompileError::Infeasible(msg.clone()));
         }
         if let Some(disk) = &self.disk {
             if let Some(msg) = disk.load_infeasible(&key) {
-                self.negatives.lock().unwrap().insert(key, msg.clone());
+                self.negatives
+                    .lock()
+                    .unwrap()
+                    .insert(key, Negative::Infeasible(msg.clone()));
                 return Err(CompileError::Infeasible(msg));
             }
             if let Some(kernel) = disk.load(&key) {
@@ -379,7 +427,10 @@ impl CompileSession {
             }
             Err(err) => {
                 if let CompileError::Infeasible(msg) = &err {
-                    self.negatives.lock().unwrap().insert(key, msg.clone());
+                    self.negatives
+                        .lock()
+                        .unwrap()
+                        .insert(key, Negative::Infeasible(msg.clone()));
                     if let Some(disk) = &self.disk {
                         disk.store_infeasible(&key, msg);
                     }
@@ -420,7 +471,17 @@ impl CompileSession {
         self.compile_and_simulate(program.module(), program.spec(), opts)
     }
 
-    /// Compiles and immediately simulates, consulting the report cache.
+    /// Compiles and immediately simulates, consulting the report caches:
+    /// the in-memory report and negative tiers first, then (when
+    /// attached) the disk cache's `.sim` entries — keyed by
+    /// [`gpu_sim::COST_MODEL_VERSION`], promoted into memory on hit — and
+    /// only then the compiler and simulator. A disk report hit skips
+    /// *both*: a restart-warm sweep never invokes the simulator.
+    ///
+    /// Simulation failures are deterministic (deadlock, unplaceable
+    /// kernel), so they are cached too — in the negative tier and on
+    /// disk — and a doomed configuration costs one simulator run per
+    /// cost model, not one per retry.
     ///
     /// # Errors
     /// Compilation errors from [`CompileSession::compile`]; simulation
@@ -441,14 +502,62 @@ impl CompileSession {
             self.sim_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(report.clone());
         }
+        // One negative-map lookup handles both verdict kinds: a known
+        // Simulation failure is a report-tier hit, and a known Infeasible
+        // configuration must short-circuit here too — falling through
+        // would probe the disk's (nonexistent) .sim entry on every sweep
+        // retry before compile_keyed finally consulted the same map.
+        match self.negatives.lock().unwrap().get(&key) {
+            Some(Negative::Simulation(msg)) => {
+                self.sim_hits.fetch_add(1, Ordering::Relaxed);
+                return Err(CompileError::Simulation(msg.clone()));
+            }
+            Some(Negative::Infeasible(msg)) => {
+                self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+                return Err(CompileError::Infeasible(msg.clone()));
+            }
+            None => {}
+        }
+        if let Some(disk) = &self.disk {
+            match disk.load_sim(&key) {
+                Some(SimOutcome::Report(report)) => {
+                    self.reports.lock().unwrap().insert(key, report.clone());
+                    return Ok(report);
+                }
+                Some(SimOutcome::Failed(msg)) => {
+                    self.negatives
+                        .lock()
+                        .unwrap()
+                        .insert(key, Negative::Simulation(msg.clone()));
+                    return Err(CompileError::Simulation(msg));
+                }
+                None => {}
+            }
+        }
         let kernel = self.compile_keyed(key, module, spec, opts)?;
         // Counted only once compilation succeeded: a pruned infeasible
         // point never reaches the simulator and must not skew `sim_misses`.
         self.sim_misses.fetch_add(1, Ordering::Relaxed);
-        let report = gpu_sim::simulate(&kernel, &self.device)
-            .map_err(|e| CompileError::Simulation(e.to_string()))?;
-        self.reports.lock().unwrap().insert(key, report.clone());
-        Ok(report)
+        match gpu_sim::simulate(&kernel, &self.device) {
+            Ok(report) => {
+                if let Some(disk) = &self.disk {
+                    disk.store_sim_report(&key, &report);
+                }
+                self.reports.lock().unwrap().insert(key, report.clone());
+                Ok(report)
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                self.negatives
+                    .lock()
+                    .unwrap()
+                    .insert(key, Negative::Simulation(msg.clone()));
+                if let Some(disk) = &self.disk {
+                    disk.store_sim_failure(&key, &msg);
+                }
+                Err(CompileError::Simulation(msg))
+            }
+        }
     }
 
     /// Compiles many jobs concurrently over the shared caches, returning
@@ -782,6 +891,94 @@ mod tests {
             .compile_and_simulate(&m, &spec, &infeasible)
             .is_err());
         assert_eq!(session.cache_stats().sim_misses, 1);
+    }
+
+    /// A device on which the default GEMM *compiles* (per-thread register
+    /// and shared-memory checks pass) but can never be *placed*: the SM
+    /// register file is too small for even one CTA, so simulation fails
+    /// with occupancy zero — the deterministic-failure path.
+    fn unplaceable_dev() -> Device {
+        let mut device = dev();
+        device.regs_per_sm = 1024;
+        device
+    }
+
+    #[test]
+    fn failed_simulations_are_cached_not_recounted() {
+        let session = CompileSession::in_memory(&unplaceable_dev());
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
+        let opts = CompileOptions::default();
+
+        let first = session.compile_and_simulate(&m, &spec, &opts).unwrap_err();
+        assert!(matches!(first, CompileError::Simulation(_)), "{first:?}");
+        let stats = session.cache_stats();
+        assert_eq!(stats.sim_misses, 1);
+        assert_eq!(stats.negative_entries, 1);
+
+        // A sweep retrying the same configuration must be served from the
+        // negative tier: same verdict, still exactly one simulator run.
+        let second = session.compile_and_simulate(&m, &spec, &opts).unwrap_err();
+        assert_eq!(first.to_string(), second.to_string());
+        let stats = session.cache_stats();
+        assert_eq!(stats.sim_misses, 1, "{stats:?}");
+        assert_eq!(stats.sim_hits, 1, "{stats:?}");
+
+        // The verdict gates simulation only — the compiled kernel stays
+        // obtainable (here from the kernel cache filled by the first try).
+        assert!(session.compile(&m, &spec, &opts).is_ok());
+    }
+
+    #[test]
+    fn sim_outcomes_persist_to_disk() {
+        let dir = tmp_dir("sim-tier");
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
+        let opts = CompileOptions::default();
+
+        let cold = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        let report = cold.compile_and_simulate(&m, &spec, &opts).unwrap();
+        // One kernel entry plus one sim entry.
+        assert_eq!(cold.cache_stats().disk.writes, 2);
+
+        // A restarted session must serve the report from disk without
+        // compiling or simulating anything.
+        let warm = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        let replay = warm.compile_and_simulate(&m, &spec, &opts).unwrap();
+        assert_eq!(report, replay, "disk-served report must be identical");
+        let stats = warm.cache_stats();
+        assert_eq!(stats.disk.sim_hits, 1, "{stats:?}");
+        assert_eq!(stats.sim_misses, 0, "{stats:?}");
+        assert_eq!(stats.kernel_misses, 0, "{stats:?}");
+        // And the promoted report serves in-memory thereafter.
+        warm.compile_and_simulate(&m, &spec, &opts).unwrap();
+        assert_eq!(warm.cache_stats().sim_hits, 1);
+    }
+
+    #[test]
+    fn sim_failures_persist_to_disk() {
+        let dir = tmp_dir("sim-negative");
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
+        let opts = CompileOptions::default();
+
+        let cold = CompileSession::in_memory(&unplaceable_dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        let first = cold.compile_and_simulate(&m, &spec, &opts).unwrap_err();
+        assert_eq!(cold.cache_stats().sim_misses, 1);
+
+        let warm = CompileSession::in_memory(&unplaceable_dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        let replay = warm.compile_and_simulate(&m, &spec, &opts).unwrap_err();
+        assert!(matches!(replay, CompileError::Simulation(_)), "{replay:?}");
+        assert_eq!(first.to_string(), replay.to_string());
+        let stats = warm.cache_stats();
+        assert_eq!(stats.disk.sim_negative_hits, 1, "{stats:?}");
+        assert_eq!(stats.sim_misses, 0, "{stats:?}");
+        assert_eq!(stats.kernel_misses, 0, "{stats:?}");
     }
 
     #[test]

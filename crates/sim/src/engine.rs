@@ -29,7 +29,7 @@ pub struct EngineCfg {
 }
 
 /// Counters accumulated during one SM simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total simulated cycles (completion of the slowest actor + drains).
     pub cycles: u64,

@@ -16,7 +16,15 @@
 //! * [`engine`] — the per-SM event engine executing WSIR warp-group
 //!   programs (detects deadlocks rather than hanging),
 //! * [`run`] — wave-level scheduling, persistent-kernel handling and
-//!   report generation.
+//!   report generation,
+//! * [`report_serde`] — the stable, versioned text serialization of
+//!   [`SimReport`]s (the on-disk format behind `tawa-core`'s persistent
+//!   simulation-report cache tier).
+//!
+//! Simulated numbers are only as stable as the model that produced them:
+//! [`COST_MODEL_VERSION`] identifies the engine's timing/accounting model
+//! and must be bumped whenever simulated results change, so persisted
+//! reports from older models are invalidated instead of silently served.
 //!
 //! ## Example
 //!
@@ -52,9 +60,28 @@
 pub mod device;
 pub mod engine;
 pub mod mbarrier;
+pub mod report_serde;
 pub mod run;
+
+/// Version of the simulator's **cost model** — the timing and accounting
+/// rules that turn a kernel into a [`SimReport`] (engine event costs,
+/// bandwidth provisioning, wave scheduling, per-class grid accounting).
+///
+/// Bump this whenever a change makes the simulator produce different
+/// numbers for the same kernel on the same device: calibration constants,
+/// event ordering, new stall accounting, accounting bug fixes. Persistent
+/// caches key stored reports by this version (alongside the compile cache
+/// key), so a bump invalidates exactly the stale reports — cached
+/// *kernels* are untouched, because the IR and lowering did not change.
+///
+/// Distinct from [`report_serde::REPORT_FORMAT_VERSION`], which covers
+/// only the serialization syntax.
+pub const COST_MODEL_VERSION: u32 = 1;
 
 pub use device::Device;
 pub use engine::{EngineCfg, EngineResult, EngineStats};
 pub use mbarrier::Mbarrier;
+pub use report_serde::{
+    deserialize_report, serialize_report, ReportSerdeError, REPORT_FORMAT_VERSION,
+};
 pub use run::{simulate, SimError, SimReport};

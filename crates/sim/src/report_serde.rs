@@ -1,0 +1,333 @@
+//! Stable, versioned serialization of simulation reports.
+//!
+//! This is the on-disk exchange format behind the persistent
+//! simulation-report cache tier in `tawa-core`: a [`SimReport`] is written
+//! as a self-describing text document and read back **bit-for-bit** equal
+//! (`deserialize ∘ serialize = id`, property-tested in
+//! `tests/proptest_report_serde.rs` over synthetic reports — NaN
+//! payloads, signed zeros, pathological names — and over real simulator
+//! output in the workspace e2e suite).
+//!
+//! ## Format
+//!
+//! The document is line-oriented UTF-8, built from the same lexical
+//! toolkit as the WSIR kernel format ([`tawa_wsir::serialize`]): quoted
+//! strings with escapes, `key=value` fields, floats as IEEE-754 bit
+//! patterns. The first non-blank line is the **format-version header**
+//! `sim-report <version>`, followed by exactly two body lines:
+//!
+//! ```text
+//! sim-report 1
+//! report "gemm" total_time_us=0x40C81C8000000000 kernel_time_us=0x40C5E10000000000 \
+//!        tflops=0x4082C00000000000 tc_utilization=0x3FEB851EB851EB85 occupancy=2 \
+//!        waves=31 cycles=1234567 bytes_loaded=68719476736 bytes_stored=33554432 \
+//!        tc_flops=549755813888
+//! wave cycles=39825 tc_busy=36211 cuda_busy=0 mem_busy=30904 bytes_loaded=16777216 \
+//!      bytes_stored=8192 tc_flops=134217728 stall_barrier=812 stall_wgmma=44 \
+//!      stall_cpasync=0 stall_sync=0
+//! ```
+//!
+//! (Shown wrapped; each is one physical line.) The `report` line carries
+//! every launch-level field of [`SimReport`]; the `wave` line carries the
+//! representative per-wave [`EngineStats`].
+//!
+//! ## Version policy
+//!
+//! [`REPORT_FORMAT_VERSION`] covers the **syntax** of this document and is
+//! bumped whenever a field is added, renamed or re-encoded; readers reject
+//! other versions with [`ReportSerdeError::VersionMismatch`], which caches
+//! treat as a miss.
+//!
+//! The **meaning** of a report — whether a stored document still describes
+//! what the simulator would produce today — is governed separately by
+//! [`crate::COST_MODEL_VERSION`]: persistent caches key report entries by
+//! it, so refining the engine's timing model invalidates stale reports
+//! without touching this format (or any cached kernels).
+
+use std::fmt;
+
+use tawa_wsir::serialize::{f64_bits_text, quote, tokenize, unquote, Fields};
+use tawa_wsir::SerializeError;
+
+use crate::engine::EngineStats;
+use crate::run::SimReport;
+
+/// Current version of the report serialization format. Readers accept
+/// exactly this version; see the module docs for the bump policy.
+pub const REPORT_FORMAT_VERSION: u32 = 1;
+
+/// Error produced when deserializing a simulation-report document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportSerdeError {
+    /// The header names a format version this reader does not speak.
+    VersionMismatch {
+        /// Version found in the document header.
+        found: u32,
+        /// Version this reader implements ([`REPORT_FORMAT_VERSION`]).
+        expected: u32,
+    },
+    /// The document is structurally invalid (truncated, corrupted, or not
+    /// a report document at all).
+    Malformed {
+        /// 1-based line number the parser stopped at (0 = end of input).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ReportSerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportSerdeError::VersionMismatch { found, expected } => write!(
+                f,
+                "sim-report format version mismatch: document is v{found}, reader speaks v{expected}"
+            ),
+            ReportSerdeError::Malformed { line, msg } => {
+                write!(f, "malformed sim-report document at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportSerdeError {}
+
+/// The shared lexical helpers report their defects as WSIR
+/// [`SerializeError`]s; fold them into this format's error type.
+impl From<SerializeError> for ReportSerdeError {
+    fn from(e: SerializeError) -> ReportSerdeError {
+        match e {
+            SerializeError::Malformed { line, msg } => ReportSerdeError::Malformed { line, msg },
+            SerializeError::VersionMismatch { found, expected } => ReportSerdeError::Malformed {
+                line: 0,
+                msg: format!("unexpected embedded version header (v{found} vs v{expected})"),
+            },
+        }
+    }
+}
+
+fn malformed(line: usize, msg: impl Into<String>) -> ReportSerdeError {
+    ReportSerdeError::Malformed {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Serializes a report to the versioned text format (see module docs).
+pub fn serialize_report(r: &SimReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("sim-report {REPORT_FORMAT_VERSION}\n"));
+    out.push_str(&format!(
+        "report {} total_time_us={} kernel_time_us={} tflops={} tc_utilization={} \
+         occupancy={} waves={} cycles={} bytes_loaded={} bytes_stored={} tc_flops={}\n",
+        quote(&r.kernel),
+        f64_bits_text(r.total_time_us),
+        f64_bits_text(r.kernel_time_us),
+        f64_bits_text(r.tflops),
+        f64_bits_text(r.tc_utilization),
+        r.occupancy,
+        r.waves,
+        r.cycles,
+        r.bytes_loaded,
+        r.bytes_stored,
+        r.tc_flops,
+    ));
+    let w = &r.wave_stats;
+    out.push_str(&format!(
+        "wave cycles={} tc_busy={} cuda_busy={} mem_busy={} bytes_loaded={} bytes_stored={} \
+         tc_flops={} stall_barrier={} stall_wgmma={} stall_cpasync={} stall_sync={}\n",
+        w.cycles,
+        w.tc_busy,
+        w.cuda_busy,
+        w.mem_busy,
+        w.bytes_loaded,
+        w.bytes_stored,
+        w.tc_flops,
+        w.stall_barrier,
+        w.stall_wgmma,
+        w.stall_cpasync,
+        w.stall_sync,
+    ));
+    out
+}
+
+/// Deserializes a report from the versioned text format.
+///
+/// # Errors
+/// [`ReportSerdeError::VersionMismatch`] when the header names a different
+/// format version; [`ReportSerdeError::Malformed`] for any structural
+/// problem (truncation, corruption, trailing junk). Callers that use this
+/// behind a cache must treat both as a miss, not a failure.
+pub fn deserialize_report(text: &str) -> Result<SimReport, ReportSerdeError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i + 1, l.trim()));
+
+    // Header: `sim-report <version>`.
+    let (hno, htext) = lines.next().ok_or_else(|| malformed(0, "empty document"))?;
+    let version = htext
+        .strip_prefix("sim-report ")
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .ok_or_else(|| malformed(hno, "missing 'sim-report <version>' header"))?;
+    if version != REPORT_FORMAT_VERSION {
+        return Err(ReportSerdeError::VersionMismatch {
+            found: version,
+            expected: REPORT_FORMAT_VERSION,
+        });
+    }
+
+    // `report …` line.
+    let (rno, rtext) = lines
+        .next()
+        .ok_or_else(|| malformed(0, "missing 'report' line"))?;
+    let rtokens = tokenize(rtext, rno)?;
+    if rtokens.first().map(String::as_str) != Some("report") {
+        return Err(malformed(rno, "expected 'report' line after header"));
+    }
+    let kernel = rtokens
+        .get(1)
+        .ok_or_else(|| malformed(rno, "report line missing kernel name"))
+        .and_then(|t| Ok(unquote(t, rno)?))?;
+    let rf = Fields::new(&rtokens, rno);
+
+    // `wave …` line.
+    let (wno, wtext) = lines
+        .next()
+        .ok_or_else(|| malformed(0, "missing 'wave' line"))?;
+    let wtokens = tokenize(wtext, wno)?;
+    if wtokens.first().map(String::as_str) != Some("wave") {
+        return Err(malformed(wno, "expected 'wave' line after 'report'"));
+    }
+    let wf = Fields::new(&wtokens, wno);
+
+    if let Some((no, _)) = lines.next() {
+        return Err(malformed(no, "trailing content after 'wave' line"));
+    }
+
+    Ok(SimReport {
+        kernel,
+        total_time_us: rf.f64_bits("total_time_us")?,
+        kernel_time_us: rf.f64_bits("kernel_time_us")?,
+        tflops: rf.f64_bits("tflops")?,
+        tc_utilization: rf.f64_bits("tc_utilization")?,
+        occupancy: rf.u32("occupancy")?,
+        waves: rf.u64("waves")?,
+        cycles: rf.u64("cycles")?,
+        bytes_loaded: rf.u64("bytes_loaded")?,
+        bytes_stored: rf.u64("bytes_stored")?,
+        tc_flops: rf.u64("tc_flops")?,
+        wave_stats: EngineStats {
+            cycles: wf.u64("cycles")?,
+            tc_busy: wf.u64("tc_busy")?,
+            cuda_busy: wf.u64("cuda_busy")?,
+            mem_busy: wf.u64("mem_busy")?,
+            bytes_loaded: wf.u64("bytes_loaded")?,
+            bytes_stored: wf.u64("bytes_stored")?,
+            tc_flops: wf.u64("tc_flops")?,
+            stall_barrier: wf.u64("stall_barrier")?,
+            stall_wgmma: wf.u64("stall_wgmma")?,
+            stall_cpasync: wf.u64("stall_cpasync")?,
+            stall_sync: wf.u64("stall_sync")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimReport {
+        SimReport {
+            kernel: "gemm \"edge\\case\"\nname".to_string(),
+            total_time_us: 123.456,
+            kernel_time_us: 118.25,
+            tflops: 612.75,
+            tc_utilization: 0.861,
+            occupancy: 2,
+            waves: 31,
+            cycles: 1_234_567,
+            bytes_loaded: 68_719_476_736,
+            bytes_stored: 33_554_432,
+            tc_flops: 549_755_813_888,
+            wave_stats: EngineStats {
+                cycles: 39_825,
+                tc_busy: 36_211,
+                cuda_busy: 17,
+                mem_busy: 30_904,
+                bytes_loaded: 16_777_216,
+                bytes_stored: 8_192,
+                tc_flops: 134_217_728,
+                stall_barrier: 812,
+                stall_wgmma: 44,
+                stall_cpasync: 3,
+                stall_sync: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_every_field() {
+        let r = sample_report();
+        let text = serialize_report(&r);
+        let back = deserialize_report(&text).unwrap();
+        assert_eq!(r, back);
+        // The format is stable: re-serializing is a fixpoint.
+        assert_eq!(text, serialize_report(&back));
+    }
+
+    #[test]
+    fn round_trips_exotic_floats_bit_exactly() {
+        for bits in [
+            0u64,
+            (-0.0f64).to_bits(),
+            f64::NAN.to_bits(),
+            f64::NAN.to_bits() | 0xDEAD, // payload NaN
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            1.0f64.to_bits(),
+        ] {
+            let mut r = sample_report();
+            r.tflops = f64::from_bits(bits);
+            r.tc_utilization = f64::from_bits(bits.rotate_left(13));
+            let back = deserialize_report(&serialize_report(&r)).unwrap();
+            assert_eq!(r.tflops.to_bits(), back.tflops.to_bits());
+            assert_eq!(r.tc_utilization.to_bits(), back.tc_utilization.to_bits());
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let text = serialize_report(&sample_report());
+        let bumped = text.replacen(
+            &format!("sim-report {REPORT_FORMAT_VERSION}"),
+            &format!("sim-report {}", REPORT_FORMAT_VERSION + 1),
+            1,
+        );
+        match deserialize_report(&bumped) {
+            Err(ReportSerdeError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, REPORT_FORMAT_VERSION + 1);
+                assert_eq!(expected, REPORT_FORMAT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_malformed_not_panic() {
+        let text = serialize_report(&sample_report());
+        for cut in 0..text.len() {
+            if text.is_char_boundary(cut) {
+                let _ = deserialize_report(&text[..cut]);
+            }
+        }
+        assert!(deserialize_report("").is_err());
+        assert!(deserialize_report("garbage").is_err());
+        assert!(deserialize_report("sim-report 1\nreport oops\n").is_err());
+        assert!(deserialize_report(&format!("{text}trailing junk\n")).is_err());
+        // A missing field is malformed, not a default.
+        let missing = text.replacen("waves=31", "ondes=31", 1);
+        assert!(deserialize_report(&missing).is_err());
+    }
+}

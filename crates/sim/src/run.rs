@@ -55,7 +55,12 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Result of simulating one kernel launch.
-#[derive(Debug, Clone)]
+///
+/// Reports compare with `==` field-by-field; the float fields use IEEE
+/// semantics, so a report containing NaN never equals itself — compare
+/// via [`f64::to_bits`] where bit-exact identity matters (as the
+/// serialization tests do).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Kernel name.
     pub kernel: String,
@@ -65,7 +70,8 @@ pub struct SimReport {
     pub kernel_time_us: f64,
     /// Useful throughput in TFLOP/s (`useful_flops / total_time`).
     pub tflops: f64,
-    /// Tensor-core busy fraction during the representative wave.
+    /// Tensor-core busy fraction during the representative wave (the
+    /// dominant CTA class — see [`SimReport::wave_stats`]).
     pub tc_utilization: f64,
     /// Resident CTAs per SM.
     pub occupancy: u32,
@@ -79,8 +85,32 @@ pub struct SimReport {
     pub bytes_stored: u64,
     /// Total tensor-core FLOPs across the whole grid.
     pub tc_flops: u64,
-    /// Representative per-wave engine statistics (first class).
+    /// Representative per-wave engine statistics.
+    ///
+    /// Multi-class kernels (e.g. a warp-specialized main grid plus an
+    /// epilogue class) simulate one wave per class; the representative is
+    /// the **dominant** class — the one contributing the most device time,
+    /// `multiplicity × per-wave cycles` — with ties keeping the earlier
+    /// class. Taking the first class regardless (as this field once did)
+    /// misreports any kernel whose first class is a small remainder or
+    /// epilogue class.
     pub wave_stats: EngineStats,
+}
+
+/// Scales an engine counter measured over `occ` resident CTAs of one
+/// class to that class's whole-grid contribution:
+/// `total × multiplicity / occ`.
+///
+/// The multiply runs first, widened to 128 bits, so the truncating
+/// division happens once on the full product. Dividing first
+/// (`total / occ × multiplicity`, as this code once did) silently drops
+/// up to `occ − 1` bytes/FLOPs *per class* whenever the engine total is
+/// not an exact multiple of `occ`. Saturates at `u64::MAX` rather than
+/// wrapping for pathological grids.
+fn grid_total(total: u64, multiplicity: u64, occ: u32) -> u64 {
+    debug_assert!(occ > 0, "callers check occupancy before accounting");
+    let scaled = total as u128 * multiplicity as u128 / occ.max(1) as u128;
+    u64::try_from(scaled).unwrap_or(u64::MAX)
 }
 
 /// Simulates `kernel` on `device`.
@@ -119,6 +149,7 @@ pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError>
     let mut bytes_stored: u64 = 0;
     let mut tc_flops: u64 = 0;
     let mut wave_stats: Option<EngineStats> = None;
+    let mut wave_weight: u128 = 0;
     let mut persistent_max: u64 = 0;
 
     for class in &kernel.classes {
@@ -128,13 +159,11 @@ pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError>
             return Err(SimError::Deadlock(d));
         }
         let stats = result.stats;
-        // Engine simulated `occ` CTAs of this class on one SM.
-        let per_cta_loaded = stats.bytes_loaded / occ as u64;
-        let per_cta_stored = stats.bytes_stored / occ as u64;
-        let per_cta_flops = stats.tc_flops / occ as u64;
-        bytes_loaded += per_cta_loaded * class.multiplicity;
-        bytes_stored += per_cta_stored * class.multiplicity;
-        tc_flops += per_cta_flops * class.multiplicity;
+        // Engine simulated `occ` CTAs of this class on one SM; scale the
+        // totals to the class's whole-grid contribution.
+        bytes_loaded += grid_total(stats.bytes_loaded, class.multiplicity, occ);
+        bytes_stored += grid_total(stats.bytes_stored, class.multiplicity, occ);
+        tc_flops += grid_total(stats.tc_flops, class.multiplicity, occ);
 
         if kernel.persistent {
             // Persistent classes run concurrently on disjoint SM slots;
@@ -147,7 +176,13 @@ pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError>
                 waves * stats.cycles + waves.saturating_sub(1) * device.cta_dispatch_gap_cycles;
             waves_total += waves;
         }
-        if wave_stats.is_none() {
+        // Representative wave: the dominant class by total device time
+        // (multiplicity × per-wave cycles), ties keeping the earlier
+        // class — not blindly the first class, which misreports kernels
+        // whose leading class is a small remainder or epilogue.
+        let weight = stats.cycles as u128 * class.multiplicity as u128;
+        if wave_stats.is_none() || weight > wave_weight {
+            wave_weight = weight;
             wave_stats = Some(stats);
         }
     }
@@ -308,6 +343,71 @@ mod tests {
             ],
         );
         assert!(matches!(simulate(&k, &dev), Err(SimError::Deadlock(_))));
+    }
+
+    #[test]
+    fn grid_totals_are_exact_for_non_divisible_occupancy() {
+        // 10 units measured over 4 residents, 4 CTAs in the grid: the
+        // whole grid did exactly those 10 units. The old divide-first
+        // order computed (10 / 4) × 4 = 8, dropping 2 units.
+        assert_eq!(grid_total(10, 4, 4), 10);
+        // Multiply-first truncates at most once overall, not per class.
+        assert_eq!(grid_total(7, 3, 2), 10); // 7·3/2 = 10 (true 10.5)
+        assert_eq!(grid_total(0, 1000, 3), 0);
+        // Widened arithmetic: near-max totals neither overflow nor wrap.
+        assert_eq!(grid_total(u64::MAX, 1, 1), u64::MAX);
+        assert_eq!(grid_total(u64::MAX / 2, 4, 2), u64::MAX - 1);
+        // Pathological products past u64 saturate instead of wrapping.
+        assert_eq!(grid_total(1 << 62, 8, 2), u64::MAX);
+    }
+
+    #[test]
+    fn wave_stats_represent_the_dominant_class() {
+        let dev = Device::h100_sxm5();
+        let mut k = Kernel::new("multi-class");
+        k.smem_bytes = 1024;
+        // Param 0 is the per-class trip count: a single short epilogue
+        // CTA leads the class list, followed by the dominant main grid.
+        k.classes = vec![
+            tawa_wsir::CtaClass {
+                params: vec![2],
+                multiplicity: 1,
+            },
+            tawa_wsir::CtaClass {
+                params: vec![256],
+                multiplicity: 1024,
+            },
+        ];
+        k.add_warp_group(
+            Role::Consumer,
+            64,
+            vec![Instr::loop_param(
+                0,
+                vec![
+                    Instr::WgmmaIssue {
+                        m: 64,
+                        n: 64,
+                        k: 16,
+                        dtype: MmaDtype::F16,
+                    },
+                    Instr::WgmmaWait { pending: 0 },
+                ],
+            )],
+        );
+        let r = simulate(&k, &dev).unwrap();
+        // The representative wave must be the big class: per-wave tensor
+        // work reflects 256 iterations × occupancy, not the epilogue's 2.
+        let flops_per_iter = 2 * 64 * 64 * 16;
+        assert_eq!(
+            r.wave_stats.tc_flops,
+            r.occupancy as u64 * 256 * flops_per_iter,
+            "wave_stats must describe the dominant class"
+        );
+        // And tc_utilization is derived from that same dominant wave.
+        let expect_util = r.wave_stats.tc_busy as f64 / r.wave_stats.cycles as f64;
+        assert!((r.tc_utilization - expect_util).abs() < 1e-12);
+        // Grid totals still conserve work across both classes.
+        assert_eq!(r.tc_flops, (1024 * 256 + 2) * flops_per_iter);
     }
 
     #[test]

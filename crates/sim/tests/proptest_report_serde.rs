@@ -1,0 +1,128 @@
+//! Round-trip property tests for the simulation-report serialization
+//! format: for arbitrary synthetic reports — every counter, kernel names
+//! containing quotes/newlines/backslashes, exotic float bit patterns
+//! including NaN payloads and signed zeros —
+//! `deserialize(serialize(r))` reproduces the report **bit-for-bit** and
+//! serialization is a byte-level fixpoint.
+
+use proptest::prelude::*;
+
+use gpu_sim::{deserialize_report, serialize_report, EngineStats, SimReport};
+
+/// Kernel names that stress the quoting rules.
+fn names() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("gemm".to_string()),
+        Just("attn/causal L=4096".to_string()),
+        Just("weird \"quoted\" name".to_string()),
+        Just("multi\nline\tname".to_string()),
+        Just("back\\slash".to_string()),
+        Just(String::new()),
+    ]
+}
+
+/// Arbitrary f64 *bit patterns*: uniform over the whole 64-bit space, so
+/// NaN payloads, signed zeros, denormals and infinities all appear.
+fn float_bits() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(f64::from_bits)
+}
+
+fn engine_stats() -> impl Strategy<Value = EngineStats> {
+    (
+        (0u64..1 << 50, 0u64..1 << 50, 0u64..1 << 50, 0u64..1 << 50),
+        (0u64..1 << 50, 0u64..1 << 50, 0u64..1 << 50),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+    )
+        .prop_map(
+            |(
+                (cycles, tc_busy, cuda_busy, mem_busy),
+                (bytes_loaded, bytes_stored, tc_flops),
+                (stall_barrier, stall_wgmma, stall_cpasync, stall_sync),
+            )| EngineStats {
+                cycles,
+                tc_busy,
+                cuda_busy,
+                mem_busy,
+                bytes_loaded,
+                bytes_stored,
+                tc_flops,
+                stall_barrier,
+                stall_wgmma,
+                stall_cpasync,
+                stall_sync,
+            },
+        )
+}
+
+fn reports() -> impl Strategy<Value = SimReport> {
+    (
+        names(),
+        (float_bits(), float_bits(), float_bits(), float_bits()),
+        (0u32..1 << 8, 0u64..1 << 40, 0u64..u64::MAX),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        engine_stats(),
+    )
+        .prop_map(
+            |(
+                kernel,
+                (total_time_us, kernel_time_us, tflops, tc_utilization),
+                (occupancy, waves, cycles),
+                (bytes_loaded, bytes_stored, tc_flops),
+                wave_stats,
+            )| SimReport {
+                kernel,
+                total_time_us,
+                kernel_time_us,
+                tflops,
+                tc_utilization,
+                occupancy,
+                waves,
+                cycles,
+                bytes_loaded,
+                bytes_stored,
+                tc_flops,
+                wave_stats,
+            },
+        )
+}
+
+/// Field-by-field equality with floats compared as bits, so NaN-bearing
+/// reports can still assert exact round-trips.
+fn assert_bit_identical(a: &SimReport, b: &SimReport) {
+    assert_eq!(a.kernel, b.kernel);
+    assert_eq!(a.total_time_us.to_bits(), b.total_time_us.to_bits());
+    assert_eq!(a.kernel_time_us.to_bits(), b.kernel_time_us.to_bits());
+    assert_eq!(a.tflops.to_bits(), b.tflops.to_bits());
+    assert_eq!(a.tc_utilization.to_bits(), b.tc_utilization.to_bits());
+    assert_eq!(a.occupancy, b.occupancy);
+    assert_eq!(a.waves, b.waves);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.bytes_loaded, b.bytes_loaded);
+    assert_eq!(a.bytes_stored, b.bytes_stored);
+    assert_eq!(a.tc_flops, b.tc_flops);
+    assert_eq!(a.wave_stats, b.wave_stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reports_round_trip_bit_exactly(r in reports()) {
+        let text = serialize_report(&r);
+        let back = deserialize_report(&text)
+            .map_err(|e| format!("deserialize failed: {e}\n{text}"))?;
+        assert_bit_identical(&r, &back);
+        // Byte-level stability of the format itself.
+        prop_assert_eq!(serialize_report(&back), text);
+    }
+
+    #[test]
+    fn truncations_error_and_never_panic(r in reports(), frac in 0usize..100) {
+        let text = serialize_report(&r);
+        let cut = text.len() * frac / 100;
+        if text.is_char_boundary(cut) {
+            // Any prefix must be a typed error (or, for the full text, Ok).
+            let _ = deserialize_report(&text[..cut]);
+        }
+    }
+}

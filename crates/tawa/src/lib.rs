@@ -18,12 +18,16 @@
 //!   the functional interpreter, the autotuner, and the
 //!   [`CompileSession`] serving layer (declarative pass pipelines, a
 //!   content-addressed compile cache, thread-scoped batch compilation
-//!   and a persistent on-disk kernel cache — [`DiskCache`], attached
-//!   with [`CompileSession::with_disk_cache`] or the `TAWA_DISK_CACHE`
-//!   environment variable);
+//!   and a persistent on-disk cache — [`DiskCache`], attached with
+//!   [`CompileSession::with_disk_cache`] or the `TAWA_DISK_CACHE`
+//!   environment variable — holding compiled kernels, infeasibility
+//!   verdicts and simulation outcomes, so restart-warm sweeps skip the
+//!   compiler and the simulator);
 //! * [`wsir`] — the warp-specialized virtual ISA, including its stable
 //!   serialization format (`tawa::wsir::serialize`);
-//! * [`sim`] — the discrete-event Hopper-class GPU simulator;
+//! * [`sim`] — the discrete-event Hopper-class GPU simulator, its
+//!   versioned report serialization (`tawa::sim::report_serde`) and the
+//!   `COST_MODEL_VERSION` that keys persisted reports;
 //! * [`kernels`] — baseline frameworks (cuBLAS, FA3, TileLang,
 //!   ThunderKittens, Triton).
 //!
@@ -65,8 +69,8 @@ pub use tawa_kernels as kernels;
 pub use tawa_wsir as wsir;
 
 pub use tawa_core::{
-    CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, COMPILE_WORKERS_ENV,
-    DISK_CACHE_ENV,
+    CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, SimOutcome,
+    COMPILE_WORKERS_ENV, DISK_CACHE_ENV,
 };
 pub use tawa_frontend::{dsl, KernelBuilder, Program};
 pub use tawa_ir::{Diagnostic, Loc, PassRegistry, PipelineSpec, Severity};

@@ -44,6 +44,15 @@
 //! cache miss and recompile, never as an error. There is deliberately no
 //! in-place migration: cache entries are cheap to regenerate.
 //!
+//! ## Shared document toolkit
+//!
+//! The lexical layer of this format — [`quote`]/[`unquote`] string
+//! escaping, [`tokenize`] line splitting, [`Fields`] key-value access and
+//! the [`f64_bits_text`] float-bit encoding — is public and shared by the
+//! other versioned Tawa text documents: the cache entry headers in
+//! `tawa-core` and the simulation-report format in `gpu_sim`
+//! (`report_serde`). One implementation, one set of quoting rules.
+//!
 //! ## `&'static str` labels
 //!
 //! [`Instr::CudaOp`] carries a `&'static str` diagnostic label. The
@@ -126,7 +135,10 @@ fn intern_label(s: &str) -> &'static str {
     leaked
 }
 
-fn quote(s: &str) -> String {
+/// Renders `s` as a double-quoted token with `\\`, `\"`, `\n` and `\t`
+/// escapes — the string syntax shared by every Tawa text document
+/// (WSIR kernels, cache entry headers, simulation reports).
+pub fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -222,12 +234,12 @@ pub fn serialize_kernel(k: &Kernel) -> String {
     let mut out = String::new();
     out.push_str(&format!("wsir {FORMAT_VERSION}\n"));
     out.push_str(&format!(
-        "kernel {} persistent={} smem_bytes={} launch_overhead_ns={} useful_flops=0x{:016X}\n",
+        "kernel {} persistent={} smem_bytes={} launch_overhead_ns={} useful_flops={}\n",
         quote(&k.name),
         k.persistent,
         k.smem_bytes,
         k.launch_overhead_ns,
-        k.useful_flops.to_bits()
+        f64_bits_text(k.useful_flops)
     ));
     for c in &k.classes {
         let params: Vec<String> = c.params.iter().map(u64::to_string).collect();
@@ -307,8 +319,9 @@ fn malformed(line: usize, msg: impl Into<String>) -> SerializeError {
 }
 
 /// Splits a line into whitespace-separated tokens, keeping quoted strings
-/// (with escapes) as single tokens.
-fn tokenize(line: &str, no: usize) -> Result<Vec<String>, SerializeError> {
+/// (with escapes) as single tokens. `no` is the 1-based line number used
+/// in [`SerializeError::Malformed`] reports.
+pub fn tokenize(line: &str, no: usize) -> Result<Vec<String>, SerializeError> {
     let mut tokens = Vec::new();
     let mut chars = line.chars().peekable();
     while let Some(&c) = chars.peek() {
@@ -354,7 +367,11 @@ fn tokenize(line: &str, no: usize) -> Result<Vec<String>, SerializeError> {
 }
 
 /// Decodes a quoted token produced by [`tokenize`] back into its string.
-fn unquote(tok: &str, no: usize) -> Result<String, SerializeError> {
+///
+/// # Errors
+/// [`SerializeError::Malformed`] (at line `no`) when the token is not a
+/// quoted string or contains an unknown escape.
+pub fn unquote(tok: &str, no: usize) -> Result<String, SerializeError> {
     let inner = tok
         .strip_prefix('"')
         .and_then(|t| t.strip_suffix('"'))
@@ -382,14 +399,32 @@ fn unquote(tok: &str, no: usize) -> Result<String, SerializeError> {
     Ok(out)
 }
 
-/// Key-value field access over a tokenized line.
-struct Fields<'a> {
+/// Renders a float as its IEEE-754 bit pattern (`0x` + 16 hex digits),
+/// the encoding every Tawa text document uses so floats — NaN payloads
+/// and signed zeros included — round-trip exactly.
+pub fn f64_bits_text(v: f64) -> String {
+    format!("0x{:016X}", v.to_bits())
+}
+
+/// Key-value field access over a tokenized line (`key=value` tokens as
+/// produced by [`tokenize`]).
+pub struct Fields<'a> {
     tokens: &'a [String],
     no: usize,
 }
 
 impl<'a> Fields<'a> {
-    fn get(&self, key: &str) -> Result<&'a str, SerializeError> {
+    /// Wraps a tokenized line; `no` is the 1-based line number used in
+    /// [`SerializeError::Malformed`] reports.
+    pub fn new(tokens: &'a [String], no: usize) -> Fields<'a> {
+        Fields { tokens, no }
+    }
+
+    /// The raw text of field `key`.
+    ///
+    /// # Errors
+    /// [`SerializeError::Malformed`] when the line has no `key=` field.
+    pub fn get(&self, key: &str) -> Result<&'a str, SerializeError> {
         for t in self.tokens {
             if let Some(v) = t.strip_prefix(key) {
                 if let Some(v) = v.strip_prefix('=') {
@@ -400,19 +435,44 @@ impl<'a> Fields<'a> {
         Err(malformed(self.no, format!("missing field '{key}'")))
     }
 
-    fn u64(&self, key: &str) -> Result<u64, SerializeError> {
+    /// Field `key` parsed as a `u64`.
+    ///
+    /// # Errors
+    /// [`SerializeError::Malformed`] when missing or not an integer.
+    pub fn u64(&self, key: &str) -> Result<u64, SerializeError> {
         let v = self.get(key)?;
         v.parse::<u64>()
             .map_err(|_| malformed(self.no, format!("field '{key}' is not an integer: '{v}'")))
     }
 
-    fn u32(&self, key: &str) -> Result<u32, SerializeError> {
+    /// Field `key` parsed as a `u32`.
+    ///
+    /// # Errors
+    /// [`SerializeError::Malformed`] when missing or not an integer.
+    pub fn u32(&self, key: &str) -> Result<u32, SerializeError> {
         let v = self.get(key)?;
         v.parse::<u32>()
             .map_err(|_| malformed(self.no, format!("field '{key}' is not an integer: '{v}'")))
     }
 
-    fn bool(&self, key: &str) -> Result<bool, SerializeError> {
+    /// Field `key` parsed as a float from the [`f64_bits_text`] bit-pattern
+    /// encoding — bit-exact, including NaN payloads and signed zeros.
+    ///
+    /// # Errors
+    /// [`SerializeError::Malformed`] when missing or not `0x` + hex bits.
+    pub fn f64_bits(&self, key: &str) -> Result<f64, SerializeError> {
+        let v = self.get(key)?;
+        v.strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .map(f64::from_bits)
+            .ok_or_else(|| malformed(self.no, format!("field '{key}' is not float bits: '{v}'")))
+    }
+
+    /// Field `key` parsed as a boolean (`true` / `false`).
+    ///
+    /// # Errors
+    /// [`SerializeError::Malformed`] when missing or not a boolean.
+    pub fn bool(&self, key: &str) -> Result<bool, SerializeError> {
         match self.get(key)? {
             "true" => Ok(true),
             "false" => Ok(false),
@@ -423,7 +483,11 @@ impl<'a> Fields<'a> {
         }
     }
 
-    fn string(&self, key: &str) -> Result<String, SerializeError> {
+    /// Field `key` decoded from a quoted-string token.
+    ///
+    /// # Errors
+    /// [`SerializeError::Malformed`] when missing or not a quoted string.
+    pub fn string(&self, key: &str) -> Result<String, SerializeError> {
         unquote(self.get(key)?, self.no)
     }
 }
@@ -567,11 +631,6 @@ pub fn deserialize_kernel(text: &str) -> Result<Kernel, SerializeError> {
         .get(1)
         .ok_or_else(|| malformed(kno, "kernel line missing name"))
         .and_then(|t| unquote(t, kno))?;
-    let useful_bits = kf.get("useful_flops").and_then(|v| {
-        v.strip_prefix("0x")
-            .and_then(|h| u64::from_str_radix(h, 16).ok())
-            .ok_or_else(|| malformed(kno, format!("bad useful_flops bits '{v}'")))
-    })?;
     let mut kernel = Kernel {
         name,
         classes: Vec::new(),
@@ -580,7 +639,7 @@ pub fn deserialize_kernel(text: &str) -> Result<Kernel, SerializeError> {
         warp_groups: Vec::new(),
         persistent: kf.bool("persistent")?,
         launch_overhead_ns: kf.u64("launch_overhead_ns")?,
-        useful_flops: f64::from_bits(useful_bits),
+        useful_flops: kf.f64_bits("useful_flops")?,
     };
 
     // Body sections, dispatched on the leading keyword.

@@ -9,7 +9,7 @@ use tawa::core::CompileOptions;
 use tawa::frontend::config::GemmConfig;
 use tawa::frontend::kernels::gemm;
 use tawa::ir::print::print_module;
-use tawa::sim::{simulate, Device};
+use tawa::sim::Device;
 use tawa::CompileSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,8 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Generated warp-specialized WSIR ==\n");
     println!("{}", tawa::wsir::print_kernel(&kernel));
 
-    // 3. Simulate.
-    let report = simulate(&kernel, &device)?;
+    // 3. Simulate through the session, so the report lands in the
+    //    session's report cache — and, when `TAWA_DISK_CACHE` is set, in
+    //    the persistent `.sim` tier: rerunning this example then skips
+    //    the simulator entirely.
+    let report = session.compile_and_simulate_program(&program, &opts)?;
     println!("== Simulation ==\n");
     println!(
         "{}: {:.1} TFLOP/s ({:.1}% of FP16 peak), {:.0} µs, {} waves, occupancy {}",
@@ -57,8 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warp_specialize: false,
         ..opts
     };
-    let baseline = session.compile_program(&program, &simt)?;
-    let base_report = simulate(&baseline, &device)?;
+    let base_report = session.compile_and_simulate_program(&program, &simt)?;
     println!(
         "Triton-style software pipelining: {:.1} TFLOP/s  →  warp specialization wins {:.2}x",
         base_report.tflops,

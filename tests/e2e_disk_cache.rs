@@ -100,14 +100,16 @@ fn warm_autotune_sweep_skips_pruning_via_negative_cache() {
     assert!(infeasible > 0, "the grid must contain infeasible points");
 
     // Fresh session: the sweep replays entirely out of the disk cache —
-    // feasible points are positive hits, infeasible points negative
-    // hits, and nothing is compiled (pruning included).
+    // feasible points are persisted-report hits (skipping the compiler
+    // AND the simulator), infeasible points negative hits, and nothing
+    // is compiled or simulated (pruning included).
     let warm_session = disk_session(&dir);
     let warm = autotune_with_session(&warm_session, &m, &spec, &base, &space);
     let stats = warm_session.cache_stats();
     assert_eq!(stats.disk.negative_hits, infeasible as u64, "{stats:?}");
-    assert!(stats.disk.hits > 0, "{stats:?}");
+    assert!(stats.disk.sim_hits > 0, "{stats:?}");
     assert_eq!(stats.kernel_misses, 0, "{stats:?}");
+    assert_eq!(stats.sim_misses, 0, "{stats:?}");
     for (c, w) in cold.points.iter().zip(&warm.points) {
         assert_eq!(c.tflops, w.tflops, "warm sweep must reproduce the cold one");
     }
