@@ -20,7 +20,7 @@
 use std::process::ExitCode;
 use std::time::SystemTime;
 
-use tawa_core::cache::{DiskCache, EntryKind};
+use tawa_core::cache::{CacheEntry, DiskCache, EntryKind, SimOutcome};
 
 const USAGE: &str = "usage:
   tawa-cache ls <dir>                 list entries (oldest first)
@@ -94,6 +94,22 @@ fn kind_str(kind: EntryKind) -> &'static str {
     }
 }
 
+/// Like [`kind_str`] but peeks inside `.sim` entries so the listing
+/// distinguishes simulator-discovered failures (`sim-error`) from
+/// verdicts the static analyzer recorded without ever running the
+/// simulator (`static-neg`).
+fn entry_label(cache: &DiskCache, entry: &CacheEntry) -> &'static str {
+    if entry.kind != EntryKind::SimReport {
+        return kind_str(entry.kind);
+    }
+    match cache.peek_sim(entry) {
+        Some(SimOutcome::Report(_)) => "sim-report",
+        Some(SimOutcome::Failed(_)) => "sim-error",
+        Some(SimOutcome::StaticRejection(_)) => "static-neg",
+        None => "sim?",
+    }
+}
+
 fn age_str(modified: SystemTime) -> String {
     match SystemTime::now().duration_since(modified) {
         Ok(age) => {
@@ -125,7 +141,7 @@ fn ls(cache: &DiskCache) {
             "{:016x}-{:016x}  {:>10}  {:>8}  {:>6}",
             e.key.module_fp,
             e.key.env_fp,
-            kind_str(e.kind),
+            entry_label(cache, e),
             e.bytes,
             age_str(e.modified)
         );
@@ -137,10 +153,9 @@ fn verify(cache: &DiskCache) -> ExitCode {
     let entries = cache.entries();
     let mut ok = 0usize;
     let mut bad = 0usize;
+    let mut lint_errors = 0usize;
     for e in &entries {
-        if cache.verify_entry(e) {
-            ok += 1;
-        } else {
+        if !cache.verify_entry(e) {
             bad += 1;
             println!(
                 "invalid: {:016x}-{:016x} ({}) — removed",
@@ -148,10 +163,38 @@ fn verify(cache: &DiskCache) -> ExitCode {
                 e.key.env_fp,
                 kind_str(e.kind)
             );
+            continue;
+        }
+        ok += 1;
+        // Structurally sound kernels additionally pass through the
+        // static analyzer: a cached kernel whose barrier protocol is
+        // broken would deadlock every simulation it seeds. Such entries
+        // are reported but kept — recompiling reproduces the same
+        // kernel, and the session's static gate rejects it at
+        // simulate time anyway.
+        if e.kind == EntryKind::Kernel {
+            if let Some(kernel) = cache.peek_kernel(e) {
+                let mut flagged = false;
+                for lint in tawa_wsir::analyze(&kernel) {
+                    if lint.severity() == tawa_wsir::Severity::Error {
+                        flagged = true;
+                        println!(
+                            "lint: {:016x}-{:016x} {lint}",
+                            e.key.module_fp, e.key.env_fp
+                        );
+                    }
+                }
+                if flagged {
+                    lint_errors += 1;
+                }
+            }
         }
     }
-    println!("{ok} sound, {bad} defective (defects deleted; they recompile on demand)");
-    if bad == 0 {
+    println!(
+        "{ok} sound, {bad} defective (defects deleted; they recompile on demand), \
+         {lint_errors} with lint errors (kept; the static gate rejects them before simulation)"
+    );
+    if bad == 0 && lint_errors == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

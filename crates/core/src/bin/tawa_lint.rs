@@ -1,0 +1,215 @@
+//! `tawa-lint` — run the WSIR static analyzer over kernels at rest.
+//!
+//! The same two-tier checker the compile session runs as its simulation
+//! gate ([`tawa_wsir::analyze()`]: structural validation plus the abstract
+//! interpretation of the mbarrier parity protocol), packaged as a CLI so
+//! cached kernels, serialized `.wsir` files and the built-in kernel zoo
+//! can be audited without a simulator in sight:
+//!
+//! ```text
+//! tawa-lint [--deny warnings] <path>...   lint .wsir files / cache dirs
+//! tawa-lint [--deny warnings] --zoo       compile the kernel zoo, lint it
+//! ```
+//!
+//! A path may be a `.wsir` file — either a raw [`tawa_wsir::serialize`]
+//! document or a cache entry with its `tawa-kernel-cache` header — or a
+//! cache directory written by `CompileSession` (`TAWA_DISK_CACHE`), in
+//! which case every kernel entry is linted. Lints print one per line in
+//! the analyzer's `severity[id]: message (path) at file:line:col` form.
+//!
+//! Exit codes: `0` clean, `1` lint errors (or any lint at all under
+//! `--deny warnings`); usage and I/O problems explain themselves and
+//! also exit nonzero.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use gpu_sim::Device;
+use tawa_core::cache::{DiskCache, EntryKind};
+use tawa_core::lower::CompileOptions;
+use tawa_core::session::CompileSession;
+use tawa_frontend::config::{AttentionConfig, GemmConfig};
+use tawa_frontend::kernels::{attention, batched_gemm, gemm};
+use tawa_ir::types::DType;
+use tawa_wsir::{analyze, deserialize_kernel, Kernel, Severity};
+
+const USAGE: &str = "usage:
+  tawa-lint [--deny warnings] <path>...   lint .wsir files and cache directories
+  tawa-lint [--deny warnings] --zoo       compile the built-in kernel zoo and lint it
+
+Paths may be .wsir kernel serializations (raw, or cache entries carrying
+the tawa-kernel-cache header) or compile-cache directories written by
+CompileSession (TAWA_DISK_CACHE). Exit code 0 means no lint errors (no
+lints at all under --deny warnings).";
+
+/// Header magic of disk-cache entries; when a `.wsir` file leads with it,
+/// the two header lines (magic + key echo) are stripped before the WSIR
+/// document is parsed.
+const CACHE_MAGIC: &str = "tawa-kernel-cache";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tawa-lint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Running totals across every linted kernel.
+#[derive(Default)]
+struct Tally {
+    kernels: usize,
+    errors: usize,
+    warnings: usize,
+}
+
+impl Tally {
+    /// Lints `kernel`, printing each finding under `label`.
+    fn lint(&mut self, label: &str, kernel: &Kernel) {
+        self.kernels += 1;
+        for lint in analyze(kernel) {
+            match lint.severity() {
+                Severity::Error => self.errors += 1,
+                Severity::Warning => self.warnings += 1,
+            }
+            println!("{label}: {lint}");
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut deny_warnings = false;
+    let mut zoo = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                Some(other) => return Err(format!("--deny: unknown level {other:?}")),
+                None => return Err("--deny needs a level (warnings)".into()),
+            },
+            "--zoo" => zoo = true,
+            "-h" | "--help" | "help" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if !zoo && paths.is_empty() {
+        return Err("nothing to lint: pass .wsir files, cache directories or --zoo".into());
+    }
+
+    let mut tally = Tally::default();
+    if zoo {
+        lint_zoo(&mut tally)?;
+    }
+    for path in &paths {
+        let p = Path::new(path);
+        if p.is_dir() {
+            lint_cache_dir(&mut tally, path)?;
+        } else {
+            lint_file(&mut tally, path)?;
+        }
+    }
+
+    println!(
+        "{} kernel{} linted: {} error{}, {} warning{}",
+        tally.kernels,
+        if tally.kernels == 1 { "" } else { "s" },
+        tally.errors,
+        if tally.errors == 1 { "" } else { "s" },
+        tally.warnings,
+        if tally.warnings == 1 { "" } else { "s" },
+    );
+    let failing = tally.errors + if deny_warnings { tally.warnings } else { 0 };
+    Ok(if failing == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Lints one `.wsir` file: a raw serialized kernel, or a cache entry
+/// whose two header lines (magic + key echo) are stripped first.
+fn lint_file(tally: &mut Tally, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let body = if text.starts_with(CACHE_MAGIC) {
+        let mut lines = text.splitn(3, '\n');
+        let _magic = lines.next();
+        let _key = lines.next();
+        lines.next().unwrap_or("")
+    } else {
+        text.as_str()
+    };
+    let kernel = deserialize_kernel(body).map_err(|e| format!("{path}: {e}"))?;
+    tally.lint(path, &kernel);
+    Ok(())
+}
+
+/// Lints every kernel entry of a compile-cache directory. Entries that
+/// cannot be read back (corrupt, stale format) are reported but left
+/// alone — deleting defects is `tawa-cache verify`'s job.
+fn lint_cache_dir(tally: &mut Tally, dir: &str) -> Result<(), String> {
+    let cache = DiskCache::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in cache.entries() {
+        if entry.kind != EntryKind::Kernel {
+            continue;
+        }
+        let label = entry.path.display().to_string();
+        match cache.peek_kernel(&entry) {
+            Some(kernel) => tally.lint(&label, &kernel),
+            None => {
+                eprintln!("tawa-lint: {label}: unreadable kernel entry (run tawa-cache verify)")
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compiles the built-in kernel zoo (warp-specialized and SIMT baseline
+/// paths) and lints every kernel fresh out of the compiler.
+fn lint_zoo(tally: &mut Tally) -> Result<(), String> {
+    let session = CompileSession::in_memory(&Device::h100_sxm5());
+    let ws = CompileOptions::default();
+    // Attention's 128-row accumulator needs the cooperative-consumer
+    // split of §IV-A to fit the register file.
+    let coop = CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    };
+    let simt = CompileOptions {
+        warp_specialize: false,
+        ..CompileOptions::default()
+    };
+    let programs = [
+        ("zoo/gemm", gemm(&GemmConfig::new(4096, 4096, 4096)), &ws),
+        (
+            "zoo/batched-gemm",
+            batched_gemm(&GemmConfig::new(2048, 2048, 1024).with_batch(8)),
+            &ws,
+        ),
+        (
+            "zoo/attention",
+            attention(&AttentionConfig::paper(4096, false, DType::F16)),
+            &coop,
+        ),
+    ];
+    for (label, program, ws_opts) in &programs {
+        for (variant, opts) in [("ws", *ws_opts), ("simt", &simt)] {
+            let kernel = session
+                .compile_program(program, opts)
+                .map_err(|e| format!("{label} [{variant}]: {e}"))?;
+            tally.lint(&format!("{label} [{variant}]"), &kernel);
+        }
+    }
+    Ok(())
+}

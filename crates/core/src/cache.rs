@@ -40,8 +40,10 @@
 //! kernel under the same [`CacheKey`]: after the key echo they carry a
 //! `cost-model <N>` line echoing [`gpu_sim::COST_MODEL_VERSION`], then
 //! either a serialized [`gpu_sim::SimReport`]
-//! ([`gpu_sim::report_serde`], `sim-report 1` grammar) or a one-line
-//! `sim-error "<message>"` failure verdict (deadlock, placement). The
+//! ([`gpu_sim::report_serde`], `sim-report 1` grammar), a one-line
+//! `sim-error "<message>"` failure verdict (deadlock, placement), or a
+//! one-line `static-error "<message>"` verdict recorded by the
+//! [`tawa_wsir::analyze()`] gate without ever invoking the simulator. The
 //! sim tier is therefore keyed by `(CacheKey, COST_MODEL_VERSION)`: a
 //! cost-model bump invalidates exactly the stale reports while every
 //! cached kernel keeps serving — the IR and lowering did not change.
@@ -114,6 +116,11 @@ pub enum SimOutcome {
     Report(SimReport),
     /// Simulation failed with this message (e.g. a deadlock dump).
     Failed(String),
+    /// The static analyzer ([`tawa_wsir::analyze()`]) proved the kernel
+    /// deadlocks, so the simulator was never invoked. Distinct from
+    /// [`SimOutcome::Failed`] so `tawa-cache ls` can attribute the
+    /// verdict to the static gate rather than a simulator run.
+    StaticRejection(String),
 }
 
 /// One entry as enumerated by [`DiskCache::entries`] — the introspection
@@ -171,14 +178,20 @@ fn parse_sim_body(body: &str) -> Option<SimOutcome> {
         return None;
     }
     let trimmed = rest.trim();
-    if trimmed.starts_with("sim-error") {
+    if trimmed.starts_with("sim-error") || trimmed.starts_with("static-error") {
         let tokens = tokenize(trimmed, 1).ok()?;
-        // Exactly the `sim-error "<msg>"` shape; a merely similar first
-        // token (corruption) must invalidate, not serve a false verdict.
-        if tokens.len() != 2 || tokens[0] != "sim-error" {
+        // Exactly the `sim-error "<msg>"` / `static-error "<msg>"` shape;
+        // a merely similar first token (corruption) must invalidate, not
+        // serve a false verdict.
+        if tokens.len() != 2 {
             return None;
         }
-        Some(SimOutcome::Failed(unquote(&tokens[1], 1).ok()?))
+        let msg = unquote(&tokens[1], 1).ok()?;
+        match tokens[0].as_str() {
+            "sim-error" => Some(SimOutcome::Failed(msg)),
+            "static-error" => Some(SimOutcome::StaticRejection(msg)),
+            _ => None,
+        }
     } else {
         deserialize_report(rest).ok().map(SimOutcome::Report)
     }
@@ -200,6 +213,10 @@ pub struct DiskCacheStats {
     /// Simulation *failure* verdicts served from disk (`.sim` entries
     /// recording a deterministic simulation error).
     pub sim_negative_hits: u64,
+    /// Static-analysis rejection verdicts served from disk (`.sim`
+    /// entries recorded by the [`tawa_wsir::analyze()`] gate — the
+    /// simulator was never involved in these).
+    pub static_rejections: u64,
     /// Entries written (kernels, negative verdicts and sim outcomes).
     pub writes: u64,
     /// Entries discarded as unreadable, version-mismatched or corrupt.
@@ -235,6 +252,7 @@ pub struct DiskCache {
     negative_hits: AtomicU64,
     sim_hits: AtomicU64,
     sim_negative_hits: AtomicU64,
+    static_rejections: AtomicU64,
     writes: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
@@ -280,6 +298,7 @@ impl DiskCache {
             negative_hits: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
             sim_negative_hits: AtomicU64::new(0),
+            static_rejections: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -319,6 +338,7 @@ impl DiskCache {
             negative_hits: self.negative_hits.load(Ordering::Relaxed),
             sim_hits: self.sim_hits.load(Ordering::Relaxed),
             sim_negative_hits: self.sim_negative_hits.load(Ordering::Relaxed),
+            static_rejections: self.static_rejections.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -421,6 +441,11 @@ impl DiskCache {
                 touch(&path);
                 Some(SimOutcome::Failed(msg))
             }
+            Some(SimOutcome::StaticRejection(msg)) => {
+                self.static_rejections.fetch_add(1, Ordering::Relaxed);
+                touch(&path);
+                Some(SimOutcome::StaticRejection(msg))
+            }
             None => {
                 self.invalidate(&path);
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -446,11 +471,49 @@ impl DiskCache {
         self.write_entry(self.entry_path(key, "sim"), &doc);
     }
 
+    /// Records that the static analyzer proved `key`'s kernel deadlocks
+    /// — the simulator was never invoked, and warm sweeps skip it too
+    /// (atomic write; best-effort). Stored in the `.sim` slot: the
+    /// verdict gates the same stage a simulator-discovered failure does,
+    /// it just costs zero simulated cycles to reach.
+    pub fn store_static_rejection(&self, key: &CacheKey, message: &str) {
+        let mut doc = self.sim_header(key);
+        doc.push_str(&format!("static-error {}\n", quote(message)));
+        self.write_entry(self.entry_path(key, "sim"), &doc);
+    }
+
     /// Removes every entry file. Counters are kept.
     pub fn clear(&self) {
         for (path, _, _) in self.scan_entries() {
             let _ = fs::remove_file(path);
         }
+    }
+
+    /// Reads and deserializes a kernel entry without bumping hit
+    /// counters or the LRU mtime — the introspection path `tawa-cache
+    /// verify` and `tawa-lint` use to lint cached kernels. Returns
+    /// `None` for non-kernel entries and for anything a lookup would
+    /// invalidate (but leaves the file alone).
+    pub fn peek_kernel(&self, entry: &CacheEntry) -> Option<Kernel> {
+        if entry.kind != EntryKind::Kernel {
+            return None;
+        }
+        let text = fs::read_to_string(&entry.path).ok()?;
+        let body = text.strip_prefix(&self.header(&entry.key))?;
+        deserialize_kernel(body).ok()
+    }
+
+    /// Classifies a `.sim` entry — report, simulator failure or static
+    /// rejection — without bumping hit counters or the LRU mtime (the
+    /// label `tawa-cache ls` prints). Returns `None` for non-sim
+    /// entries and for anything a lookup would invalidate.
+    pub fn peek_sim(&self, entry: &CacheEntry) -> Option<SimOutcome> {
+        if entry.kind != EntryKind::SimReport {
+            return None;
+        }
+        let text = fs::read_to_string(&entry.path).ok()?;
+        let body = text.strip_prefix(&self.header(&entry.key))?;
+        parse_sim_body(body)
     }
 
     /// Enumerates the entries currently in the directory, keys recovered
@@ -814,6 +877,40 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.writes, 2);
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn static_rejections_round_trip_and_peek_without_counting() {
+        let cache = DiskCache::open(tmp_dir("static-neg")).unwrap();
+        let verdict = "static deadlock: wg0 waits on bar0 \"full\"";
+        cache.store_static_rejection(&key(3, 3), verdict);
+        assert_eq!(
+            cache.load_sim(&key(3, 3)),
+            Some(SimOutcome::StaticRejection(verdict.to_string()))
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.static_rejections, 1, "{stats:?}");
+        assert_eq!(stats.sim_negative_hits, 0, "{stats:?}");
+
+        // Peeks classify entries without counting hits or touching LRU.
+        let entries = cache.entries();
+        assert!(matches!(
+            cache.peek_sim(&entries[0]),
+            Some(SimOutcome::StaticRejection(_))
+        ));
+        assert_eq!(cache.stats().static_rejections, 1, "peek must not count");
+        cache.store(&key(4, 4), &sample_kernel(1));
+        let kernel_entry = cache
+            .entries()
+            .into_iter()
+            .find(|e| e.kind == EntryKind::Kernel)
+            .unwrap();
+        assert_eq!(cache.peek_kernel(&kernel_entry), Some(sample_kernel(1)));
+        assert_eq!(cache.stats().hits, 0, "peek must not count as a hit");
+        // And verify accepts the static verdict as a sound sim entry.
+        for e in cache.entries() {
+            assert!(cache.verify_entry(&e), "{e:?}");
+        }
     }
 
     #[test]

@@ -245,6 +245,10 @@ fn cuda_cost(f: &Func, ops: &[OpId]) -> (u64, u64) {
 struct WsAnalysis {
     /// Per aref: payload tensor byte sizes.
     aref_payloads: Vec<Vec<u64>>,
+    /// Per aref: the authoring span of its `CreateAref` op, when the
+    /// frontend recorded one — threaded onto the lowered barriers so
+    /// static-analysis diagnostics point at tile-program source.
+    aref_locs: Vec<Option<tawa_ir::loc::Loc>>,
     /// Aref index of the ring consumed by the T dot / the U dot.
     t_aref: usize,
     u_aref: Option<usize>,
@@ -259,6 +263,9 @@ struct WsAnalysis {
     iter_sfu: u64,
     /// Consumer prologue: synchronous tile loads (Q) and scalar work.
     prologue_load_bytes: Vec<u64>,
+    /// Authoring spans of the prologue loads, parallel to
+    /// `prologue_load_bytes`.
+    prologue_load_locs: Vec<Option<tawa_ir::loc::Loc>>,
     prologue_flops: u64,
     /// Consumer epilogue.
     epilogue_flops: u64,
@@ -268,6 +275,16 @@ struct WsAnalysis {
     loop_bounds: (ValueId, ValueId, ValueId),
     mma_depth: Option<usize>,
     coarse: bool,
+}
+
+/// Converts a frontend [`tawa_ir::loc::Loc`] into the WSIR diagnostic
+/// side channel ([`tawa_wsir::SrcLoc`]); both carry `file:line:col`.
+fn src_loc(loc: tawa_ir::loc::Loc) -> tawa_wsir::SrcLoc {
+    tawa_wsir::SrcLoc {
+        file: loc.file,
+        line: loc.line,
+        col: loc.col,
+    }
 }
 
 /// Formats an unsupported-construct error, pointing at the tile-program
@@ -410,11 +427,17 @@ fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
         .take_while(|&o| o != c_loop)
         .filter(|&o| !f.op(o).dead)
         .collect();
-    let prologue_load_bytes: Vec<u64> = c_pro
+    let prologue_loads: Vec<OpId> = c_pro
         .iter()
-        .filter(|&&o| f.op(o).kind == OpKind::TmaLoad)
+        .copied()
+        .filter(|&o| f.op(o).kind == OpKind::TmaLoad)
+        .collect();
+    let prologue_load_bytes: Vec<u64> = prologue_loads
+        .iter()
         .map(|&o| f.ty(f.result(o)).size_bytes() as u64)
         .collect();
+    let prologue_load_locs: Vec<Option<tawa_ir::loc::Loc>> =
+        prologue_loads.iter().map(|&o| f.loc(o)).collect();
     let (prologue_flops, _) = cuda_cost(f, &c_pro);
 
     // Consumer epilogue: ops after the loop.
@@ -447,8 +470,11 @@ fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
         f.op(o).kind == OpKind::WarpGroup && f.op(o).attrs.str("pipeline") == Some("coarse")
     });
 
+    let aref_locs: Vec<Option<tawa_ir::loc::Loc>> = creates.iter().map(|&c| f.loc(c)).collect();
+
     Ok(WsAnalysis {
         aref_payloads,
+        aref_locs,
         t_aref,
         u_aref,
         producer_iter_ops,
@@ -458,6 +484,7 @@ fn analyse_ws(f: &Func) -> Result<WsAnalysis, CompileError> {
         iter_flops,
         iter_sfu,
         prologue_load_bytes,
+        prologue_load_locs,
         prologue_flops,
         epilogue_flops,
         epilogue_sfu,
@@ -557,6 +584,24 @@ pub fn lower_ws(
     let sync_bars: Vec<BarId> = (0..a.prologue_load_bytes.len())
         .map(|i| kernel.add_barrier(&format!("sync{i}"), 1))
         .collect();
+
+    // Thread the authoring spans onto the barriers so static-analysis
+    // diagnostics (races, deadlocks) point at the tile program's
+    // `file:line`, not at the lowering.
+    for (ai, loc) in a.aref_locs.iter().enumerate() {
+        if let Some(loc) = loc {
+            let src = src_loc(*loc);
+            for s in 0..d {
+                kernel.set_bar_loc(full_bars[ai][s], src);
+                kernel.set_bar_loc(empty_bars[ai][s], src);
+            }
+        }
+    }
+    for (bar, loc) in sync_bars.iter().zip(&a.prologue_load_locs) {
+        if let Some(loc) = loc {
+            kernel.set_bar_loc(*bar, src_loc(*loc));
+        }
+    }
 
     let mut params = ClassParams::new(spec.classes.len());
 

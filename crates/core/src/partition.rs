@@ -321,9 +321,16 @@ pub fn warp_specialize_func(f: &mut Func, depth: usize) -> Result<PartitionRepor
     {
         for (_, group) in &groups {
             let payload: Vec<Type> = group.iter().map(|&l| f.ty(f.result(l)).clone()).collect();
+            // The aref inherits the span of the load it transports, so the
+            // barriers lowered from it can point diagnostics at the tile
+            // program's `file:line` rather than at this rewrite.
+            let loc = f.loc(group[0]);
             let mut b = tawa_ir::Builder::new(f, body_block);
             let aref = b.create_aref(depth, payload);
             aref_vals.push(aref);
+            if let Some(op) = f.defining_op(aref) {
+                f.set_loc(op, loc);
+            }
         }
     }
 

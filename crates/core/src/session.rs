@@ -48,7 +48,11 @@
 //! report tiers: the in-memory report cache, the in-memory negative
 //! cache (simulation-failure verdicts), and the disk cache's `.sim`
 //! entries — so a warm lookup can skip the simulator without even
-//! touching the kernel tiers. Successful compiles, simulation outcomes
+//! touching the kernel tiers. Kernels that do reach the simulation
+//! stage first pass the **static analysis gate** ([`tawa_wsir::analyze()`]):
+//! a definite-deadlock verdict becomes a negative entry without a single
+//! simulated cycle (see [`CacheStats::static_rejections`]).
+//! Successful compiles, simulation outcomes
 //! and infeasibility verdicts propagate back down to disk. Disk entries
 //! that are corrupt, truncated or carry a different
 //! [`crate::cache::DISK_FORMAT_VERSION`] / [`tawa_wsir::FORMAT_VERSION`]
@@ -134,6 +138,11 @@ pub struct CacheStats {
     /// In-memory negative entries: configurations known infeasible plus
     /// configurations whose simulation fails deterministically.
     pub negative_entries: usize,
+    /// Kernels rejected by the static analyzer
+    /// ([`tawa_wsir::analyze()`]) before the simulator was ever invoked:
+    /// each is a compile that succeeded but carried a definite-deadlock
+    /// verdict, converted straight into the negative tier.
+    pub static_rejections: u64,
     /// Disk-cache counters (all zero when no disk cache is attached).
     pub disk: DiskCacheStats,
 }
@@ -173,6 +182,11 @@ enum Negative {
     /// Compilation succeeded but simulation failed deterministically
     /// ([`CompileError::Simulation`]: deadlock, unplaceable kernel).
     Simulation(String),
+    /// Compilation succeeded but the static analyzer proved the kernel
+    /// deadlocks ([`tawa_wsir::deadlock_verdict`]); the simulator was
+    /// never invoked. Gates the same stage as `Simulation`, tracked
+    /// separately so [`CacheStats::static_rejections`] can attribute it.
+    StaticRejection(String),
 }
 
 /// One batch-compilation job.
@@ -203,6 +217,7 @@ pub struct CompileSession {
     kernel_misses: AtomicU64,
     sim_hits: AtomicU64,
     sim_misses: AtomicU64,
+    static_rejections: AtomicU64,
 }
 
 impl std::fmt::Debug for CompileSession {
@@ -245,6 +260,7 @@ impl CompileSession {
             kernel_misses: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
             sim_misses: AtomicU64::new(0),
+            static_rejections: AtomicU64::new(0),
         }
     }
 
@@ -342,6 +358,7 @@ impl CompileSession {
             module_entries: self.cleaned.lock().unwrap().len(),
             report_entries: self.reports.lock().unwrap().len(),
             negative_entries: self.negatives.lock().unwrap().len(),
+            static_rejections: self.static_rejections.load(Ordering::Relaxed),
             disk: self.disk.as_ref().map(DiskCache::stats).unwrap_or_default(),
         }
     }
@@ -478,6 +495,16 @@ impl CompileSession {
     /// only then the compiler and simulator. A disk report hit skips
     /// *both*: a restart-warm sweep never invokes the simulator.
     ///
+    /// Every freshly obtained kernel (cold compile or disk-served) first
+    /// passes the **static analysis gate**: [`tawa_wsir::analyze()`] runs
+    /// the abstract interpreter over the barrier protocol, and a
+    /// definite-deadlock verdict ([`tawa_wsir::deadlock_verdict`]) is
+    /// converted straight into the negative tier — memory and disk —
+    /// *without invoking the simulator*. Such rejections are counted in
+    /// [`CacheStats::static_rejections`] and surface as
+    /// [`CompileError::Simulation`], so autotuners treat them exactly
+    /// like simulator-discovered deadlocks, only cheaper.
+    ///
     /// Simulation failures are deterministic (deadlock, unplaceable
     /// kernel), so they are cached too — in the negative tier and on
     /// disk — and a doomed configuration costs one simulator run per
@@ -508,7 +535,7 @@ impl CompileSession {
         // would probe the disk's (nonexistent) .sim entry on every sweep
         // retry before compile_keyed finally consulted the same map.
         match self.negatives.lock().unwrap().get(&key) {
-            Some(Negative::Simulation(msg)) => {
+            Some(Negative::Simulation(msg) | Negative::StaticRejection(msg)) => {
                 self.sim_hits.fetch_add(1, Ordering::Relaxed);
                 return Err(CompileError::Simulation(msg.clone()));
             }
@@ -531,10 +558,35 @@ impl CompileSession {
                         .insert(key, Negative::Simulation(msg.clone()));
                     return Err(CompileError::Simulation(msg));
                 }
+                Some(SimOutcome::StaticRejection(msg)) => {
+                    self.negatives
+                        .lock()
+                        .unwrap()
+                        .insert(key, Negative::StaticRejection(msg.clone()));
+                    return Err(CompileError::Simulation(msg));
+                }
                 None => {}
             }
         }
         let kernel = self.compile_keyed(key, module, spec, opts)?;
+        // Static gate: the abstract interpreter proves definite deadlocks
+        // without spending a single simulated cycle. The verdict enters
+        // the negative tier (memory + disk) exactly like a
+        // simulator-discovered failure, so warm sweeps short-circuit
+        // above — but it must not skew `sim_misses`, which counts actual
+        // simulator runs.
+        let lints = tawa_wsir::analyze(&kernel);
+        if let Some(verdict) = tawa_wsir::deadlock_verdict(&lints) {
+            self.static_rejections.fetch_add(1, Ordering::Relaxed);
+            self.negatives
+                .lock()
+                .unwrap()
+                .insert(key, Negative::StaticRejection(verdict.clone()));
+            if let Some(disk) = &self.disk {
+                disk.store_static_rejection(&key, &verdict);
+            }
+            return Err(CompileError::Simulation(verdict));
+        }
         // Counted only once compilation succeeded: a pruned infeasible
         // point never reaches the simulator and must not skew `sim_misses`.
         self.sim_misses.fetch_add(1, Ordering::Relaxed);
@@ -979,6 +1031,93 @@ mod tests {
         assert_eq!(stats.disk.sim_negative_hits, 1, "{stats:?}");
         assert_eq!(stats.sim_misses, 0, "{stats:?}");
         assert_eq!(stats.kernel_misses, 0, "{stats:?}");
+    }
+
+    /// A kernel whose barrier protocol deadlocks: a circular wait with
+    /// no initial credit anywhere. Structurally valid (every barrier is
+    /// both signalled and awaited), so only the deep analysis tier —
+    /// or the simulator — can see the deadlock.
+    fn deadlocking_kernel() -> tawa_wsir::Kernel {
+        use tawa_wsir::{Instr, Role};
+        let mut k = tawa_wsir::Kernel::new("poisoned");
+        k.uniform_grid(1);
+        k.smem_bytes = 1024;
+        let full = k.add_barrier("full", 1);
+        let empty = k.add_barrier("empty", 1);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![
+                Instr::MbarWait { bar: empty },
+                Instr::TmaLoad {
+                    bytes: 1024,
+                    bar: full,
+                },
+            ],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![
+                Instr::MbarWait { bar: full },
+                Instr::MbarArrive { bar: empty },
+            ],
+        );
+        k
+    }
+
+    #[test]
+    fn static_gate_rejects_poisoned_kernels_without_simulating() {
+        let dir = tmp_dir("static-gate");
+        let (m, spec) = gemm(&GemmConfig::new(1024, 1024, 512)).into_parts();
+        let opts = CompileOptions::default();
+
+        let cold = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        cold.compile(&m, &spec, &opts).unwrap();
+
+        // Replace the cached kernel with a protocol-deadlocking one — the
+        // shape of a miscompiled or hand-damaged cache entry. The gate
+        // must catch it on the disk-served path, where no fresh lowering
+        // re-validates anything.
+        let disk = cold.disk_cache().unwrap();
+        let entry = disk
+            .entries()
+            .into_iter()
+            .find(|e| e.kind == crate::cache::EntryKind::Kernel)
+            .unwrap();
+        disk.store(&entry.key, &deadlocking_kernel());
+
+        let warm = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        match warm.compile_and_simulate(&m, &spec, &opts).unwrap_err() {
+            CompileError::Simulation(msg) => {
+                assert!(msg.contains("static deadlock"), "{msg}")
+            }
+            other => panic!("expected static rejection, got {other:?}"),
+        }
+        let stats = warm.cache_stats();
+        assert_eq!(stats.static_rejections, 1, "{stats:?}");
+        assert_eq!(stats.sim_misses, 0, "simulator must never run: {stats:?}");
+
+        // In-memory retry: served from the negative tier as a report hit.
+        warm.compile_and_simulate(&m, &spec, &opts).unwrap_err();
+        let stats = warm.cache_stats();
+        assert_eq!(stats.static_rejections, 1, "{stats:?}");
+        assert_eq!(stats.sim_hits, 1, "{stats:?}");
+
+        // Restarted session: the verdict itself is served from disk — the
+        // gate never even re-runs the analyzer.
+        let third = CompileSession::in_memory(&dev())
+            .with_disk_cache(&dir)
+            .unwrap();
+        third.compile_and_simulate(&m, &spec, &opts).unwrap_err();
+        let stats = third.cache_stats();
+        assert_eq!(stats.disk.static_rejections, 1, "{stats:?}");
+        assert_eq!(stats.static_rejections, 0, "{stats:?}");
+        assert_eq!(stats.sim_misses, 0, "{stats:?}");
     }
 
     #[test]

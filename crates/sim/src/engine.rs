@@ -552,7 +552,29 @@ pub fn run_sm(
     let deadlock = if done_count != actors.len() {
         let mut desc = String::from("deadlock: ");
         for a in &actors {
-            if a.status != Status::Done {
+            if a.status == Status::Done {
+                continue;
+            }
+            // Name the barrier and its phase state so dynamic reports
+            // cross-reference the static `analyze` lints.
+            if let Status::BlockedBar(gbar) = a.status {
+                let b = gbar % nbars;
+                let bar = &barriers[gbar];
+                desc.push_str(&format!(
+                    "[cta{} wg{} BlockedBar({} \"{}\" waiting phase {}, {}/{} arrivals, \
+                     {} completed, {} tx bytes pending) since {}] ",
+                    a.cta,
+                    a.wg,
+                    tawa_wsir::BarId(b as u32),
+                    kernel.barriers[b].name,
+                    a.local_phase[b],
+                    bar.arrivals(),
+                    bar.arrive_count,
+                    bar.completed_phases(),
+                    bar.tx_pending(),
+                    a.blocked_since
+                ));
+            } else {
                 desc.push_str(&format!(
                     "[cta{} wg{} {:?} since {}] ",
                     a.cta, a.wg, a.status, a.blocked_since

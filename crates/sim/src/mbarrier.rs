@@ -37,6 +37,16 @@ impl Mbarrier {
         self.completed_phases
     }
 
+    /// Arrivals observed toward the current (incomplete) phase.
+    pub fn arrivals(&self) -> u32 {
+        self.arrivals
+    }
+
+    /// Transaction bytes still outstanding for the current phase.
+    pub fn tx_pending(&self) -> u64 {
+        self.tx_expected.saturating_sub(self.tx_done)
+    }
+
     /// Announces `bytes` of expected transaction data for the current
     /// phase (issued together with a TMA load).
     pub fn expect_tx(&mut self, bytes: u64) {

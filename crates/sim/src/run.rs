@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use tawa_wsir::{validate, Kernel, ValidateError};
+use tawa_wsir::{validate, Kernel, Lint};
 
 use crate::device::Device;
 use crate::engine::{run_sm, EngineCfg, EngineStats};
@@ -20,8 +20,10 @@ use crate::engine::{run_sm, EngineCfg, EngineStats};
 /// Simulation failure.
 #[derive(Debug)]
 pub enum SimError {
-    /// The kernel failed static validation.
-    Invalid(Vec<ValidateError>),
+    /// The kernel failed structural validation (the cheap tier of
+    /// `tawa_wsir::analyze`; protocol-level deadlocks are left to the
+    /// engine so dynamic reports stay observable).
+    Invalid(Vec<Lint>),
     /// The kernel's per-CTA resources exceed the SM (occupancy zero).
     DoesNotFit {
         /// Required shared memory (bytes).

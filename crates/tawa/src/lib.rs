@@ -86,3 +86,9 @@ pub struct PipelinesDocTests;
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/dsl.md")]
 pub struct DslDocTests;
+
+/// Compiles the code blocks of `docs/lints.md` as doctests, so the
+/// static-analysis lint reference cannot drift from the implementation.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/lints.md")]
+pub struct LintsDocTests;

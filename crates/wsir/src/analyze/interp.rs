@@ -1,0 +1,912 @@
+//! Protocol tier: abstract interpretation of the mbarrier parity
+//! discipline.
+//!
+//! Each CTA class is interpreted separately (its `Count::Param` trip
+//! counts resolve differently). All warp groups of one CTA are co-executed
+//! over an abstract machine that models exactly the liveness-relevant
+//! state: per-barrier phase/arrival counters (the lattice the Hopper
+//! mbarrier steps through) and per-warp-group phase parities, with `Loop`
+//! bodies executed across their real iteration parities. Non-blocking
+//! instructions (WGMMA, CUDA ops, stores) are timing, not liveness, and
+//! execute in zero steps; asynchronous TMA completions are delivered
+//! immediately, which is sound for liveness because the simulator always
+//! delivers them eventually.
+//!
+//! Because arrivals only ever accumulate and waits only advance private
+//! parity counters, the system is monotone: run-to-fixpoint scheduling is
+//! confluent, so "no warp group can take a step" here means *no*
+//! interleaving of the real machine can avoid the deadlock — the verdict
+//! is definite, not heuristic.
+//!
+//! The shared-memory tile ownership map is recovered from the aref
+//! discipline the code generator emits (paper Fig. 4): a barrier written
+//! by TMA (`full`) is paired with the credit-initialized barrier its
+//! writer waits on (`empty`); the pair guards one tile slot. Writes and
+//! releases are then checked for a barrier edge in every parity — a
+//! missing edge is a shared-memory race.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use super::{InstrPath, Lint, LintKind};
+use crate::instr::{BarId, Instr, Role};
+use crate::kernel::Kernel;
+
+/// Total instructions interpreted per CTA class before giving up. Real
+/// kernels execute a few thousand abstract steps; the bound only exists so
+/// adversarial trip counts cannot hang the compiler.
+const FUEL: u64 = 2_000_000;
+
+pub(super) fn check(k: &Kernel) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    scan_static(k, &mut lints);
+    let pairs = derive_pairs(k);
+    let mut seen: HashSet<String> = HashSet::new();
+    for ci in 0..k.classes.len() {
+        for lint in interp_class(k, ci, &pairs) {
+            if seen.insert(dedup_key(&lint)) {
+                lints.push(lint);
+            }
+        }
+    }
+    lints
+}
+
+/// Collapses per-class noise so the same finding reported from several CTA
+/// classes (which usually share one program) appears once.
+fn dedup_key(l: &Lint) -> String {
+    let mut kind = l.kind.clone();
+    match &mut kind {
+        LintKind::StaticDeadlock {
+            class,
+            waiting_phase,
+            completed_phases,
+            arrivals,
+            ..
+        } => {
+            *class = 0;
+            *waiting_phase = 0;
+            *completed_phases = 0;
+            *arrivals = 0;
+        }
+        LintKind::SyncDeadlock { class, arrived, .. } => {
+            *class = 0;
+            *arrived = 0;
+        }
+        LintKind::AnalysisBudget { class } => *class = 0,
+        LintKind::SmemOverflow { max_in_flight, .. } => *max_in_flight = 0,
+        LintKind::SharedMemRace { generation, .. } => *generation = 0,
+        LintKind::DoubleArrive { residue, .. } => *residue = 0,
+        _ => {}
+    }
+    format!("{:?}|{kind:?}", l.path)
+}
+
+/// Whole-kernel scans that need no interpretation: barriers nobody uses,
+/// barriers that are signalled into the void, transfers that cannot fit
+/// shared memory at all.
+fn scan_static(k: &Kernel, lints: &mut Vec<Lint>) {
+    let nbars = k.barriers.len() as u32;
+    let mut waited = vec![false; k.barriers.len()];
+    let mut signalled = vec![false; k.barriers.len()];
+    for (wi, wg) in k.warp_groups.iter().enumerate() {
+        let mut path = Vec::new();
+        super::visit_with_path(&wg.body, &mut path, &mut |i, p| match i {
+            Instr::MbarWait { bar } if bar.0 < nbars => waited[bar.0 as usize] = true,
+            Instr::MbarArrive { bar } if bar.0 < nbars => signalled[bar.0 as usize] = true,
+            Instr::TmaLoad { bar, bytes } => {
+                if bar.0 < nbars {
+                    signalled[bar.0 as usize] = true;
+                }
+                if k.smem_bytes > 0 && *bytes > k.smem_bytes {
+                    lints.push(Lint::at(
+                        LintKind::OversizedTma {
+                            bytes: *bytes,
+                            smem_bytes: k.smem_bytes,
+                        },
+                        InstrPath {
+                            wg: wi,
+                            indices: p.to_vec(),
+                        },
+                    ));
+                }
+            }
+            _ => {}
+        });
+    }
+    for (b, decl) in k.barriers.iter().enumerate() {
+        let bar = BarId(b as u32);
+        let kind = match (waited[b], signalled[b]) {
+            (false, false) => LintKind::DeadBarrier {
+                bar,
+                name: decl.name.clone(),
+            },
+            (false, true) => LintKind::UnawaitedBarrier {
+                bar,
+                name: decl.name.clone(),
+            },
+            // Waited-but-never-signalled is a structural error; both-used
+            // barriers are checked by the interpreter.
+            _ => continue,
+        };
+        let mut lint = Lint::new(kind);
+        lint.loc = k.bar_loc(bar);
+        lints.push(lint);
+    }
+}
+
+/// The tile ownership map: `full` barrier (TMA-written, a tile slot) →
+/// `empty` barrier (credit-initialized guard the writer consumes before
+/// reusing the slot), and its inverse.
+struct Pairs {
+    guard_of: HashMap<usize, usize>,
+    data_of: HashMap<usize, usize>,
+}
+
+/// Recovers slot pairs from the emitted protocol shape. Primary evidence
+/// is the writer: a `TmaLoad` into `full` directly guarded by a preceding
+/// wait on a credit-initialized barrier pairs the two. For data barriers
+/// whose writer never waits (the racy case worth catching), reader streams
+/// are matched FIFO: the n-th un-matched wait on a data barrier pairs with
+/// the n-th release of a credit-initialized barrier. Anything ambiguous —
+/// conflicting evidence, multiple writers — is dropped rather than
+/// guessed, so the race checks stay conservative.
+fn derive_pairs(k: &Kernel) -> Pairs {
+    let nbars = k.barriers.len();
+    let init = |b: usize| k.barriers[b].init_phases;
+    // data -> Some(guard) candidate, None = conflicting evidence.
+    let mut cand: HashMap<usize, Option<usize>> = HashMap::new();
+    let mut writers: HashMap<usize, HashSet<usize>> = HashMap::new();
+
+    let merge = |cand: &mut HashMap<usize, Option<usize>>, f: usize, e: usize| {
+        cand.entry(f)
+            .and_modify(|c| {
+                if *c != Some(e) {
+                    *c = None;
+                }
+            })
+            .or_insert(Some(e));
+    };
+
+    for (wi, wg) in k.warp_groups.iter().enumerate() {
+        let mut last_wait: Option<usize> = None;
+        let mut path = Vec::new();
+        super::visit_with_path(&wg.body, &mut path, &mut |i, _| match i {
+            Instr::MbarWait { bar } if (bar.0 as usize) < nbars => {
+                last_wait = Some(bar.0 as usize);
+            }
+            Instr::TmaLoad { bar, .. } if (bar.0 as usize) < nbars => {
+                let f = bar.0 as usize;
+                writers.entry(f).or_default().insert(wi);
+                if let Some(e) = last_wait {
+                    if e != f && init(e) >= 1 && init(f) == 0 {
+                        merge(&mut cand, f, e);
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+
+    // Reader-derived fallback for data barriers with no writer evidence.
+    let data_bars: HashSet<usize> = writers.keys().copied().collect();
+    for wg in &k.warp_groups {
+        let mut fifo: VecDeque<usize> = VecDeque::new();
+        let mut path = Vec::new();
+        super::visit_with_path(&wg.body, &mut path, &mut |i, _| match i {
+            Instr::MbarWait { bar } if (bar.0 as usize) < nbars => {
+                let f = bar.0 as usize;
+                if data_bars.contains(&f) && init(f) == 0 && !cand.contains_key(&f) {
+                    fifo.push_back(f);
+                }
+            }
+            Instr::MbarArrive { bar } if (bar.0 as usize) < nbars => {
+                let e = bar.0 as usize;
+                if init(e) >= 1 {
+                    if let Some(f) = fifo.pop_front() {
+                        merge(&mut cand, f, e);
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+
+    let mut guard_of: HashMap<usize, usize> = HashMap::new();
+    let mut guard_claims: HashMap<usize, usize> = HashMap::new();
+    for (f, c) in &cand {
+        let Some(e) = c else { continue };
+        if writers.get(f).map(HashSet::len).unwrap_or(0) > 1 {
+            continue; // multiple writers: ownership unclear
+        }
+        *guard_claims.entry(*e).or_insert(0) += 1;
+        guard_of.insert(*f, *e);
+    }
+    // A guard claimed by several data barriers is ambiguous; drop all.
+    guard_of.retain(|_, e| guard_claims[e] == 1);
+    let data_of = guard_of.iter().map(|(f, e)| (*e, *f)).collect();
+    Pairs { guard_of, data_of }
+}
+
+/// Abstract mbarrier: Hopper phase semantics with transaction bytes folded
+/// into arrivals (completions are delivered immediately, so `tx` can delay
+/// but never gate a phase — exactly the simulator's liveness behavior).
+struct AbsBar {
+    arrive_count: u32,
+    arrivals: u32,
+    completed: u64,
+}
+
+impl AbsBar {
+    /// Registers one arrival; true if it completed a phase.
+    fn arrive(&mut self) -> bool {
+        self.arrivals += 1;
+        if self.arrivals >= self.arrive_count {
+            self.arrivals -= self.arrive_count;
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One iteration scope: a body, the next instruction index, and the trips
+/// left (including the current one).
+struct Frame<'a> {
+    body: &'a [Instr],
+    idx: usize,
+    trips_left: u64,
+}
+
+struct Actor<'a> {
+    role: Role,
+    stack: Vec<Frame<'a>>,
+    /// Phases this warp group has consumed per barrier (its parity).
+    local_phase: Vec<u64>,
+    /// `MbarArrive`s this warp group executed per barrier (its releases).
+    releases: Vec<u64>,
+    in_sync: bool,
+    done: bool,
+}
+
+/// Per tile-slot bookkeeping for race and occupancy checks.
+#[derive(Default)]
+struct SlotState {
+    /// TMA loads issued into the data barrier so far.
+    loads: u64,
+    /// Bytes staged into the generation currently being written.
+    gen_bytes: u64,
+    /// Bytes of completed, not-yet-released generations (FIFO).
+    gens: VecDeque<u64>,
+}
+
+/// Resolves the actor's next blocking-relevant instruction, descending
+/// into loops. Returns `None` when the program is exhausted. The returned
+/// reference borrows the kernel, not the actor.
+fn peek<'a>(actor: &mut Actor<'a>, params: &[u64]) -> Option<&'a Instr> {
+    loop {
+        let frame = actor.stack.last_mut()?;
+        if frame.idx >= frame.body.len() {
+            if frame.trips_left > 1 {
+                frame.trips_left -= 1;
+                frame.idx = 0;
+                continue;
+            }
+            actor.stack.pop();
+            if let Some(parent) = actor.stack.last_mut() {
+                parent.idx += 1;
+            }
+            continue;
+        }
+        let body = frame.body;
+        let instr = &body[frame.idx];
+        if let Instr::Loop { count, body: lb } = instr {
+            let n = count.resolve(params);
+            if n == 0 || lb.is_empty() {
+                frame.idx += 1;
+                continue;
+            }
+            actor.stack.push(Frame {
+                body: lb,
+                idx: 0,
+                trips_left: n,
+            });
+            continue;
+        }
+        return Some(instr);
+    }
+}
+
+fn advance(actor: &mut Actor<'_>) {
+    if let Some(f) = actor.stack.last_mut() {
+        f.idx += 1;
+    }
+}
+
+fn path_of(actor: &Actor<'_>, wg: usize) -> InstrPath {
+    InstrPath {
+        wg,
+        indices: actor.stack.iter().map(|f| f.idx).collect(),
+    }
+}
+
+fn interp_class(k: &Kernel, ci: usize, pairs: &Pairs) -> Vec<Lint> {
+    let params: &[u64] = &k.classes[ci].params;
+    let mut bars: Vec<AbsBar> = k
+        .barriers
+        .iter()
+        .map(|b| AbsBar {
+            arrive_count: b.arrive_count.max(1),
+            arrivals: 0,
+            completed: b.init_phases as u64,
+        })
+        .collect();
+    let nb = bars.len();
+    let mut actors: Vec<Actor> = k
+        .warp_groups
+        .iter()
+        .map(|wg| Actor {
+            role: wg.role,
+            stack: vec![Frame {
+                body: &wg.body,
+                idx: 0,
+                trips_left: 1,
+            }],
+            local_phase: vec![0; nb],
+            releases: vec![0; nb],
+            in_sync: false,
+            done: false,
+        })
+        .collect();
+    let n = actors.len();
+    let mut sync_count = 0usize;
+    let mut slots: HashMap<usize, SlotState> = pairs
+        .guard_of
+        .keys()
+        .map(|f| (*f, SlotState::default()))
+        .collect();
+    let mut in_flight: u64 = 0;
+    let mut max_in_flight: u64 = 0;
+    let mut resident: HashSet<(usize, Vec<usize>)> = HashSet::new();
+    let mut race_flagged: HashSet<(usize, bool)> = HashSet::new();
+    let mut lints = Vec::new();
+    let mut fuel = FUEL;
+
+    loop {
+        let mut progressed = false;
+        for ai in 0..n {
+            loop {
+                if actors[ai].done {
+                    break;
+                }
+                let Some(instr) = peek(&mut actors[ai], params) else {
+                    actors[ai].done = true;
+                    progressed = true;
+                    break;
+                };
+                match instr {
+                    Instr::MbarWait { bar } => {
+                        let b = bar.0 as usize;
+                        if bars[b].completed > actors[ai].local_phase[b] {
+                            actors[ai].local_phase[b] += 1;
+                            advance(&mut actors[ai]);
+                        } else {
+                            break; // blocked: revisited next round
+                        }
+                    }
+                    Instr::Syncthreads => {
+                        if !actors[ai].in_sync {
+                            actors[ai].in_sync = true;
+                            sync_count += 1;
+                        }
+                        if sync_count == n {
+                            sync_count = 0;
+                            for a in actors.iter_mut() {
+                                if a.in_sync {
+                                    a.in_sync = false;
+                                    advance(a);
+                                }
+                            }
+                        } else {
+                            break; // blocked at the rendezvous
+                        }
+                    }
+                    Instr::TmaLoad { bytes, bar } => {
+                        let f = bar.0 as usize;
+                        if let Some(&e) = pairs.guard_of.get(&f) {
+                            let st = slots.get_mut(&f).unwrap();
+                            let per_phase = bars[f].arrive_count as u64;
+                            let g = st.loads / per_phase;
+                            let init_e = k.barriers[e].init_phases as u64;
+                            // Overwriting generation `g` is ordered only if
+                            // the writer consumed a guard credit covering
+                            // the release of generation `g - init`.
+                            if g >= init_e
+                                && actors[ai].local_phase[e] < g + 1
+                                && race_flagged.insert((f, true))
+                            {
+                                let mut lint = Lint::at(
+                                    LintKind::SharedMemRace {
+                                        data: BarId(f as u32),
+                                        name: k.barriers[f].name.clone(),
+                                        guard: BarId(e as u32),
+                                        role: actors[ai].role,
+                                        generation: g,
+                                        write: true,
+                                    },
+                                    path_of(&actors[ai], ai),
+                                );
+                                lint.loc =
+                                    k.bar_loc(BarId(f as u32)).or(k.bar_loc(BarId(e as u32)));
+                                lints.push(lint);
+                            }
+                            st.loads += 1;
+                            st.gen_bytes += bytes;
+                            in_flight += bytes;
+                            max_in_flight = max_in_flight.max(in_flight);
+                            if bars[f].arrive() {
+                                let full = st.gen_bytes;
+                                st.gen_bytes = 0;
+                                st.gens.push_back(full);
+                            }
+                        } else {
+                            // Unpaired loads (prologue tiles, sync-barrier
+                            // feeds) stay resident; count each site once.
+                            let key = (ai, path_of(&actors[ai], ai).indices);
+                            if resident.insert(key) {
+                                in_flight += bytes;
+                                max_in_flight = max_in_flight.max(in_flight);
+                            }
+                            bars[f].arrive();
+                        }
+                        advance(&mut actors[ai]);
+                    }
+                    Instr::MbarArrive { bar } => {
+                        let e = bar.0 as usize;
+                        if let Some(&f) = pairs.data_of.get(&e) {
+                            let j = actors[ai].releases[e];
+                            let init_f = k.barriers[f].init_phases as u64;
+                            // Releasing read `j` is ordered only if the
+                            // reader consumed the data phase it read.
+                            if actors[ai].local_phase[f] + init_f < j + 1
+                                && race_flagged.insert((f, false))
+                            {
+                                let mut lint = Lint::at(
+                                    LintKind::SharedMemRace {
+                                        data: BarId(f as u32),
+                                        name: k.barriers[f].name.clone(),
+                                        guard: BarId(e as u32),
+                                        role: actors[ai].role,
+                                        generation: j,
+                                        write: false,
+                                    },
+                                    path_of(&actors[ai], ai),
+                                );
+                                lint.loc =
+                                    k.bar_loc(BarId(f as u32)).or(k.bar_loc(BarId(e as u32)));
+                                lints.push(lint);
+                            }
+                        }
+                        actors[ai].releases[e] += 1;
+                        if bars[e].arrive() {
+                            if let Some(&f) = pairs.data_of.get(&e) {
+                                if let Some(freed) = slots.get_mut(&f).unwrap().gens.pop_front() {
+                                    in_flight = in_flight.saturating_sub(freed);
+                                }
+                            }
+                        }
+                        advance(&mut actors[ai]);
+                    }
+                    // Pure timing: WGMMA / CUDA / copies / stores / delays
+                    // never gate liveness (their completions always fire).
+                    _ => advance(&mut actors[ai]),
+                }
+                progressed = true;
+                fuel -= 1;
+                if fuel == 0 {
+                    lints.push(Lint::new(LintKind::AnalysisBudget { class: ci }));
+                    return lints;
+                }
+            }
+        }
+
+        if actors.iter().all(|a| a.done) {
+            for (b, bar) in bars.iter().enumerate() {
+                if bar.arrivals > 0 {
+                    let mut lint = Lint::new(LintKind::DoubleArrive {
+                        bar: BarId(b as u32),
+                        name: k.barriers[b].name.clone(),
+                        residue: bar.arrivals,
+                    });
+                    lint.loc = k.bar_loc(BarId(b as u32));
+                    lints.push(lint);
+                }
+            }
+            if k.smem_bytes > 0 && max_in_flight > k.smem_bytes {
+                lints.push(Lint::new(LintKind::SmemOverflow {
+                    max_in_flight,
+                    smem_bytes: k.smem_bytes,
+                }));
+            }
+            return lints;
+        }
+
+        if !progressed {
+            // Fixpoint with blocked actors: a definite deadlock in every
+            // interleaving (see module docs on monotonicity).
+            for (ai, actor) in actors.iter_mut().enumerate() {
+                if actor.done {
+                    continue;
+                }
+                let path = path_of(actor, ai);
+                let role = actor.role;
+                match peek(actor, params) {
+                    Some(Instr::MbarWait { bar }) => {
+                        let b = bar.0 as usize;
+                        let mut lint = Lint::at(
+                            LintKind::StaticDeadlock {
+                                class: ci,
+                                role,
+                                bar: *bar,
+                                name: k.barriers[b].name.clone(),
+                                waiting_phase: actor.local_phase[b],
+                                completed_phases: bars[b].completed,
+                                arrivals: bars[b].arrivals,
+                                arrive_count: bars[b].arrive_count,
+                            },
+                            path,
+                        );
+                        lint.loc = k.bar_loc(*bar);
+                        lints.push(lint);
+                    }
+                    Some(Instr::Syncthreads) => {
+                        lints.push(Lint::at(
+                            LintKind::SyncDeadlock {
+                                class: ci,
+                                role,
+                                arrived: sync_count,
+                                expected: n,
+                            },
+                            path,
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            return lints;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze::{analyze, deadlock_verdict, LintKind, Severity};
+    use crate::instr::{Instr, Role};
+    use crate::kernel::{Kernel, SrcLoc};
+
+    /// The paper's Fig. 4 protocol, correctly credited: producer waits
+    /// `empty` (one initial credit), loads into `full`; consumer waits
+    /// `full`, releases `empty`.
+    fn handshake(iters: u64, empty_init: u32) -> Kernel {
+        let mut k = Kernel::new("hs");
+        k.uniform_grid(1);
+        k.smem_bytes = 64 * 1024;
+        let full = k.add_barrier("full", 1);
+        let empty = k.add_barrier_init("empty", 1, empty_init);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::loop_const(
+                iters,
+                vec![
+                    Instr::MbarWait { bar: empty },
+                    Instr::TmaLoad {
+                        bytes: 32 * 1024,
+                        bar: full,
+                    },
+                ],
+            )],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![Instr::loop_const(
+                iters,
+                vec![
+                    Instr::MbarWait { bar: full },
+                    Instr::MbarArrive { bar: empty },
+                ],
+            )],
+        );
+        k
+    }
+
+    #[test]
+    fn correct_handshake_is_clean() {
+        let lints = analyze(&handshake(16, 1));
+        assert!(lints.is_empty(), "{lints:?}");
+    }
+
+    #[test]
+    fn missing_initial_credit_is_a_static_deadlock() {
+        // Same circular protocol as the simulator's deadlock test: no
+        // initial credit on `empty`, so both warp groups wait forever.
+        let lints = analyze(&handshake(16, 0));
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::StaticDeadlock { .. })),
+            "{lints:?}"
+        );
+        let verdict = deadlock_verdict(&lints).unwrap();
+        assert!(verdict.starts_with("static deadlock:"), "{verdict}");
+    }
+
+    #[test]
+    fn arrive_count_shortfall_is_a_static_deadlock() {
+        // `full` expects two arrivals per phase but each parity delivers
+        // only one TMA load: the consumer starves mid-loop.
+        let mut k = handshake(8, 1);
+        k.barriers[0].arrive_count = 2;
+        let lints = analyze(&k);
+        // The consumer starves on `full` with one of two arrivals landed.
+        assert!(
+            lints.iter().any(|l| matches!(
+                l.kind,
+                LintKind::StaticDeadlock {
+                    arrivals: 1,
+                    arrive_count: 2,
+                    ..
+                }
+            )),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn parity_mismatch_is_a_static_deadlock() {
+        // Consumer waits twice per produced phase: parity runs ahead.
+        let mut k = handshake(8, 1);
+        k.warp_groups[1].body = vec![Instr::loop_const(
+            8,
+            vec![
+                Instr::MbarWait {
+                    bar: crate::BarId(0),
+                },
+                Instr::MbarWait {
+                    bar: crate::BarId(0),
+                },
+                Instr::MbarArrive {
+                    bar: crate::BarId(1),
+                },
+            ],
+        )];
+        let lints = analyze(&k);
+        assert!(lints.iter().any(|l| l.is_definite_deadlock()), "{lints:?}");
+    }
+
+    #[test]
+    fn unguarded_overwrite_is_a_race() {
+        // Producer never waits for the slot release; generation 1
+        // overwrites while the consumer may still be reading generation 0.
+        let mut k = handshake(8, 1);
+        k.warp_groups[0].body = vec![Instr::loop_const(
+            8,
+            vec![Instr::TmaLoad {
+                bytes: 32 * 1024,
+                bar: crate::BarId(0),
+            }],
+        )];
+        let mut lints = analyze(&k);
+        let race = lints
+            .iter()
+            .position(|l| matches!(l.kind, LintKind::SharedMemRace { write: true, .. }))
+            .unwrap_or_else(|| panic!("{lints:?}"));
+        let race = lints.remove(race);
+        assert_eq!(race.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn race_lint_carries_the_authoring_loc() {
+        let mut k = handshake(8, 1);
+        k.set_bar_loc(
+            crate::BarId(0),
+            SrcLoc {
+                file: "zoo/gemm.rs",
+                line: 31,
+                col: 9,
+            },
+        );
+        k.warp_groups[0].body = vec![Instr::loop_const(
+            8,
+            vec![Instr::TmaLoad {
+                bytes: 32 * 1024,
+                bar: crate::BarId(0),
+            }],
+        )];
+        let lints = analyze(&k);
+        let race = lints
+            .iter()
+            .find(|l| matches!(l.kind, LintKind::SharedMemRace { .. }))
+            .unwrap();
+        assert!(
+            race.to_string().contains("zoo/gemm.rs:31:9"),
+            "race lint must print the author's file:line, got: {race}"
+        );
+    }
+
+    #[test]
+    fn unordered_release_is_a_race() {
+        // Consumer releases the slot without ever waiting for the data.
+        let mut k = handshake(8, 1);
+        k.warp_groups[1].body = vec![
+            Instr::MbarWait {
+                bar: crate::BarId(0),
+            },
+            Instr::loop_const(
+                8,
+                vec![Instr::MbarArrive {
+                    bar: crate::BarId(1),
+                }],
+            ),
+        ];
+        let lints = analyze(&k);
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::SharedMemRace { write: false, .. })),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn stranded_arrivals_and_dead_barriers_warn() {
+        let mut k = handshake(4, 1);
+        let dead = k.add_barrier("scratch", 1);
+        // An extra arrive per iteration that no wait ever consumes fully.
+        k.warp_groups[1].body = vec![Instr::loop_const(
+            4,
+            vec![
+                Instr::MbarWait {
+                    bar: crate::BarId(0),
+                },
+                Instr::MbarArrive {
+                    bar: crate::BarId(1),
+                },
+            ],
+        )];
+        let extra = k.add_barrier("stray", 4);
+        k.warp_groups[1].body.push(Instr::MbarArrive { bar: extra });
+        // `extra` is arrived once with arrive_count 4: stranded mid-phase.
+        let lints = analyze(&k);
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::DeadBarrier { bar, .. } if bar == dead)),
+            "{lints:?}"
+        );
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::DoubleArrive { residue: 1, .. })),
+            "{lints:?}"
+        );
+        assert!(lints.iter().all(|l| l.severity() == Severity::Warning));
+    }
+
+    #[test]
+    fn under_provisioned_staging_warns() {
+        // Two slots in flight at 32 KiB each, but only 40 KiB declared.
+        let mut k = Kernel::new("tight");
+        k.uniform_grid(1);
+        k.smem_bytes = 40 * 1024;
+        let f0 = k.add_barrier("full0", 1);
+        let e0 = k.add_barrier_init("empty0", 1, 1);
+        let f1 = k.add_barrier("full1", 1);
+        let e1 = k.add_barrier_init("empty1", 1, 1);
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![Instr::loop_const(
+                4,
+                vec![
+                    Instr::MbarWait { bar: e0 },
+                    Instr::TmaLoad {
+                        bytes: 32 * 1024,
+                        bar: f0,
+                    },
+                    Instr::MbarWait { bar: e1 },
+                    Instr::TmaLoad {
+                        bytes: 32 * 1024,
+                        bar: f1,
+                    },
+                ],
+            )],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![Instr::loop_const(
+                4,
+                vec![
+                    Instr::MbarWait { bar: f0 },
+                    Instr::MbarArrive { bar: e0 },
+                    Instr::MbarWait { bar: f1 },
+                    Instr::MbarArrive { bar: e1 },
+                ],
+            )],
+        );
+        let lints = analyze(&k);
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::SmemOverflow { .. })),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn missing_sync_participant_is_a_sync_deadlock() {
+        let mut k = Kernel::new("sync");
+        k.uniform_grid(1);
+        k.add_warp_group(Role::Uniform, 128, vec![Instr::Syncthreads]);
+        k.add_warp_group(
+            Role::Uniform,
+            128,
+            vec![Instr::CudaOp {
+                flops: 1,
+                sfu: 0,
+                label: "noop",
+            }],
+        );
+        let lints = analyze(&k);
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::SyncDeadlock { .. })),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn per_class_trip_counts_are_respected() {
+        // Param-driven trips: class 0 balanced, class 1 starves the
+        // consumer by one parity.
+        let mut k = handshake(1, 1);
+        k.classes = vec![crate::CtaClass {
+            params: vec![4],
+            multiplicity: 2,
+        }];
+        k.warp_groups[0].body = vec![Instr::loop_param(
+            0,
+            vec![
+                Instr::MbarWait {
+                    bar: crate::BarId(1),
+                },
+                Instr::TmaLoad {
+                    bytes: 32 * 1024,
+                    bar: crate::BarId(0),
+                },
+            ],
+        )];
+        k.warp_groups[1].body = vec![
+            Instr::loop_param(
+                0,
+                vec![
+                    Instr::MbarWait {
+                        bar: crate::BarId(0),
+                    },
+                    Instr::MbarArrive {
+                        bar: crate::BarId(1),
+                    },
+                ],
+            ),
+            // One extra wait past the produced parities.
+            Instr::MbarWait {
+                bar: crate::BarId(0),
+            },
+        ];
+        let lints = analyze(&k);
+        assert!(lints.iter().any(|l| l.is_definite_deadlock()), "{lints:?}");
+    }
+}

@@ -3,6 +3,30 @@
 
 use crate::instr::{BarId, Instr, Role};
 
+/// A source span captured from the authoring frontend.
+///
+/// Lowering stamps the barriers it emits with the DSL line that created
+/// the aref they guard, so static-analysis diagnostics ([`crate::analyze()`])
+/// can point at the author's `file:line` instead of a WSIR index. Spans are
+/// a pure side channel: they are never serialized and never participate in
+/// kernel equality, mirroring how tile-IR `Loc`s stay out of the canonical
+/// IR text and fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcLoc {
+    /// Source file path as the compiler recorded it.
+    pub file: &'static str,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl std::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
 /// Declaration of one mbarrier in shared memory.
 ///
 /// A phase of the barrier completes when `arrive_count` arrivals have been
@@ -44,7 +68,11 @@ pub struct WarpGroup {
 }
 
 /// A compiled kernel ready for simulation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores [`Kernel::bar_locs`]: source spans are diagnostic
+/// metadata, so a kernel deserialized from the disk cache (which never
+/// stores spans) still compares equal to the freshly compiled original.
+#[derive(Debug, Clone)]
 pub struct Kernel {
     /// Kernel name (diagnostics).
     pub name: String,
@@ -64,6 +92,25 @@ pub struct Kernel {
     /// Useful math throughput accounted to this kernel, in FLOPs; used by
     /// harnesses to convert simulated time to TFLOP/s.
     pub useful_flops: f64,
+    /// Source spans for barriers, indexed by [`BarId`]; may be shorter than
+    /// `barriers` (missing entries mean "no span recorded"). Never
+    /// serialized and ignored by `PartialEq` — see the type-level docs.
+    pub bar_locs: Vec<Option<SrcLoc>>,
+}
+
+impl PartialEq for Kernel {
+    fn eq(&self, other: &Self) -> bool {
+        // `bar_locs` deliberately excluded: spans are a diagnostic side
+        // channel that serialization drops.
+        self.name == other.name
+            && self.classes == other.classes
+            && self.smem_bytes == other.smem_bytes
+            && self.barriers == other.barriers
+            && self.warp_groups == other.warp_groups
+            && self.persistent == other.persistent
+            && self.launch_overhead_ns == other.launch_overhead_ns
+            && self.useful_flops == other.useful_flops
+    }
 }
 
 impl Kernel {
@@ -78,6 +125,7 @@ impl Kernel {
             persistent: false,
             launch_overhead_ns: 0,
             useful_flops: 0.0,
+            bar_locs: Vec::new(),
         }
     }
 
@@ -114,6 +162,21 @@ impl Kernel {
             init_phases,
         });
         id
+    }
+
+    /// Records the source span that created barrier `bar` (diagnostic side
+    /// channel; see [`SrcLoc`]).
+    pub fn set_bar_loc(&mut self, bar: BarId, loc: SrcLoc) {
+        let idx = bar.0 as usize;
+        if self.bar_locs.len() <= idx {
+            self.bar_locs.resize(idx + 1, None);
+        }
+        self.bar_locs[idx] = Some(loc);
+    }
+
+    /// The source span recorded for barrier `bar`, if any.
+    pub fn bar_loc(&self, bar: BarId) -> Option<SrcLoc> {
+        self.bar_locs.get(bar.0 as usize).copied().flatten()
     }
 
     /// Adds a warp group program.

@@ -11,6 +11,12 @@
 //! [`kernel::Kernel`] bundles one instruction stream per warp group plus
 //! mbarrier declarations, shared-memory footprint and launch configuration.
 //!
+//! Kernels are checked by a two-tier **static analysis** ([`analyze()`]):
+//! a cheap structural [`validate`] pass run on every lowered kernel, and a
+//! deeper abstract interpretation of the mbarrier parity discipline that
+//! proves freedom from static deadlock and shared-memory races before any
+//! cycle is simulated, reporting structured [`Lint`]s.
+//!
 //! Kernels have a **stable, versioned serialization** ([`serialize`]) used
 //! by the persistent on-disk kernel cache in `tawa-core`:
 //! [`serialize_kernel`] renders a kernel to a self-describing text
@@ -48,14 +54,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod instr;
 pub mod kernel;
 pub mod print;
 pub mod serialize;
-pub mod validate;
 
+pub use analyze::{analyze, deadlock_verdict, validate, InstrPath, Lint, LintKind, Severity};
 pub use instr::{BarId, Count, Instr, MmaDtype, Role};
-pub use kernel::{BarrierDecl, CtaClass, Kernel, WarpGroup};
+pub use kernel::{BarrierDecl, CtaClass, Kernel, SrcLoc, WarpGroup};
 pub use print::print_kernel;
 pub use serialize::{deserialize_kernel, serialize_kernel, SerializeError, FORMAT_VERSION};
-pub use validate::{validate, ValidateError};

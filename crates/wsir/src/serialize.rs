@@ -640,6 +640,9 @@ pub fn deserialize_kernel(text: &str) -> Result<Kernel, SerializeError> {
         persistent: kf.bool("persistent")?,
         launch_overhead_ns: kf.u64("launch_overhead_ns")?,
         useful_flops: kf.f64_bits("useful_flops")?,
+        // Source spans are a diagnostic side channel and are not part of
+        // the serialized form.
+        bar_locs: Vec::new(),
     };
 
     // Body sections, dispatched on the leading keyword.

@@ -1,0 +1,378 @@
+//! Corpus of known-broken and known-good barrier protocols for the static
+//! analyzer.
+//!
+//! Every broken kernel here is *structurally* valid — it passes the cheap
+//! [`tawa_wsir::validate`] tier that gates simulation — and is only caught
+//! by the abstract-interpretation tier of [`tawa_wsir::analyze()`]. The
+//! corpus pins down the split between the two tiers: `validate` must stay
+//! shallow (so direct simulation of a broken protocol still produces a
+//! dynamic deadlock report), while `analyze` must prove the defect without
+//! running a single simulated cycle.
+
+use proptest::prelude::*;
+use tawa_wsir::{
+    analyze, deadlock_verdict, validate, BarId, Instr, Kernel, Lint, LintKind, MmaDtype, Role,
+    Severity,
+};
+
+/// The paper's Fig. 4 producer/consumer handshake over one tile slot.
+/// `empty_init` is the initial credit on the `empty` barrier; the correct
+/// protocol starts with exactly one.
+fn handshake(iters: u64, empty_init: u32) -> Kernel {
+    let mut k = Kernel::new("handshake");
+    k.uniform_grid(4);
+    k.smem_bytes = 64 * 1024;
+    let full = k.add_barrier("full", 1);
+    let empty = k.add_barrier_init("empty", 1, empty_init);
+    k.add_warp_group(
+        Role::Producer,
+        24,
+        vec![Instr::loop_const(
+            iters,
+            vec![
+                Instr::MbarWait { bar: empty },
+                Instr::TmaLoad {
+                    bytes: 32 * 1024,
+                    bar: full,
+                },
+            ],
+        )],
+    );
+    k.add_warp_group(
+        Role::Consumer,
+        240,
+        vec![Instr::loop_const(
+            iters,
+            vec![
+                Instr::MbarWait { bar: full },
+                Instr::WgmmaIssue {
+                    m: 64,
+                    n: 128,
+                    k: 64,
+                    dtype: MmaDtype::F16,
+                },
+                Instr::WgmmaWait { pending: 0 },
+                Instr::MbarArrive { bar: empty },
+            ],
+        )],
+    );
+    k
+}
+
+/// Asserts the kernel passes the structural tier but the protocol tier
+/// proves a definite deadlock, returning the lints for further inspection.
+fn assert_statically_deadlocked(k: &Kernel, what: &str) -> Vec<Lint> {
+    assert!(
+        validate(k).is_ok(),
+        "{what}: must be structurally valid (the cheap tier stays shallow)"
+    );
+    let lints = analyze(k);
+    assert!(
+        lints.iter().any(Lint::is_definite_deadlock),
+        "{what}: expected a definite deadlock, got {lints:?}"
+    );
+    let verdict = deadlock_verdict(&lints).unwrap();
+    assert!(
+        verdict.starts_with("static deadlock:"),
+        "{what}: bad verdict {verdict:?}"
+    );
+    lints
+}
+
+// ---------------------------------------------------------------- deadlocks
+
+#[test]
+fn corpus_circular_wait_without_credit() {
+    // The simulator's own deadlock regression: both sides wait first and
+    // no initial credit breaks the cycle.
+    let lints = assert_statically_deadlocked(&handshake(16, 0), "no-credit handshake");
+    // Both warp groups are blocked on a wait; each gets its own report.
+    let stuck: Vec<_> = lints
+        .iter()
+        .filter(|l| matches!(l.kind, LintKind::StaticDeadlock { .. }))
+        .collect();
+    assert!(!stuck.is_empty(), "{lints:?}");
+}
+
+#[test]
+fn corpus_arrive_count_shortfall() {
+    // `full` demands two arrivals per phase but each iteration delivers
+    // one TMA load: the consumer starves with 1/2 arrivals stranded.
+    let mut k = handshake(8, 1);
+    k.barriers[0].arrive_count = 2;
+    let lints = assert_statically_deadlocked(&k, "arrive-count shortfall");
+    assert!(
+        lints.iter().any(|l| matches!(
+            l.kind,
+            LintKind::StaticDeadlock {
+                arrivals: 1,
+                arrive_count: 2,
+                ..
+            }
+        )),
+        "{lints:?}"
+    );
+}
+
+#[test]
+fn corpus_parity_mismatch() {
+    // The consumer consumes two phases of `full` per produced phase: its
+    // parity runs ahead of anything the producer can ever signal.
+    let mut k = handshake(8, 1);
+    k.warp_groups[1].body = vec![Instr::loop_const(
+        8,
+        vec![
+            Instr::MbarWait { bar: BarId(0) },
+            Instr::MbarWait { bar: BarId(0) },
+            Instr::MbarArrive { bar: BarId(1) },
+        ],
+    )];
+    assert_statically_deadlocked(&k, "parity mismatch");
+}
+
+#[test]
+fn corpus_consumer_overruns_producer_trip_count() {
+    // Off-by-one pipelining bug: the consumer's epilogue waits for one
+    // more tile than the producer ever loads.
+    let mut k = handshake(8, 1);
+    k.warp_groups[1]
+        .body
+        .push(Instr::MbarWait { bar: BarId(0) });
+    assert_statically_deadlocked(&k, "consumer overrun");
+}
+
+#[test]
+fn corpus_missing_sync_participant() {
+    // One warp group exits without reaching the CTA-wide rendezvous.
+    let mut k = Kernel::new("lonely-sync");
+    k.uniform_grid(2);
+    k.add_warp_group(
+        Role::Uniform,
+        128,
+        vec![Instr::loop_const(4, vec![Instr::Syncthreads])],
+    );
+    k.add_warp_group(
+        Role::Uniform,
+        128,
+        vec![Instr::CudaOp {
+            flops: 128,
+            sfu: 0,
+            label: "epilogue",
+        }],
+    );
+    assert!(validate(&k).is_ok());
+    let lints = analyze(&k);
+    assert!(
+        lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::SyncDeadlock { .. })),
+        "{lints:?}"
+    );
+    assert!(deadlock_verdict(&lints).is_some());
+}
+
+// -------------------------------------------------------------------- races
+
+#[test]
+fn corpus_unguarded_overwrite_races() {
+    // The producer free-runs: it never consumes a release credit before
+    // overwriting the slot, so generation 1 lands while generation 0 may
+    // still be read. In the analyzer's model liveness is fine — the
+    // verdict is a race, not a deadlock.
+    let mut k = handshake(8, 1);
+    k.warp_groups[0].body = vec![Instr::loop_const(
+        8,
+        vec![Instr::TmaLoad {
+            bytes: 32 * 1024,
+            bar: BarId(0),
+        }],
+    )];
+    assert!(validate(&k).is_ok());
+    let lints = analyze(&k);
+    let race = lints
+        .iter()
+        .find(|l| matches!(l.kind, LintKind::SharedMemRace { write: true, .. }))
+        .unwrap_or_else(|| panic!("{lints:?}"));
+    assert_eq!(race.severity(), Severity::Error);
+    // A race is not a deadlock: the simulation gate must not convert it
+    // into a negative cache entry.
+    assert!(deadlock_verdict(&lints).is_none());
+}
+
+#[test]
+fn corpus_unordered_release_races() {
+    // The consumer releases the slot each iteration but only waited for
+    // the first fill: later reads are unordered against the producer.
+    let mut k = handshake(8, 1);
+    k.warp_groups[1].body = vec![
+        Instr::MbarWait { bar: BarId(0) },
+        Instr::loop_const(8, vec![Instr::MbarArrive { bar: BarId(1) }]),
+    ];
+    assert!(validate(&k).is_ok());
+    let lints = analyze(&k);
+    assert!(
+        lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::SharedMemRace { write: false, .. })),
+        "{lints:?}"
+    );
+}
+
+// ----------------------------------------------------------- protocol lints
+
+#[test]
+fn corpus_under_provisioned_staging_warns() {
+    // Double-buffered 32 KiB tiles in 48 KiB of shared memory: both slots
+    // can be in flight at once, exceeding the declared footprint.
+    let mut k = Kernel::new("tight");
+    k.uniform_grid(1);
+    k.smem_bytes = 48 * 1024;
+    let f0 = k.add_barrier("full0", 1);
+    let e0 = k.add_barrier_init("empty0", 1, 1);
+    let f1 = k.add_barrier("full1", 1);
+    let e1 = k.add_barrier_init("empty1", 1, 1);
+    k.add_warp_group(
+        Role::Producer,
+        24,
+        vec![Instr::loop_const(
+            4,
+            vec![
+                Instr::MbarWait { bar: e0 },
+                Instr::TmaLoad {
+                    bytes: 32 * 1024,
+                    bar: f0,
+                },
+                Instr::MbarWait { bar: e1 },
+                Instr::TmaLoad {
+                    bytes: 32 * 1024,
+                    bar: f1,
+                },
+            ],
+        )],
+    );
+    k.add_warp_group(
+        Role::Consumer,
+        240,
+        vec![Instr::loop_const(
+            4,
+            vec![
+                Instr::MbarWait { bar: f0 },
+                Instr::MbarArrive { bar: e0 },
+                Instr::MbarWait { bar: f1 },
+                Instr::MbarArrive { bar: e1 },
+            ],
+        )],
+    );
+    let lints = analyze(&k);
+    assert!(
+        lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::SmemOverflow { .. })),
+        "{lints:?}"
+    );
+    // Warnings never poison the negative cache.
+    assert!(deadlock_verdict(&lints).is_none());
+}
+
+#[test]
+fn corpus_dead_and_unawaited_barriers_warn() {
+    let mut k = handshake(4, 1);
+    let dead = k.add_barrier("scratch", 1);
+    let stray = k.add_barrier("stray", 1);
+    k.warp_groups[1].body.push(Instr::MbarArrive { bar: stray });
+    let lints = analyze(&k);
+    assert!(
+        lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::DeadBarrier { bar, .. } if bar == dead)),
+        "{lints:?}"
+    );
+    assert!(
+        lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::UnawaitedBarrier { bar, .. } if bar == stray)),
+        "{lints:?}"
+    );
+    assert!(lints.iter().all(|l| l.severity() == Severity::Warning));
+}
+
+// -------------------------------------------------------------------- clean
+
+#[test]
+fn corpus_correct_handshake_is_clean() {
+    for iters in [1, 2, 8, 100] {
+        let lints = analyze(&handshake(iters, 1));
+        assert!(lints.is_empty(), "iters={iters}: {lints:?}");
+    }
+}
+
+#[test]
+fn corpus_multi_stage_pipeline_is_clean() {
+    // A depth-3 rotating pipeline in the shape `lower_ws` emits for the
+    // ws-GEMM mainloop: three slot pairs, producer and consumer rotating
+    // through them with adequate shared memory.
+    let depth = 3usize;
+    let iters = 12u64;
+    let mut k = Kernel::new("pipe3");
+    k.uniform_grid(8);
+    k.smem_bytes = 4 * 64 * 1024;
+    let mut fulls = Vec::new();
+    let mut emptys = Vec::new();
+    for s in 0..depth {
+        fulls.push(k.add_barrier(&format!("full[{s}]"), 1));
+        emptys.push(k.add_barrier_init(&format!("empty[{s}]"), 1, 1));
+    }
+    let mut prod = Vec::new();
+    let mut cons = Vec::new();
+    for s in 0..depth {
+        prod.push(Instr::MbarWait { bar: emptys[s] });
+        prod.push(Instr::TmaLoad {
+            bytes: 64 * 1024,
+            bar: fulls[s],
+        });
+        cons.push(Instr::MbarWait { bar: fulls[s] });
+        cons.push(Instr::WgmmaIssue {
+            m: 64,
+            n: 256,
+            k: 64,
+            dtype: MmaDtype::F16,
+        });
+        cons.push(Instr::WgmmaWait { pending: 1 });
+        cons.push(Instr::MbarArrive { bar: emptys[s] });
+    }
+    k.add_warp_group(Role::Producer, 24, vec![Instr::loop_const(iters, prod)]);
+    k.add_warp_group(Role::Consumer, 240, vec![Instr::loop_const(iters, cons)]);
+    let lints = analyze(&k);
+    assert!(lints.is_empty(), "{lints:?}");
+}
+
+// ----------------------------------------------------------------- proptest
+
+proptest! {
+    /// Credit soundness over the whole handshake family: one initial
+    /// credit per slot is live and clean; zero credits deadlock — and the
+    /// analyzer must say so for every trip count.
+    #[test]
+    fn handshake_family_verdicts(iters in 1u64..40) {
+        let good = analyze(&handshake(iters, 1));
+        prop_assert!(good.is_empty(), "{good:?}");
+        let bad = analyze(&handshake(iters, 0));
+        prop_assert!(deadlock_verdict(&bad).is_some(), "{bad:?}");
+    }
+
+    /// Trip-count mismatch soundness: a consumer expecting `extra` more
+    /// phases than are produced deadlocks iff `extra > 0`.
+    #[test]
+    fn trip_count_mismatch_verdicts(iters in 1u64..20, extra in 0u64..3) {
+        let mut k = handshake(iters, 1);
+        for _ in 0..extra {
+            k.warp_groups[1].body.push(Instr::MbarWait { bar: BarId(0) });
+        }
+        let lints = analyze(&k);
+        if extra > 0 {
+            prop_assert!(deadlock_verdict(&lints).is_some(), "{lints:?}");
+        } else {
+            prop_assert!(lints.is_empty(), "{lints:?}");
+        }
+    }
+}

@@ -130,6 +130,7 @@ fn kernels() -> impl Strategy<Value = Kernel> {
                     // Reinterpret arbitrary bits as the float so NaNs, subnormals
                     // and infinities are all exercised.
                     useful_flops: f64::from_bits(flop_bits),
+                    bar_locs: Vec::new(),
                 }
             },
         )
