@@ -1,0 +1,70 @@
+//! Emits the sweep-cost / TFLOPs frontier report: exhaustive vs
+//! model-guided Fig. 11 autotune sweeps, as machine-readable JSON.
+//!
+//! Flags:
+//!
+//! ```text
+//! --quick         K = 4096 instead of the paper's full-scale 16384
+//! --slack <csv>   comma-separated pruning slacks (default 1.0,1.1,1.25,1.5)
+//! --out <path>    write the JSON report to a file instead of stdout
+//! ```
+
+use gpu_sim::Device;
+use tawa_bench::{frontier, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let slacks: Vec<f64> = match args.iter().position(|a| a == "--slack") {
+        Some(i) => args
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--slack needs a comma-separated list of factors");
+                std::process::exit(2);
+            })
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad slack value: {s:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => frontier::DEFAULT_SLACKS.to_vec(),
+    };
+    let device = Device::h100_sxm5();
+    let report = frontier::run(&device, scale, &slacks);
+    let json = report.to_json();
+    match args.iter().position(|a| a == "--out") {
+        Some(i) => {
+            let path = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--out needs a path");
+                std::process::exit(2);
+            });
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            // A human-readable summary still goes to stdout.
+            for panel in &report.panels {
+                for p in &panel.points {
+                    println!(
+                        "persistent={} {:<10} slack={:<5} sims={} pruned={} best={:.0} TFLOP/s",
+                        panel.persistent,
+                        p.strategy,
+                        p.slack.map_or_else(|| "-".into(), |s| format!("{s}")),
+                        p.simulator_runs,
+                        p.analytic_pruned,
+                        p.best_tflops.unwrap_or(f64::NAN),
+                    );
+                }
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -1,0 +1,248 @@
+//! The sweep-cost / TFLOPs frontier: what a Fig. 11 autotune sweep costs
+//! under each strategy, and what throughput it finds.
+//!
+//! An exhaustive sweep simulates every feasible cell; the model-guided
+//! sweep ([`tawa_core::autotune::SweepStrategy::ModelGuided`]) ranks
+//! candidates by the analytic upper bound and prunes proven losers. Both
+//! return the same winner — the frontier report quantifies what the
+//! pruning *saves* (simulator runs, wall-clock) at each slack setting,
+//! as machine-readable JSON for CI artifacts and plots.
+//!
+//! Every strategy runs over a **cold** in-memory session so the
+//! simulator-run counts are real work, not cache hits.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpu_sim::Device;
+use tawa_core::autotune::{autotune_with_session_strategy, SweepStrategy, TuneSpace};
+use tawa_core::{CompileOptions, CompileSession};
+use tawa_frontend::config::{GemmConfig, Tile};
+use tawa_frontend::kernels::gemm;
+
+use crate::report::Scale;
+
+/// Slack factors swept by default: `1.0` is the tightest sound setting,
+/// larger values trade pruning for headroom.
+pub const DEFAULT_SLACKS: &[f64] = &[1.0, 1.1, 1.25, 1.5];
+
+/// One strategy's cost and outcome on one Fig. 11 panel.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Strategy label: `"exhaustive"` or `"guided"`.
+    pub strategy: &'static str,
+    /// Pruning slack (guided strategies only).
+    pub slack: Option<f64>,
+    /// Candidates enumerated from the tune space.
+    pub candidates: usize,
+    /// Actual simulator runs issued (cold-session `sim_misses`).
+    pub simulator_runs: u64,
+    /// Candidates pruned by the analytic model.
+    pub analytic_pruned: usize,
+    /// Candidates that failed to compile (`P > D`, resource budgets).
+    pub infeasible: usize,
+    /// Wall-clock of the whole sweep, milliseconds.
+    pub wall_ms: f64,
+    /// Winning aref depth `D`.
+    pub best_aref_depth: Option<usize>,
+    /// Winning MMA pipeline depth `P`.
+    pub best_mma_depth: Option<usize>,
+    /// Winning throughput, TFLOP/s.
+    pub best_tflops: Option<f64>,
+}
+
+/// One Fig. 11 panel's frontier: every strategy on the same workload.
+#[derive(Debug, Clone)]
+pub struct FrontierPanel {
+    /// Panel label (persistent or not).
+    pub persistent: bool,
+    /// Points, exhaustive first, then guided per slack.
+    pub points: Vec<FrontierPoint>,
+}
+
+/// The full frontier report: both Fig. 11 panels plus the workload shape.
+#[derive(Debug, Clone)]
+pub struct FrontierReport {
+    /// GEMM problem dimensions `[m, n, k]`.
+    pub shape: [usize; 3],
+    /// Panels (non-persistent, persistent).
+    pub panels: Vec<FrontierPanel>,
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        // JSON has no NaN/Inf; clamp defensively to null.
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+impl FrontierReport {
+    /// Renders the report as a JSON document (hand-rolled: the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"shape\": [{}, {}, {}],",
+            self.shape[0], self.shape[1], self.shape[2]
+        );
+        out.push_str("  \"panels\": [\n");
+        for (pi, panel) in self.panels.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\n      \"persistent\": {},\n      \"points\": [",
+                panel.persistent
+            );
+            for (i, p) in panel.points.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"strategy\": \"{}\", \"slack\": {}, \"candidates\": {}, \
+                     \"simulator_runs\": {}, \"analytic_pruned\": {}, \"infeasible\": {}, \
+                     \"wall_ms\": {:.3}, \"best_aref_depth\": {}, \"best_mma_depth\": {}, \
+                     \"best_tflops\": {}}}",
+                    p.strategy,
+                    json_opt_f64(p.slack),
+                    p.candidates,
+                    p.simulator_runs,
+                    p.analytic_pruned,
+                    p.infeasible,
+                    p.wall_ms,
+                    json_opt_usize(p.best_aref_depth),
+                    json_opt_usize(p.best_mma_depth),
+                    json_opt_f64(p.best_tflops),
+                );
+                out.push_str(if i + 1 < panel.points.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ]\n    }");
+            out.push_str(if pi + 1 < self.panels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn run_strategy(
+    device: &Device,
+    cfg: &GemmConfig,
+    persistent: bool,
+    strategy: SweepStrategy,
+) -> FrontierPoint {
+    let session = CompileSession::in_memory(device);
+    let (module, spec) = gemm(cfg).into_parts();
+    let base = CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    };
+    let start = Instant::now();
+    let result = autotune_with_session_strategy(
+        &session,
+        &module,
+        &spec,
+        &base,
+        &TuneSpace::fig11(persistent),
+        strategy,
+    );
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let best = result.best.map(|i| &result.points[i]);
+    let (label, slack) = match strategy {
+        SweepStrategy::Exhaustive => ("exhaustive", None),
+        SweepStrategy::ModelGuided { slack } => ("guided", Some(slack)),
+    };
+    FrontierPoint {
+        strategy: label,
+        slack,
+        candidates: result.stats.candidates,
+        simulator_runs: session.cache_stats().sim_misses,
+        analytic_pruned: result.stats.analytic_pruned,
+        infeasible: result.stats.infeasible,
+        wall_ms,
+        best_aref_depth: best.map(|p| p.aref_depth),
+        best_mma_depth: best.map(|p| p.mma_depth),
+        best_tflops: result.best_tflops(),
+    }
+}
+
+/// Runs the frontier study: both Fig. 11 panels, exhaustive then guided
+/// at each slack in `slacks`, every strategy over a cold session.
+pub fn run(device: &Device, scale: Scale, slacks: &[f64]) -> FrontierReport {
+    let k = match scale {
+        Scale::Quick => 4096,
+        Scale::Full => 16384,
+    };
+    let cfg = GemmConfig::new(8192, 8192, k).with_tile(Tile::LARGE);
+    let panels = [false, true]
+        .into_iter()
+        .map(|persistent| {
+            let mut points = vec![run_strategy(
+                device,
+                &cfg,
+                persistent,
+                SweepStrategy::Exhaustive,
+            )];
+            for &slack in slacks {
+                points.push(run_strategy(
+                    device,
+                    &cfg,
+                    persistent,
+                    SweepStrategy::ModelGuided { slack },
+                ));
+            }
+            FrontierPanel { persistent, points }
+        })
+        .collect();
+    FrontierReport {
+        shape: [8192, 8192, k],
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_compares_strategies_and_serializes() {
+        let device = Device::h100_sxm5();
+        let report = run(&device, Scale::Quick, &[1.1]);
+        assert_eq!(report.panels.len(), 2);
+        for panel in &report.panels {
+            let [ex, guided] = &panel.points[..] else {
+                panic!("one exhaustive + one guided point expected");
+            };
+            assert_eq!(ex.strategy, "exhaustive");
+            assert_eq!(guided.strategy, "guided");
+            // Same winner, bit-identical throughput, never more work.
+            assert_eq!(ex.best_aref_depth, guided.best_aref_depth);
+            assert_eq!(ex.best_mma_depth, guided.best_mma_depth);
+            assert_eq!(
+                ex.best_tflops.unwrap().to_bits(),
+                guided.best_tflops.unwrap().to_bits()
+            );
+            assert!(guided.simulator_runs <= ex.simulator_runs);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"strategy\": \"exhaustive\""));
+        assert!(json.contains("\"simulator_runs\""));
+        assert!(json.contains("\"best_tflops\""));
+        // Balanced braces/brackets: cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -10,9 +10,15 @@
 //!
 //! ```text
 //! tawa-cache ls <dir>                 list entries (key, kind, size, age)
+//! tawa-cache stats <dir>              per-kind totals + sweep accounting
 //! tawa-cache verify <dir>             validate every entry; delete defects
 //! tawa-cache gc <dir> --max-bytes N   evict LRU entries down to N bytes
 //! ```
+//!
+//! `stats` additionally reads the directory's sweep log (written by
+//! model-guided autotune sweeps over a disk-backed session): how many
+//! candidates the analytic model pruned and how many simulator calls the
+//! cached verdicts avoid, alongside the per-kind entry breakdown.
 //!
 //! All subcommands are safe on a live directory: writers publish entries
 //! atomically, and deleting an entry only ever costs a recompile.
@@ -24,6 +30,7 @@ use tawa_core::cache::{CacheEntry, DiskCache, EntryKind, SimOutcome};
 
 const USAGE: &str = "usage:
   tawa-cache ls <dir>                 list entries (oldest first)
+  tawa-cache stats <dir>              per-kind totals and sweep accounting
   tawa-cache verify <dir>             validate all entries, deleting defects
   tawa-cache gc <dir> --max-bytes N   evict least-recently-used entries to N bytes
 
@@ -53,6 +60,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let dir = one_dir(rest)?;
             let cache = open(&dir)?;
             ls(&cache);
+            Ok(ExitCode::SUCCESS)
+        }
+        "stats" => {
+            let dir = one_dir(rest)?;
+            let cache = open(&dir)?;
+            stats(&cache);
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
@@ -147,6 +160,48 @@ fn ls(cache: &DiskCache) {
         );
     }
     println!("{} entries, {} bytes", entries.len(), bytes);
+}
+
+/// Aggregates the directory per entry label, then reports what the cache
+/// saves: every cached sim outcome is a simulator run warm sweeps skip,
+/// and the sweep log records what the analytic model pruned before the
+/// simulator was even consulted.
+fn stats(cache: &DiskCache) {
+    let entries = cache.entries();
+    let mut by_label: Vec<(&'static str, usize, u64)> = Vec::new();
+    for e in &entries {
+        let label = entry_label(cache, e);
+        match by_label.iter_mut().find(|(l, _, _)| *l == label) {
+            Some((_, n, bytes)) => {
+                *n += 1;
+                *bytes += e.bytes;
+            }
+            None => by_label.push((label, 1, e.bytes)),
+        }
+    }
+    println!("{:<12}  {:>7}  {:>10}", "KIND", "ENTRIES", "BYTES");
+    for (label, n, bytes) in &by_label {
+        println!("{label:<12}  {n:>7}  {bytes:>10}");
+    }
+    let total_bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+    println!("{:<12}  {:>7}  {:>10}", "total", entries.len(), total_bytes);
+
+    let sim_cached = entries
+        .iter()
+        .filter(|e| e.kind == EntryKind::SimReport)
+        .count();
+    println!("\n{sim_cached} cached sim outcomes (simulator runs warm sweeps avoid)");
+
+    let totals = cache.sweep_totals();
+    if totals.sweeps > 0 {
+        println!(
+            "{} autotune sweeps recorded: {} candidates analytically pruned \
+             (sim calls avoided before any lookup), {} simulate calls issued",
+            totals.sweeps, totals.analytic_pruned, totals.simulate_calls
+        );
+    } else {
+        println!("no autotune sweeps recorded");
+    }
 }
 
 fn verify(cache: &DiskCache) -> ExitCode {

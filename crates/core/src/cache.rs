@@ -229,6 +229,25 @@ pub struct DiskCacheStats {
     pub bytes: u64,
 }
 
+/// Accumulated autotune-sweep accounting from a cache directory's sweep
+/// log (see [`DiskCache::record_sweep`]): how much work model-guided
+/// pruning saved across every session that swept against this directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTotals {
+    /// Sweeps recorded.
+    pub sweeps: u64,
+    /// Candidates the analytic model pruned — each one a simulator run
+    /// (or a `.sim` lookup) that never happened.
+    pub analytic_pruned: u64,
+    /// Simulate calls the sweeps did issue (cache hits included).
+    pub simulate_calls: u64,
+}
+
+/// Filename of the append-only sweep-accounting log inside a cache
+/// directory. Not an entry: `scan_entries` filters by extension, so the
+/// log is invisible to lookups, `gc`, `verify` and the byte accounting.
+const SWEEP_LOG: &str = "sweeps.log";
+
 /// A persistent kernel cache rooted at one directory. All operations are
 /// best-effort and infallible after [`DiskCache::open`]: I/O problems
 /// degrade to misses or skipped writes, never to errors — a broken disk
@@ -487,6 +506,50 @@ impl DiskCache {
         for (path, _, _) in self.scan_entries() {
             let _ = fs::remove_file(path);
         }
+    }
+
+    /// Appends one autotune sweep's accounting to the directory's sweep
+    /// log (`sweeps.log`, append-only; best-effort). The log is not a
+    /// cache entry — it never affects lookups and [`DiskCache::gc`] /
+    /// `verify` ignore it — it exists so `tawa-cache stats` can report
+    /// what model-guided pruning saved across every session that used
+    /// this directory. Each line is one sweep:
+    /// `sweep pruned=<n> sims=<n>`.
+    pub fn record_sweep(&self, analytic_pruned: u64, simulate_calls: u64) {
+        let line = format!("sweep pruned={analytic_pruned} sims={simulate_calls}\n");
+        // A single small O_APPEND write lands as one line even with
+        // concurrent writers; a torn line is skipped by the parser.
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.root.join(SWEEP_LOG))
+        {
+            let _ = std::io::Write::write_all(&mut f, line.as_bytes());
+        }
+    }
+
+    /// Sums the directory's sweep log (see [`DiskCache::record_sweep`]).
+    /// Malformed lines are skipped; a missing log reads as all-zero.
+    pub fn sweep_totals(&self) -> SweepTotals {
+        let mut totals = SweepTotals::default();
+        let Ok(text) = fs::read_to_string(self.root.join(SWEEP_LOG)) else {
+            return totals;
+        };
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("sweep pruned=") else {
+                continue;
+            };
+            let Some((pruned, sims)) = rest.split_once(" sims=") else {
+                continue;
+            };
+            let (Ok(pruned), Ok(sims)) = (pruned.parse::<u64>(), sims.parse::<u64>()) else {
+                continue;
+            };
+            totals.sweeps += 1;
+            totals.analytic_pruned += pruned;
+            totals.simulate_calls += sims;
+        }
+        totals
     }
 
     /// Reads and deserializes a kernel entry without bumping hit
@@ -804,6 +867,30 @@ mod tests {
             module_fp: m,
             env_fp: e,
         }
+    }
+
+    #[test]
+    fn sweep_log_accumulates_and_stays_invisible_to_entries() {
+        let cache = DiskCache::open(tmp_dir("sweeplog")).unwrap();
+        assert_eq!(cache.sweep_totals(), SweepTotals::default());
+        cache.record_sweep(2, 4);
+        cache.record_sweep(0, 6);
+        let totals = cache.sweep_totals();
+        assert_eq!(totals.sweeps, 2);
+        assert_eq!(totals.analytic_pruned, 2);
+        assert_eq!(totals.simulate_calls, 10);
+        // The log is accounting, not a cache entry: listings, byte
+        // accounting, gc and clear must never see it.
+        assert!(cache.entries().is_empty());
+        assert_eq!(cache.stats().entries, 0);
+        cache.clear();
+        assert_eq!(cache.sweep_totals().sweeps, 2, "clear keeps the log");
+        // A torn or foreign line is skipped, not an error.
+        let _ = fs::OpenOptions::new()
+            .append(true)
+            .open(cache.root().join(SWEEP_LOG))
+            .map(|mut f| std::io::Write::write_all(&mut f, b"garbage\nsweep pruned=1 si"));
+        assert_eq!(cache.sweep_totals().sweeps, 2);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod session;
 
-pub use cache::{CacheEntry, DiskCache, DiskCacheStats, EntryKind, SimOutcome};
+pub use cache::{CacheEntry, DiskCache, DiskCacheStats, EntryKind, SimOutcome, SweepTotals};
 pub use compile::{compile, compile_and_simulate};
 pub use lower::{CompileError, CompileOptions};
 pub use session::{CacheStats, CompileJob, CompileSession, COMPILE_WORKERS_ENV, DISK_CACHE_ENV};

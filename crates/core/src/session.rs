@@ -107,6 +107,70 @@ pub const COMPILE_WORKERS_ENV: &str = "TAWA_COMPILE_WORKERS";
 /// [`CompileSession::with_workers`] nor [`COMPILE_WORKERS_ENV`] set one.
 const DEFAULT_WORKER_CAP: usize = 8;
 
+/// Shard count for the hot in-memory cache maps. Sixteen shards keep the
+/// probability of two of (up to) sixteen batch workers colliding on one
+/// lock low, while the per-shard `HashMap`s stay dense enough to be
+/// cache-friendly. Power of two so the index is a mask.
+const CACHE_SHARDS: usize = 16;
+
+/// A [`CacheKey`]-addressed hash map split across [`CACHE_SHARDS`]
+/// independently locked shards.
+///
+/// The session's hot tiers (kernels, negatives, reports) are consulted on
+/// *every* compile and simulate call; behind a single `Mutex` they
+/// serialize high-`TAWA_COMPILE_WORKERS` batches even though the work
+/// between lookups is perfectly parallel. Sharding by key hash narrows
+/// each lock to 1/16th of the key space; operations on one key still
+/// observe a consistent map because a key lives in exactly one shard.
+/// Aggregates ([`Sharded::len`], [`Sharded::clear`]) lock shard-by-shard
+/// — they are maintenance/statistics paths where a momentarily torn view
+/// across shards is acceptable.
+struct Sharded<V> {
+    shards: Vec<Mutex<HashMap<CacheKey, V>>>,
+}
+
+impl<V> Sharded<V> {
+    fn new() -> Sharded<V> {
+        Sharded {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Locks and returns the shard owning `key`. Both fingerprint halves
+    /// feed the index: keys from one module compiled under many options
+    /// differ only in `env_fp`, and keys from many modules under one
+    /// option set differ only in `module_fp`. The combined value is run
+    /// through a splitmix64-style finalizer before the modulo — raw
+    /// FNV-1a fingerprints of near-identical inputs (an autotune sweep's
+    /// option strings) cluster badly in any fixed 4-bit window.
+    fn shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, HashMap<CacheKey, V>> {
+        let mut h = key.module_fp ^ key.env_fp.rotate_left(32);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        self.shards[h as usize % CACHE_SHARDS]
+            .lock()
+            .expect("cache shard poisoned")
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
 fn env_fingerprint(spec: &LaunchSpec, opts: &CompileOptions, device: &Device) -> u64 {
     // `CompileOptions`, `LaunchSpec` and `Device` are plain data with
     // derived Debug; their debug form is a canonical serialization of
@@ -143,6 +207,12 @@ pub struct CacheStats {
     /// each is a compile that succeeded but carried a definite-deadlock
     /// verdict, converted straight into the negative tier.
     pub static_rejections: u64,
+    /// Autotune candidates pruned by the analytic cost model
+    /// (`gpu_sim::analytic`) — each is a simulator run avoided without
+    /// compiling a verdict into any cache tier: the analytic model only
+    /// orders and prunes, it never persists results (see
+    /// [`CompileSession::note_analytic_pruned`]).
+    pub analytic_pruned: u64,
     /// Disk-cache counters (all zero when no disk cache is attached).
     pub disk: DiskCacheStats,
 }
@@ -207,10 +277,15 @@ pub struct CompileJob<'a> {
 pub struct CompileSession {
     device: Device,
     registry: PassRegistry,
-    kernels: Mutex<HashMap<CacheKey, Arc<Kernel>>>,
-    negatives: Mutex<HashMap<CacheKey, Negative>>,
+    // The three per-key hot tiers are sharded (see [`Sharded`]) so
+    // concurrent batch workers do not serialize on one map lock. The
+    // cleaned-prefix cache stays a single Mutex on purpose: holding its
+    // lock across the cleanup run is what deduplicates concurrent
+    // cold-prefix work (see `cleaned_module`).
+    kernels: Sharded<Arc<Kernel>>,
+    negatives: Sharded<Negative>,
     cleaned: Mutex<HashMap<u64, Arc<Module>>>,
-    reports: Mutex<HashMap<CacheKey, SimReport>>,
+    reports: Sharded<SimReport>,
     disk: Option<DiskCache>,
     workers: Option<usize>,
     kernel_hits: AtomicU64,
@@ -218,6 +293,7 @@ pub struct CompileSession {
     sim_hits: AtomicU64,
     sim_misses: AtomicU64,
     static_rejections: AtomicU64,
+    analytic_pruned: AtomicU64,
 }
 
 impl std::fmt::Debug for CompileSession {
@@ -250,10 +326,10 @@ impl CompileSession {
         CompileSession {
             device: device.clone(),
             registry: tawa_pass_registry(),
-            kernels: Mutex::new(HashMap::new()),
-            negatives: Mutex::new(HashMap::new()),
+            kernels: Sharded::new(),
+            negatives: Sharded::new(),
             cleaned: Mutex::new(HashMap::new()),
-            reports: Mutex::new(HashMap::new()),
+            reports: Sharded::new(),
             disk: None,
             workers: workers_from_env(std::env::var(COMPILE_WORKERS_ENV).ok()),
             kernel_hits: AtomicU64::new(0),
@@ -261,6 +337,7 @@ impl CompileSession {
             sim_hits: AtomicU64::new(0),
             sim_misses: AtomicU64::new(0),
             static_rejections: AtomicU64::new(0),
+            analytic_pruned: AtomicU64::new(0),
         }
     }
 
@@ -354,11 +431,12 @@ impl CompileSession {
             kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
             sim_hits: self.sim_hits.load(Ordering::Relaxed),
             sim_misses: self.sim_misses.load(Ordering::Relaxed),
-            kernel_entries: self.kernels.lock().unwrap().len(),
+            kernel_entries: self.kernels.len(),
             module_entries: self.cleaned.lock().unwrap().len(),
-            report_entries: self.reports.lock().unwrap().len(),
-            negative_entries: self.negatives.lock().unwrap().len(),
+            report_entries: self.reports.len(),
+            negative_entries: self.negatives.len(),
             static_rejections: self.static_rejections.load(Ordering::Relaxed),
+            analytic_pruned: self.analytic_pruned.load(Ordering::Relaxed),
             disk: self.disk.as_ref().map(DiskCache::stats).unwrap_or_default(),
         }
     }
@@ -368,10 +446,19 @@ impl CompileSession {
     /// session's lifetime), and the disk tier is untouched — wipe it with
     /// [`DiskCache::clear`] via [`CompileSession::disk_cache`].
     pub fn clear_cache(&self) {
-        self.kernels.lock().unwrap().clear();
-        self.negatives.lock().unwrap().clear();
+        self.kernels.clear();
+        self.negatives.clear();
         self.cleaned.lock().unwrap().clear();
-        self.reports.lock().unwrap().clear();
+        self.reports.clear();
+    }
+
+    /// Records `n` autotune candidates pruned by the analytic cost model
+    /// (`gpu_sim::analytic`) without ever reaching the simulator. Each is
+    /// a simulator run avoided, surfaced as
+    /// [`CacheStats::analytic_pruned`] next to the other avoided-work
+    /// counters (sim hits, static rejections).
+    pub fn note_analytic_pruned(&self, n: u64) {
+        self.analytic_pruned.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Compiles a module for the given launch, consulting the kernel cache.
@@ -407,28 +494,27 @@ impl CompileSession {
         spec: &LaunchSpec,
         opts: &CompileOptions,
     ) -> Result<Arc<Kernel>, CompileError> {
-        if let Some(kernel) = self.kernels.lock().unwrap().get(&key) {
+        if let Some(kernel) = self.kernels.shard(&key).get(&key) {
             self.kernel_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(kernel.clone());
         }
         // Only infeasibility verdicts gate compilation; a cached
         // *simulation* failure under the same key means the kernel itself
         // compiled fine and must stay obtainable.
-        if let Some(Negative::Infeasible(msg)) = self.negatives.lock().unwrap().get(&key) {
+        if let Some(Negative::Infeasible(msg)) = self.negatives.shard(&key).get(&key) {
             self.kernel_hits.fetch_add(1, Ordering::Relaxed);
             return Err(CompileError::Infeasible(msg.clone()));
         }
         if let Some(disk) = &self.disk {
             if let Some(msg) = disk.load_infeasible(&key) {
                 self.negatives
-                    .lock()
-                    .unwrap()
+                    .shard(&key)
                     .insert(key, Negative::Infeasible(msg.clone()));
                 return Err(CompileError::Infeasible(msg));
             }
             if let Some(kernel) = disk.load(&key) {
                 let kernel = Arc::new(kernel);
-                self.kernels.lock().unwrap().insert(key, kernel.clone());
+                self.kernels.shard(&key).insert(key, kernel.clone());
                 return Ok(kernel);
             }
         }
@@ -439,14 +525,13 @@ impl CompileSession {
                 if let Some(disk) = &self.disk {
                     disk.store(&key, &kernel);
                 }
-                self.kernels.lock().unwrap().insert(key, kernel.clone());
+                self.kernels.shard(&key).insert(key, kernel.clone());
                 Ok(kernel)
             }
             Err(err) => {
                 if let CompileError::Infeasible(msg) = &err {
                     self.negatives
-                        .lock()
-                        .unwrap()
+                        .shard(&key)
                         .insert(key, Negative::Infeasible(msg.clone()));
                     if let Some(disk) = &self.disk {
                         disk.store_infeasible(&key, msg);
@@ -525,7 +610,7 @@ impl CompileSession {
             module_fp: module_fingerprint(module),
             env_fp: env_fingerprint(spec, opts, &self.device),
         };
-        if let Some(report) = self.reports.lock().unwrap().get(&key) {
+        if let Some(report) = self.reports.shard(&key).get(&key) {
             self.sim_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(report.clone());
         }
@@ -534,7 +619,7 @@ impl CompileSession {
         // configuration must short-circuit here too — falling through
         // would probe the disk's (nonexistent) .sim entry on every sweep
         // retry before compile_keyed finally consulted the same map.
-        match self.negatives.lock().unwrap().get(&key) {
+        match self.negatives.shard(&key).get(&key) {
             Some(Negative::Simulation(msg) | Negative::StaticRejection(msg)) => {
                 self.sim_hits.fetch_add(1, Ordering::Relaxed);
                 return Err(CompileError::Simulation(msg.clone()));
@@ -548,20 +633,18 @@ impl CompileSession {
         if let Some(disk) = &self.disk {
             match disk.load_sim(&key) {
                 Some(SimOutcome::Report(report)) => {
-                    self.reports.lock().unwrap().insert(key, report.clone());
+                    self.reports.shard(&key).insert(key, report.clone());
                     return Ok(report);
                 }
                 Some(SimOutcome::Failed(msg)) => {
                     self.negatives
-                        .lock()
-                        .unwrap()
+                        .shard(&key)
                         .insert(key, Negative::Simulation(msg.clone()));
                     return Err(CompileError::Simulation(msg));
                 }
                 Some(SimOutcome::StaticRejection(msg)) => {
                     self.negatives
-                        .lock()
-                        .unwrap()
+                        .shard(&key)
                         .insert(key, Negative::StaticRejection(msg.clone()));
                     return Err(CompileError::Simulation(msg));
                 }
@@ -579,8 +662,7 @@ impl CompileSession {
         if let Some(verdict) = tawa_wsir::deadlock_verdict(&lints) {
             self.static_rejections.fetch_add(1, Ordering::Relaxed);
             self.negatives
-                .lock()
-                .unwrap()
+                .shard(&key)
                 .insert(key, Negative::StaticRejection(verdict.clone()));
             if let Some(disk) = &self.disk {
                 disk.store_static_rejection(&key, &verdict);
@@ -595,14 +677,13 @@ impl CompileSession {
                 if let Some(disk) = &self.disk {
                     disk.store_sim_report(&key, &report);
                 }
-                self.reports.lock().unwrap().insert(key, report.clone());
+                self.reports.shard(&key).insert(key, report.clone());
                 Ok(report)
             }
             Err(e) => {
                 let msg = e.to_string();
                 self.negatives
-                    .lock()
-                    .unwrap()
+                    .shard(&key)
                     .insert(key, Negative::Simulation(msg.clone()));
                 if let Some(disk) = &self.disk {
                     disk.store_sim_failure(&key, &msg);
@@ -1365,6 +1446,78 @@ mod tests {
         }
         // with_workers(0) restores the default cap.
         assert_eq!(serial.with_workers(0).workers(), None);
+    }
+
+    #[test]
+    fn high_worker_batches_match_serial_and_preserve_counters() {
+        // Contention probe for the sharded cache maps: a 16-worker batch
+        // (the TAWA_COMPILE_WORKERS=16 regime) over a sweep-shaped job
+        // list must produce the same kernels and the same counter totals
+        // as a serial session — sharding changes lock granularity, never
+        // semantics.
+        let (m, spec) = gemm(&GemmConfig::new(2048, 2048, 1024)).into_parts();
+        let mut all_opts = Vec::new();
+        for d in 1..=3usize {
+            for p in 1..=3usize {
+                all_opts.push(CompileOptions {
+                    aref_depth: d,
+                    mma_depth: p,
+                    ..CompileOptions::default()
+                });
+            }
+        }
+        let jobs: Vec<CompileJob<'_>> = all_opts
+            .iter()
+            .map(|o| CompileJob {
+                module: &m,
+                spec: &spec,
+                opts: o.clone(),
+            })
+            .collect();
+
+        let serial = CompileSession::in_memory(&dev()).with_workers(1);
+        let wide = CompileSession::in_memory(&dev()).with_workers(16);
+        let a = serial.compile_and_simulate_batch(&jobs);
+        let b = wide.compile_and_simulate_batch(&jobs);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Ok(rx), Ok(ry)) => assert_eq!(rx, ry),
+                (Err(ex), Err(ey)) => assert_eq!(ex.to_string(), ey.to_string()),
+                other => panic!("serial/wide disagree: {other:?}"),
+            }
+        }
+        let sa = serial.cache_stats();
+        let sb = wide.cache_stats();
+        assert_eq!(sa.kernel_misses, sb.kernel_misses);
+        assert_eq!(sa.sim_misses, sb.sim_misses);
+        assert_eq!(sa.kernel_entries, sb.kernel_entries);
+        assert_eq!(sa.report_entries, sb.report_entries);
+        assert_eq!(sa.negative_entries, sb.negative_entries);
+    }
+
+    #[test]
+    fn shards_distribute_sweep_shaped_keys() {
+        // Keys from an autotune sweep share module_fp and vary env_fp;
+        // the shard index must spread them instead of piling them onto
+        // one lock.
+        let sharded: Sharded<u32> = Sharded::new();
+        let module_fp = fnv1a(b"module");
+        for i in 0..64u64 {
+            let key = CacheKey {
+                module_fp,
+                env_fp: fnv1a(format!("opts-{i}").as_bytes()),
+            };
+            sharded.shard(&key).insert(key, i as u32);
+        }
+        assert_eq!(sharded.len(), 64);
+        let occupied = sharded
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(occupied > CACHE_SHARDS / 2, "only {occupied} shards used");
+        sharded.clear();
+        assert_eq!(sharded.len(), 0);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod device;
 pub mod engine;
 pub mod mbarrier;
@@ -75,13 +76,19 @@ pub mod run;
 /// *kernels* are untouched, because the IR and lowering did not change.
 ///
 /// Distinct from [`report_serde::REPORT_FORMAT_VERSION`], which covers
-/// only the serialization syntax.
+/// only the serialization syntax, and from
+/// [`analytic::ANALYTIC_MODEL_VERSION`], which covers only the analytic
+/// ranking model. *How* a simulation executes is also out of scope: the
+/// parallel per-class path ([`run::SimOptions`]) folds engine results in
+/// class order and is bit-identical to the sequential reference, so it
+/// needs no bump here.
 pub const COST_MODEL_VERSION: u32 = 1;
 
+pub use analytic::{estimate, AnalyticEstimate, ANALYTIC_MODEL_VERSION};
 pub use device::Device;
 pub use engine::{EngineCfg, EngineResult, EngineStats};
 pub use mbarrier::Mbarrier;
 pub use report_serde::{
     deserialize_report, serialize_report, ReportSerdeError, REPORT_FORMAT_VERSION,
 };
-pub use run::{simulate, SimError, SimReport};
+pub use run::{simulate, simulate_with, SimError, SimOptions, SimReport};

@@ -11,11 +11,18 @@
 //! (paper §IV-B).
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use tawa_wsir::{validate, Kernel, Lint};
+use tawa_wsir::{validate, CtaClass, Kernel, Lint};
 
 use crate::device::Device;
-use crate::engine::{run_sm, EngineCfg, EngineStats};
+use crate::engine::{run_sm, EngineCfg, EngineResult, EngineStats};
+
+/// Cap on simulation worker threads (same discipline as the compile
+/// pipeline's `DEFAULT_WORKER_CAP`): beyond this, per-SM engine runs are
+/// memory-bandwidth-bound on the host and extra threads only contend.
+const MAX_SIM_WORKERS: usize = 8;
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -115,13 +122,94 @@ fn grid_total(total: u64, multiplicity: u64, occ: u32) -> u64 {
     u64::try_from(scaled).unwrap_or(u64::MAX)
 }
 
-/// Simulates `kernel` on `device`.
+/// Options controlling how a simulation *executes* — never what it
+/// computes. Every option produces reports bit-identical to the
+/// sequential reference path, which is why [`crate::COST_MODEL_VERSION`]
+/// does not mention them.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Simulate independent CTA classes on scoped worker threads. Each
+    /// class's engine run is a pure function of `(kernel, device, class,
+    /// occupancy)`; results are folded in class order with the same
+    /// arithmetic as the sequential loop, so the report is bit-identical
+    /// either way. Defaults to `true`; single-class kernels never spawn.
+    pub parallel_classes: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            parallel_classes: true,
+        }
+    }
+}
+
+/// Runs the per-SM engine for every CTA class on scoped worker threads
+/// and returns the results in class order. Work is handed out via an
+/// atomic cursor (the `compile_batch` discipline); each worker writes its
+/// own slot, so folding downstream observes exactly the sequence the
+/// sequential loop would have produced.
+fn run_classes_parallel(
+    kernel: &Kernel,
+    device: &Device,
+    occ: u32,
+    cfg: &EngineCfg,
+) -> Vec<EngineResult> {
+    let n = kernel.classes.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .min(MAX_SIM_WORKERS);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<EngineResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let class = &kernel.classes[i];
+                let residents: Vec<&CtaClass> = (0..occ).map(|_| class).collect();
+                let result = run_sm(kernel, device, &residents, cfg);
+                *slots[i].lock().expect("slot lock poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Simulates `kernel` on `device` with default [`SimOptions`].
 ///
 /// # Errors
 /// Returns [`SimError::Invalid`] for malformed kernels,
 /// [`SimError::DoesNotFit`] when occupancy is zero, and
 /// [`SimError::Deadlock`] when forward progress stops.
 pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError> {
+    simulate_with(kernel, device, &SimOptions::default())
+}
+
+/// Simulates `kernel` on `device` with explicit execution options.
+///
+/// The report is bit-identical for every option combination (see
+/// [`SimOptions`]); benchmarks use the sequential path as the reference
+/// when measuring parallel speedup.
+///
+/// # Errors
+/// Same contract as [`simulate`].
+pub fn simulate_with(
+    kernel: &Kernel,
+    device: &Device,
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
     validate(kernel).map_err(SimError::Invalid)?;
     let occ = device.occupancy(kernel);
     if occ == 0 {
@@ -154,9 +242,25 @@ pub fn simulate(kernel: &Kernel, device: &Device) -> Result<SimReport, SimError>
     let mut wave_weight: u128 = 0;
     let mut persistent_max: u64 = 0;
 
-    for class in &kernel.classes {
-        let residents: Vec<&tawa_wsir::CtaClass> = (0..occ).map(|_| class).collect();
-        let result = run_sm(kernel, device, &residents, &cfg);
+    // Engine runs are pure per class; execute them (possibly in
+    // parallel), then fold the results in class order with the exact
+    // arithmetic of the historical sequential loop. A deadlock in any
+    // class surfaces as the first one in class order — the same error
+    // the sequential path would have returned.
+    let results: Vec<EngineResult> = if opts.parallel_classes && kernel.classes.len() > 1 {
+        run_classes_parallel(kernel, device, occ, &cfg)
+    } else {
+        kernel
+            .classes
+            .iter()
+            .map(|class| {
+                let residents: Vec<&CtaClass> = (0..occ).map(|_| class).collect();
+                run_sm(kernel, device, &residents, &cfg)
+            })
+            .collect()
+    };
+
+    for (class, result) in kernel.classes.iter().zip(results) {
         if let Some(d) = result.deadlock {
             return Err(SimError::Deadlock(d));
         }
@@ -410,6 +514,111 @@ mod tests {
         assert!((r.tc_utilization - expect_util).abs() < 1e-12);
         // Grid totals still conserve work across both classes.
         assert_eq!(r.tc_flops, (1024 * 256 + 2) * flops_per_iter);
+    }
+
+    #[test]
+    fn parallel_class_simulation_is_bit_identical() {
+        let dev = Device::h100_sxm5();
+        let mut k = Kernel::new("multi-class");
+        k.smem_bytes = 2048;
+        // Several classes with distinct trip counts so the per-class
+        // engine runs genuinely differ.
+        k.classes = (1..=6)
+            .map(|i| tawa_wsir::CtaClass {
+                params: vec![i * 17],
+                multiplicity: 100 * i + 1,
+            })
+            .collect();
+        k.add_warp_group(
+            Role::Consumer,
+            64,
+            vec![Instr::loop_param(
+                0,
+                vec![
+                    Instr::WgmmaIssue {
+                        m: 64,
+                        n: 64,
+                        k: 16,
+                        dtype: MmaDtype::F16,
+                    },
+                    Instr::WgmmaWait { pending: 0 },
+                    Instr::GlobalStore { bytes: 4096 },
+                ],
+            )],
+        );
+        k.useful_flops = 1e12;
+        let seq = simulate_with(
+            &k,
+            &dev,
+            &SimOptions {
+                parallel_classes: false,
+            },
+        )
+        .unwrap();
+        let par = simulate_with(
+            &k,
+            &dev,
+            &SimOptions {
+                parallel_classes: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        // Float fields are bit-identical, not merely approximately equal.
+        assert_eq!(seq.tflops.to_bits(), par.tflops.to_bits());
+        assert_eq!(seq.total_time_us.to_bits(), par.total_time_us.to_bits());
+    }
+
+    #[test]
+    fn parallel_deadlock_matches_sequential_error() {
+        let dev = Device::h100_sxm5();
+        let mut k = Kernel::new("dl-multi");
+        k.smem_bytes = 1024;
+        k.classes = (0..4)
+            .map(|_| tawa_wsir::CtaClass {
+                params: Vec::new(),
+                multiplicity: 1,
+            })
+            .collect();
+        let full = k.add_barrier("full", 1);
+        let empty = k.add_barrier("empty", 1); // no credit: deadlock
+        k.add_warp_group(
+            Role::Producer,
+            24,
+            vec![
+                Instr::MbarWait { bar: empty },
+                Instr::TmaLoad {
+                    bytes: 1024,
+                    bar: full,
+                },
+            ],
+        );
+        k.add_warp_group(
+            Role::Consumer,
+            240,
+            vec![
+                Instr::MbarWait { bar: full },
+                Instr::MbarArrive { bar: empty },
+            ],
+        );
+        let seq = simulate_with(
+            &k,
+            &dev,
+            &SimOptions {
+                parallel_classes: false,
+            },
+        );
+        let par = simulate_with(
+            &k,
+            &dev,
+            &SimOptions {
+                parallel_classes: true,
+            },
+        );
+        match (seq, par) {
+            (Err(SimError::Deadlock(a)), Err(SimError::Deadlock(b))) => assert_eq!(a, b),
+            other => panic!("expected matching deadlocks, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! End-to-end tests of the model-guided autotune sweep and the parallel
+//! per-CTA-class simulation path.
+//!
+//! The acceptance bar: on a cold Fig. 11 sweep the guided strategy must
+//! issue at least 30% fewer simulator runs than the exhaustive reference
+//! while returning the same winning configuration and a bit-identical
+//! best TFLOP/s figure. Simulator runs are measured through the session's
+//! `sim_misses` counter, which counts actual engine invocations (cache
+//! hits and compile-time-infeasible candidates never reach it).
+
+use proptest::prelude::*;
+
+use tawa::core::autotune::{
+    autotune_with_session, autotune_with_session_strategy, SweepStrategy, TuneSpace,
+    DEFAULT_PRUNE_SLACK,
+};
+use tawa::core::CompileOptions;
+use tawa::frontend::config::{AttentionConfig, GemmConfig, Tile};
+use tawa::frontend::kernels::gemm;
+use tawa::ir::types::DType;
+use tawa::kernels::templates::{ws_attention, ws_gemm, AttentionStrategy, GemmStrategy};
+use tawa::sim::{simulate_with, Device, SimOptions};
+use tawa::CompileSession;
+
+fn dev() -> Device {
+    Device::h100_sxm5()
+}
+
+fn fig11_base() -> CompileOptions {
+    CompileOptions {
+        cooperative: 2,
+        ..CompileOptions::default()
+    }
+}
+
+/// The headline acceptance test: a cold model-guided Fig. 11 sweep (the
+/// paper's persistent panel at `K = 16384`) runs the simulator on at
+/// most 70% of the candidates the exhaustive sweep does, and still lands
+/// on the same winner with bit-identical TFLOP/s.
+#[test]
+fn guided_fig11_sweep_prunes_thirty_percent_with_identical_winner() {
+    let device = dev();
+    let cfg = GemmConfig::new(8192, 8192, 16384).with_tile(Tile::LARGE);
+    let (module, spec) = gemm(&cfg).into_parts();
+    let base = fig11_base();
+    let space = TuneSpace::fig11(true);
+
+    let ex_session = CompileSession::in_memory(&device);
+    let exhaustive = autotune_with_session_strategy(
+        &ex_session,
+        &module,
+        &spec,
+        &base,
+        &space,
+        SweepStrategy::Exhaustive,
+    );
+    let ex_sims = ex_session.cache_stats().sim_misses;
+
+    let g_session = CompileSession::in_memory(&device);
+    let guided = autotune_with_session(&g_session, &module, &spec, &base, &space);
+    let g_stats = g_session.cache_stats();
+    let g_sims = g_stats.sim_misses;
+
+    // Same winner, bit-identical throughput.
+    assert_eq!(exhaustive.best, guided.best, "winner index diverged");
+    let (ex_best, g_best) = (
+        exhaustive.best_tflops().expect("fig11 has feasible points"),
+        guided.best_tflops().expect("fig11 has feasible points"),
+    );
+    assert_eq!(
+        ex_best.to_bits(),
+        g_best.to_bits(),
+        "best TFLOP/s must be bit-identical: {ex_best} vs {g_best}"
+    );
+
+    // >= 30% fewer simulator runs on the cold sweep.
+    assert!(ex_sims > 0, "exhaustive sweep must simulate something");
+    assert!(
+        g_sims as f64 <= 0.7 * ex_sims as f64,
+        "guided sweep ran {g_sims} simulations vs exhaustive {ex_sims}; \
+         needed at least a 30% reduction"
+    );
+
+    // The sweep's own accounting agrees with the session counter.
+    assert!(guided.stats.analytic_pruned > 0, "{:?}", guided.stats);
+    assert_eq!(
+        g_stats.analytic_pruned, guided.stats.analytic_pruned as u64,
+        "session counter must mirror the sweep stats"
+    );
+    assert_eq!(
+        guided.stats.simulate_calls + guided.stats.analytic_pruned + guided.stats.infeasible,
+        guided.stats.candidates,
+        "every candidate is simulated, pruned, or infeasible: {:?}",
+        guided.stats
+    );
+    // Pruned points are marked as such and carry no throughput, but they
+    // all carry the analytic score that condemned them.
+    for p in guided.points.iter().filter(|p| p.pruned) {
+        assert_eq!(p.tflops, None);
+        assert!(p.analytic_tflops.is_some());
+    }
+}
+
+/// The full default tune space (D × P × coop × persistence, 36 points)
+/// behaves the same: identical winner, bit-identical best, real pruning.
+#[test]
+fn guided_full_space_matches_exhaustive() {
+    let device = dev();
+    let cfg = GemmConfig::new(4096, 4096, 4096).with_tile(Tile::LARGE);
+    let (module, spec) = gemm(&cfg).into_parts();
+    let base = fig11_base();
+    let space = TuneSpace::default();
+
+    let ex_session = CompileSession::in_memory(&device);
+    let exhaustive = autotune_with_session_strategy(
+        &ex_session,
+        &module,
+        &spec,
+        &base,
+        &space,
+        SweepStrategy::Exhaustive,
+    );
+    let g_session = CompileSession::in_memory(&device);
+    let guided = autotune_with_session(&g_session, &module, &spec, &base, &space);
+
+    assert_eq!(exhaustive.best, guided.best);
+    assert_eq!(
+        exhaustive.best_tflops().unwrap().to_bits(),
+        guided.best_tflops().unwrap().to_bits()
+    );
+    assert!(guided.stats.analytic_pruned > 0);
+    assert!(
+        g_session.cache_stats().sim_misses < ex_session.cache_stats().sim_misses,
+        "guided must simulate strictly less than exhaustive"
+    );
+}
+
+/// A sweep-order walk over the zoo's GEMM strategy grid: every feasible
+/// template kernel simulates bit-identically on the parallel per-class
+/// path and the sequential reference.
+#[test]
+fn zoo_gemm_grid_parallel_sim_is_bit_identical() {
+    let device = dev();
+    let cfg = GemmConfig::new(4096, 4096, 4096);
+    let mut checked = 0;
+    for persistent in [false, true] {
+        for d in 1..=3usize {
+            for p in 1..=d {
+                let strat = GemmStrategy {
+                    coop: 2,
+                    d,
+                    p,
+                    persistent,
+                    launch_ns: 900,
+                    iter_bubble: 0.0,
+                };
+                let Ok(kernel) = ws_gemm(&cfg, &strat, &device) else {
+                    continue;
+                };
+                let seq = simulate_with(
+                    &kernel,
+                    &device,
+                    &SimOptions {
+                        parallel_classes: false,
+                    },
+                );
+                let par = simulate_with(
+                    &kernel,
+                    &device,
+                    &SimOptions {
+                        parallel_classes: true,
+                    },
+                );
+                match (seq, par) {
+                    (Ok(s), Ok(pr)) => {
+                        assert_eq!(s, pr, "D={d} P={p} persistent={persistent}");
+                        assert_eq!(s.tflops.to_bits(), pr.tflops.to_bits());
+                        checked += 1;
+                    }
+                    (Err(se), Err(pe)) => {
+                        assert_eq!(format!("{se:?}"), format!("{pe:?}"));
+                    }
+                    (s, pr) => panic!("paths diverged: {s:?} vs {pr:?}"),
+                }
+            }
+        }
+    }
+    assert!(checked >= 6, "only {checked} zoo kernels simulated");
+}
+
+/// Strategy over attention shapes and schedules (the multi-class corner
+/// of the zoo: causal attention lowers to several CTA classes, which is
+/// exactly what the parallel path shards across threads).
+fn attention_cases() -> impl Strategy<Value = (AttentionConfig, AttentionStrategy)> {
+    (
+        prop_oneof![Just(1024usize), Just(2048), Just(4096)],
+        prop_oneof![Just(false), Just(true)],
+        1usize..4,
+        1usize..3,
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(|(seq, causal, d, coop, overlap)| {
+            (
+                AttentionConfig::paper(seq, causal, DType::F16),
+                AttentionStrategy {
+                    coop,
+                    d,
+                    overlap,
+                    softmax_exposure: 1.0,
+                    launch_ns: 900,
+                    iter_bubble: 0.0,
+                },
+            )
+        })
+}
+
+/// Strategy over DSL-built GEMM programs (random shape × lowering
+/// options), compiled through the full frontend → WSIR pipeline.
+fn dsl_gemm_cases() -> impl Strategy<Value = (GemmConfig, CompileOptions)> {
+    (
+        prop_oneof![Just(1024usize), Just(2048), Just(4096)],
+        prop_oneof![Just(1024usize), Just(2048)],
+        prop_oneof![Just(512usize), Just(2048), Just(8192)],
+        1usize..4,
+        1usize..4,
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(|(m, n, k, d, p, persistent)| {
+            (
+                GemmConfig::new(m, n, k),
+                CompileOptions {
+                    aref_depth: d,
+                    mma_depth: p.min(d),
+                    persistent,
+                    ..CompileOptions::default()
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel per-class simulation is `SimReport`-equal to the
+    /// sequential reference over random zoo attention kernels.
+    #[test]
+    fn parallel_sim_matches_sequential_on_zoo_attention(
+        (cfg, strat) in attention_cases(),
+    ) {
+        let device = dev();
+        let Ok(kernel) = ws_attention(&cfg, &strat, &device) else {
+            return Ok(());
+        };
+        let seq = simulate_with(&kernel, &device, &SimOptions { parallel_classes: false });
+        let par = simulate_with(&kernel, &device, &SimOptions { parallel_classes: true });
+        match (seq, par) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(&s, &p);
+                prop_assert_eq!(s.tflops.to_bits(), p.tflops.to_bits());
+            }
+            (Err(se), Err(pe)) => prop_assert_eq!(format!("{se:?}"), format!("{pe:?}")),
+            (s, p) => return Err(format!("paths diverged: {s:?} vs {p:?}")),
+        }
+    }
+
+    /// Same property over random DSL-built GEMM programs run through the
+    /// real compile pipeline (cleanup, lowering, placement).
+    #[test]
+    fn parallel_sim_matches_sequential_on_dsl_programs(
+        (cfg, opts) in dsl_gemm_cases(),
+    ) {
+        let device = dev();
+        let session = CompileSession::in_memory(&device);
+        let (module, spec) = gemm(&cfg).into_parts();
+        let Ok(kernel) = session.compile(&module, &spec, &opts) else {
+            return Ok(()); // infeasible shapes are out of scope here
+        };
+        let seq = simulate_with(&kernel, &device, &SimOptions { parallel_classes: false });
+        let par = simulate_with(&kernel, &device, &SimOptions { parallel_classes: true });
+        match (seq, par) {
+            (Ok(s), Ok(p)) => prop_assert_eq!(&s, &p),
+            (Err(se), Err(pe)) => prop_assert_eq!(format!("{se:?}"), format!("{pe:?}")),
+            (s, p) => return Err(format!("paths diverged: {s:?} vs {p:?}")),
+        }
+    }
+
+    /// The guided sweep with the default slack returns the same winner
+    /// and bit-identical best TFLOP/s as exhaustive, over random shapes.
+    #[test]
+    fn guided_sweep_winner_matches_exhaustive(
+        (m, n, k) in (
+            prop_oneof![Just(2048usize), Just(4096)],
+            prop_oneof![Just(2048usize), Just(4096)],
+            prop_oneof![Just(2048usize), Just(4096), Just(8192)],
+        ),
+    ) {
+        let device = dev();
+        let cfg = GemmConfig::new(m, n, k);
+        let (module, spec) = gemm(&cfg).into_parts();
+        let base = CompileOptions::default();
+        let space = TuneSpace::fig11(false);
+
+        let ex = autotune_with_session_strategy(
+            &CompileSession::in_memory(&device), &module, &spec, &base, &space,
+            SweepStrategy::Exhaustive,
+        );
+        let guided = autotune_with_session_strategy(
+            &CompileSession::in_memory(&device), &module, &spec, &base, &space,
+            SweepStrategy::ModelGuided { slack: DEFAULT_PRUNE_SLACK },
+        );
+        prop_assert_eq!(ex.best, guided.best);
+        match (ex.best_tflops(), guided.best_tflops()) {
+            (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+            (None, None) => {}
+            (a, b) => return Err(format!("best diverged: {a:?} vs {b:?}")),
+        }
+    }
+}

@@ -205,6 +205,8 @@ tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
 
 /// Runtime configuration for a `proptest!` block.
 #[derive(Debug, Clone)]
