@@ -1,0 +1,160 @@
+//! Criterion wrapper for the serving-harness hot paths:
+//!
+//! - a cold replay of a quick mixed trace (autotune sweeps + simulator),
+//! - a warm replay of the same trace on an already-populated session
+//!   (the steady-state serving regime: memo + in-memory cache hits only),
+//! - trace generation + serde round-trip (the artifact path).
+//!
+//! After the criterion groups run, a report section re-measures the same
+//! scenarios with a plain median-of-N timer and writes the results to
+//! `BENCH_serve.json` at the repository root (override the path with
+//! `TAWA_BENCH_OUT`). The report asserts the steady-state invariants
+//! instead of wall-clock floors: a warm replay performs zero compiles and
+//! zero simulate calls, and is faster than the cold one.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, Criterion};
+use gpu_sim::Device;
+use tawa_core::CompileSession;
+use tawa_serve::{deserialize_trace, generate, replay_trace, serialize_trace, Trace, TraceParams};
+
+fn bench_trace() -> Trace {
+    generate(&TraceParams::quick("bench-mix", 2026, 24))
+}
+
+/// One cold replay: fresh in-memory session, every shape autotuned.
+fn cold_replay(device: &Device, trace: &Trace) {
+    let session = CompileSession::in_memory(device);
+    black_box(replay_trace(&session, trace).expect("cold replay"));
+}
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let trace = bench_trace();
+
+    // A pre-warmed session for the steady-state scenario; the Replay
+    // value is recreated per iteration so the per-replay memo is rebuilt
+    // (only the session caches carry over — the serving-restart shape).
+    let warm_session = CompileSession::in_memory(&device);
+    replay_trace(&warm_session, &trace).expect("warm-up replay");
+
+    let mut g = c.benchmark_group("serve");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("replay_cold_24req", |b| {
+        b.iter(|| cold_replay(&device, &trace))
+    });
+    g.bench_function("replay_warm_24req", |b| {
+        b.iter(|| black_box(replay_trace(&warm_session, &trace).expect("warm replay")))
+    });
+    g.bench_function("trace_gen_serde_roundtrip", |b| {
+        b.iter(|| {
+            let t = generate(&TraceParams::quick("bench-serde", 7, 64));
+            let text = serialize_trace(&t);
+            black_box(deserialize_trace(&text).expect("round trip"));
+        })
+    });
+    g.finish();
+}
+
+/// Median wall-clock of `runs` calls to `f`, after one warm-up call.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn emit_report() {
+    let device = Device::h100_sxm5();
+    let trace = bench_trace();
+    let requests = trace.requests.len();
+
+    let cold_ms = median_ms(3, || cold_replay(&device, &trace));
+
+    let warm_session = CompileSession::in_memory(&device);
+    replay_trace(&warm_session, &trace).expect("warm-up replay");
+    let baseline = warm_session.cache_stats();
+    let mut warm_report = None;
+    let warm_ms = median_ms(5, || {
+        warm_report = Some(replay_trace(&warm_session, &trace).expect("warm replay"));
+    });
+    let warm_report = warm_report.expect("at least one warm replay ran");
+    let delta = warm_session.cache_stats().delta(&baseline);
+
+    let serde_ms = median_ms(5, || {
+        let t = generate(&TraceParams::quick("bench-serde", 7, 64));
+        let text = serialize_trace(&t);
+        black_box(deserialize_trace(&text).expect("round trip"));
+    });
+
+    // Per-request warm latency: the number a serving frontend budgets.
+    let warm_us_per_req = warm_ms * 1e3 / requests as f64;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"replay\": {{");
+    let _ = writeln!(json, "    \"cold_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "    \"warm_ms\": {warm_ms:.3},");
+    let _ = writeln!(json, "    \"warm_us_per_request\": {warm_us_per_req:.3},");
+    let _ = writeln!(json, "    \"speedup\": {:.3},", cold_ms / warm_ms);
+    let _ = writeln!(
+        json,
+        "    \"warm_compiles\": {},",
+        warm_report.accounting.compiles
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_simulate_calls\": {}",
+        warm_report.accounting.simulate_calls
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"trace_serde\": {{");
+    let _ = writeln!(json, "    \"gen_roundtrip_64req_ms\": {serde_ms:.3}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let out = std::env::var("TAWA_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    print!("{json}");
+    println!("wrote {out}");
+
+    // Steady-state invariants, not wall-clock floors: the warm path must
+    // be pure cache traffic.
+    assert_eq!(
+        warm_report.accounting.compiles, 0,
+        "warm replay must not compile: {:?}",
+        warm_report.accounting
+    );
+    assert_eq!(
+        warm_report.accounting.simulate_calls, 0,
+        "warm replay must not simulate: {:?}",
+        warm_report.accounting
+    );
+    assert_eq!(
+        delta.kernel_misses, 0,
+        "timed warm replays compiled: {delta:?}"
+    );
+    assert!(
+        warm_ms < cold_ms,
+        "warm replay must beat cold ({warm_ms:.2} ms vs {cold_ms:.2} ms)"
+    );
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    let _args: Vec<String> = std::env::args().collect();
+    benches();
+    emit_report();
+}

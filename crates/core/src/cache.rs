@@ -229,6 +229,33 @@ pub struct DiskCacheStats {
     pub bytes: u64,
 }
 
+impl DiskCacheStats {
+    /// Counter movement since `baseline` (see
+    /// [`crate::CacheStats::delta`]): monotone counters are subtracted
+    /// saturating; the point-in-time gauges (`entries`, `bytes`) are
+    /// reported as-is from `self`.
+    #[must_use]
+    pub fn delta(&self, baseline: &DiskCacheStats) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            negative_hits: self.negative_hits.saturating_sub(baseline.negative_hits),
+            sim_hits: self.sim_hits.saturating_sub(baseline.sim_hits),
+            sim_negative_hits: self
+                .sim_negative_hits
+                .saturating_sub(baseline.sim_negative_hits),
+            static_rejections: self
+                .static_rejections
+                .saturating_sub(baseline.static_rejections),
+            writes: self.writes.saturating_sub(baseline.writes),
+            invalidations: self.invalidations.saturating_sub(baseline.invalidations),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            entries: self.entries,
+            bytes: self.bytes,
+        }
+    }
+}
+
 /// Accumulated autotune-sweep accounting from a cache directory's sweep
 /// log (see [`DiskCache::record_sweep`]): how much work model-guided
 /// pruning saved across every session that swept against this directory.
@@ -535,7 +562,16 @@ impl DiskCache {
         let Ok(text) = fs::read_to_string(self.root.join(SWEEP_LOG)) else {
             return totals;
         };
-        for line in text.lines() {
+        // Only newline-terminated lines count: a concurrent writer's
+        // in-flight append can be torn at any byte, and a tear landing
+        // mid-number (`sims=91` read as `sims=9`) would otherwise parse
+        // "successfully" with a wrong count. The dropped tail is re-read
+        // complete once the writer's append lands.
+        let complete = match text.rfind('\n') {
+            Some(i) => &text[..=i],
+            None => "",
+        };
+        for line in complete.lines() {
             let Some(rest) = line.strip_prefix("sweep pruned=") else {
                 continue;
             };
@@ -891,6 +927,75 @@ mod tests {
             .open(cache.root().join(SWEEP_LOG))
             .map(|mut f| std::io::Write::write_all(&mut f, b"garbage\nsweep pruned=1 si"));
         assert_eq!(cache.sweep_totals().sweeps, 2);
+    }
+
+    #[test]
+    fn sweep_totals_skips_torn_and_partial_lines() {
+        // A concurrent writer can leave the log's last line torn at any
+        // byte boundary, and interleaved writers can leave partial or
+        // malformed fields mid-file. Every such line must be skipped —
+        // never an error, never a miscount of the well-formed lines.
+        let cache = DiskCache::open(tmp_dir("sweeplog-torn")).unwrap();
+        let log = cache.root().join(SWEEP_LOG);
+
+        // A full line torn at every possible prefix length: only the
+        // complete line counts.
+        let full = "sweep pruned=3 sims=9\n";
+        for cut in 0..full.len() {
+            fs::write(&log, format!("{full}{}", &full[..cut])).unwrap();
+            let totals = cache.sweep_totals();
+            assert_eq!(totals.sweeps, 1, "cut at byte {cut}");
+            assert_eq!(totals.analytic_pruned, 3, "cut at byte {cut}");
+            assert_eq!(totals.simulate_calls, 9, "cut at byte {cut}");
+        }
+
+        // Partial/malformed fields anywhere in the file are skipped too:
+        // missing value, missing ` sims=` separator, non-numeric and
+        // overflowing numbers, trailing junk after the count, blank and
+        // foreign lines.
+        fs::write(
+            &log,
+            "sweep pruned=\n\
+             sweep pruned=1\n\
+             sweep pruned=1 sims=\n\
+             sweep pruned=one sims=2\n\
+             sweep pruned=1 sims=two\n\
+             sweep pruned=99999999999999999999999999 sims=1\n\
+             sweep pruned=1 sims=2 extra\n\
+             \n\
+             not a sweep line\n\
+             sweep pruned=5 sims=7\n",
+        )
+        .unwrap();
+        let totals = cache.sweep_totals();
+        assert_eq!(totals.sweeps, 1, "only the final well-formed line counts");
+        assert_eq!(totals.analytic_pruned, 5);
+        assert_eq!(totals.simulate_calls, 7);
+
+        // A log that is nothing but a torn line reads as all-zero.
+        fs::write(&log, "sweep pruned=4 si").unwrap();
+        assert_eq!(cache.sweep_totals(), SweepTotals::default());
+    }
+
+    #[test]
+    fn stats_delta_subtracts_counters_and_keeps_gauges() {
+        let cache = DiskCache::open(tmp_dir("stats-delta")).unwrap();
+        let k = sample_kernel(3);
+        cache.store(&key(1, 1), &k);
+        assert!(cache.load(&key(1, 1)).is_some());
+        let baseline = cache.stats();
+        assert!(cache.load(&key(1, 1)).is_some());
+        assert!(cache.load(&key(1, 2)).is_none());
+        let delta = cache.stats().delta(&baseline);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.writes, 0, "no writes since the baseline");
+        // Gauges are point-in-time, not subtracted.
+        assert_eq!(delta.entries, 1);
+        assert!(delta.bytes > 0);
+        // A stale (later) baseline saturates to zero instead of wrapping.
+        let stale = cache.stats();
+        assert_eq!(baseline.delta(&stale).hits, 0);
     }
 
     #[test]

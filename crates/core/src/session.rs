@@ -235,6 +235,34 @@ impl CacheStats {
     pub fn misses(&self) -> u64 {
         self.kernel_misses + self.sim_misses
     }
+
+    /// Counter movement since `baseline` (an earlier
+    /// [`CompileSession::cache_stats`] snapshot of the same session):
+    /// every field is subtracted saturating, so a caller bracketing a
+    /// unit of work gets the cache outcomes attributable to exactly that
+    /// work — the per-request breadcrumbs `tawa_serve`'s replay
+    /// aggregates into fleet accounting. The `*_entries` gauges (point-in-
+    /// time sizes, not monotone counters) are reported as-is from `self`.
+    #[must_use]
+    pub fn delta(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            kernel_hits: self.kernel_hits.saturating_sub(baseline.kernel_hits),
+            kernel_misses: self.kernel_misses.saturating_sub(baseline.kernel_misses),
+            sim_hits: self.sim_hits.saturating_sub(baseline.sim_hits),
+            sim_misses: self.sim_misses.saturating_sub(baseline.sim_misses),
+            kernel_entries: self.kernel_entries,
+            module_entries: self.module_entries,
+            report_entries: self.report_entries,
+            negative_entries: self.negative_entries,
+            static_rejections: self
+                .static_rejections
+                .saturating_sub(baseline.static_rejections),
+            analytic_pruned: self
+                .analytic_pruned
+                .saturating_sub(baseline.analytic_pruned),
+            disk: self.disk.delta(&baseline.disk),
+        }
+    }
 }
 
 /// One verdict in the in-memory negative tier: the configuration is

@@ -1,0 +1,158 @@
+//! `tawa-serve`: generate serving traces, replay them, and render fleet
+//! reports.
+//!
+//! ```text
+//! tawa-serve gen <out.trace> [--name NAME] [--seed N] [--requests N] [--quick]
+//! tawa-serve run <trace> [--out <fleet.txt>] [--json <fleet.json>]
+//! tawa-serve report <fleet.txt>
+//! ```
+//!
+//! `run` builds its session with [`CompileSession::new`], so setting
+//! `TAWA_DISK_CACHE=<dir>` makes replays persistent: the first run
+//! populates the cache, repeat runs compile and simulate nothing.
+//! `report` re-renders a saved fleet report as JSON on stdout (what the
+//! CI serve-smoke step asserts against).
+
+use std::process::ExitCode;
+
+use gpu_sim::Device;
+use tawa_core::CompileSession;
+use tawa_serve::{
+    deserialize_fleet_report, deserialize_trace, generate, replay_trace, serialize_fleet_report,
+    serialize_trace, TraceParams,
+};
+
+const USAGE: &str = "usage:
+  tawa-serve gen <out.trace> [--name NAME] [--seed N] [--requests N] [--quick]
+  tawa-serve run <trace> [--out <fleet.txt>] [--json <fleet.json>]
+  tawa-serve report <fleet.txt>
+
+`run` honors TAWA_DISK_CACHE: point it at a directory to make replays
+persistent across restarts (a warm rerun performs zero compiles and zero
+simulate calls).";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("tawa-serve: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Pulls the value of `--flag` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_u64(text: &str, what: &str) -> Result<u64, String> {
+    text.parse::<u64>()
+        .map_err(|_| format!("bad {what} '{text}'"))
+}
+
+fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
+    let quick = take_switch(&mut args, "--quick");
+    let name = take_flag(&mut args, "--name")?;
+    let seed = match take_flag(&mut args, "--seed")? {
+        Some(s) => parse_u64(&s, "seed")?,
+        None => 7,
+    };
+    let requests = match take_flag(&mut args, "--requests")? {
+        Some(s) => parse_u64(&s, "request count")? as usize,
+        None => 64,
+    };
+    let [out] = &args[..] else {
+        return Err("gen takes exactly one output path".to_string());
+    };
+    let params = if quick {
+        TraceParams::quick(
+            name.unwrap_or_else(|| "quick-mix".to_string()),
+            seed,
+            requests,
+        )
+    } else {
+        TraceParams::llama_mix(
+            name.unwrap_or_else(|| "llama-mix".to_string()),
+            seed,
+            requests,
+        )
+    };
+    let trace = generate(&params);
+    std::fs::write(out, serialize_trace(&trace)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} ({} requests, seed {})",
+        out,
+        trace.requests.len(),
+        trace.seed
+    );
+    Ok(())
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?;
+    let json = take_flag(&mut args, "--json")?;
+    let [path] = &args[..] else {
+        return Err("run takes exactly one trace path".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = deserialize_trace(&text).map_err(|e| e.to_string())?;
+    let session = CompileSession::new(&Device::h100_sxm5());
+    let report = replay_trace(&session, &trace).map_err(|e| e.to_string())?;
+    if let Some(out) = out {
+        std::fs::write(&out, serialize_fleet_report(&report))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    if let Some(json_path) = json {
+        std::fs::write(&json_path, report.to_json())
+            .map_err(|e| format!("writing {json_path}: {e}"))?;
+    }
+    print!("{}", report.summary());
+    Ok(())
+}
+
+fn cmd_report(args: Vec<String>) -> Result<(), String> {
+    let [path] = &args[..] else {
+        return Err("report takes exactly one fleet-report path".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report = deserialize_fleet_report(&text).map_err(|e| e.to_string())?;
+    print!("{}", report.to_json());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(args),
+        "run" => cmd_run(args),
+        "report" => cmd_report(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(msg),
+    }
+}

@@ -1,0 +1,651 @@
+//! Fleet-level replay reports: per-phase latency/throughput aggregates
+//! plus cache-outcome accounting, with a versioned text serialization
+//! and a JSON rendering for CI.
+//!
+//! A [`FleetReport`] has two sections with different determinism
+//! strength (see the [`crate::replay`] module docs):
+//!
+//! - **`phases`** — workload aggregates (latency percentiles,
+//!   TFLOP/s-weighted throughput). A pure function of the trace and the
+//!   device: bit-identical across *any* two replays of equal traces,
+//!   cold or warm.
+//! - **`accounting`** — what the replay cost the session (compiles,
+//!   simulate calls, per-tier cache hits). Identical between two equally
+//!   warm replays; a cold and a warm replay differ here and only here.
+//!
+//! ## Format
+//!
+//! Same lexical conventions as the trace format ([`crate::trace`]):
+//! header `fleet-report <version>`, then one `fleet` metadata line, one
+//! `phase` line per phase that saw traffic (in [`Phase::ALL`] order),
+//! and one `accounting` line. Floats travel as IEEE-754 bit patterns so
+//! "bit-identical report" is checkable with `diff`.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use tawa_core::CacheStats;
+use tawa_wsir::serialize::{f64_bits_text, quote, tokenize, unquote, Fields};
+use tawa_wsir::SerializeError;
+
+use crate::replay::RequestOutcome;
+use crate::trace::Phase;
+
+/// Current version of the fleet-report serialization format.
+pub const FLEET_REPORT_FORMAT_VERSION: u32 = 1;
+
+/// Error produced when deserializing a fleet-report document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The header names a format version this reader does not speak.
+    VersionMismatch {
+        /// Version found in the document header.
+        found: u32,
+        /// Version this reader implements
+        /// ([`FLEET_REPORT_FORMAT_VERSION`]).
+        expected: u32,
+    },
+    /// The document is structurally invalid.
+    Malformed {
+        /// 1-based line number the parser stopped at (0 = end of input).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::VersionMismatch { found, expected } => write!(
+                f,
+                "fleet-report format version mismatch: document is v{found}, reader speaks \
+                 v{expected}"
+            ),
+            ReportError::Malformed { line, msg } => {
+                write!(f, "malformed fleet-report document at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<SerializeError> for ReportError {
+    fn from(e: SerializeError) -> ReportError {
+        match e {
+            SerializeError::Malformed { line, msg } => ReportError::Malformed { line, msg },
+            SerializeError::VersionMismatch { found, expected } => ReportError::Malformed {
+                line: 0,
+                msg: format!("unexpected embedded version header (v{found} vs v{expected})"),
+            },
+        }
+    }
+}
+
+fn malformed(line: usize, msg: impl Into<String>) -> ReportError {
+    ReportError::Malformed {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Latency/throughput aggregates of one serving phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// The phase the aggregates cover.
+    pub phase: Phase,
+    /// Requests replayed in this phase.
+    pub requests: u64,
+    /// Median simulated end-to-end latency, microseconds (nearest-rank).
+    pub p50_us: f64,
+    /// 95th-percentile simulated latency, microseconds (nearest-rank).
+    pub p95_us: f64,
+    /// 99th-percentile simulated latency, microseconds (nearest-rank).
+    pub p99_us: f64,
+    /// Useful FLOPs summed over the phase's requests.
+    pub total_flops: f64,
+    /// Simulated time summed over the phase's requests, microseconds.
+    pub total_time_us: f64,
+    /// FLOP-weighted phase throughput in TFLOP/s:
+    /// `total_flops / total_time` — the aggregate a fleet would observe
+    /// serving this phase back-to-back, not a mean of per-request rates.
+    pub tflops: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl PhaseStats {
+    /// Aggregates request outcomes into per-phase stats, in
+    /// [`Phase::ALL`] order, skipping phases with no traffic. Sums run in
+    /// arrival order on one thread, so equal outcome sequences produce
+    /// bit-identical aggregates.
+    pub fn aggregate(outcomes: &[RequestOutcome]) -> Vec<PhaseStats> {
+        Phase::ALL
+            .into_iter()
+            .filter_map(|phase| {
+                let mut latencies = Vec::new();
+                let (mut flops, mut time_us) = (0.0_f64, 0.0_f64);
+                for o in outcomes.iter().filter(|o| o.phase == phase) {
+                    latencies.push(o.latency_us);
+                    flops += o.flops;
+                    time_us += o.latency_us;
+                }
+                if latencies.is_empty() {
+                    return None;
+                }
+                let requests = latencies.len() as u64;
+                latencies.sort_by(f64::total_cmp);
+                Some(PhaseStats {
+                    phase,
+                    requests,
+                    p50_us: percentile(&latencies, 0.50),
+                    p95_us: percentile(&latencies, 0.95),
+                    p99_us: percentile(&latencies, 0.99),
+                    total_flops: flops,
+                    total_time_us: time_us,
+                    tflops: flops / (time_us * 1e-6) / 1e12,
+                })
+            })
+            .collect()
+    }
+}
+
+/// What the replay cost the session: compiles, simulator runs and cache
+/// tier hits, summed from the session's [`CacheStats::delta`] across the
+/// replay. All-zero `compiles` and `simulate_calls` is the warm-replay
+/// signature the e2e tests and the CI serve-smoke step assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAccounting {
+    /// Cold kernel compiles (in-memory *and* disk missed).
+    pub compiles: u64,
+    /// Simulator runs issued.
+    pub simulate_calls: u64,
+    /// Compiles per thousand requests.
+    pub compiles_per_1k: f64,
+    /// Simulator runs per thousand requests.
+    pub simulate_calls_per_1k: f64,
+    /// In-memory kernel-cache hits.
+    pub kernel_hits: u64,
+    /// In-memory simulation-report hits.
+    pub sim_hits: u64,
+    /// Kernels served from the disk tier.
+    pub disk_kernel_hits: u64,
+    /// Infeasibility verdicts served from the disk tier.
+    pub disk_negative_hits: u64,
+    /// Simulation reports served from the disk tier.
+    pub disk_sim_hits: u64,
+    /// Simulation-failure verdicts served from the disk tier.
+    pub disk_sim_negative_hits: u64,
+    /// Static-analysis rejection verdicts served from the disk tier.
+    pub disk_static_rejections: u64,
+    /// Autotune candidates pruned by the analytic model (simulator runs
+    /// avoided).
+    pub analytic_pruned: u64,
+    /// Kernels rejected by the static barrier-protocol analyzer.
+    pub static_rejections: u64,
+}
+
+impl FleetAccounting {
+    /// Builds the accounting section from a replay-wide cache-stats delta
+    /// over `requests` requests.
+    pub fn from_stats(requests: u64, delta: &CacheStats) -> FleetAccounting {
+        let per_1k = |n: u64| {
+            if requests == 0 {
+                0.0
+            } else {
+                n as f64 * 1000.0 / requests as f64
+            }
+        };
+        FleetAccounting {
+            compiles: delta.kernel_misses,
+            simulate_calls: delta.sim_misses,
+            compiles_per_1k: per_1k(delta.kernel_misses),
+            simulate_calls_per_1k: per_1k(delta.sim_misses),
+            kernel_hits: delta.kernel_hits,
+            sim_hits: delta.sim_hits,
+            disk_kernel_hits: delta.disk.hits,
+            disk_negative_hits: delta.disk.negative_hits,
+            disk_sim_hits: delta.disk.sim_hits,
+            disk_sim_negative_hits: delta.disk.sim_negative_hits,
+            disk_static_rejections: delta.disk.static_rejections,
+            analytic_pruned: delta.analytic_pruned,
+            static_rejections: delta.static_rejections,
+        }
+    }
+}
+
+/// The replay result: workload aggregates per phase plus session
+/// accounting. See the module docs for which parts are bit-identical
+/// when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Name of the replayed trace.
+    pub name: String,
+    /// Seed of the replayed trace (provenance).
+    pub seed: u64,
+    /// Total requests replayed.
+    pub requests: u64,
+    /// Per-phase aggregates, [`Phase::ALL`] order, traffic-bearing
+    /// phases only.
+    pub phases: Vec<PhaseStats>,
+    /// What the replay cost the session.
+    pub accounting: FleetAccounting,
+}
+
+impl FleetReport {
+    /// Whether the *workload aggregates* of two reports agree bit-for-bit
+    /// — the comparison that must hold between a cold and a warm replay
+    /// of the same trace, whose accounting legitimately differs.
+    pub fn same_workload(&self, other: &FleetReport) -> bool {
+        self.name == other.name
+            && self.seed == other.seed
+            && self.requests == other.requests
+            && self.phases == other.phases
+    }
+
+    /// Renders the report as a JSON document (hand-rolled: the workspace
+    /// carries no serde). Non-finite floats are clamped to `null` —
+    /// JSON has no NaN/Inf — so the *bit-exact* interchange form is
+    /// [`serialize_fleet_report`], not this.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": \"{}\",", esc(&self.name));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        out.push_str("  \"phases\": {\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"requests\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+                 \"p99_us\": {}, \"total_flops\": {}, \"total_time_us\": {}, \"tflops\": {}}}",
+                p.phase,
+                p.requests,
+                num(p.p50_us),
+                num(p.p95_us),
+                num(p.p99_us),
+                num(p.total_flops),
+                num(p.total_time_us),
+                num(p.tflops),
+            );
+            out.push_str(if i + 1 < self.phases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  },\n");
+        let a = &self.accounting;
+        let _ = writeln!(
+            out,
+            "  \"accounting\": {{\"compiles\": {}, \"simulate_calls\": {}, \
+             \"compiles_per_1k\": {}, \"simulate_calls_per_1k\": {}, \"kernel_hits\": {}, \
+             \"sim_hits\": {}, \"disk_kernel_hits\": {}, \"disk_negative_hits\": {}, \
+             \"disk_sim_hits\": {}, \"disk_sim_negative_hits\": {}, \
+             \"disk_static_rejections\": {}, \"analytic_pruned\": {}, \
+             \"static_rejections\": {}}}",
+            a.compiles,
+            a.simulate_calls,
+            num(a.compiles_per_1k),
+            num(a.simulate_calls_per_1k),
+            a.kernel_hits,
+            a.sim_hits,
+            a.disk_kernel_hits,
+            a.disk_negative_hits,
+            a.disk_sim_hits,
+            a.disk_sim_negative_hits,
+            a.disk_static_rejections,
+            a.analytic_pruned,
+            a.static_rejections,
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// A short human-readable summary (what `tawa-serve run` prints).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet report: trace \"{}\" (seed {}), {} requests",
+            self.name, self.seed, self.requests
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>5} req  p50 {:>10.2} us  p95 {:>10.2} us  p99 {:>10.2} us  \
+                 {:>8.1} TFLOP/s",
+                p.phase.name(),
+                p.requests,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us,
+                p.tflops
+            );
+        }
+        let a = &self.accounting;
+        let _ = writeln!(
+            out,
+            "  compiles {} ({:.1}/1k req)  simulate calls {} ({:.1}/1k req)",
+            a.compiles, a.compiles_per_1k, a.simulate_calls, a.simulate_calls_per_1k
+        );
+        let _ = writeln!(
+            out,
+            "  hits: kernel {} + sim {} in memory, kernel {} + sim {} + negative {} on disk",
+            a.kernel_hits,
+            a.sim_hits,
+            a.disk_kernel_hits,
+            a.disk_sim_hits,
+            a.disk_negative_hits + a.disk_sim_negative_hits,
+        );
+        out
+    }
+}
+
+/// Serializes a fleet report to the versioned text format (see module
+/// docs). Bit-exact: floats travel as IEEE-754 bit patterns.
+pub fn serialize_fleet_report(r: &FleetReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fleet-report {FLEET_REPORT_FORMAT_VERSION}");
+    let _ = writeln!(
+        out,
+        "fleet {} seed={} requests={}",
+        quote(&r.name),
+        r.seed,
+        r.requests
+    );
+    for p in &r.phases {
+        let _ = writeln!(
+            out,
+            "phase {} requests={} p50_us={} p95_us={} p99_us={} total_flops={} total_time_us={} \
+             tflops={}",
+            p.phase,
+            p.requests,
+            f64_bits_text(p.p50_us),
+            f64_bits_text(p.p95_us),
+            f64_bits_text(p.p99_us),
+            f64_bits_text(p.total_flops),
+            f64_bits_text(p.total_time_us),
+            f64_bits_text(p.tflops),
+        );
+    }
+    let a = &r.accounting;
+    let _ = writeln!(
+        out,
+        "accounting compiles={} simulate_calls={} compiles_per_1k={} simulate_calls_per_1k={} \
+         kernel_hits={} sim_hits={} disk_kernel_hits={} disk_negative_hits={} disk_sim_hits={} \
+         disk_sim_negative_hits={} disk_static_rejections={} analytic_pruned={} \
+         static_rejections={}",
+        a.compiles,
+        a.simulate_calls,
+        f64_bits_text(a.compiles_per_1k),
+        f64_bits_text(a.simulate_calls_per_1k),
+        a.kernel_hits,
+        a.sim_hits,
+        a.disk_kernel_hits,
+        a.disk_negative_hits,
+        a.disk_sim_hits,
+        a.disk_sim_negative_hits,
+        a.disk_static_rejections,
+        a.analytic_pruned,
+        a.static_rejections,
+    );
+    out
+}
+
+/// Deserializes a fleet report from the versioned text format.
+///
+/// # Errors
+/// [`ReportError::VersionMismatch`] when the header names a different
+/// format version; [`ReportError::Malformed`] for any structural problem.
+pub fn deserialize_fleet_report(text: &str) -> Result<FleetReport, ReportError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i + 1, l.trim()));
+
+    let (hno, htext) = lines.next().ok_or_else(|| malformed(0, "empty document"))?;
+    let version = htext
+        .strip_prefix("fleet-report ")
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .ok_or_else(|| malformed(hno, "missing 'fleet-report <version>' header"))?;
+    if version != FLEET_REPORT_FORMAT_VERSION {
+        return Err(ReportError::VersionMismatch {
+            found: version,
+            expected: FLEET_REPORT_FORMAT_VERSION,
+        });
+    }
+
+    let (mno, mtext) = lines
+        .next()
+        .ok_or_else(|| malformed(0, "missing fleet metadata line"))?;
+    let mtokens = tokenize(mtext, mno)?;
+    if mtokens.first().map(String::as_str) != Some("fleet") {
+        return Err(malformed(
+            mno,
+            "expected 'fleet' metadata line after header",
+        ));
+    }
+    let name = mtokens
+        .get(1)
+        .ok_or_else(|| malformed(mno, "fleet line missing trace name"))
+        .and_then(|t| Ok(unquote(t, mno)?))?;
+    let mf = Fields::new(&mtokens, mno);
+    let seed = mf.u64("seed")?;
+    let requests = mf.u64("requests")?;
+
+    let mut phases = Vec::new();
+    let mut accounting = None;
+    for (no, line) in lines {
+        let tokens = tokenize(line, no)?;
+        match tokens.first().map(String::as_str) {
+            Some("phase") => {
+                if accounting.is_some() {
+                    return Err(malformed(no, "phase line after accounting line"));
+                }
+                let phase_name = tokens
+                    .get(1)
+                    .ok_or_else(|| malformed(no, "phase line missing phase name"))?;
+                let phase = Phase::parse(phase_name)
+                    .ok_or_else(|| malformed(no, format!("unknown phase '{phase_name}'")))?;
+                let f = Fields::new(&tokens, no);
+                phases.push(PhaseStats {
+                    phase,
+                    requests: f.u64("requests")?,
+                    p50_us: f.f64_bits("p50_us")?,
+                    p95_us: f.f64_bits("p95_us")?,
+                    p99_us: f.f64_bits("p99_us")?,
+                    total_flops: f.f64_bits("total_flops")?,
+                    total_time_us: f.f64_bits("total_time_us")?,
+                    tflops: f.f64_bits("tflops")?,
+                });
+            }
+            Some("accounting") => {
+                if accounting.is_some() {
+                    return Err(malformed(no, "duplicate accounting line"));
+                }
+                let f = Fields::new(&tokens, no);
+                accounting = Some(FleetAccounting {
+                    compiles: f.u64("compiles")?,
+                    simulate_calls: f.u64("simulate_calls")?,
+                    compiles_per_1k: f.f64_bits("compiles_per_1k")?,
+                    simulate_calls_per_1k: f.f64_bits("simulate_calls_per_1k")?,
+                    kernel_hits: f.u64("kernel_hits")?,
+                    sim_hits: f.u64("sim_hits")?,
+                    disk_kernel_hits: f.u64("disk_kernel_hits")?,
+                    disk_negative_hits: f.u64("disk_negative_hits")?,
+                    disk_sim_hits: f.u64("disk_sim_hits")?,
+                    disk_sim_negative_hits: f.u64("disk_sim_negative_hits")?,
+                    disk_static_rejections: f.u64("disk_static_rejections")?,
+                    analytic_pruned: f.u64("analytic_pruned")?,
+                    static_rejections: f.u64("static_rejections")?,
+                });
+            }
+            Some(other) => {
+                return Err(malformed(no, format!("unexpected line kind '{other}'")));
+            }
+            None => unreachable!("blank lines are filtered"),
+        }
+    }
+
+    Ok(FleetReport {
+        name,
+        seed,
+        requests,
+        phases,
+        accounting: accounting.ok_or_else(|| malformed(0, "missing accounting line"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetReport {
+        FleetReport {
+            name: "unit \"sample\"".to_string(),
+            seed: 17,
+            requests: 6,
+            phases: vec![
+                PhaseStats {
+                    phase: Phase::Prefill,
+                    requests: 4,
+                    p50_us: 120.5,
+                    p95_us: 300.25,
+                    p99_us: 301.75,
+                    total_flops: 2.0e12,
+                    total_time_us: 840.0,
+                    tflops: 2.0e12 / (840.0 * 1e-6) / 1e12,
+                },
+                PhaseStats {
+                    phase: Phase::Moe,
+                    requests: 2,
+                    p50_us: 90.0,
+                    p95_us: 91.0,
+                    p99_us: 91.0,
+                    total_flops: 5.0e11,
+                    total_time_us: 181.0,
+                    tflops: 5.0e11 / (181.0 * 1e-6) / 1e12,
+                },
+            ],
+            accounting: FleetAccounting {
+                compiles: 12,
+                simulate_calls: 9,
+                compiles_per_1k: 2000.0,
+                simulate_calls_per_1k: 1500.0,
+                kernel_hits: 30,
+                sim_hits: 28,
+                disk_kernel_hits: 3,
+                disk_negative_hits: 1,
+                disk_sim_hits: 2,
+                disk_sim_negative_hits: 0,
+                disk_static_rejections: 0,
+                analytic_pruned: 7,
+                static_rejections: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let report = sample();
+        let text = serialize_fleet_report(&report);
+        let back = deserialize_fleet_report(&text).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(serialize_fleet_report(&back), text);
+    }
+
+    #[test]
+    fn version_mismatch_is_reported() {
+        let text =
+            serialize_fleet_report(&sample()).replacen("fleet-report 1", "fleet-report 9", 1);
+        assert!(matches!(
+            deserialize_fleet_report(&text),
+            Err(ReportError::VersionMismatch {
+                found: 9,
+                expected: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_accounting_and_junk_are_malformed() {
+        let full = serialize_fleet_report(&sample());
+        let without = full
+            .lines()
+            .filter(|l| !l.starts_with("accounting"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            deserialize_fleet_report(&without),
+            Err(ReportError::Malformed { .. })
+        ));
+        let junk = format!("{full}mystery field=1\n");
+        assert!(matches!(
+            deserialize_fleet_report(&junk),
+            Err(ReportError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[42.0], 0.99), 42.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.50), 1.0);
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let json = sample().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"unit \\\"sample\\\"\""));
+        assert!(json.contains("\"compiles\": 12"));
+        assert!(json.contains("\"prefill\""));
+    }
+
+    #[test]
+    fn same_workload_ignores_accounting() {
+        let a = sample();
+        let mut b = sample();
+        b.accounting.compiles = 0;
+        b.accounting.compiles_per_1k = 0.0;
+        assert_ne!(a, b);
+        assert!(a.same_workload(&b));
+        let mut c = sample();
+        c.phases[0].p50_us += 1.0;
+        assert!(!a.same_workload(&c));
+    }
+}

@@ -1,0 +1,700 @@
+//! Seeded, parameterized serving traces and their stable serialization.
+//!
+//! A [`Trace`] is the *artifact* form of a serving workload: an ordered
+//! list of [`Request`]s — prefill GEMMs, decode attention at many
+//! batch/seq shapes, MoE grouped GEMMs — as a serving fleet would see
+//! them arrive. Traces are either written out by [`generate`] from a
+//! seeded [`TraceParams`] (phase mix, shape pools, arrival order all
+//! derive deterministically from the seed) or authored directly with
+//! [`Trace::from_requests`]; either way the materialized request list is
+//! what serializes, so replaying a trace file never depends on the
+//! generator's evolution.
+//!
+//! ## Format
+//!
+//! The document is line-oriented UTF-8, built from the same lexical
+//! toolkit as the WSIR kernel format ([`tawa_wsir::serialize`]): quoted
+//! strings with escapes, `key=value` fields, floats as IEEE-754 bit
+//! patterns. The first non-blank line is the **format-version header**
+//! `trace <version>`, then one `trace` metadata line, then one `request`
+//! line per request in arrival order:
+//!
+//! ```text
+//! trace 1
+//! trace "mixed-smoke" seed=7 mix_prefill=0x3FD999999999999A \
+//!       mix_decode=0x3FD999999999999A mix_moe=0x3FD3333333333333
+//! request prefill m=8192 n=8192 k=4096 batch=1 dtype=f16 \
+//!         tile_m=128 tile_n=256 tile_k=64
+//! request decode batch=4 heads=32 seq_len=1024 head_dim=128 \
+//!         causal=true dtype=f16 block_m=128 block_n=128
+//! request moe n=4096 k=4096 dtype=f16 tile_m=128 tile_n=128 tile_k=64 \
+//!         groups=512,1024
+//! ```
+//!
+//! (Shown wrapped; each is one physical line.)
+//!
+//! ## Version policy
+//!
+//! [`TRACE_FORMAT_VERSION`] is bumped whenever the syntax or the meaning
+//! of any field changes incompatibly; readers reject other versions with
+//! [`TraceError::VersionMismatch`]. Round-tripping is bit-exact —
+//! `deserialize ∘ serialize = id`, property-tested over generated traces
+//! in `tests/proptest_trace.rs` (the mix weights are floats, so they
+//! travel as bit patterns like every float in a Tawa text document).
+
+use std::fmt;
+
+use tawa_frontend::config::{AttentionConfig, GemmConfig, GroupedGemmConfig, Tile};
+use tawa_ir::types::DType;
+use tawa_wsir::serialize::{f64_bits_text, quote, tokenize, unquote, Fields};
+use tawa_wsir::SerializeError;
+
+/// Current version of the trace serialization format. Readers accept
+/// exactly this version; see the module docs for the bump policy.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Error produced when deserializing a trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The header names a format version this reader does not speak.
+    VersionMismatch {
+        /// Version found in the document header.
+        found: u32,
+        /// Version this reader implements ([`TRACE_FORMAT_VERSION`]).
+        expected: u32,
+    },
+    /// The document is structurally invalid (truncated, corrupted, or not
+    /// a trace document at all).
+    Malformed {
+        /// 1-based line number the parser stopped at (0 = end of input).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::VersionMismatch { found, expected } => write!(
+                f,
+                "trace format version mismatch: document is v{found}, reader speaks v{expected}"
+            ),
+            TraceError::Malformed { line, msg } => {
+                write!(f, "malformed trace document at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<SerializeError> for TraceError {
+    fn from(e: SerializeError) -> TraceError {
+        match e {
+            SerializeError::Malformed { line, msg } => TraceError::Malformed { line, msg },
+            SerializeError::VersionMismatch { found, expected } => TraceError::Malformed {
+                line: 0,
+                msg: format!("unexpected embedded version header (v{found} vs v{expected})"),
+            },
+        }
+    }
+}
+
+fn malformed(line: usize, msg: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// The serving phase a request belongs to — the unit every fleet-level
+/// aggregate ([`crate::report::FleetReport`]) is broken down by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Prompt-processing projection GEMMs (compute-bound, large M).
+    Prefill,
+    /// Token-generation attention at many batch/seq shapes.
+    Decode,
+    /// Mixture-of-Experts grouped GEMM (one fused launch per router
+    /// dispatch).
+    Moe,
+}
+
+impl Phase {
+    /// All phases, in the order reports list them.
+    pub const ALL: [Phase; 3] = [Phase::Prefill, Phase::Decode, Phase::Moe];
+
+    /// The stable lowercase name used in trace and report documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+            Phase::Moe => "moe",
+        }
+    }
+
+    /// Parses the textual form produced by [`Phase::name`].
+    pub fn parse(s: &str) -> Option<Phase> {
+        Some(match s {
+            "prefill" => Phase::Prefill,
+            "decode" => Phase::Decode,
+            "moe" => Phase::Moe,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One serving request: a kernel-shaped unit of work arriving in the
+/// stream. The variant determines the [`Phase`] and the zoo kernel the
+/// replay resolves it against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A prefill projection GEMM (optionally batched).
+    Prefill(GemmConfig),
+    /// A decode/prefill attention launch.
+    Decode(AttentionConfig),
+    /// An MoE grouped GEMM: one fused launch over all experts.
+    Moe(GroupedGemmConfig),
+}
+
+impl Request {
+    /// The serving phase this request belongs to.
+    pub fn phase(&self) -> Phase {
+        match self {
+            Request::Prefill(_) => Phase::Prefill,
+            Request::Decode(_) => Phase::Decode,
+            Request::Moe(_) => Phase::Moe,
+        }
+    }
+
+    /// Useful FLOPs of the request's problem (the weight the fleet
+    /// throughput aggregation uses).
+    pub fn flops(&self) -> f64 {
+        match self {
+            Request::Prefill(cfg) => cfg.flops(),
+            Request::Decode(cfg) => cfg.flops(),
+            Request::Moe(cfg) => cfg.flops(),
+        }
+    }
+
+    /// The canonical one-line serialized form — also the shape key the
+    /// replay memoizes autotune winners under: two requests with the same
+    /// line are the same shape by construction.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Prefill(cfg) => format!(
+                "request prefill m={} n={} k={} batch={} dtype={} tile_m={} tile_n={} tile_k={}",
+                cfg.m, cfg.n, cfg.k, cfg.batch, cfg.dtype, cfg.tile.m, cfg.tile.n, cfg.tile.k
+            ),
+            Request::Decode(cfg) => format!(
+                "request decode batch={} heads={} seq_len={} head_dim={} causal={} dtype={} \
+                 block_m={} block_n={}",
+                cfg.batch,
+                cfg.heads,
+                cfg.seq_len,
+                cfg.head_dim,
+                cfg.causal,
+                cfg.dtype,
+                cfg.block_m,
+                cfg.block_n
+            ),
+            Request::Moe(cfg) => format!(
+                "request moe n={} k={} dtype={} tile_m={} tile_n={} tile_k={} groups={}",
+                cfg.n,
+                cfg.k,
+                cfg.dtype,
+                cfg.tile.m,
+                cfg.tile.n,
+                cfg.tile.k,
+                cfg.group_ms
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        }
+    }
+}
+
+fn parse_usize(f: &Fields<'_>, key: &str, no: usize) -> Result<usize, TraceError> {
+    let v = f.u64(key)?;
+    usize::try_from(v).map_err(|_| malformed(no, format!("field '{key}' out of range: {v}")))
+}
+
+fn parse_dtype(f: &Fields<'_>, no: usize) -> Result<DType, TraceError> {
+    let text = f.get("dtype")?;
+    DType::parse(text).ok_or_else(|| malformed(no, format!("unknown dtype '{text}'")))
+}
+
+fn parse_tile(f: &Fields<'_>, no: usize) -> Result<Tile, TraceError> {
+    Ok(Tile {
+        m: parse_usize(f, "tile_m", no)?,
+        n: parse_usize(f, "tile_n", no)?,
+        k: parse_usize(f, "tile_k", no)?,
+    })
+}
+
+/// Parses one `request …` line (as produced by [`Request::to_line`]).
+fn parse_request(tokens: &[String], no: usize) -> Result<Request, TraceError> {
+    let f = Fields::new(tokens, no);
+    let kind = tokens
+        .get(1)
+        .ok_or_else(|| malformed(no, "request line missing phase"))?;
+    match kind.as_str() {
+        "prefill" => Ok(Request::Prefill(GemmConfig {
+            m: parse_usize(&f, "m", no)?,
+            n: parse_usize(&f, "n", no)?,
+            k: parse_usize(&f, "k", no)?,
+            batch: parse_usize(&f, "batch", no)?,
+            dtype: parse_dtype(&f, no)?,
+            tile: parse_tile(&f, no)?,
+        })),
+        "decode" => Ok(Request::Decode(AttentionConfig {
+            batch: parse_usize(&f, "batch", no)?,
+            heads: parse_usize(&f, "heads", no)?,
+            seq_len: parse_usize(&f, "seq_len", no)?,
+            head_dim: parse_usize(&f, "head_dim", no)?,
+            causal: f.bool("causal")?,
+            dtype: parse_dtype(&f, no)?,
+            block_m: parse_usize(&f, "block_m", no)?,
+            block_n: parse_usize(&f, "block_n", no)?,
+        })),
+        "moe" => {
+            let groups_text = f.get("groups")?;
+            let mut group_ms = Vec::new();
+            for part in groups_text.split(',') {
+                let m = part.parse::<usize>().map_err(|_| {
+                    malformed(no, format!("bad group M '{part}' in groups={groups_text}"))
+                })?;
+                group_ms.push(m);
+            }
+            if group_ms.is_empty() {
+                return Err(malformed(no, "moe request with no groups"));
+            }
+            Ok(Request::Moe(GroupedGemmConfig {
+                group_ms,
+                n: parse_usize(&f, "n", no)?,
+                k: parse_usize(&f, "k", no)?,
+                dtype: parse_dtype(&f, no)?,
+                tile: parse_tile(&f, no)?,
+            }))
+        }
+        other => Err(malformed(no, format!("unknown request phase '{other}'"))),
+    }
+}
+
+/// A serving trace: the named, seeded, ordered request stream a replay
+/// drives against one session. Traces are artifacts — see the module docs
+/// for the serialization format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Human-readable trace name (quoted in the document; any string).
+    pub name: String,
+    /// Seed the stream was generated from (provenance; authored traces
+    /// carry whatever the author sets).
+    pub seed: u64,
+    /// Phase-mix weights the stream was generated with, in
+    /// `[prefill, decode, moe]` order (provenance; floats round-trip as
+    /// bit patterns).
+    pub mix: [f64; 3],
+    /// The requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Wraps an explicitly authored request list as a trace (the examples
+    /// do this: a workload study is a small trace definition + replay).
+    pub fn from_requests(name: impl Into<String>, seed: u64, requests: Vec<Request>) -> Trace {
+        Trace {
+            name: name.into(),
+            seed,
+            mix: [0.0; 3],
+            requests,
+        }
+    }
+
+    /// Number of requests in `phase`.
+    pub fn phase_count(&self, phase: Phase) -> usize {
+        self.requests.iter().filter(|r| r.phase() == phase).count()
+    }
+}
+
+/// Serializes a trace to the versioned text format (see module docs).
+pub fn serialize_trace(t: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("trace {TRACE_FORMAT_VERSION}\n"));
+    out.push_str(&format!(
+        "trace {} seed={} mix_prefill={} mix_decode={} mix_moe={}\n",
+        quote(&t.name),
+        t.seed,
+        f64_bits_text(t.mix[0]),
+        f64_bits_text(t.mix[1]),
+        f64_bits_text(t.mix[2]),
+    ));
+    for r in &t.requests {
+        out.push_str(&r.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Deserializes a trace from the versioned text format.
+///
+/// # Errors
+/// [`TraceError::VersionMismatch`] when the header names a different
+/// format version; [`TraceError::Malformed`] for any structural problem
+/// (truncation, corruption, trailing junk).
+pub fn deserialize_trace(text: &str) -> Result<Trace, TraceError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i + 1, l.trim()));
+
+    // Header: `trace <version>`.
+    let (hno, htext) = lines.next().ok_or_else(|| malformed(0, "empty document"))?;
+    let version = htext
+        .strip_prefix("trace ")
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .ok_or_else(|| malformed(hno, "missing 'trace <version>' header"))?;
+    if version != TRACE_FORMAT_VERSION {
+        return Err(TraceError::VersionMismatch {
+            found: version,
+            expected: TRACE_FORMAT_VERSION,
+        });
+    }
+
+    // Metadata: `trace "<name>" seed=… mix_…`.
+    let (mno, mtext) = lines
+        .next()
+        .ok_or_else(|| malformed(0, "missing trace metadata line"))?;
+    let mtokens = tokenize(mtext, mno)?;
+    if mtokens.first().map(String::as_str) != Some("trace") {
+        return Err(malformed(
+            mno,
+            "expected 'trace' metadata line after header",
+        ));
+    }
+    let name = mtokens
+        .get(1)
+        .ok_or_else(|| malformed(mno, "metadata line missing trace name"))
+        .and_then(|t| Ok(unquote(t, mno)?))?;
+    let mf = Fields::new(&mtokens, mno);
+    let seed = mf.u64("seed")?;
+    let mix = [
+        mf.f64_bits("mix_prefill")?,
+        mf.f64_bits("mix_decode")?,
+        mf.f64_bits("mix_moe")?,
+    ];
+
+    let mut requests = Vec::new();
+    for (no, line) in lines {
+        let tokens = tokenize(line, no)?;
+        if tokens.first().map(String::as_str) != Some("request") {
+            return Err(malformed(no, "expected 'request' line"));
+        }
+        requests.push(parse_request(&tokens, no)?);
+    }
+
+    Ok(Trace {
+        name,
+        seed,
+        mix,
+        requests,
+    })
+}
+
+/// Parameters of the seeded trace generator: phase-mix weights plus the
+/// shape pools each phase draws from. Everything about the generated
+/// stream — phases, shapes, arrival order — is a pure function of these
+/// fields, so one `(params, seed)` pair names one trace forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParams {
+    /// Trace name stamped into the artifact.
+    pub name: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Requests to generate.
+    pub requests: usize,
+    /// Phase-mix weights in `[prefill, decode, moe]` order. Weights are
+    /// relative (they need not sum to 1); non-positive weights disable
+    /// the phase. All-non-positive falls back to pure prefill.
+    pub mix: [f64; 3],
+    /// Prefill GEMM `[m, n, k]` shape pool.
+    pub prefill_shapes: Vec<[usize; 3]>,
+    /// Decode attention batch-size pool.
+    pub decode_batches: Vec<usize>,
+    /// Decode attention sequence-length pool.
+    pub decode_seq_lens: Vec<usize>,
+    /// Decode attention head-dimension pool.
+    pub decode_head_dims: Vec<usize>,
+    /// MoE expert-count pool (each expert `g` contributes `M_g = 512·g`
+    /// tokens, the paper's grouped sweep).
+    pub moe_expert_counts: Vec<usize>,
+    /// Element-type pool shared by every phase.
+    pub dtypes: Vec<DType>,
+}
+
+impl TraceParams {
+    /// A small mixed workload sized for smoke tests and CI: a handful of
+    /// distinct shapes per phase, so cold replays stay cheap while every
+    /// cache tier still gets exercised.
+    pub fn quick(name: impl Into<String>, seed: u64, requests: usize) -> TraceParams {
+        TraceParams {
+            name: name.into(),
+            seed,
+            requests,
+            mix: [0.4, 0.4, 0.2],
+            prefill_shapes: vec![[4096, 4096, 4096], [2048, 2048, 2048]],
+            decode_batches: vec![1, 4],
+            decode_seq_lens: vec![1024, 2048],
+            decode_head_dims: vec![128],
+            moe_expert_counts: vec![2, 3],
+            dtypes: vec![DType::F16],
+        }
+    }
+
+    /// The Llama-70B-flavored production mixture the examples and the
+    /// `tawa-serve gen` default use: projection-GEMM prefill shapes,
+    /// paper-setting attention at several sequence lengths, and the
+    /// paper's grouped-GEMM MoE sweep, in FP16 and FP8.
+    pub fn llama_mix(name: impl Into<String>, seed: u64, requests: usize) -> TraceParams {
+        TraceParams {
+            name: name.into(),
+            seed,
+            requests,
+            mix: [0.45, 0.35, 0.2],
+            prefill_shapes: vec![
+                [8192, 10240, 8192], // QKV projection
+                [8192, 8192, 8192],  // output projection
+                [8192, 28672, 8192], // MLP up
+                [8192, 8192, 28672], // MLP down
+            ],
+            decode_batches: vec![1, 4],
+            decode_seq_lens: vec![1024, 4096, 16384],
+            decode_head_dims: vec![128],
+            moe_expert_counts: vec![2, 4, 6],
+            dtypes: vec![DType::F16, DType::F8E4M3],
+        }
+    }
+}
+
+/// The splitmix64 step: the deterministic RNG behind trace generation.
+/// Chosen for the same reason the session's cache sharding uses its
+/// finalizer — tiny, stateless, and identical on every platform.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Picks an element of `pool` from the next RNG draw. Panics on an empty
+/// pool — [`generate`] validates pools up front.
+fn pick<'a, T>(state: &mut u64, pool: &'a [T]) -> &'a T {
+    &pool[(splitmix64(state) % pool.len() as u64) as usize]
+}
+
+/// Draws a phase from the mix weights using one RNG step. Weights are
+/// compared through their ratios only, so any positive scale generates
+/// the same stream.
+fn pick_phase(state: &mut u64, mix: &[f64; 3]) -> Phase {
+    let clamped: Vec<f64> = mix.iter().map(|&w| w.max(0.0)).collect();
+    let total: f64 = clamped.iter().sum();
+    if !total.is_finite() || total <= 0.0 {
+        return Phase::Prefill;
+    }
+    // 53-bit uniform draw in [0, 1): exact in f64, platform-independent.
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    let mut acc = 0.0;
+    for (i, w) in clamped.iter().enumerate() {
+        acc += w / total;
+        if u < acc {
+            return Phase::ALL[i];
+        }
+    }
+    Phase::Moe
+}
+
+/// Generates the trace named by `params`: a pure function of the params
+/// (two calls with equal params yield equal traces, property-tested in
+/// `tests/proptest_trace.rs`).
+///
+/// Shape pools that a phase needs are only consulted when the mix gives
+/// that phase positive weight; a weighted phase with an empty pool is
+/// redirected to prefill rather than panicking.
+pub fn generate(params: &TraceParams) -> Trace {
+    let mut state = params.seed;
+    let mut requests = Vec::with_capacity(params.requests);
+    let prefill_ok = !params.prefill_shapes.is_empty() && !params.dtypes.is_empty();
+    for _ in 0..params.requests {
+        let mut phase = pick_phase(&mut state, &params.mix);
+        // Redirect phases whose pools cannot produce a request.
+        let pool_ok = match phase {
+            Phase::Prefill => prefill_ok,
+            Phase::Decode => {
+                !params.decode_batches.is_empty()
+                    && !params.decode_seq_lens.is_empty()
+                    && !params.decode_head_dims.is_empty()
+                    && !params.dtypes.is_empty()
+            }
+            Phase::Moe => !params.moe_expert_counts.is_empty() && !params.dtypes.is_empty(),
+        };
+        if !pool_ok {
+            if !prefill_ok {
+                break; // Nothing can be generated at all.
+            }
+            phase = Phase::Prefill;
+        }
+        requests.push(match phase {
+            Phase::Prefill => {
+                let &[m, n, k] = pick(&mut state, &params.prefill_shapes);
+                let dtype = *pick(&mut state, &params.dtypes);
+                Request::Prefill(GemmConfig {
+                    tile: Tile::LARGE,
+                    ..GemmConfig::new(m, n, k).with_dtype(dtype)
+                })
+            }
+            Phase::Decode => {
+                let batch = *pick(&mut state, &params.decode_batches);
+                let seq_len = *pick(&mut state, &params.decode_seq_lens);
+                let head_dim = *pick(&mut state, &params.decode_head_dims);
+                let dtype = *pick(&mut state, &params.dtypes);
+                Request::Decode(AttentionConfig {
+                    batch,
+                    head_dim,
+                    ..AttentionConfig::paper(seq_len, true, dtype)
+                })
+            }
+            Phase::Moe => {
+                let experts = *pick(&mut state, &params.moe_expert_counts);
+                let dtype = *pick(&mut state, &params.dtypes);
+                Request::Moe(GroupedGemmConfig {
+                    dtype,
+                    tile: Tile::LARGE,
+                    ..GroupedGemmConfig::paper_sweep(experts)
+                })
+            }
+        });
+    }
+    Trace {
+        name: params.name.clone(),
+        seed: params.seed,
+        mix: params.mix,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = TraceParams::quick("det", 42, 32);
+        let a = generate(&params);
+        let b = generate(&params);
+        assert_eq!(a, b);
+        assert_eq!(a.requests.len(), 32);
+        // The default mix actually mixes: every phase appears.
+        for phase in Phase::ALL {
+            assert!(a.phase_count(phase) > 0, "no {phase} requests generated");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TraceParams::quick("a", 1, 32));
+        let b = generate(&TraceParams::quick("a", 2, 32));
+        assert_ne!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let trace = generate(&TraceParams::llama_mix("rt \"quoted\"\nname", 7, 24));
+        let text = serialize_trace(&trace);
+        let back = deserialize_trace(&text).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(
+            serialize_trace(&back),
+            text,
+            "serialized form is a fixpoint"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_reported() {
+        let mut text = serialize_trace(&generate(&TraceParams::quick("v", 1, 4)));
+        text = text.replacen("trace 1\n", "trace 2\n", 1);
+        assert!(matches!(
+            deserialize_trace(&text),
+            Err(TraceError::VersionMismatch {
+                found: 2,
+                expected: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_junk_are_malformed() {
+        let text = serialize_trace(&generate(&TraceParams::quick("t", 1, 4)));
+        // Cut mid-request-line.
+        let cut = &text[..text.len() - 10];
+        assert!(matches!(
+            deserialize_trace(cut),
+            Err(TraceError::Malformed { .. })
+        ));
+        // Foreign line kind.
+        let junk = format!("{text}banquet phase=lunch\n");
+        assert!(matches!(
+            deserialize_trace(&junk),
+            Err(TraceError::Malformed { .. })
+        ));
+        assert!(matches!(
+            deserialize_trace(""),
+            Err(TraceError::Malformed { line: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_weight_phases_never_appear() {
+        let params = TraceParams {
+            mix: [1.0, 0.0, 0.0],
+            ..TraceParams::quick("prefill-only", 9, 40)
+        };
+        let trace = generate(&params);
+        assert_eq!(trace.phase_count(Phase::Prefill), 40);
+    }
+
+    #[test]
+    fn empty_pools_redirect_to_prefill() {
+        let params = TraceParams {
+            moe_expert_counts: vec![],
+            mix: [0.0, 0.0, 1.0],
+            ..TraceParams::quick("redirect", 3, 8)
+        };
+        let trace = generate(&params);
+        assert_eq!(trace.phase_count(Phase::Prefill), 8);
+    }
+
+    #[test]
+    fn request_line_is_the_shape_key() {
+        let trace = generate(&TraceParams::quick("key", 11, 64));
+        // Serializing the same config twice yields the same line; distinct
+        // configs yield distinct lines (the memoization contract).
+        for r in &trace.requests {
+            assert_eq!(r.to_line(), r.clone().to_line());
+        }
+        let a = Request::Prefill(GemmConfig::new(1024, 1024, 512));
+        let b = Request::Prefill(GemmConfig::new(1024, 1024, 1024));
+        assert_ne!(a.to_line(), b.to_line());
+    }
+}

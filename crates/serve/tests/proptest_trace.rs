@@ -1,0 +1,74 @@
+//! Property tests of the serving harness: trace generation is a pure
+//! function of its parameters, the trace serialization round-trips
+//! bit-exactly over generated traces (floats travel as IEEE-754 bit
+//! patterns, so no NaN/precision escape hatches exist), and replaying a
+//! trace on two fresh sessions yields bit-identical fleet reports.
+
+use proptest::prelude::*;
+
+use gpu_sim::Device;
+use tawa_core::CompileSession;
+use tawa_serve::{deserialize_trace, generate, replay_trace, serialize_trace, TraceParams};
+
+/// Strategy over generator parameters: both built-in mixtures, varied
+/// seeds and sizes, and mix weights swept over the simplex corners and
+/// interior (including all-zero, which falls back to pure prefill).
+fn params() -> impl Strategy<Value = TraceParams> {
+    (
+        prop_oneof![Just(true), Just(false)],
+        0u64..1_000_000,
+        1usize..40,
+        (0u32..4, 0u32..4, 0u32..4),
+    )
+        .prop_map(|(quick, seed, requests, (wp, wd, wm))| {
+            let base = if quick {
+                TraceParams::quick("prop-quick", seed, requests)
+            } else {
+                TraceParams::llama_mix("prop-llama", seed, requests)
+            };
+            TraceParams {
+                mix: [wp as f64 / 3.0, wd as f64 / 3.0, wm as f64 / 3.0],
+                ..base
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generation is deterministic: equal parameters, equal trace.
+    #[test]
+    fn generation_is_a_pure_function(p in params()) {
+        prop_assert_eq!(generate(&p), generate(&p));
+    }
+
+    /// `deserialize ∘ serialize = id` over generated traces, and the
+    /// serialized form is a fixpoint.
+    #[test]
+    fn generated_traces_round_trip_exactly(p in params()) {
+        let trace = generate(&p);
+        let text = serialize_trace(&trace);
+        let back = deserialize_trace(&text)
+            .map_err(|e| format!("deserialize failed: {e}\n{text}"))?;
+        prop_assert_eq!(&trace, &back);
+        prop_assert_eq!(serialize_trace(&back), text);
+    }
+}
+
+proptest! {
+    // Replays compile and simulate, so fewer, smaller cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// THE determinism property of the harness: the same trace replayed
+    /// on two fresh sessions yields bit-identical fleet reports.
+    #[test]
+    fn fresh_session_replays_agree_bit_for_bit(seed in 0u64..1_000, n in 1usize..8) {
+        let device = Device::h100_sxm5();
+        let trace = generate(&TraceParams::quick("prop-replay", seed, n));
+        let a = replay_trace(&CompileSession::in_memory(&device), &trace)
+            .map_err(|e| e.to_string())?;
+        let b = replay_trace(&CompileSession::in_memory(&device), &trace)
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(a, b);
+    }
+}

@@ -29,7 +29,13 @@
 //!   versioned report serialization (`tawa::sim::report_serde`) and the
 //!   `COST_MODEL_VERSION` that keys persisted reports;
 //! * [`kernels`] — baseline frameworks (cuBLAS, FA3, TileLang,
-//!   ThunderKittens, Triton).
+//!   ThunderKittens, Triton);
+//! * [`serve`] — the trace-driven LLM-serving harness: seeded
+//!   request-mixture [`Trace`]s with a versioned text format, a
+//!   deterministic [`Replay`] over one [`CompileSession`], and
+//!   [`FleetReport`]s (per-phase latency percentiles, FLOP-weighted
+//!   throughput, compiles / simulate-calls per thousand requests) —
+//!   driven from the command line by the `tawa-serve` binary.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +72,7 @@ pub use tawa_core as core;
 pub use tawa_frontend as frontend;
 pub use tawa_ir as ir;
 pub use tawa_kernels as kernels;
+pub use tawa_serve as serve;
 pub use tawa_wsir as wsir;
 
 pub use tawa_core::{
@@ -74,6 +81,7 @@ pub use tawa_core::{
 };
 pub use tawa_frontend::{dsl, KernelBuilder, Program};
 pub use tawa_ir::{Diagnostic, Loc, PassRegistry, PipelineSpec, Severity};
+pub use tawa_serve::{FleetReport, Replay, Trace, TraceParams};
 
 /// Compiles the code blocks of `docs/pipelines.md` as doctests, so the
 /// pipeline-spec reference page cannot drift from the implementation.

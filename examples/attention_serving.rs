@@ -1,42 +1,47 @@
-//! LLM serving attention: prefill attention across context lengths,
-//! causal and non-causal, FP16 and FP8 — the Fig. 10 workload seen from a
-//! serving-system operator's perspective.
+//! LLM serving attention: prefill attention across context lengths as
+//! decode-phase traffic in a serving trace — the Fig. 10 workload seen
+//! from a serving-system operator's perspective. The replay resolves
+//! every (seq_len, causal, dtype) shape against one compile session and
+//! reports fleet latency percentiles instead of single-kernel numbers.
 //!
 //! ```sh
 //! cargo run --release --example attention_serving
 //! ```
+//!
+//! Set `TAWA_DISK_CACHE=<dir>` to make the replay persistent: rerunning
+//! the example warm performs zero compiles and zero simulate calls.
 
 use tawa::frontend::config::AttentionConfig;
 use tawa::ir::types::DType;
-use tawa::kernels::frameworks as fw;
+use tawa::serve::{replay_trace, Request, Trace};
 use tawa::sim::Device;
+use tawa::CompileSession;
 
 fn main() {
-    let device = Device::h100_sxm5();
-    println!("Prefill MHA, batch 4 × 32 heads × head_dim 128 (paper setting)\n");
+    // Paper setting: batch 4 × 32 heads × head_dim 128. Traffic mixes
+    // short and long contexts, weighted toward the short end the way
+    // interactive serving is.
+    let mut requests = Vec::new();
     for (dtype, causal) in [
         (DType::F16, true),
         (DType::F16, false),
         (DType::F8E4M3, true),
     ] {
-        println!("== {dtype}, causal={causal} ==");
-        println!(
-            "{:>8} {:>10} {:>10} {:>10} {:>12}",
-            "L", "Tawa", "FA3", "Triton", "Tawa time"
-        );
-        for l in [1024usize, 4096, 16384] {
-            let cfg = AttentionConfig::paper(l, causal, dtype);
-            let tawa = fw::tawa_attention(&cfg, &device).ok();
-            let fa3 = fw::fa3_attention(&cfg, &device).ok();
-            let triton = fw::triton_attention(&cfg, &device).ok();
-            println!(
-                "{l:>8} {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0} µs",
-                tawa.as_ref().map(|r| r.tflops).unwrap_or(0.0),
-                fa3.as_ref().map(|r| r.tflops).unwrap_or(0.0),
-                triton.as_ref().map(|r| r.tflops).unwrap_or(0.0),
-                tawa.as_ref().map(|r| r.total_time_us).unwrap_or(0.0),
-            );
+        for (seq_len, copies) in [(1024usize, 4), (4096, 2), (16384, 1)] {
+            for _ in 0..copies {
+                requests.push(Request::Decode(AttentionConfig::paper(
+                    seq_len, causal, dtype,
+                )));
+            }
         }
-        println!();
     }
+    let trace = Trace::from_requests("attention-serving", 0, requests);
+
+    let session = CompileSession::new(&Device::h100_sxm5());
+    let report = replay_trace(&session, &trace).expect("replay failed");
+    print!("{}", report.summary());
+    println!(
+        "\np50 tracks the 1k-token contexts, p99 the 16k tail — the spread an operator \
+         provisions for."
+    );
 }

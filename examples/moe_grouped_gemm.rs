@@ -1,35 +1,37 @@
-//! Mixture-of-Experts grouped GEMM: expert FFNs with different token
-//! counts (M_g) fused into one persistent Tawa launch vs per-expert
-//! launches (the Fig. 9-right scenario as an MoE router would see it).
+//! Mixture-of-Experts grouped GEMM as router traffic: each request is
+//! one fused persistent launch over a dispatch's expert token counts
+//! (M_g = 512·g, the Fig. 9-right scenario), replayed through the
+//! serving harness so repeated dispatch patterns amortize their
+//! autotune sweep across the trace.
 //!
 //! ```sh
 //! cargo run --release --example moe_grouped_gemm
 //! ```
+//!
+//! Set `TAWA_DISK_CACHE=<dir>` to make the replay persistent: rerunning
+//! the example warm performs zero compiles and zero simulate calls.
 
 use tawa::frontend::config::GroupedGemmConfig;
-use tawa::kernels::frameworks as fw;
+use tawa::serve::{replay_trace, Request, Trace};
 use tawa::sim::Device;
+use tawa::CompileSession;
 
 fn main() {
-    let device = Device::h100_sxm5();
-    println!("Grouped GEMM (N=K=4096, expert token counts M_g = 512·g)\n");
-    println!(
-        "{:>3} {:>14} {:>17} {:>19}",
-        "G", "Tawa (fused)", "Triton (G calls)", "TileLang (G calls)"
-    );
-    for g in 2..=6usize {
-        let cfg = GroupedGemmConfig::paper_sweep(g);
-        let tawa = fw::tawa_grouped_gemm(&cfg, &device)
-            .map(|r| r.tflops)
-            .unwrap_or(0.0);
-        let triton = fw::triton_grouped_gemm(&cfg, &device)
-            .map(|r| r.tflops)
-            .unwrap_or(0.0);
-        let tilelang = fw::tilelang_grouped_gemm(&cfg, &device)
-            .map(|r| r.tflops)
-            .unwrap_or(0.0);
-        println!("{g:>3} {tawa:>13.0}  {triton:>16.0}  {tilelang:>18.0}");
+    // A router rarely produces each expert count equally often: small
+    // dispatches dominate, the big ones are the tail.
+    let mut requests = Vec::new();
+    for (experts, copies) in [(2usize, 4), (3, 3), (4, 2), (5, 1), (6, 1)] {
+        for _ in 0..copies {
+            requests.push(Request::Moe(GroupedGemmConfig::paper_sweep(experts)));
+        }
     }
-    println!("\nFusion lets one expert's TMA traffic overlap another's compute —");
-    println!("per-expert launches pay one dispatch plus a wave tail per group.");
+    let trace = Trace::from_requests("moe-router", 0, requests);
+
+    let session = CompileSession::new(&Device::h100_sxm5());
+    let report = replay_trace(&session, &trace).expect("replay failed");
+    print!("{}", report.summary());
+    println!(
+        "\nFusion lets one expert's TMA traffic overlap another's compute — and the harness \
+         shows each dispatch pattern pays its sweep exactly once."
+    );
 }

@@ -1,0 +1,124 @@
+//! End-to-end tests of the serving harness's determinism contract:
+//! replaying the same trace on fresh sessions yields bit-identical
+//! fleet reports, a restart-warm replay against a shared disk cache
+//! performs **zero** kernel compiles and **zero** simulate calls while
+//! reproducing the cold run's latency aggregates bit-for-bit, and the
+//! fleet-report serialization is exact.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tawa::serve::{
+    deserialize_fleet_report, generate, replay_trace, serialize_fleet_report, Phase, TraceParams,
+};
+use tawa::sim::Device;
+use tawa::CompileSession;
+
+fn dev() -> Device {
+    Device::h100_sxm5()
+}
+
+/// A unique, pre-cleaned cache directory under the system temp dir.
+fn cache_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tawa-e2e-serve-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn disk_session(dir: &PathBuf) -> CompileSession {
+    CompileSession::in_memory(&dev())
+        .with_disk_cache(dir)
+        .expect("cache dir must open")
+}
+
+/// A mixed trace small enough for CI but touching every phase and
+/// repeating shapes (so the memo and cache tiers all see traffic).
+fn mixed_trace() -> tawa::Trace {
+    let trace = generate(&TraceParams::quick("e2e-mixed", 20260808, 14));
+    for phase in Phase::ALL {
+        assert!(trace.phase_count(phase) > 0, "trace must mix all phases");
+    }
+    trace
+}
+
+/// Two fresh in-memory sessions replaying the same trace agree on the
+/// ENTIRE report — workload aggregates and accounting — bit for bit,
+/// down to the serialized text.
+#[test]
+fn fresh_session_replays_are_bit_identical() {
+    let trace = mixed_trace();
+    let a = replay_trace(&CompileSession::in_memory(&dev()), &trace).unwrap();
+    let b = replay_trace(&CompileSession::in_memory(&dev()), &trace).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(serialize_fleet_report(&a), serialize_fleet_report(&b));
+}
+
+/// THE acceptance property of the harness: replay a mixed trace against
+/// a disk cache, restart (fresh session, same directory), replay again —
+/// the warm replay compiles nothing and simulates nothing, its latency
+/// aggregates are bit-identical to the cold run's, and two warm replays
+/// produce fully bit-identical fleet reports.
+#[test]
+fn restart_warm_replay_compiles_and_simulates_nothing() {
+    let dir = cache_dir("warm-replay");
+    let trace = mixed_trace();
+
+    let cold = replay_trace(&disk_session(&dir), &trace).unwrap();
+    assert!(cold.accounting.compiles > 0, "cold replay must compile");
+    assert!(
+        cold.accounting.simulate_calls > 0,
+        "cold replay must simulate"
+    );
+
+    // Simulated restart #1.
+    let warm = replay_trace(&disk_session(&dir), &trace).unwrap();
+    assert_eq!(
+        warm.accounting.compiles, 0,
+        "warm replay must not compile: {:?}",
+        warm.accounting
+    );
+    assert_eq!(
+        warm.accounting.simulate_calls, 0,
+        "warm replay must not simulate: {:?}",
+        warm.accounting
+    );
+    assert!(
+        warm.accounting.disk_kernel_hits > 0 && warm.accounting.disk_sim_hits > 0,
+        "warm replay must be served from disk: {:?}",
+        warm.accounting
+    );
+    // Cold and warm differ only in accounting: the workload aggregates
+    // (per-phase latency percentiles, throughput) match bit-for-bit.
+    assert!(
+        cold.same_workload(&warm),
+        "cold/warm latency aggregates diverged:\ncold: {:?}\nwarm: {:?}",
+        cold.phases,
+        warm.phases
+    );
+    assert_ne!(cold, warm, "accounting must show the cache doing its job");
+
+    // Simulated restart #2: equally warm sessions agree on EVERYTHING.
+    let warm2 = replay_trace(&disk_session(&dir), &trace).unwrap();
+    assert_eq!(warm, warm2);
+    assert_eq!(
+        serialize_fleet_report(&warm),
+        serialize_fleet_report(&warm2)
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The report's own serde round-trips a real replay's output exactly,
+/// and the JSON rendering is well-formed enough for CI to parse.
+#[test]
+fn fleet_report_serde_round_trips_real_output() {
+    let trace = generate(&TraceParams::quick("e2e-serde", 11, 8));
+    let report = replay_trace(&CompileSession::in_memory(&dev()), &trace).unwrap();
+    let text = serialize_fleet_report(&report);
+    let back = deserialize_fleet_report(&text).unwrap();
+    assert_eq!(report, back);
+    assert_eq!(serialize_fleet_report(&back), text);
+    let json = report.to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"accounting\""));
+}
