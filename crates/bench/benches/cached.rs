@@ -1,0 +1,179 @@
+//! Criterion wrapper for the fleet-cache hot paths:
+//!
+//! - a cold replay through an empty `tawa-cached` daemon (compiles,
+//!   sweeps, and the write-back traffic that warms the fleet),
+//! - a remote-warm replay: a FRESH session with empty local tiers served
+//!   entirely by the daemon (the "session 2..N joins the fleet" regime),
+//! - the raw protocol round trip (get-sim hit on a warm daemon).
+//!
+//! After the criterion groups run, a report section re-measures the same
+//! scenarios with a plain median-of-N timer and writes the results to
+//! `BENCH_cached.json` at the repository root (override the path with
+//! `TAWA_BENCH_OUT`). The report asserts the fleet invariants instead of
+//! wall-clock floors: a remote-warm replay performs zero compiles and
+//! zero simulate calls, and beats the cold one.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, Criterion};
+use gpu_sim::Device;
+use tawa_cached::{spawn, ServerHandle, ShardedStore};
+use tawa_core::remote::RemoteAddr;
+use tawa_core::CompileSession;
+use tawa_serve::{generate, replay_trace, Trace, TraceParams};
+
+fn bench_trace() -> Trace {
+    generate(&TraceParams::quick("bench-cached", 2026, 24))
+}
+
+/// A pre-cleaned scratch root under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tawa-bench-cached-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn daemon(root: &std::path::Path) -> ServerHandle {
+    let store = ShardedStore::open(root.join("store")).expect("store dir");
+    spawn(store, &RemoteAddr::Unix(root.join("cached.sock"))).expect("daemon bind")
+}
+
+/// One remote-warm replay: fresh session, empty local tiers, every
+/// answer promoted from the daemon.
+fn remote_warm_replay(device: &Device, addr: &RemoteAddr, trace: &Trace) {
+    let session = CompileSession::in_memory(device).with_remote_cache(addr.clone());
+    black_box(replay_trace(&session, trace).expect("remote-warm replay"));
+}
+
+fn bench(c: &mut Criterion) {
+    let device = Device::h100_sxm5();
+    let trace = bench_trace();
+
+    let root = scratch("criterion");
+    let handle = daemon(&root);
+    let addr = handle.addr().clone();
+
+    // Warm the daemon once; the criterion scenarios measure fleet joins.
+    remote_warm_replay(&device, &addr, &trace);
+
+    let mut g = c.benchmark_group("cached");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("replay_remote_warm_24req", |b| {
+        b.iter(|| remote_warm_replay(&device, &addr, &trace))
+    });
+    g.finish();
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Median wall-clock of `runs` calls to `f`, after one warm-up call.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn emit_report() {
+    let device = Device::h100_sxm5();
+    let trace = bench_trace();
+    let requests = trace.requests.len();
+
+    let root = scratch("report");
+    let handle = daemon(&root);
+    let addr = handle.addr().clone();
+
+    // Cold: empty daemon, fresh session — one timed run (rebuilding an
+    // empty daemon per sample would time directory churn, not compiles).
+    let t0 = Instant::now();
+    let cold_session = CompileSession::in_memory(&device).with_remote_cache(addr.clone());
+    let cold_report = replay_trace(&cold_session, &trace).expect("cold replay");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(cold_report.accounting.compiles > 0, "the cold run must pay");
+
+    // Remote-warm: fresh sessions with empty local tiers, daemon full.
+    let mut warm_report = None;
+    let warm_ms = median_ms(5, || {
+        let session = CompileSession::in_memory(&device).with_remote_cache(addr.clone());
+        warm_report = Some(replay_trace(&session, &trace).expect("remote-warm replay"));
+    });
+    let warm_report = warm_report.expect("at least one warm replay ran");
+
+    // The raw protocol round trip on a key known to be present.
+    let client = tawa_core::remote::RemoteCache::new(addr.clone());
+    let daemon_stats = handle.daemon_stats();
+    let roundtrip_ms = median_ms(20, || {
+        black_box(client.fetch_stats().expect("daemon answers stats"));
+    });
+
+    let warm_us_per_req = warm_ms * 1e3 / requests as f64;
+    let wa = &warm_report.accounting;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"fleet\": {{");
+    let _ = writeln!(json, "    \"cold_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "    \"remote_warm_ms\": {warm_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"remote_warm_us_per_request\": {warm_us_per_req:.3},"
+    );
+    let _ = writeln!(json, "    \"speedup\": {:.3},", cold_ms / warm_ms);
+    let _ = writeln!(json, "    \"warm_compiles\": {},", wa.compiles);
+    let _ = writeln!(json, "    \"warm_simulate_calls\": {},", wa.simulate_calls);
+    let _ = writeln!(
+        json,
+        "    \"warm_remote_kernel_hits\": {},",
+        wa.remote_kernel_hits
+    );
+    let _ = writeln!(json, "    \"warm_remote_sim_hits\": {}", wa.remote_sim_hits);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"daemon\": {{");
+    let _ = writeln!(json, "    \"stats_roundtrip_ms\": {roundtrip_ms:.3},");
+    let _ = writeln!(json, "    \"entries\": {},", daemon_stats.entries);
+    let _ = writeln!(json, "    \"bytes\": {},", daemon_stats.bytes);
+    let _ = writeln!(json, "    \"protocol_errors\": {}", daemon_stats.errors);
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let out = std::env::var("TAWA_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cached.json").into());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    print!("{json}");
+    println!("wrote {out}");
+
+    // Fleet invariants, not wall-clock floors.
+    assert_eq!(wa.compiles, 0, "remote-warm replay compiled: {wa:?}");
+    assert_eq!(wa.simulate_calls, 0, "remote-warm replay simulated: {wa:?}");
+    assert!(
+        wa.remote_kernel_hits > 0 && wa.remote_sim_hits > 0,
+        "{wa:?}"
+    );
+    assert_eq!(daemon_stats.errors, 0, "{daemon_stats:?}");
+    assert!(
+        warm_ms < cold_ms,
+        "remote-warm replay must beat cold ({warm_ms:.2} ms vs {cold_ms:.2} ms)"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    let _args: Vec<String> = std::env::args().collect();
+    benches();
+    emit_report();
+}

@@ -1,0 +1,60 @@
+//! `tawa-cached` — the shared compile-and-autotune cache daemon.
+//!
+//! ```text
+//! tawa-cached <cache-dir> --socket <path>     listen on a Unix socket
+//! tawa-cached <cache-dir> --tcp <host:port>   listen on TCP (tests, cross-host)
+//! ```
+//!
+//! Fronts a fingerprint-sharded cache directory with the `tawa-cached 1`
+//! protocol. Point every session in the fleet at it with
+//! `TAWA_CACHED=<socket-path>` (or `TAWA_CACHED=tcp:host:port`): the
+//! first session pays each compile and autotune sweep once, every other
+//! session promotes the daemon's entries into its local tiers.
+//!
+//! The daemon runs in the foreground until killed. Its shards are
+//! ordinary cache directories — `tawa-cache ls/stats/verify/gc` operate
+//! on `<cache-dir>/shard-XX` while the daemon is live, and `tawa-cache
+//! stats --remote` queries the daemon itself.
+
+use std::process::ExitCode;
+
+use tawa_cached::{spawn, ShardedStore};
+use tawa_core::remote::RemoteAddr;
+
+const USAGE: &str = "usage:
+  tawa-cached <cache-dir> --socket <path>     listen on a Unix-domain socket
+  tawa-cached <cache-dir> --tcp <host:port>   listen on TCP
+
+Sessions join the fleet via TAWA_CACHED=<socket-path> or
+TAWA_CACHED=tcp:host:port. `--tcp host:0` binds an ephemeral port and
+prints the resolved address.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tawa-cached: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| matches!(a.as_str(), "-h" | "--help")) {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let addr = match args {
+        [_, flag, value] if flag == "--socket" => RemoteAddr::Unix(value.into()),
+        [_, flag, value] if flag == "--tcp" => RemoteAddr::Tcp(value.clone()),
+        _ => return Err("expected <cache-dir> and --socket <path> or --tcp <host:port>".into()),
+    };
+    let dir = &args[0];
+    let store = ShardedStore::open(dir).map_err(|e| format!("opening {dir}: {e}"))?;
+    let handle = spawn(store, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("tawa-cached 1 serving {dir} on {}", handle.addr());
+    handle.wait();
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # tawa-cached
+//!
+//! The fleet cache: a daemon sharing one compile-and-autotune cache
+//! directory across every [`CompileSession`] in a fleet, speaking the
+//! versioned, line-oriented, content-addressed `tawa-cached 1` protocol
+//! defined in [`tawa_core::remote`] over a Unix-domain socket (or TCP
+//! for tests and cross-host fleets).
+//!
+//! The three local tiers (PRs 3–7) make a *single* session
+//! restart-warm; this crate makes a *fleet* warm: session 1 pays the
+//! cold compile + sweep, sessions 2..N promote the daemon's entries
+//! into their local tiers and perform zero compiles and zero simulate
+//! calls — with bit-identical results, because payloads travel verbatim
+//! in the same `wsir 1` / sim-outcome text formats the disk tier
+//! persists, keyed by the same `(CacheKey, COST_MODEL_VERSION)`.
+//!
+//! - [`ShardedStore`]: sixteen ordinary [`DiskCache`] shard
+//!   directories selected by key fingerprint — each one inspectable
+//!   with `tawa-cache ls/stats/verify/gc` unchanged.
+//! - [`spawn`] / [`ServerHandle`]: the daemon embedded in-process
+//!   (tests) or behind the `tawa-cached` binary (production).
+//!
+//! Sessions join the fleet via the `TAWA_CACHED` environment variable
+//! ([`tawa_core::remote::REMOTE_CACHE_ENV`]) or
+//! [`CompileSession::with_remote_cache`]; a dead daemon degrades to the
+//! local tiers after one warning, never failing a compile.
+//!
+//! [`CompileSession`]: tawa_core::CompileSession
+//! [`CompileSession::with_remote_cache`]: tawa_core::CompileSession::with_remote_cache
+//! [`DiskCache`]: tawa_core::DiskCache
+
+#![warn(missing_docs)]
+
+mod server;
+mod store;
+
+pub use server::{spawn, ServerHandle};
+pub use store::{ShardedStore, STORE_SHARDS};

@@ -1,0 +1,210 @@
+//! Protocol robustness corpus.
+//!
+//! Client side: a session pointed at a misbehaving peer — version-bumped
+//! greeting, truncated frames, oversized payload lengths, mid-stream
+//! disconnects, garbage — must degrade to its local tiers with one
+//! counted error and *never* surface a failure through
+//! `compile_and_simulate`, returning results identical to a session
+//! that never had a remote tier.
+//!
+//! Server side: a daemon fed the same classes of garbage must stay up,
+//! count the errors, answer `err` where a reply is still possible, and
+//! keep serving well-behaved clients on subsequent connections.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use gpu_sim::{Device, SimReport};
+use tawa_cached::{spawn, ShardedStore};
+use tawa_core::remote::RemoteAddr;
+use tawa_core::{CompileOptions, CompileSession};
+use tawa_frontend::config::GemmConfig;
+use tawa_frontend::kernels::gemm;
+
+/// Starts a one-shot fake daemon running `behavior` on the first
+/// accepted connection, returning its address. The thread is detached
+/// on purpose: a hung fake must not hang the test.
+fn fake_server(behavior: impl FnOnce(TcpStream) + Send + 'static) -> RemoteAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            behavior(stream);
+        }
+    });
+    RemoteAddr::Tcp(addr)
+}
+
+fn reference_report() -> SimReport {
+    CompileSession::in_memory(&Device::h100_sxm5())
+        .compile_and_simulate_program(
+            &gemm(&GemmConfig::new(512, 512, 512)),
+            &CompileOptions::default(),
+        )
+        .expect("the reference compile is feasible")
+}
+
+/// The invariant every corpus entry must satisfy: compile succeeds,
+/// result identical to the no-remote session, at least one error
+/// counted, client latched down (so the damage is paid once).
+fn assert_degrades_to_local(addr: RemoteAddr, reference: &SimReport) {
+    let session = CompileSession::in_memory(&Device::h100_sxm5()).with_remote_cache(addr);
+    let report = session
+        .compile_and_simulate_program(
+            &gemm(&GemmConfig::new(512, 512, 512)),
+            &CompileOptions::default(),
+        )
+        .expect("a broken remote must never fail a compile");
+    assert_eq!(&report, reference, "local fallback must be bit-identical");
+    let remote = session.remote_cache().unwrap();
+    assert!(remote.is_down(), "client must latch down");
+    let stats = remote.stats();
+    assert!(stats.errors >= 1, "{stats:?}");
+    assert_eq!(stats.hits(), 0, "{stats:?}");
+    // Latched: the whole workload above cost at most two dials
+    // (get-sim, then get-kernel at the latest), not one per operation.
+    assert!(stats.roundtrips <= 2, "{stats:?}");
+}
+
+#[test]
+fn client_corpus_degrades_to_local_fallback() {
+    let reference = reference_report();
+
+    // Version-bumped greeting: a daemon from the future.
+    let bumped = fake_server(|mut s| {
+        let _ = s.write_all(b"tawa-cached 2\n");
+        let _ = s.flush();
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+    });
+    assert_degrades_to_local(bumped, &reference);
+
+    // Truncated frame: a hit whose payload stops short.
+    let truncated = fake_server(|mut s| {
+        let _ = s.write_all(b"tawa-cached 1\n");
+        let mut buf = [0u8; 4096];
+        let _ = s.read(&mut buf);
+        let _ = s.write_all(b"sim 4096\nonly these bytes arrive");
+        let _ = s.flush();
+    });
+    assert_degrades_to_local(truncated, &reference);
+
+    // Oversized payload length: must be refused before allocation.
+    let oversized = fake_server(|mut s| {
+        let _ = s.write_all(b"tawa-cached 1\n");
+        let mut buf = [0u8; 4096];
+        let _ = s.read(&mut buf);
+        let _ = s.write_all(b"kernel 99999999999999\n");
+        let _ = s.flush();
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+    });
+    assert_degrades_to_local(oversized, &reference);
+
+    // Mid-stream disconnect: accept, then hang up immediately.
+    let disconnect = fake_server(drop);
+    assert_degrades_to_local(disconnect, &reference);
+
+    // Garbage status line after a valid hello exchange.
+    let garbage = fake_server(|mut s| {
+        let _ = s.write_all(b"tawa-cached 1\n");
+        let mut buf = [0u8; 4096];
+        let _ = s.read(&mut buf);
+        let _ = s.write_all(b"!!! not a protocol line !!!\n");
+        let _ = s.flush();
+    });
+    assert_degrades_to_local(garbage, &reference);
+
+    // Unterminated flood: no newline ever arrives.
+    let flood = fake_server(|mut s| {
+        let _ = s.write_all(&vec![b'x'; 64 * 1024]);
+        let _ = s.flush();
+    });
+    assert_degrades_to_local(flood, &reference);
+
+    // Nobody listening at all (the daemon-down case).
+    assert_degrades_to_local(RemoteAddr::Tcp("127.0.0.1:1".into()), &reference);
+}
+
+/// Drives one raw client exchange against a real daemon: sends `bytes`
+/// after reading the greeting, returns whatever the daemon replies.
+fn raw_exchange(addr: &RemoteAddr, bytes: &[u8]) -> String {
+    let RemoteAddr::Tcp(tcp) = addr else {
+        panic!("raw_exchange expects the TCP listener");
+    };
+    let mut s = TcpStream::connect(tcp.as_str()).unwrap();
+    let mut greeting = [0u8; 14];
+    s.read_exact(&mut greeting).unwrap();
+    assert_eq!(&greeting, b"tawa-cached 1\n");
+    s.write_all(bytes).unwrap();
+    s.flush().unwrap();
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut reply = String::new();
+    let _ = s.read_to_string(&mut reply);
+    reply
+}
+
+#[test]
+fn server_survives_garbage_clients_and_keeps_serving() {
+    let root =
+        std::env::temp_dir().join(format!("tawa-cached-protocol-srv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ShardedStore::open(&root).unwrap();
+    let handle = spawn(store, &RemoteAddr::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = handle.addr().clone();
+
+    // Wrong protocol name, bumped version, raw garbage, an unknown
+    // verb, a bad fingerprint, an oversized put, a truncated put, and
+    // a client that hangs up before saying hello.
+    let corpus: &[&[u8]] = &[
+        b"tawa-kernel-cache 1\nget-kernel 0 0\n",
+        b"tawa-cached 2\nget-kernel 0 0\n",
+        b"complete nonsense\n",
+        b"tawa-cached 1\nfetch-everything now\n",
+        b"tawa-cached 1\nget-kernel zz zz\n",
+        b"tawa-cached 1\nput-kernel 0 0 99999999999999\n",
+        b"tawa-cached 1\nput-kernel 0 0 500\ntoo few bytes",
+        b"",
+    ];
+    for bytes in corpus {
+        let reply = raw_exchange(&addr, bytes);
+        assert!(
+            reply.is_empty() || reply.starts_with("err "),
+            "garbage {bytes:?} got a non-error reply {reply:?}"
+        );
+    }
+    let stats = handle.daemon_stats();
+    assert!(stats.errors >= corpus.len() as u64 - 1, "{stats:?}");
+    assert_eq!(stats.writes, 0, "no garbage may reach the store");
+
+    // An invalid kernel payload (framed correctly, fails to parse) is
+    // rejected by validation, not persisted.
+    let reply = raw_exchange(&addr, b"tawa-cached 1\nput-kernel 0 0 7\ngarbage");
+    assert!(reply.starts_with("err "), "{reply:?}");
+    assert_eq!(handle.daemon_stats().writes, 0);
+
+    // A cost-model-mismatched get is a clean miss, not an error.
+    let reply = raw_exchange(&addr, b"tawa-cached 1\nget-sim 0 0 999999\n");
+    assert_eq!(reply, "miss\n");
+
+    // After all that abuse a well-behaved session still gets service.
+    let session = CompileSession::in_memory(&Device::h100_sxm5()).with_remote_cache(addr.clone());
+    let report = session
+        .compile_and_simulate_program(
+            &gemm(&GemmConfig::new(512, 512, 512)),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+    assert!(report.cycles > 0);
+    assert!(!session.remote_cache().unwrap().is_down());
+    assert!(
+        handle.daemon_stats().writes > 0,
+        "the real session published"
+    );
+    let (sound, bad) = handle.store().verify();
+    assert_eq!(bad, 0);
+    assert!(sound > 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

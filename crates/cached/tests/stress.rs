@@ -1,0 +1,173 @@
+//! Multi-writer stress: two in-process `CompileSession`s (separate
+//! threads) plus a spawned child process, all publishing into one
+//! daemon concurrently.
+//!
+//! Asserts the fleet invariants the protocol and the store's
+//! atomic-write discipline promise: no torn entries (every shard
+//! verifies sound), no daemon-side errors, and every writer converges
+//! on identical simulation reports for identical keys.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use gpu_sim::{Device, SimReport};
+use tawa_cached::{spawn, ShardedStore};
+use tawa_core::remote::RemoteAddr;
+use tawa_core::{CompileOptions, CompileSession};
+use tawa_frontend::config::GemmConfig;
+use tawa_frontend::kernels::gemm;
+
+/// Env var carrying the daemon address to the re-executed child.
+const CHILD_ENV: &str = "TAWA_STRESS_CHILD";
+
+/// The shared workload: a few distinct kernels, one doomed
+/// configuration (exercises `put-negative`), every writer running the
+/// full set so all keys are contended.
+fn workload() -> Vec<(GemmConfig, CompileOptions)> {
+    let mut jobs: Vec<(GemmConfig, CompileOptions)> = [
+        (512, 512, 512),
+        (1024, 512, 256),
+        (768, 768, 768),
+        (256, 1024, 512),
+    ]
+    .into_iter()
+    .map(|(m, n, k)| (GemmConfig::new(m, n, k), CompileOptions::default()))
+    .collect();
+    // P > D is statically infeasible: a negative verdict every writer
+    // publishes and every other writer must then serve.
+    jobs.push((
+        GemmConfig::new(512, 512, 512),
+        CompileOptions {
+            aref_depth: 1,
+            mma_depth: 3,
+            ..CompileOptions::default()
+        },
+    ));
+    jobs
+}
+
+/// Runs the whole workload through one fresh session wired to `addr`,
+/// returning the outcome per job index. Reports must agree across every
+/// writer; error messages must agree for the doomed configuration.
+fn run_session(addr: &RemoteAddr) -> BTreeMap<usize, Result<SimReport, String>> {
+    let session = CompileSession::in_memory(&Device::h100_sxm5()).with_remote_cache(addr.clone());
+    let mut outcomes = BTreeMap::new();
+    for (i, (config, opts)) in workload().into_iter().enumerate() {
+        let program = gemm(&config);
+        let outcome = session
+            .compile_and_simulate_program(&program, &opts)
+            .map_err(|e| e.to_string());
+        outcomes.insert(i, outcome);
+    }
+    let remote = session.remote_cache().expect("remote tier attached");
+    assert!(
+        !remote.is_down(),
+        "the remote tier latched down mid-stress: {remote:?}"
+    );
+    assert_eq!(remote.stats().errors, 0, "{:?}", remote.stats());
+    outcomes
+}
+
+/// Child-process entry: inert unless re-executed with [`CHILD_ENV`]
+/// set, in which case it runs the same contended workload as the
+/// in-process writers and exits nonzero on any panic.
+#[test]
+fn stress_child_entry() {
+    let Ok(addr) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let outcomes = run_session(&RemoteAddr::parse(&addr));
+    assert_eq!(outcomes.len(), workload().len());
+    assert!(outcomes.values().any(|o| o.is_ok()), "{outcomes:?}");
+}
+
+#[test]
+fn concurrent_writers_produce_no_torn_entries_and_converge() {
+    let root = std::env::temp_dir().join(format!("tawa-cached-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ShardedStore::open(root.join("store")).unwrap();
+    // A Unix socket exactly like production; the child gets the path
+    // through the environment.
+    let handle = spawn(store, &RemoteAddr::Unix(root.join("cached.sock"))).unwrap();
+    let addr = handle.addr().clone();
+
+    // Child process: same workload, own process, same socket. Spawned
+    // first so it contends with the in-process writers below.
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(&exe)
+        .args(["stress_child_entry", "--exact", "--nocapture"])
+        .env(CHILD_ENV, addr.to_string())
+        .spawn()
+        .unwrap();
+
+    let (a, b) = std::thread::scope(|s| {
+        let ta = s.spawn(|| run_session(&addr));
+        let tb = s.spawn(|| run_session(&addr));
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "child writer failed: {status}");
+
+    // Convergence: concurrent writers race compile-vs-fetch, but the
+    // compiler is deterministic and payloads are content-addressed, so
+    // every writer must end with identical outcomes — reports
+    // bit-identical, verdict messages identical.
+    assert_eq!(a, b);
+    let expected_ok = workload().len() - 1;
+    assert_eq!(a.values().filter(|o| o.is_ok()).count(), expected_ok);
+    assert!(
+        a.values()
+            .any(|o| matches!(o, Err(msg) if msg.contains("exceeds"))),
+        "the doomed configuration must surface its infeasibility: {a:?}"
+    );
+
+    // No torn entries: every entry in every shard parses back.
+    let (sound, bad) = handle.store().verify();
+    assert_eq!(bad, 0, "torn or corrupt entries after concurrent writes");
+    assert!(sound > 0);
+
+    // The daemon served three writers without a single protocol error,
+    // and someone really did publish (puts reached the store).
+    let stats = handle.daemon_stats();
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert!(stats.connections >= 3, "{stats:?}");
+    assert!(stats.writes > 0, "{stats:?}");
+    assert!(stats.entries > 0, "{stats:?}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A second fleet pointed at the same store after a daemon restart
+/// serves everything warm: zero compiles, zero simulate calls.
+#[test]
+fn daemon_restart_keeps_the_fleet_warm() {
+    let root =
+        std::env::temp_dir().join(format!("tawa-cached-stress-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let sock = RemoteAddr::Unix(root.join("cached.sock"));
+
+    let cold = spawn(ShardedStore::open(root.join("store")).unwrap(), &sock).unwrap();
+    let first = run_session(cold.addr());
+    cold.shutdown();
+
+    // Same directory, fresh daemon — a restart, exactly like a stale
+    // socket file left by a crash (spawn removes it before binding).
+    let warm = spawn(ShardedStore::open(root.join("store")).unwrap(), &sock).unwrap();
+    let session =
+        CompileSession::in_memory(&Device::h100_sxm5()).with_remote_cache(warm.addr().clone());
+    for (i, (config, opts)) in workload().into_iter().enumerate() {
+        let outcome = session
+            .compile_and_simulate_program(&gemm(&config), &opts)
+            .map_err(|e| e.to_string());
+        assert_eq!(&outcome, first.get(&i).unwrap(), "job {i}");
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.kernel_misses, 0, "warm fleet must not compile");
+    assert_eq!(stats.sim_misses, 0, "warm fleet must not simulate");
+    assert!(stats.remote.hits() > 0, "{stats:?}");
+
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

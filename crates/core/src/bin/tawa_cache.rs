@@ -27,16 +27,19 @@ use std::process::ExitCode;
 use std::time::SystemTime;
 
 use tawa_core::cache::{CacheEntry, DiskCache, EntryKind, SimOutcome};
+use tawa_core::remote::{RemoteAddr, RemoteCache, REMOTE_CACHE_ENV};
 
 const USAGE: &str = "usage:
   tawa-cache ls <dir>                 list entries (oldest first)
   tawa-cache stats <dir>              per-kind totals and sweep accounting
+  tawa-cache stats --remote [addr]    query a live tawa-cached daemon
   tawa-cache verify <dir>             validate all entries, deleting defects
   tawa-cache gc <dir> --max-bytes N   evict least-recently-used entries to N bytes
 
 The directory is a Tawa compile cache as written by CompileSession
 (TAWA_DISK_CACHE): kernel, infeasible and sim-report entries. Keys are
-printed as <module_fp>-<env_fp>.";
+printed as <module_fp>-<env_fp>. `stats --remote` takes a daemon address
+(socket path or tcp:host:port), defaulting to $TAWA_CACHED.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +66,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "stats" => {
-            let dir = one_dir(rest)?;
+            let mut rest = rest.to_vec();
+            if let Some(i) = rest.iter().position(|a| a == "--remote") {
+                rest.remove(i);
+                let addr = match rest.as_slice() {
+                    [] => std::env::var(REMOTE_CACHE_ENV).map_err(|_| {
+                        format!("stats --remote needs an address or {REMOTE_CACHE_ENV} set")
+                    })?,
+                    [addr] => addr.clone(),
+                    _ => return Err("stats --remote takes at most one address".into()),
+                };
+                remote_stats(&addr)?;
+                return Ok(ExitCode::SUCCESS);
+            }
+            let dir = one_dir(&rest)?;
             let cache = open(&dir)?;
             stats(&cache);
             Ok(ExitCode::SUCCESS)
@@ -202,6 +218,43 @@ fn stats(cache: &DiskCache) {
     } else {
         println!("no autotune sweeps recorded");
     }
+    let sweep_log_errors = cache.stats().sweep_log_errors;
+    if sweep_log_errors > 0 {
+        println!(
+            "warning: {sweep_log_errors} sweep-log appends failed this process \
+             (sweep accounting above undercounts; entries themselves are unaffected)"
+        );
+    }
+}
+
+/// `stats --remote`: asks a live `tawa-cached` daemon for its counters
+/// over the wire protocol instead of reading a directory.
+fn remote_stats(addr: &str) -> Result<(), String> {
+    let client = RemoteCache::new(RemoteAddr::parse(addr));
+    let stats = client
+        .fetch_stats()
+        .ok_or_else(|| format!("no tawa-cached daemon answering at {}", client.addr()))?;
+    println!("tawa-cached daemon at {}", client.addr());
+    println!("  store: {} entries, {} bytes", stats.entries, stats.bytes);
+    println!(
+        "  kernels: {} hits, {} negative hits; sims: {} hits, {} negative hits; {} misses",
+        stats.hits, stats.negative_hits, stats.sim_hits, stats.sim_negative_hits, stats.misses
+    );
+    println!(
+        "  writes {}, invalidations {}, evictions {}",
+        stats.writes, stats.invalidations, stats.evictions
+    );
+    println!(
+        "  served {} requests over {} connections, {} protocol errors",
+        stats.requests, stats.connections, stats.errors
+    );
+    if stats.sweep_log_errors > 0 {
+        println!(
+            "  warning: {} sweep-log appends failed on the daemon",
+            stats.sweep_log_errors
+        );
+    }
+    Ok(())
 }
 
 fn verify(cache: &DiskCache) -> ExitCode {

@@ -162,22 +162,26 @@ fn parse_entry_name(name: &str) -> Option<(CacheKey, EntryKind)> {
     ))
 }
 
-/// Parses the body of a `.sim` entry (everything after the key echo):
-/// the `cost-model` line keying the sim tier by
-/// [`COST_MODEL_VERSION`], then either a serialized report or a
-/// `sim-error` verdict. Returns `None` for a stale cost model or any
-/// structural defect — callers treat both as an invalidating miss.
-fn parse_sim_body(body: &str) -> Option<SimOutcome> {
-    let (first, rest) = body.split_once('\n')?;
-    let version = first
-        .strip_prefix("cost-model ")?
-        .trim()
-        .parse::<u32>()
-        .ok()?;
-    if version != COST_MODEL_VERSION {
-        return None;
+/// Serializes a [`SimOutcome`] to its canonical text form: a
+/// `sim-report 1` document for reports, or a one-line
+/// `sim-error "<msg>"` / `static-error "<msg>"` verdict. This is the
+/// body grammar of `.sim` disk entries (after the cost-model echo) and
+/// the verbatim payload of the `tawa-cached 1` wire protocol's
+/// `get-sim`/`put-sim` messages — one encoding, every tier.
+pub fn encode_sim_outcome(outcome: &SimOutcome) -> String {
+    match outcome {
+        SimOutcome::Report(report) => serialize_report(report),
+        SimOutcome::Failed(msg) => format!("sim-error {}\n", quote(msg)),
+        SimOutcome::StaticRejection(msg) => format!("static-error {}\n", quote(msg)),
     }
-    let trimmed = rest.trim();
+}
+
+/// Parses the canonical [`SimOutcome`] text form (see
+/// [`encode_sim_outcome`]). Returns `None` for any structural defect —
+/// cache tiers treat that as an invalidating miss, and the daemon
+/// rejects such payloads instead of storing them.
+pub fn decode_sim_outcome(text: &str) -> Option<SimOutcome> {
+    let trimmed = text.trim();
     if trimmed.starts_with("sim-error") || trimmed.starts_with("static-error") {
         let tokens = tokenize(trimmed, 1).ok()?;
         // Exactly the `sim-error "<msg>"` / `static-error "<msg>"` shape;
@@ -193,8 +197,26 @@ fn parse_sim_body(body: &str) -> Option<SimOutcome> {
             _ => None,
         }
     } else {
-        deserialize_report(rest).ok().map(SimOutcome::Report)
+        deserialize_report(text).ok().map(SimOutcome::Report)
     }
+}
+
+/// Parses the body of a `.sim` entry (everything after the key echo):
+/// the `cost-model` line keying the sim tier by
+/// [`COST_MODEL_VERSION`], then the [`encode_sim_outcome`] grammar.
+/// Returns `None` for a stale cost model or any structural defect —
+/// callers treat both as an invalidating miss.
+fn parse_sim_body(body: &str) -> Option<SimOutcome> {
+    let (first, rest) = body.split_once('\n')?;
+    let version = first
+        .strip_prefix("cost-model ")?
+        .trim()
+        .parse::<u32>()
+        .ok()?;
+    if version != COST_MODEL_VERSION {
+        return None;
+    }
+    decode_sim_outcome(rest)
 }
 
 /// Counters of one [`DiskCache`]'s activity, plus a point-in-time scan of
@@ -223,6 +245,11 @@ pub struct DiskCacheStats {
     pub invalidations: u64,
     /// Entries removed by size/LRU eviction.
     pub evictions: u64,
+    /// Sweep-log appends that failed ([`DiskCache::record_sweep`] is
+    /// best-effort, but silence would make `tawa-cache stats` quietly
+    /// under-report what pruning saved — the failures are counted so the
+    /// gap is visible).
+    pub sweep_log_errors: u64,
     /// Entry files currently in the directory.
     pub entries: usize,
     /// Total size of entry files in bytes.
@@ -250,6 +277,9 @@ impl DiskCacheStats {
             writes: self.writes.saturating_sub(baseline.writes),
             invalidations: self.invalidations.saturating_sub(baseline.invalidations),
             evictions: self.evictions.saturating_sub(baseline.evictions),
+            sweep_log_errors: self
+                .sweep_log_errors
+                .saturating_sub(baseline.sweep_log_errors),
             entries: self.entries,
             bytes: self.bytes,
         }
@@ -302,6 +332,7 @@ pub struct DiskCache {
     writes: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
+    sweep_log_errors: AtomicU64,
 }
 
 /// Process-global sequence for temp-file names. Deliberately **not**
@@ -348,6 +379,7 @@ impl DiskCache {
             writes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            sweep_log_errors: AtomicU64::new(0),
         })
     }
 
@@ -388,6 +420,7 @@ impl DiskCache {
             writes: self.writes.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            sweep_log_errors: self.sweep_log_errors.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -528,6 +561,17 @@ impl DiskCache {
         self.write_entry(self.entry_path(key, "sim"), &doc);
     }
 
+    /// Stores any [`SimOutcome`] under `(key, COST_MODEL_VERSION)` —
+    /// the entry point the session's remote-promotion path and the
+    /// `tawa-cached` daemon use, dispatching to the per-kind stores.
+    pub fn store_sim_outcome(&self, key: &CacheKey, outcome: &SimOutcome) {
+        match outcome {
+            SimOutcome::Report(report) => self.store_sim_report(key, report),
+            SimOutcome::Failed(msg) => self.store_sim_failure(key, msg),
+            SimOutcome::StaticRejection(msg) => self.store_static_rejection(key, msg),
+        }
+    }
+
     /// Removes every entry file. Counters are kept.
     pub fn clear(&self) {
         for (path, _, _) in self.scan_entries() {
@@ -542,16 +586,22 @@ impl DiskCache {
     /// what model-guided pruning saved across every session that used
     /// this directory. Each line is one sweep:
     /// `sweep pruned=<n> sims=<n>`.
+    ///
+    /// Best-effort like every other write — but *counted* best-effort: a
+    /// failed append bumps [`DiskCacheStats::sweep_log_errors`] so
+    /// `tawa-cache stats` can report that the sweep accounting is
+    /// incomplete instead of silently under-counting.
     pub fn record_sweep(&self, analytic_pruned: u64, simulate_calls: u64) {
         let line = format!("sweep pruned={analytic_pruned} sims={simulate_calls}\n");
         // A single small O_APPEND write lands as one line even with
         // concurrent writers; a torn line is skipped by the parser.
-        if let Ok(mut f) = fs::OpenOptions::new()
+        let appended = fs::OpenOptions::new()
             .append(true)
             .create(true)
             .open(self.root.join(SWEEP_LOG))
-        {
-            let _ = std::io::Write::write_all(&mut f, line.as_bytes());
+            .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+        if appended.is_err() {
+            self.sweep_log_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -975,6 +1025,67 @@ mod tests {
         // A log that is nothing but a torn line reads as all-zero.
         fs::write(&log, "sweep pruned=4 si").unwrap();
         assert_eq!(cache.sweep_totals(), SweepTotals::default());
+    }
+
+    #[test]
+    fn failed_sweep_appends_are_counted_not_silent() {
+        let cache = DiskCache::open(tmp_dir("sweeplog-errors")).unwrap();
+        assert_eq!(cache.stats().sweep_log_errors, 0);
+        cache.record_sweep(1, 2);
+        assert_eq!(cache.stats().sweep_log_errors, 0, "healthy append");
+        // Make the append fail deterministically: a directory squatting
+        // on the log path defeats O_APPEND|O_CREAT.
+        let log = cache.root().join(SWEEP_LOG);
+        fs::remove_file(&log).unwrap();
+        fs::create_dir(&log).unwrap();
+        cache.record_sweep(3, 4);
+        cache.record_sweep(5, 6);
+        let stats = cache.stats();
+        assert_eq!(stats.sweep_log_errors, 2, "each failed append counts");
+        assert_eq!(cache.sweep_totals(), SweepTotals::default());
+        // delta() treats it as the counter it is.
+        let later = cache.stats();
+        assert_eq!(later.delta(&stats).sweep_log_errors, 0);
+        fs::remove_dir(&log).unwrap();
+        cache.record_sweep(7, 8);
+        assert_eq!(cache.stats().sweep_log_errors, 2, "recovers once writable");
+        assert_eq!(cache.sweep_totals().sweeps, 1);
+    }
+
+    #[test]
+    fn sim_outcome_codec_round_trips_all_variants() {
+        let outcomes = [
+            SimOutcome::Report(sample_report(3)),
+            SimOutcome::Failed("deadlock: [cta0 wg1 BlockedBar(0) since 42]".to_string()),
+            SimOutcome::StaticRejection("static deadlock: wg0 waits on bar0 \"full\"".to_string()),
+        ];
+        for outcome in &outcomes {
+            let text = encode_sim_outcome(outcome);
+            assert_eq!(
+                decode_sim_outcome(&text).as_ref(),
+                Some(outcome),
+                "{text:?}"
+            );
+        }
+        // The codec is the wire body of the remote tier: garbage and
+        // truncation must decode to None, never panic.
+        for bad in ["", "sim-error", "sim-error a b", "static-error", "nonsense"] {
+            assert_eq!(decode_sim_outcome(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn store_sim_outcome_dispatches_to_all_three_slots() {
+        let cache = DiskCache::open(tmp_dir("sim-outcome-store")).unwrap();
+        let outcomes = [
+            (key(1, 1), SimOutcome::Report(sample_report(2))),
+            (key(2, 2), SimOutcome::Failed("deadlock".to_string())),
+            (key(3, 3), SimOutcome::StaticRejection("static".to_string())),
+        ];
+        for (k, outcome) in &outcomes {
+            cache.store_sim_outcome(k, outcome);
+            assert_eq!(cache.load_sim(k).as_ref(), Some(outcome));
+        }
     }
 
     #[test]

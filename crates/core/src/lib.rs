@@ -54,14 +54,18 @@ pub mod autotune;
 pub mod cache;
 pub mod compile;
 pub mod consteval;
+pub mod envcfg;
 pub mod lower;
 pub mod parity;
 pub mod partition;
 pub mod pipeline;
+pub mod remote;
 pub mod session;
 
 pub use cache::{CacheEntry, DiskCache, DiskCacheStats, EntryKind, SimOutcome, SweepTotals};
 pub use compile::{compile, compile_and_simulate};
+pub use envcfg::CacheEnv;
 pub use lower::{CompileError, CompileOptions};
+pub use remote::{DaemonStats, RemoteAddr, RemoteCache, RemoteCacheStats, REMOTE_CACHE_ENV};
 pub use session::{CacheStats, CompileJob, CompileSession, COMPILE_WORKERS_ENV, DISK_CACHE_ENV};
 pub mod interp;

@@ -1,0 +1,843 @@
+//! The `tawa-cached 1` wire protocol and its client — the **remote
+//! tier** behind [`CompileSession`](crate::session::CompileSession).
+//!
+//! A fleet of sessions shares one `tawa-cached` daemon (see the
+//! `tawa_cached` crate) fronting a fingerprint-sharded cache directory.
+//! The protocol is deliberately in the same family as every other Tawa
+//! serialization: versioned, line-oriented, content-addressed. Requests
+//! are keyed by [`CacheKey`] (and the simulator's
+//! [`COST_MODEL_VERSION`] for sim outcomes); payloads travel verbatim
+//! in the existing `wsir 1` / `sim-report 1` text formats, framed by a
+//! decimal byte count on the request or response line.
+//!
+//! ## Wire grammar
+//!
+//! ```text
+//! greeting   := "tawa-cached 1\n"                      server → client, on accept
+//! hello      := "tawa-cached 1\n"                      client → server, once per connection
+//! request    := get-kernel | put-kernel | put-negative
+//!             | get-sim | put-sim | stats | evict
+//! get-kernel   := "get-kernel <module_fp> <env_fp>\n"
+//! put-kernel   := "put-kernel <module_fp> <env_fp> <n>\n" <n bytes: wsir 1 text>
+//! put-negative := "put-negative <module_fp> <env_fp> <n>\n" <n bytes: verdict text>
+//! get-sim      := "get-sim <module_fp> <env_fp> <cost-model>\n"
+//! put-sim      := "put-sim <module_fp> <env_fp> <cost-model> <n>\n" <n bytes: sim outcome>
+//! stats        := "stats\n"
+//! evict        := "evict <max-bytes>\n"
+//!
+//! response   := "kernel <n>\n" <n bytes>               get-kernel hit
+//!             | "negative <n>\n" <n bytes>             get-kernel infeasibility hit
+//!             | "sim <n>\n" <n bytes>                  get-sim hit
+//!             | "miss\n"                               either get, no entry
+//!             | "ok\n"                                 put accepted
+//!             | "ok evicted=<n>\n"                     evict done
+//!             | "stats <key>=<n> ...\n"                daemon counters
+//!             | "err <quoted-message>\n"               request rejected
+//! ```
+//!
+//! Fingerprints are 16-digit lowercase hex; byte counts are decimal and
+//! capped at [`MAX_PAYLOAD_BYTES`]. A connection carries any number of
+//! requests after the single hello exchange. Sim payloads are the
+//! [`encode_sim_outcome`] body *without* the local tier's `cost-model`
+//! header — the version rides on the request line instead, so a daemon
+//! never serves an outcome priced by a different timing model.
+//!
+//! ## Degradation contract
+//!
+//! The client never fails a compile. Any transport error, version
+//! mismatch or protocol violation latches the client down, warns once
+//! on stderr, and every subsequent call becomes a cheap no-op — the
+//! session quietly runs on its local tiers. All traffic is counted in
+//! [`RemoteCacheStats`].
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use gpu_sim::COST_MODEL_VERSION;
+use tawa_wsir::serialize::{quote, tokenize, Fields};
+use tawa_wsir::{deserialize_kernel, serialize_kernel, Kernel};
+
+use crate::cache::{decode_sim_outcome, encode_sim_outcome, CacheKey, SimOutcome};
+
+/// Protocol name, echoed in both hello lines.
+pub const REMOTE_PROTOCOL: &str = "tawa-cached";
+
+/// Protocol version. Bump on any incompatible grammar change; a
+/// mismatched peer is refused (server) or latched down (client).
+pub const REMOTE_PROTOCOL_VERSION: u32 = 1;
+
+/// Environment variable naming the daemon endpoint: a Unix-socket path,
+/// or `tcp:host:port` for TCP (tests, cross-host fleets).
+pub const REMOTE_CACHE_ENV: &str = "TAWA_CACHED";
+
+/// Upper bound on a single framed payload. Far above any real kernel or
+/// sim report; a length past this is a protocol violation, not an
+/// allocation request.
+pub const MAX_PAYLOAD_BYTES: u64 = 64 << 20;
+
+/// Per-operation socket read/write timeout. A wedged daemon must stall
+/// a compile by at most this long, once, before the client latches down.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The hello/greeting line (without the trailing newline).
+pub fn hello_line() -> String {
+    format!("{REMOTE_PROTOCOL} {REMOTE_PROTOCOL_VERSION}")
+}
+
+/// Validates a peer's hello line against [`REMOTE_PROTOCOL`] /
+/// [`REMOTE_PROTOCOL_VERSION`].
+pub fn check_hello(line: &str) -> io::Result<()> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let ok = tokens.len() == 2
+        && tokens[0] == REMOTE_PROTOCOL
+        && tokens[1].parse::<u32>() == Ok(REMOTE_PROTOCOL_VERSION);
+    if ok {
+        Ok(())
+    } else {
+        Err(protocol_err(format!(
+            "expected {:?} hello, got {line:?}",
+            hello_line()
+        )))
+    }
+}
+
+/// Builds an [`io::Error`] for a protocol violation.
+pub fn protocol_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one `\n`-terminated line, returning `None` at a clean EOF.
+/// The terminator (and a preceding `\r`, for telnet-style debugging)
+/// is stripped.
+pub fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    // Guard against an unterminated flood: a line longer than any legal
+    // request or status is a protocol violation.
+    let mut limited = reader.take(4096);
+    if limited.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    match line.pop() {
+        Some('\n') => {
+            if line.ends_with('\r') {
+                line.pop();
+            }
+            Ok(Some(line))
+        }
+        _ => Err(protocol_err("unterminated line")),
+    }
+}
+
+/// Reads an exactly-`len`-byte UTF-8 payload, refusing lengths past
+/// [`MAX_PAYLOAD_BYTES`] before allocating.
+pub fn read_payload(reader: &mut impl BufRead, len: u64) -> io::Result<String> {
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(protocol_err(format!(
+            "payload of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    reader.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| protocol_err("payload is not UTF-8"))
+}
+
+/// Where a `tawa-cached` daemon listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemoteAddr {
+    /// A Unix-domain socket path — the production default.
+    Unix(PathBuf),
+    /// A `host:port` TCP endpoint — tests and cross-host fleets.
+    Tcp(String),
+}
+
+impl RemoteAddr {
+    /// Parses the [`REMOTE_CACHE_ENV`] syntax: `tcp:host:port` is TCP,
+    /// anything else is a Unix-socket path.
+    pub fn parse(text: &str) -> RemoteAddr {
+        match text.strip_prefix("tcp:") {
+            Some(addr) => RemoteAddr::Tcp(addr.to_string()),
+            None => RemoteAddr::Unix(PathBuf::from(text)),
+        }
+    }
+}
+
+impl fmt::Display for RemoteAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteAddr::Unix(path) => write!(f, "{}", path.display()),
+            RemoteAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A connected client or server stream of either transport.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn connect(addr: &RemoteAddr) -> io::Result<Stream> {
+        let stream = match addr {
+            RemoteAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            RemoteAddr::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        };
+        match &stream {
+            Stream::Unix(s) => {
+                s.set_read_timeout(Some(IO_TIMEOUT))?;
+                s.set_write_timeout(Some(IO_TIMEOUT))?;
+            }
+            Stream::Tcp(s) => {
+                s.set_read_timeout(Some(IO_TIMEOUT))?;
+                s.set_write_timeout(Some(IO_TIMEOUT))?;
+            }
+        }
+        Ok(stream)
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A `get-kernel` hit: either the compiled kernel or the cached
+/// infeasibility verdict for that key.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RemoteKernel {
+    /// The key's compiled kernel, deserialized from its `wsir 1` payload.
+    Kernel(Kernel),
+    /// The key is negatively cached: compilation is known-infeasible.
+    Infeasible(String),
+}
+
+/// Client-side traffic counters for the remote tier. All monotone; the
+/// session folds them into
+/// [`CacheStats`](crate::session::CacheStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteCacheStats {
+    /// `get-kernel` requests answered with a kernel payload.
+    pub kernel_hits: u64,
+    /// `get-kernel` requests answered with an infeasibility verdict.
+    pub negative_hits: u64,
+    /// `get-sim` requests answered with a successful simulation report.
+    pub sim_hits: u64,
+    /// `get-sim` requests answered with a cached failure or static
+    /// rejection.
+    pub sim_negative_hits: u64,
+    /// Get requests the daemon answered `miss`.
+    pub misses: u64,
+    /// Put requests the daemon acknowledged.
+    pub puts: u64,
+    /// Failed operations: transport errors, version mismatches,
+    /// protocol violations, rejected puts.
+    pub errors: u64,
+    /// Round trips attempted (every request that reached the wire,
+    /// successful or not).
+    pub roundtrips: u64,
+}
+
+impl RemoteCacheStats {
+    /// Total hits across all four get classes.
+    pub fn hits(&self) -> u64 {
+        self.kernel_hits + self.negative_hits + self.sim_hits + self.sim_negative_hits
+    }
+
+    /// Counter increments since `baseline` (saturating, so a stale
+    /// baseline reads as zero rather than wrapping).
+    pub fn delta(&self, baseline: &RemoteCacheStats) -> RemoteCacheStats {
+        RemoteCacheStats {
+            kernel_hits: self.kernel_hits.saturating_sub(baseline.kernel_hits),
+            negative_hits: self.negative_hits.saturating_sub(baseline.negative_hits),
+            sim_hits: self.sim_hits.saturating_sub(baseline.sim_hits),
+            sim_negative_hits: self
+                .sim_negative_hits
+                .saturating_sub(baseline.sim_negative_hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            puts: self.puts.saturating_sub(baseline.puts),
+            errors: self.errors.saturating_sub(baseline.errors),
+            roundtrips: self.roundtrips.saturating_sub(baseline.roundtrips),
+        }
+    }
+}
+
+/// One `stats` response from the daemon: aggregate [`DiskCacheStats`]
+/// across the shards plus server-side connection accounting.
+///
+/// [`DiskCacheStats`]: crate::cache::DiskCacheStats
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Entries across all shards.
+    pub entries: u64,
+    /// Payload bytes across all shards.
+    pub bytes: u64,
+    /// Kernel hits served.
+    pub hits: u64,
+    /// Get requests that found no entry.
+    pub misses: u64,
+    /// Entries written (puts accepted).
+    pub writes: u64,
+    /// Infeasibility hits served.
+    pub negative_hits: u64,
+    /// Sim-report hits served.
+    pub sim_hits: u64,
+    /// Sim-failure / static-rejection hits served.
+    pub sim_negative_hits: u64,
+    /// Corrupt or stale entries deleted on read.
+    pub invalidations: u64,
+    /// Entries evicted by `evict`.
+    pub evictions: u64,
+    /// Failed sweep-log appends across shards.
+    pub sweep_log_errors: u64,
+    /// Connections accepted since the daemon started.
+    pub connections: u64,
+    /// Requests served since the daemon started.
+    pub requests: u64,
+    /// Malformed requests and per-connection failures.
+    pub errors: u64,
+}
+
+impl DaemonStats {
+    const FIELDS: [&'static str; 14] = [
+        "entries",
+        "bytes",
+        "hits",
+        "misses",
+        "writes",
+        "negative_hits",
+        "sim_hits",
+        "sim_negative_hits",
+        "invalidations",
+        "evictions",
+        "sweep_log_errors",
+        "connections",
+        "requests",
+        "errors",
+    ];
+
+    fn field(&self, name: &str) -> u64 {
+        match name {
+            "entries" => self.entries,
+            "bytes" => self.bytes,
+            "hits" => self.hits,
+            "misses" => self.misses,
+            "writes" => self.writes,
+            "negative_hits" => self.negative_hits,
+            "sim_hits" => self.sim_hits,
+            "sim_negative_hits" => self.sim_negative_hits,
+            "invalidations" => self.invalidations,
+            "evictions" => self.evictions,
+            "sweep_log_errors" => self.sweep_log_errors,
+            "connections" => self.connections,
+            "requests" => self.requests,
+            "errors" => self.errors,
+            _ => unreachable!("unknown daemon-stats field {name}"),
+        }
+    }
+
+    /// Renders the `stats ...` response line (without the newline).
+    pub fn to_line(&self) -> String {
+        let mut line = String::from("stats");
+        for name in Self::FIELDS {
+            line.push_str(&format!(" {name}={}", self.field(name)));
+        }
+        line
+    }
+
+    /// Parses a `stats ...` response line. Unknown fields are ignored
+    /// (a newer daemon may report more), missing fields are an error.
+    pub fn parse(line: &str) -> Option<DaemonStats> {
+        let tokens = tokenize(line, 1).ok()?;
+        let (head, rest) = tokens.split_first()?;
+        if head != "stats" {
+            return None;
+        }
+        let fields = Fields::new(rest, 1);
+        Some(DaemonStats {
+            entries: fields.u64("entries").ok()?,
+            bytes: fields.u64("bytes").ok()?,
+            hits: fields.u64("hits").ok()?,
+            misses: fields.u64("misses").ok()?,
+            writes: fields.u64("writes").ok()?,
+            negative_hits: fields.u64("negative_hits").ok()?,
+            sim_hits: fields.u64("sim_hits").ok()?,
+            sim_negative_hits: fields.u64("sim_negative_hits").ok()?,
+            invalidations: fields.u64("invalidations").ok()?,
+            evictions: fields.u64("evictions").ok()?,
+            sweep_log_errors: fields.u64("sweep_log_errors").ok()?,
+            connections: fields.u64("connections").ok()?,
+            requests: fields.u64("requests").ok()?,
+            errors: fields.u64("errors").ok()?,
+        })
+    }
+}
+
+/// One parsed response: the status line's tokens plus an optional
+/// framed payload.
+struct Response {
+    status: Vec<String>,
+    payload: Option<String>,
+}
+
+impl Response {
+    fn head(&self) -> &str {
+        self.status.first().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Client for a `tawa-cached` daemon — the session's fourth tier.
+///
+/// Thread-safe and connectionless: every operation dials, performs the
+/// hello exchange, and runs one request, so concurrent batch workers
+/// never serialize on a shared stream. After any failure the client
+/// latches down (see the module docs) and all methods return instantly.
+pub struct RemoteCache {
+    addr: RemoteAddr,
+    down: AtomicBool,
+    warned: AtomicBool,
+    kernel_hits: AtomicU64,
+    negative_hits: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_negative_hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    errors: AtomicU64,
+    roundtrips: AtomicU64,
+}
+
+impl fmt::Debug for RemoteCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteCache")
+            .field("addr", &self.addr)
+            .field("down", &self.is_down())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RemoteCache {
+    /// Creates a client for `addr`. No connection is attempted until
+    /// the first operation — a session pointed at a dead daemon costs
+    /// one failed dial, one warning, and nothing more.
+    pub fn new(addr: RemoteAddr) -> RemoteCache {
+        RemoteCache {
+            addr,
+            down: AtomicBool::new(false),
+            warned: AtomicBool::new(false),
+            kernel_hits: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            sim_negative_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            roundtrips: AtomicU64::new(0),
+        }
+    }
+
+    /// The daemon endpoint this client dials.
+    pub fn addr(&self) -> &RemoteAddr {
+        &self.addr
+    }
+
+    /// Whether the client has latched down after a failure.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of the client's traffic counters.
+    pub fn stats(&self) -> RemoteCacheStats {
+        RemoteCacheStats {
+            kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            sim_negative_hits: self.sim_negative_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            roundtrips: self.roundtrips.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Latches the client down, counting the failure and warning once.
+    fn fail(&self, context: &str, err: impl fmt::Display) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.down.store(true, Ordering::Relaxed);
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "tawa-cached: remote cache {} unavailable ({context}: {err}); \
+                 falling back to local tiers",
+                self.addr
+            );
+        }
+    }
+
+    /// Counts a rejected request without latching: the daemon is alive
+    /// and speaking the protocol, it just refused this payload.
+    fn rejected(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dials the daemon, exchanges hellos, sends one request (plus
+    /// optional payload) and reads the response.
+    fn transact(&self, request: &str, payload: Option<&str>) -> io::Result<Response> {
+        self.roundtrips.fetch_add(1, Ordering::Relaxed);
+        let mut conn = BufReader::new(Stream::connect(&self.addr)?);
+        let greeting =
+            read_line(&mut conn)?.ok_or_else(|| protocol_err("closed before greeting"))?;
+        check_hello(&greeting)?;
+        let mut out = format!("{}\n{request}\n", hello_line());
+        if let Some(payload) = payload {
+            out.push_str(payload);
+        }
+        conn.get_mut().write_all(out.as_bytes())?;
+        conn.get_mut().flush()?;
+        let status = read_line(&mut conn)?.ok_or_else(|| protocol_err("closed before response"))?;
+        let status: Vec<String> = status.split_whitespace().map(str::to_string).collect();
+        let payload = match status.as_slice() {
+            [kind, len] if matches!(kind.as_str(), "kernel" | "negative" | "sim") => {
+                let len = len
+                    .parse::<u64>()
+                    .map_err(|_| protocol_err(format!("bad payload length {len:?}")))?;
+                Some(read_payload(&mut conn, len)?)
+            }
+            _ => None,
+        };
+        Ok(Response { status, payload })
+    }
+
+    /// Looks up the compiled kernel (or cached infeasibility verdict)
+    /// for `key`. `None` is a miss — or a down client, which is
+    /// indistinguishable by design.
+    pub fn get_kernel(&self, key: &CacheKey) -> Option<RemoteKernel> {
+        if self.is_down() {
+            return None;
+        }
+        let req = format!("get-kernel {:016x} {:016x}", key.module_fp, key.env_fp);
+        let resp = match self.transact(&req, None) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.fail("get-kernel", e);
+                return None;
+            }
+        };
+        match (resp.head(), &resp.payload) {
+            ("kernel", Some(text)) => match deserialize_kernel(text) {
+                Ok(kernel) => {
+                    self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(RemoteKernel::Kernel(kernel))
+                }
+                Err(e) => {
+                    self.fail("get-kernel", format!("undecodable kernel payload: {e}"));
+                    None
+                }
+            },
+            ("negative", Some(text)) => {
+                self.negative_hits.fetch_add(1, Ordering::Relaxed);
+                Some(RemoteKernel::Infeasible(text.clone()))
+            }
+            ("miss", None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            _ => {
+                self.fail("get-kernel", unexpected(&resp));
+                None
+            }
+        }
+    }
+
+    /// Publishes a compiled kernel for `key` (write-back after a cold
+    /// compile). Best-effort: failures are counted, never surfaced.
+    pub fn put_kernel(&self, key: &CacheKey, kernel: &Kernel) {
+        let payload = serialize_kernel(kernel);
+        let req = format!(
+            "put-kernel {:016x} {:016x} {}",
+            key.module_fp,
+            key.env_fp,
+            payload.len()
+        );
+        self.put(req, &payload, "put-kernel");
+    }
+
+    /// Publishes an infeasibility verdict for `key`.
+    pub fn put_infeasible(&self, key: &CacheKey, message: &str) {
+        let req = format!(
+            "put-negative {:016x} {:016x} {}",
+            key.module_fp,
+            key.env_fp,
+            message.len()
+        );
+        self.put(req, message, "put-negative");
+    }
+
+    /// Looks up the simulation outcome for `(key, COST_MODEL_VERSION)`.
+    pub fn get_sim(&self, key: &CacheKey) -> Option<SimOutcome> {
+        if self.is_down() {
+            return None;
+        }
+        let req = format!(
+            "get-sim {:016x} {:016x} {COST_MODEL_VERSION}",
+            key.module_fp, key.env_fp
+        );
+        let resp = match self.transact(&req, None) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.fail("get-sim", e);
+                return None;
+            }
+        };
+        match (resp.head(), &resp.payload) {
+            ("sim", Some(text)) => match decode_sim_outcome(text) {
+                Some(outcome) => {
+                    let counter = match &outcome {
+                        SimOutcome::Report(_) => &self.sim_hits,
+                        _ => &self.sim_negative_hits,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    Some(outcome)
+                }
+                None => {
+                    self.fail("get-sim", "undecodable sim payload");
+                    None
+                }
+            },
+            ("miss", None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            _ => {
+                self.fail("get-sim", unexpected(&resp));
+                None
+            }
+        }
+    }
+
+    /// Publishes a simulation outcome for `(key, COST_MODEL_VERSION)`.
+    pub fn put_sim(&self, key: &CacheKey, outcome: &SimOutcome) {
+        let payload = encode_sim_outcome(outcome);
+        let req = format!(
+            "put-sim {:016x} {:016x} {COST_MODEL_VERSION} {}",
+            key.module_fp,
+            key.env_fp,
+            payload.len()
+        );
+        self.put(req, &payload, "put-sim");
+    }
+
+    fn put(&self, request: String, payload: &str, context: &str) {
+        if self.is_down() {
+            return;
+        }
+        if payload.len() as u64 > MAX_PAYLOAD_BYTES {
+            self.rejected();
+            return;
+        }
+        match self.transact(&request, Some(payload)) {
+            Ok(resp) if resp.head() == "ok" => {
+                self.puts.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(resp) if resp.head() == "err" => self.rejected(),
+            Ok(resp) => self.fail(context, unexpected(&resp)),
+            Err(e) => self.fail(context, e),
+        }
+    }
+
+    /// Fetches the daemon's aggregate counters (`tawa-cache stats
+    /// --remote`). `None` if the daemon is unreachable or mis-speaking.
+    pub fn fetch_stats(&self) -> Option<DaemonStats> {
+        if self.is_down() {
+            return None;
+        }
+        match self.transact("stats", None) {
+            Ok(resp) => {
+                let parsed = DaemonStats::parse(&resp.status.join(" "));
+                if parsed.is_none() {
+                    self.fail("stats", unexpected(&resp));
+                }
+                parsed
+            }
+            Err(e) => {
+                self.fail("stats", e);
+                None
+            }
+        }
+    }
+
+    /// Asks the daemon to evict LRU entries down to `max_bytes`,
+    /// returning how many entries went.
+    pub fn evict(&self, max_bytes: u64) -> Option<u64> {
+        if self.is_down() {
+            return None;
+        }
+        match self.transact(&format!("evict {max_bytes}"), None) {
+            Ok(resp) => match resp.status.as_slice() {
+                [ok, field] if ok == "ok" => {
+                    let n = field.strip_prefix("evicted=")?.parse::<u64>().ok();
+                    if n.is_none() {
+                        self.fail("evict", unexpected(&resp));
+                    }
+                    n
+                }
+                _ => {
+                    self.fail("evict", unexpected(&resp));
+                    None
+                }
+            },
+            Err(e) => {
+                self.fail("evict", e);
+                None
+            }
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> String {
+    format!("unexpected response {:?}", resp.status.join(" "))
+}
+
+/// Renders an `err` response line for `message` (server side).
+pub fn err_line(message: &str) -> String {
+    format!("err {}", quote(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_parses_unix_and_tcp() {
+        assert_eq!(
+            RemoteAddr::parse("/run/tawa/cached.sock"),
+            RemoteAddr::Unix(PathBuf::from("/run/tawa/cached.sock"))
+        );
+        assert_eq!(
+            RemoteAddr::parse("tcp:127.0.0.1:7450"),
+            RemoteAddr::Tcp("127.0.0.1:7450".to_string())
+        );
+        assert_eq!(
+            RemoteAddr::parse("tcp:127.0.0.1:7450").to_string(),
+            "tcp:127.0.0.1:7450"
+        );
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_mismatches() {
+        assert!(check_hello(&hello_line()).is_ok());
+        for bad in [
+            "",
+            "tawa-cached",
+            "tawa-cached 2",
+            "tawa-cached one",
+            "tawa-kernel-cache 1",
+            "tawa-cached 1 extra",
+        ] {
+            assert!(check_hello(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn daemon_stats_line_round_trips() {
+        let stats = DaemonStats {
+            entries: 12,
+            bytes: 34_567,
+            hits: 8,
+            misses: 3,
+            writes: 12,
+            negative_hits: 1,
+            sim_hits: 6,
+            sim_negative_hits: 2,
+            invalidations: 1,
+            evictions: 4,
+            sweep_log_errors: 1,
+            connections: 9,
+            requests: 40,
+            errors: 2,
+        };
+        assert_eq!(DaemonStats::parse(&stats.to_line()), Some(stats));
+        assert_eq!(
+            DaemonStats::parse("stats entries=1"),
+            None,
+            "missing fields"
+        );
+        assert_eq!(DaemonStats::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn read_line_handles_eof_and_floods() {
+        let mut ok = io::Cursor::new(b"hello\nworld\n".to_vec());
+        assert_eq!(read_line(&mut ok).unwrap().as_deref(), Some("hello"));
+        assert_eq!(read_line(&mut ok).unwrap().as_deref(), Some("world"));
+        assert_eq!(read_line(&mut ok).unwrap(), None);
+
+        let mut torn = io::Cursor::new(b"no newline".to_vec());
+        assert!(read_line(&mut torn).is_err());
+
+        let mut flood = io::Cursor::new(vec![b'x'; 1 << 20]);
+        assert!(read_line(&mut flood).is_err(), "unbounded line refused");
+    }
+
+    #[test]
+    fn read_payload_enforces_cap_and_utf8() {
+        let mut r = io::Cursor::new(b"abcdef".to_vec());
+        assert_eq!(read_payload(&mut r, 3).unwrap(), "abc");
+        let mut r = io::Cursor::new(b"ab".to_vec());
+        assert!(read_payload(&mut r, 3).is_err(), "short read");
+        let mut r = io::Cursor::new(Vec::new());
+        assert!(
+            read_payload(&mut r, MAX_PAYLOAD_BYTES + 1).is_err(),
+            "cap enforced before allocation"
+        );
+        let mut r = io::Cursor::new(vec![0xff, 0xfe]);
+        assert!(read_payload(&mut r, 2).is_err(), "non-UTF-8 refused");
+    }
+
+    #[test]
+    fn down_client_is_a_quiet_no_op() {
+        // A client pointed at a nonexistent socket fails its first
+        // operation, latches down, and then never dials again.
+        let client = RemoteCache::new(RemoteAddr::parse("/nonexistent/tawa-cached.sock"));
+        let key = CacheKey {
+            module_fp: 1,
+            env_fp: 2,
+        };
+        assert!(client.get_kernel(&key).is_none());
+        assert!(client.is_down());
+        let after_first = client.stats();
+        assert_eq!(after_first.errors, 1);
+        assert_eq!(after_first.roundtrips, 1);
+        // Everything after the latch is free: no further round trips.
+        assert!(client.get_sim(&key).is_none());
+        client.put_infeasible(&key, "nope");
+        assert!(client.fetch_stats().is_none());
+        assert!(client.evict(0).is_none());
+        let stats = client.stats();
+        assert_eq!(stats.roundtrips, 1);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.hits(), 0);
+    }
+}

@@ -83,9 +83,11 @@ use tawa_ir::spec::LaunchSpec;
 use tawa_wsir::Kernel;
 
 use crate::cache::{CacheKey, DiskCache, DiskCacheStats, SimOutcome};
+use crate::envcfg::CacheEnv;
 use crate::lower::{lower_simt, lower_ws, CompileError, CompileOptions};
 use crate::partition::WarpSpecialize;
 use crate::pipeline::{CoarsePipeline, FineGrainedPipeline};
+use crate::remote::{RemoteAddr, RemoteCache, RemoteCacheStats, RemoteKernel};
 
 /// The options-independent cleanup prefix every compilation starts with.
 pub const CLEANUP_PIPELINE: &str = "fixpoint(const-fold,dce)";
@@ -215,11 +217,13 @@ pub struct CacheStats {
     pub analytic_pruned: u64,
     /// Disk-cache counters (all zero when no disk cache is attached).
     pub disk: DiskCacheStats,
+    /// Remote-tier counters (all zero when no remote cache is attached).
+    pub remote: RemoteCacheStats,
 }
 
 impl CacheStats {
     /// Total cache hits: in-memory kernels and simulation reports, plus
-    /// positive, negative and sim-tier disk hits.
+    /// positive, negative and sim-tier disk hits, plus remote-tier hits.
     pub fn hits(&self) -> u64 {
         self.kernel_hits
             + self.sim_hits
@@ -227,6 +231,7 @@ impl CacheStats {
             + self.disk.negative_hits
             + self.disk.sim_hits
             + self.disk.sim_negative_hits
+            + self.remote.hits()
     }
 
     /// Total in-memory cache misses across kernels and simulation reports.
@@ -261,6 +266,7 @@ impl CacheStats {
                 .analytic_pruned
                 .saturating_sub(baseline.analytic_pruned),
             disk: self.disk.delta(&baseline.disk),
+            remote: self.remote.delta(&baseline.remote),
         }
     }
 }
@@ -315,6 +321,7 @@ pub struct CompileSession {
     cleaned: Mutex<HashMap<u64, Arc<Module>>>,
     reports: Sharded<SimReport>,
     disk: Option<DiskCache>,
+    remote: Option<RemoteCache>,
     workers: Option<usize>,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
@@ -336,20 +343,26 @@ impl std::fmt::Debug for CompileSession {
 impl CompileSession {
     /// Creates a session for `device` with the full Tawa pass registry.
     ///
-    /// When the [`DISK_CACHE_ENV`] environment variable names a directory,
-    /// a [`DiskCache`] rooted there is attached automatically (silently
-    /// skipped if the directory cannot be created — an unusable default
-    /// must not break compilation; use
-    /// [`CompileSession::with_disk_cache`] to surface the error).
+    /// The cache environment ([`crate::envcfg::CacheEnv`]) is honored:
+    /// when [`DISK_CACHE_ENV`] names a directory, a [`DiskCache`] rooted
+    /// there is attached automatically (silently skipped if the directory
+    /// cannot be created — an unusable default must not break
+    /// compilation; use [`CompileSession::with_disk_cache`] to surface
+    /// the error), and when [`REMOTE_CACHE_ENV`] names a `tawa-cached`
+    /// endpoint, a [`RemoteCache`] tier is attached behind it.
+    ///
+    /// [`REMOTE_CACHE_ENV`]: crate::remote::REMOTE_CACHE_ENV
     pub fn new(device: &Device) -> CompileSession {
-        let disk = default_disk_cache(std::env::var(DISK_CACHE_ENV).ok());
+        let env = CacheEnv::from_env();
         let mut session = Self::in_memory(device);
-        session.disk = disk;
+        session.disk = default_disk_cache(env.disk);
+        session.remote = env.remote.map(RemoteCache::new);
         session
     }
 
-    /// Creates a session with no disk tier, ignoring [`DISK_CACHE_ENV`]
-    /// (the [`COMPILE_WORKERS_ENV`] worker override still applies).
+    /// Creates a session with no disk or remote tier, ignoring
+    /// [`DISK_CACHE_ENV`] and [`crate::remote::REMOTE_CACHE_ENV`] (the
+    /// [`COMPILE_WORKERS_ENV`] worker override still applies).
     pub fn in_memory(device: &Device) -> CompileSession {
         CompileSession {
             device: device.clone(),
@@ -359,6 +372,7 @@ impl CompileSession {
             cleaned: Mutex::new(HashMap::new()),
             reports: Sharded::new(),
             disk: None,
+            remote: None,
             workers: workers_from_env(std::env::var(COMPILE_WORKERS_ENV).ok()),
             kernel_hits: AtomicU64::new(0),
             kernel_misses: AtomicU64::new(0),
@@ -409,6 +423,23 @@ impl CompileSession {
     /// The attached disk cache, if any.
     pub fn disk_cache(&self) -> Option<&DiskCache> {
         self.disk.as_ref()
+    }
+
+    /// Attaches a remote `tawa-cached` tier at `addr` (replacing any
+    /// previously attached remote, including the
+    /// [`crate::remote::REMOTE_CACHE_ENV`] default). The tier is
+    /// strictly best-effort: a dead or mis-speaking daemon latches the
+    /// client down after one warning and the session runs on its local
+    /// tiers — no compile ever fails because of the remote.
+    #[must_use]
+    pub fn with_remote_cache(mut self, addr: RemoteAddr) -> CompileSession {
+        self.remote = Some(RemoteCache::new(addr));
+        self
+    }
+
+    /// The attached remote-cache client, if any.
+    pub fn remote_cache(&self) -> Option<&RemoteCache> {
+        self.remote.as_ref()
     }
 
     /// The device this session compiles for.
@@ -466,6 +497,11 @@ impl CompileSession {
             static_rejections: self.static_rejections.load(Ordering::Relaxed),
             analytic_pruned: self.analytic_pruned.load(Ordering::Relaxed),
             disk: self.disk.as_ref().map(DiskCache::stats).unwrap_or_default(),
+            remote: self
+                .remote
+                .as_ref()
+                .map(RemoteCache::stats)
+                .unwrap_or_default(),
         }
     }
 
@@ -546,12 +582,41 @@ impl CompileSession {
                 return Ok(kernel);
             }
         }
+        // Remote tier: another session in the fleet may have already paid
+        // this compile. A hit is promoted into the local tiers (disk +
+        // memory) so the next lookup never leaves the process; it is not
+        // a kernel miss — no compile happens.
+        if let Some(remote) = &self.remote {
+            match remote.get_kernel(&key) {
+                Some(RemoteKernel::Kernel(kernel)) => {
+                    let kernel = Arc::new(kernel);
+                    if let Some(disk) = &self.disk {
+                        disk.store(&key, &kernel);
+                    }
+                    self.kernels.shard(&key).insert(key, kernel.clone());
+                    return Ok(kernel);
+                }
+                Some(RemoteKernel::Infeasible(msg)) => {
+                    if let Some(disk) = &self.disk {
+                        disk.store_infeasible(&key, &msg);
+                    }
+                    self.negatives
+                        .shard(&key)
+                        .insert(key, Negative::Infeasible(msg.clone()));
+                    return Err(CompileError::Infeasible(msg));
+                }
+                None => {}
+            }
+        }
         self.kernel_misses.fetch_add(1, Ordering::Relaxed);
         match self.compile_uncached(key.module_fp, module, spec, opts) {
             Ok(kernel) => {
                 let kernel = Arc::new(kernel);
                 if let Some(disk) = &self.disk {
                     disk.store(&key, &kernel);
+                }
+                if let Some(remote) = &self.remote {
+                    remote.put_kernel(&key, &kernel);
                 }
                 self.kernels.shard(&key).insert(key, kernel.clone());
                 Ok(kernel)
@@ -563,6 +628,9 @@ impl CompileSession {
                         .insert(key, Negative::Infeasible(msg.clone()));
                     if let Some(disk) = &self.disk {
                         disk.store_infeasible(&key, msg);
+                    }
+                    if let Some(remote) = &self.remote {
+                        remote.put_infeasible(&key, msg);
                     }
                 }
                 Err(err)
@@ -679,6 +747,35 @@ impl CompileSession {
                 None => {}
             }
         }
+        // Remote tier: a sim outcome another session already paid for —
+        // keyed by the cost-model version, so it prices identically here.
+        // Promoted to disk + memory; neither the compiler nor the
+        // simulator runs, so neither miss counter moves.
+        if let Some(remote) = &self.remote {
+            if let Some(outcome) = remote.get_sim(&key) {
+                if let Some(disk) = &self.disk {
+                    disk.store_sim_outcome(&key, &outcome);
+                }
+                match outcome {
+                    SimOutcome::Report(report) => {
+                        self.reports.shard(&key).insert(key, report.clone());
+                        return Ok(report);
+                    }
+                    SimOutcome::Failed(msg) => {
+                        self.negatives
+                            .shard(&key)
+                            .insert(key, Negative::Simulation(msg.clone()));
+                        return Err(CompileError::Simulation(msg));
+                    }
+                    SimOutcome::StaticRejection(msg) => {
+                        self.negatives
+                            .shard(&key)
+                            .insert(key, Negative::StaticRejection(msg.clone()));
+                        return Err(CompileError::Simulation(msg));
+                    }
+                }
+            }
+        }
         let kernel = self.compile_keyed(key, module, spec, opts)?;
         // Static gate: the abstract interpreter proves definite deadlocks
         // without spending a single simulated cycle. The verdict enters
@@ -695,6 +792,9 @@ impl CompileSession {
             if let Some(disk) = &self.disk {
                 disk.store_static_rejection(&key, &verdict);
             }
+            if let Some(remote) = &self.remote {
+                remote.put_sim(&key, &SimOutcome::StaticRejection(verdict.clone()));
+            }
             return Err(CompileError::Simulation(verdict));
         }
         // Counted only once compilation succeeded: a pruned infeasible
@@ -704,6 +804,9 @@ impl CompileSession {
             Ok(report) => {
                 if let Some(disk) = &self.disk {
                     disk.store_sim_report(&key, &report);
+                }
+                if let Some(remote) = &self.remote {
+                    remote.put_sim(&key, &SimOutcome::Report(report.clone()));
                 }
                 self.reports.shard(&key).insert(key, report.clone());
                 Ok(report)
@@ -715,6 +818,9 @@ impl CompileSession {
                     .insert(key, Negative::Simulation(msg.clone()));
                 if let Some(disk) = &self.disk {
                     disk.store_sim_failure(&key, &msg);
+                }
+                if let Some(remote) = &self.remote {
+                    remote.put_sim(&key, &SimOutcome::Failed(msg.clone()));
                 }
                 Err(CompileError::Simulation(msg))
             }
@@ -874,14 +980,12 @@ fn pipeline_without_ws_error() -> Diagnostic {
     )
 }
 
-/// Resolves the [`DISK_CACHE_ENV`] default: a non-empty value attaches a
-/// [`DiskCache`] rooted there, silently skipped if the directory cannot
-/// be created. Factored out of [`CompileSession::new`] so the policy is
-/// testable without mutating the process-global environment.
-fn default_disk_cache(env_value: Option<String>) -> Option<DiskCache> {
-    env_value
-        .filter(|p| !p.is_empty())
-        .and_then(|p| DiskCache::open(p).ok())
+/// Attaches the [`DISK_CACHE_ENV`] default resolved by
+/// [`CacheEnv`]: silently skipped if the directory cannot be created.
+/// Factored out of [`CompileSession::new`] so the policy is testable
+/// without mutating the process-global environment.
+fn default_disk_cache(path: Option<std::path::PathBuf>) -> Option<DiskCache> {
+    path.and_then(|p| DiskCache::open(p).ok())
 }
 
 /// Resolves the [`COMPILE_WORKERS_ENV`] override: a positive integer caps
@@ -1323,13 +1427,15 @@ mod tests {
         // rather than via set_var: mutating the process environment races
         // with every parallel test that calls `CompileSession::new`.
         let dir = tmp_dir("env");
-        let disk = default_disk_cache(Some(dir.to_string_lossy().into_owned()))
-            .expect("a usable directory must attach a cache");
+        let env = CacheEnv::from_values(Some(dir.to_string_lossy().into_owned()), None);
+        let disk = default_disk_cache(env.disk).expect("a usable directory must attach a cache");
         assert_eq!(disk.root(), dir.as_path());
-        assert!(default_disk_cache(None).is_none());
-        assert!(default_disk_cache(Some(String::new())).is_none());
+        assert!(default_disk_cache(CacheEnv::from_values(None, None).disk).is_none());
+        assert!(
+            default_disk_cache(CacheEnv::from_values(Some(String::new()), None).disk).is_none()
+        );
         // An unusable path is skipped, not fatal.
-        assert!(default_disk_cache(Some("/proc/no/such/dir".to_string())).is_none());
+        assert!(default_disk_cache(Some("/proc/no/such/dir".into())).is_none());
     }
 
     #[test]

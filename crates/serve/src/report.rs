@@ -32,7 +32,10 @@ use crate::replay::RequestOutcome;
 use crate::trace::Phase;
 
 /// Current version of the fleet-report serialization format.
-pub const FLEET_REPORT_FORMAT_VERSION: u32 = 1;
+///
+/// v2 added the remote-tier accounting fields (`remote_*`) alongside
+/// the `tawa-cached` fleet cache.
+pub const FLEET_REPORT_FORMAT_VERSION: u32 = 2;
 
 /// Error produced when deserializing a fleet-report document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -188,6 +191,23 @@ pub struct FleetAccounting {
     pub analytic_pruned: u64,
     /// Kernels rejected by the static barrier-protocol analyzer.
     pub static_rejections: u64,
+    /// Kernels served from the remote `tawa-cached` tier.
+    pub remote_kernel_hits: u64,
+    /// Infeasibility verdicts served from the remote tier.
+    pub remote_negative_hits: u64,
+    /// Simulation reports served from the remote tier.
+    pub remote_sim_hits: u64,
+    /// Simulation-failure / static-rejection verdicts served from the
+    /// remote tier.
+    pub remote_sim_negative_hits: u64,
+    /// Remote lookups the daemon answered `miss`.
+    pub remote_misses: u64,
+    /// Entries the replay published to the daemon.
+    pub remote_puts: u64,
+    /// Remote-tier failures absorbed by the local fallback.
+    pub remote_errors: u64,
+    /// Remote round trips attempted during the replay.
+    pub remote_roundtrips: u64,
 }
 
 impl FleetAccounting {
@@ -215,6 +235,14 @@ impl FleetAccounting {
             disk_static_rejections: delta.disk.static_rejections,
             analytic_pruned: delta.analytic_pruned,
             static_rejections: delta.static_rejections,
+            remote_kernel_hits: delta.remote.kernel_hits,
+            remote_negative_hits: delta.remote.negative_hits,
+            remote_sim_hits: delta.remote.sim_hits,
+            remote_sim_negative_hits: delta.remote.sim_negative_hits,
+            remote_misses: delta.remote.misses,
+            remote_puts: delta.remote.puts,
+            remote_errors: delta.remote.errors,
+            remote_roundtrips: delta.remote.roundtrips,
         }
     }
 }
@@ -311,7 +339,10 @@ impl FleetReport {
              \"sim_hits\": {}, \"disk_kernel_hits\": {}, \"disk_negative_hits\": {}, \
              \"disk_sim_hits\": {}, \"disk_sim_negative_hits\": {}, \
              \"disk_static_rejections\": {}, \"analytic_pruned\": {}, \
-             \"static_rejections\": {}}}",
+             \"static_rejections\": {}, \"remote_kernel_hits\": {}, \
+             \"remote_negative_hits\": {}, \"remote_sim_hits\": {}, \
+             \"remote_sim_negative_hits\": {}, \"remote_misses\": {}, \"remote_puts\": {}, \
+             \"remote_errors\": {}, \"remote_roundtrips\": {}}}",
             a.compiles,
             a.simulate_calls,
             num(a.compiles_per_1k),
@@ -325,6 +356,14 @@ impl FleetReport {
             a.disk_static_rejections,
             a.analytic_pruned,
             a.static_rejections,
+            a.remote_kernel_hits,
+            a.remote_negative_hits,
+            a.remote_sim_hits,
+            a.remote_sim_negative_hits,
+            a.remote_misses,
+            a.remote_puts,
+            a.remote_errors,
+            a.remote_roundtrips,
         );
         out.push_str("}\n");
         out
@@ -366,6 +405,20 @@ impl FleetReport {
             a.disk_sim_hits,
             a.disk_negative_hits + a.disk_sim_negative_hits,
         );
+        if a.remote_roundtrips > 0 || a.remote_errors > 0 {
+            let _ = writeln!(
+                out,
+                "  remote: kernel {} + sim {} + negative {} hits, {} puts, {} misses, {} errors \
+                 ({} round trips)",
+                a.remote_kernel_hits,
+                a.remote_sim_hits,
+                a.remote_negative_hits + a.remote_sim_negative_hits,
+                a.remote_puts,
+                a.remote_misses,
+                a.remote_errors,
+                a.remote_roundtrips,
+            );
+        }
         out
     }
 }
@@ -403,7 +456,9 @@ pub fn serialize_fleet_report(r: &FleetReport) -> String {
         "accounting compiles={} simulate_calls={} compiles_per_1k={} simulate_calls_per_1k={} \
          kernel_hits={} sim_hits={} disk_kernel_hits={} disk_negative_hits={} disk_sim_hits={} \
          disk_sim_negative_hits={} disk_static_rejections={} analytic_pruned={} \
-         static_rejections={}",
+         static_rejections={} remote_kernel_hits={} remote_negative_hits={} remote_sim_hits={} \
+         remote_sim_negative_hits={} remote_misses={} remote_puts={} remote_errors={} \
+         remote_roundtrips={}",
         a.compiles,
         a.simulate_calls,
         f64_bits_text(a.compiles_per_1k),
@@ -417,6 +472,14 @@ pub fn serialize_fleet_report(r: &FleetReport) -> String {
         a.disk_static_rejections,
         a.analytic_pruned,
         a.static_rejections,
+        a.remote_kernel_hits,
+        a.remote_negative_hits,
+        a.remote_sim_hits,
+        a.remote_sim_negative_hits,
+        a.remote_misses,
+        a.remote_puts,
+        a.remote_errors,
+        a.remote_roundtrips,
     );
     out
 }
@@ -508,6 +571,14 @@ pub fn deserialize_fleet_report(text: &str) -> Result<FleetReport, ReportError> 
                     disk_static_rejections: f.u64("disk_static_rejections")?,
                     analytic_pruned: f.u64("analytic_pruned")?,
                     static_rejections: f.u64("static_rejections")?,
+                    remote_kernel_hits: f.u64("remote_kernel_hits")?,
+                    remote_negative_hits: f.u64("remote_negative_hits")?,
+                    remote_sim_hits: f.u64("remote_sim_hits")?,
+                    remote_sim_negative_hits: f.u64("remote_sim_negative_hits")?,
+                    remote_misses: f.u64("remote_misses")?,
+                    remote_puts: f.u64("remote_puts")?,
+                    remote_errors: f.u64("remote_errors")?,
+                    remote_roundtrips: f.u64("remote_roundtrips")?,
                 });
             }
             Some(other) => {
@@ -571,6 +642,14 @@ mod tests {
                 disk_static_rejections: 0,
                 analytic_pruned: 7,
                 static_rejections: 1,
+                remote_kernel_hits: 5,
+                remote_negative_hits: 1,
+                remote_sim_hits: 4,
+                remote_sim_negative_hits: 0,
+                remote_misses: 6,
+                remote_puts: 8,
+                remote_errors: 0,
+                remote_roundtrips: 24,
             },
         }
     }
@@ -587,12 +666,12 @@ mod tests {
     #[test]
     fn version_mismatch_is_reported() {
         let text =
-            serialize_fleet_report(&sample()).replacen("fleet-report 1", "fleet-report 9", 1);
+            serialize_fleet_report(&sample()).replacen("fleet-report 2", "fleet-report 9", 1);
         assert!(matches!(
             deserialize_fleet_report(&text),
             Err(ReportError::VersionMismatch {
                 found: 9,
-                expected: 1
+                expected: 2
             })
         ));
     }

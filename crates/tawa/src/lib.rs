@@ -35,7 +35,13 @@
 //!   deterministic [`Replay`] over one [`CompileSession`], and
 //!   [`FleetReport`]s (per-phase latency percentiles, FLOP-weighted
 //!   throughput, compiles / simulate-calls per thousand requests) —
-//!   driven from the command line by the `tawa-serve` binary.
+//!   driven from the command line by the `tawa-serve` binary;
+//! * [`cached`] — the fleet cache: the `tawa-cached` daemon sharing one
+//!   fingerprint-sharded cache directory across every session over the
+//!   versioned `tawa-cached 1` wire protocol
+//!   ([`tawa::core::remote`](tawa_core::remote)); sessions join via
+//!   `TAWA_CACHED` or [`CompileSession::with_remote_cache`], and a dead
+//!   daemon degrades to the local tiers without ever failing a compile.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub use gpu_sim as sim;
+pub use tawa_cached as cached;
 pub use tawa_core as core;
 pub use tawa_frontend as frontend;
 pub use tawa_ir as ir;
@@ -76,8 +83,8 @@ pub use tawa_serve as serve;
 pub use tawa_wsir as wsir;
 
 pub use tawa_core::{
-    CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, SimOutcome,
-    COMPILE_WORKERS_ENV, DISK_CACHE_ENV,
+    CacheEnv, CacheStats, CompileJob, CompileSession, DiskCache, DiskCacheStats, RemoteAddr,
+    RemoteCache, SimOutcome, COMPILE_WORKERS_ENV, DISK_CACHE_ENV, REMOTE_CACHE_ENV,
 };
 pub use tawa_frontend::{dsl, KernelBuilder, Program};
 pub use tawa_ir::{Diagnostic, Loc, PassRegistry, PipelineSpec, Severity};
