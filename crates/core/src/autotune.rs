@@ -94,6 +94,15 @@ pub struct TunePoint {
     /// simulation. Pruned points have `tflops = None` but are *not*
     /// infeasible: the model proved they cannot win, nothing more.
     pub pruned: bool,
+    /// Kebab-case perf-lint ids ([`tawa_wsir::analyze_kernel`] under
+    /// [`gpu_sim::perf_model`]) that fired on this candidate's compiled
+    /// kernel — deduplicated, id-sorted. Guided sweeps attach them to
+    /// every compiled candidate (pruned ones included) so the
+    /// pruned-vs-winner report can say *why* a configuration lost —
+    /// `single-buffered-pipeline` on the D=1 points, `occupancy-capped`
+    /// on the smem-starved ones. Exhaustive sweeps leave this empty,
+    /// matching [`TunePoint::analytic_tflops`].
+    pub perf_lints: Vec<&'static str>,
 }
 
 /// Search-space bounds for [`autotune`].
@@ -325,6 +334,7 @@ fn sweep_exhaustive(
             tflops,
             analytic_tflops: None,
             pruned: false,
+            perf_lints: Vec::new(),
         });
     }
     TuneResult {
@@ -367,6 +377,30 @@ fn sweep_guided(
         })
         .collect();
 
+    // Perf-lint ids per compiled candidate: the advisory "why this
+    // configuration lost" annotation. Judged against the same analytic
+    // model that ranks the sweep, so a pruned point's lints explain the
+    // very bound that pruned it.
+    let perf: Vec<Vec<&'static str>> = compiled
+        .iter()
+        .map(|outcome| {
+            outcome
+                .as_ref()
+                .ok()
+                .map(|kernel| {
+                    let model = gpu_sim::perf_model(kernel, device);
+                    let mut ids: Vec<&'static str> = tawa_wsir::analyze_kernel(kernel, &model)
+                        .iter()
+                        .map(tawa_wsir::Lint::id)
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    ids
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+
     // Rank compiled candidates by upper bound, best first; ties keep
     // sweep order (stable sort), matching the exhaustive tie-break.
     let mut ranked: Vec<usize> = (0..opts.len()).filter(|&i| scores[i].is_some()).collect();
@@ -406,7 +440,7 @@ fn sweep_guided(
     session.note_analytic_pruned(stats.analytic_pruned as u64);
 
     let mut points = Vec::new();
-    for (i, o) in opts.iter().enumerate() {
+    for (i, (o, lints)) in opts.iter().zip(perf).enumerate() {
         if tflops[i].is_none() && !pruned[i] {
             stats.infeasible += 1;
         }
@@ -418,6 +452,7 @@ fn sweep_guided(
             tflops: tflops[i],
             analytic_tflops: scores[i],
             pruned: pruned[i],
+            perf_lints: lints,
         });
     }
     TuneResult {
@@ -563,6 +598,19 @@ mod tests {
         for p in guided.points.iter().filter(|p| p.pruned) {
             assert!(p.tflops.is_none());
             assert!(p.analytic_tflops.is_some());
+        }
+        // Exhaustive sweeps attach no perf lints (like analytic_tflops);
+        // guided sweeps attach deduplicated, id-sorted ids to compiled
+        // candidates only.
+        assert!(ex.points.iter().all(|p| p.perf_lints.is_empty()));
+        for p in &guided.points {
+            if p.analytic_tflops.is_none() {
+                assert!(p.perf_lints.is_empty(), "uncompiled point carries lints");
+            }
+            let mut sorted = p.perf_lints.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, p.perf_lints);
         }
         // The session surfaces the pruned count.
         assert_eq!(

@@ -7,8 +7,8 @@
 //! can be audited without a simulator in sight:
 //!
 //! ```text
-//! tawa-lint [--deny warnings] <path>...   lint .wsir files / cache dirs
-//! tawa-lint [--deny warnings] --zoo       compile the kernel zoo, lint it
+//! tawa-lint [options] <path>...   lint .wsir files / cache dirs
+//! tawa-lint [options] --zoo       compile the kernel zoo, lint it
 //! ```
 //!
 //! A path may be a `.wsir` file — either a raw [`tawa_wsir::serialize`]
@@ -17,9 +17,16 @@
 //! which case every kernel entry is linted. Lints print one per line in
 //! the analyzer's `severity[id]: message (path) at file:line:col` form.
 //!
-//! Exit codes: `0` clean, `1` lint errors (or any lint at all under
-//! `--deny warnings`); usage and I/O problems explain themselves and
-//! also exit nonzero.
+//! `--perf` adds the advisory performance tier: every kernel is judged
+//! against the analytic performance model ([`gpu_sim::perf_model`], H100
+//! SXM5 calibration), and zoo programs additionally get the tile-IR
+//! dataflow lints ([`tawa_wsir::analyze_ir`]) over their raw modules.
+//! `--json` emits one machine-readable JSON document instead of lines.
+//!
+//! Exit codes are stable so CI can gate on them: `0` clean, `1` lint
+//! errors (or any lint at all under `--deny warnings`), `2` when a lint
+//! id listed in `--deny <id,...>` fired (and nothing warranted `1`).
+//! Usage and I/O problems explain themselves and also exit nonzero.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -31,16 +38,25 @@ use tawa_core::session::CompileSession;
 use tawa_frontend::config::{AttentionConfig, GemmConfig};
 use tawa_frontend::kernels::{attention, batched_gemm, gemm};
 use tawa_ir::types::DType;
-use tawa_wsir::{analyze, deserialize_kernel, Kernel, Severity};
+use tawa_wsir::{
+    analyze, analyze_ir, analyze_kernel, deserialize_kernel, Kernel, Lint, Severity, ALL_LINT_IDS,
+};
 
 const USAGE: &str = "usage:
-  tawa-lint [--deny warnings] <path>...   lint .wsir files and cache directories
-  tawa-lint [--deny warnings] --zoo       compile the built-in kernel zoo and lint it
+  tawa-lint [options] <path>...   lint .wsir files and cache directories
+  tawa-lint [options] --zoo       compile the built-in kernel zoo and lint it
+
+options:
+  --perf            also run the performance lints (analytic model, H100 SXM5)
+  --deny warnings   fail (exit 1) on any lint, not just errors
+  --deny <id,...>   fail with exit 2 when any of these lint ids fires
+  --json            emit one JSON document instead of per-lint lines
 
 Paths may be .wsir kernel serializations (raw, or cache entries carrying
 the tawa-kernel-cache header) or compile-cache directories written by
 CompileSession (TAWA_DISK_CACHE). Exit code 0 means no lint errors (no
-lints at all under --deny warnings).";
+lints at all under --deny warnings, none of the denied ids under
+--deny <id,...>).";
 
 /// Header magic of disk-cache entries; when a `.wsir` file leads with it,
 /// the two header lines (magic + key echo) are stripped before the WSIR
@@ -59,88 +75,233 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parsed command line.
+#[derive(Default)]
+struct Options {
+    deny_warnings: bool,
+    deny_ids: Vec<String>,
+    perf: bool,
+    json: bool,
+    zoo: bool,
+    paths: Vec<String>,
+}
+
+/// One recorded lint finding, kept for the JSON document and the
+/// `--deny <id>` verdict.
+struct Finding {
+    kernel: String,
+    id: &'static str,
+    severity: Severity,
+    message: String,
+}
+
 /// Running totals across every linted kernel.
 #[derive(Default)]
 struct Tally {
     kernels: usize,
     errors: usize,
     warnings: usize,
+    findings: Vec<Finding>,
+    json: bool,
 }
 
 impl Tally {
-    /// Lints `kernel`, printing each finding under `label`.
-    fn lint(&mut self, label: &str, kernel: &Kernel) {
-        self.kernels += 1;
-        for lint in analyze(kernel) {
+    /// Records `lints` found under `label`, printing each unless the
+    /// output is deferred to the JSON document.
+    fn record(&mut self, label: &str, lints: Vec<Lint>) {
+        for lint in lints {
             match lint.severity() {
                 Severity::Error => self.errors += 1,
                 Severity::Warning => self.warnings += 1,
             }
-            println!("{label}: {lint}");
+            if !self.json {
+                println!("{label}: {lint}");
+            }
+            self.findings.push(Finding {
+                kernel: label.to_string(),
+                id: lint.id(),
+                severity: lint.severity(),
+                message: lint.to_string(),
+            });
         }
+    }
+
+    /// Lints `kernel` (protocol tier, plus the performance tier when a
+    /// device is given), recording each finding under `label`.
+    fn lint(&mut self, label: &str, kernel: &Kernel, perf_device: Option<&Device>) {
+        self.kernels += 1;
+        let mut lints = analyze(kernel);
+        if let Some(device) = perf_device {
+            lints.extend(analyze_kernel(kernel, &gpu_sim::perf_model(kernel, device)));
+        }
+        self.record(label, lints);
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let mut deny_warnings = false;
-    let mut zoo = false;
-    let mut paths: Vec<String> = Vec::new();
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => match it.next().map(String::as_str) {
-                Some("warnings") => deny_warnings = true,
-                Some(other) => return Err(format!("--deny: unknown level {other:?}")),
-                None => return Err("--deny needs a level (warnings)".into()),
+                Some("warnings") => opts.deny_warnings = true,
+                Some(ids) => {
+                    for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        if !ALL_LINT_IDS.contains(&id) {
+                            return Err(format!(
+                                "--deny: unknown lint id {id:?} (known ids: {})",
+                                ALL_LINT_IDS.join(", ")
+                            ));
+                        }
+                        opts.deny_ids.push(id.to_string());
+                    }
+                }
+                None => return Err("--deny needs a level (warnings) or lint ids".into()),
             },
-            "--zoo" => zoo = true,
+            "--perf" => opts.perf = true,
+            "--json" => opts.json = true,
+            "--zoo" => opts.zoo = true,
             "-h" | "--help" | "help" => {
                 println!("{USAGE}");
-                return Ok(ExitCode::SUCCESS);
+                std::process::exit(0);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
             }
-            path => paths.push(path.to_string()),
+            path => opts.paths.push(path.to_string()),
         }
     }
-    if !zoo && paths.is_empty() {
+    if !opts.zoo && opts.paths.is_empty() {
         return Err("nothing to lint: pass .wsir files, cache directories or --zoo".into());
     }
+    Ok(opts)
+}
 
-    let mut tally = Tally::default();
-    if zoo {
-        lint_zoo(&mut tally)?;
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_args(args)?;
+    let device = Device::h100_sxm5();
+    let perf_device = opts.perf.then_some(&device);
+
+    let mut tally = Tally {
+        json: opts.json,
+        ..Tally::default()
+    };
+    if opts.zoo {
+        lint_zoo(&mut tally, perf_device)?;
     }
-    for path in &paths {
+    for path in &opts.paths {
         let p = Path::new(path);
         if p.is_dir() {
-            lint_cache_dir(&mut tally, path)?;
+            lint_cache_dir(&mut tally, path, perf_device)?;
         } else {
-            lint_file(&mut tally, path)?;
+            lint_file(&mut tally, path, perf_device)?;
         }
     }
 
-    println!(
-        "{} kernel{} linted: {} error{}, {} warning{}",
-        tally.kernels,
-        if tally.kernels == 1 { "" } else { "s" },
-        tally.errors,
-        if tally.errors == 1 { "" } else { "s" },
-        tally.warnings,
-        if tally.warnings == 1 { "" } else { "s" },
-    );
-    let failing = tally.errors + if deny_warnings { tally.warnings } else { 0 };
-    Ok(if failing == 0 {
-        ExitCode::SUCCESS
+    if opts.json {
+        println!("{}", json_document(&tally));
     } else {
-        ExitCode::FAILURE
-    })
+        println!(
+            "{} kernel{} linted: {} error{}, {} warning{}",
+            tally.kernels,
+            if tally.kernels == 1 { "" } else { "s" },
+            tally.errors,
+            if tally.errors == 1 { "" } else { "s" },
+            tally.warnings,
+            if tally.warnings == 1 { "" } else { "s" },
+        );
+    }
+    let failing = tally.errors
+        + if opts.deny_warnings {
+            tally.warnings
+        } else {
+            0
+        };
+    if failing > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    let denied: Vec<&Finding> = tally
+        .findings
+        .iter()
+        .filter(|f| opts.deny_ids.iter().any(|id| id == f.id))
+        .collect();
+    if !denied.is_empty() {
+        if !opts.json {
+            for f in &denied {
+                eprintln!("tawa-lint: denied lint {} fired on {}", f.id, f.kernel);
+            }
+        }
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders the tally as one stable JSON document: totals, a per-id
+/// histogram, and every finding with its kernel label and rendered
+/// message. Hand-rolled like the rest of the repo's serializations — the
+/// shape is flat and the only subtlety is string escaping.
+fn json_document(tally: &Tally) -> String {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in &tally.findings {
+        *counts.entry(f.id).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"kernels\": {},\n", tally.kernels));
+    out.push_str(&format!("  \"errors\": {},\n", tally.errors));
+    out.push_str(&format!("  \"warnings\": {},\n", tally.warnings));
+    out.push_str("  \"counts\": {");
+    for (i, (id, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{id}\": {n}"));
+    }
+    if counts.is_empty() {
+        out.push_str("},\n");
+    } else {
+        out.push_str("\n  },\n");
+    }
+    out.push_str("  \"lints\": [");
+    for (i, f) in tally.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"kernel\": \"{}\", \"id\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.kernel),
+            f.id,
+            f.severity,
+            json_escape(&f.message)
+        ));
+    }
+    if tally.findings.is_empty() {
+        out.push_str("]\n}");
+    } else {
+        out.push_str("\n  ]\n}");
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Lints one `.wsir` file: a raw serialized kernel, or a cache entry
 /// whose two header lines (magic + key echo) are stripped first.
-fn lint_file(tally: &mut Tally, path: &str) -> Result<(), String> {
+fn lint_file(tally: &mut Tally, path: &str, perf_device: Option<&Device>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let body = if text.starts_with(CACHE_MAGIC) {
         let mut lines = text.splitn(3, '\n');
@@ -151,14 +312,18 @@ fn lint_file(tally: &mut Tally, path: &str) -> Result<(), String> {
         text.as_str()
     };
     let kernel = deserialize_kernel(body).map_err(|e| format!("{path}: {e}"))?;
-    tally.lint(path, &kernel);
+    tally.lint(path, &kernel, perf_device);
     Ok(())
 }
 
 /// Lints every kernel entry of a compile-cache directory. Entries that
 /// cannot be read back (corrupt, stale format) are reported but left
 /// alone — deleting defects is `tawa-cache verify`'s job.
-fn lint_cache_dir(tally: &mut Tally, dir: &str) -> Result<(), String> {
+fn lint_cache_dir(
+    tally: &mut Tally,
+    dir: &str,
+    perf_device: Option<&Device>,
+) -> Result<(), String> {
     let cache = DiskCache::open(dir).map_err(|e| format!("{dir}: {e}"))?;
     for entry in cache.entries() {
         if entry.kind != EntryKind::Kernel {
@@ -166,7 +331,7 @@ fn lint_cache_dir(tally: &mut Tally, dir: &str) -> Result<(), String> {
         }
         let label = entry.path.display().to_string();
         match cache.peek_kernel(&entry) {
-            Some(kernel) => tally.lint(&label, &kernel),
+            Some(kernel) => tally.lint(&label, &kernel, perf_device),
             None => {
                 eprintln!("tawa-lint: {label}: unreadable kernel entry (run tawa-cache verify)")
             }
@@ -176,8 +341,11 @@ fn lint_cache_dir(tally: &mut Tally, dir: &str) -> Result<(), String> {
 }
 
 /// Compiles the built-in kernel zoo (warp-specialized and SIMT baseline
-/// paths) and lints every kernel fresh out of the compiler.
-fn lint_zoo(tally: &mut Tally) -> Result<(), String> {
+/// paths) and lints every kernel fresh out of the compiler. Under
+/// `--perf` the raw tile-IR modules are also run through the dataflow
+/// lints — the compile pipeline's DCE would hide dead compute from the
+/// kernel-level view.
+fn lint_zoo(tally: &mut Tally, perf_device: Option<&Device>) -> Result<(), String> {
     let session = CompileSession::in_memory(&Device::h100_sxm5());
     let ws = CompileOptions::default();
     // Attention's 128-row accumulator needs the cooperative-consumer
@@ -204,11 +372,14 @@ fn lint_zoo(tally: &mut Tally) -> Result<(), String> {
         ),
     ];
     for (label, program, ws_opts) in &programs {
+        if perf_device.is_some() {
+            tally.record(&format!("{label} [ir]"), analyze_ir(program.module()));
+        }
         for (variant, opts) in [("ws", *ws_opts), ("simt", &simt)] {
             let kernel = session
                 .compile_program(program, opts)
                 .map_err(|e| format!("{label} [{variant}]: {e}"))?;
-            tally.lint(&format!("{label} [{variant}]"), &kernel);
+            tally.lint(&format!("{label} [{variant}]"), &kernel, perf_device);
         }
     }
     Ok(())

@@ -67,5 +67,8 @@ pub use compile::{compile, compile_and_simulate};
 pub use envcfg::CacheEnv;
 pub use lower::{CompileError, CompileOptions};
 pub use remote::{DaemonStats, RemoteAddr, RemoteCache, RemoteCacheStats, REMOTE_CACHE_ENV};
-pub use session::{CacheStats, CompileJob, CompileSession, COMPILE_WORKERS_ENV, DISK_CACHE_ENV};
+pub use session::{
+    CacheStats, CompileJob, CompileSession, PerfSummary, ANALYZE_FUEL_ENV, COMPILE_WORKERS_ENV,
+    DISK_CACHE_ENV,
+};
 pub mod interp;

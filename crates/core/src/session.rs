@@ -105,6 +105,16 @@ pub const DISK_CACHE_ENV: &str = "TAWA_DISK_CACHE";
 /// unparsable values fall back to the default `min(cores, 8)`.
 pub const COMPILE_WORKERS_ENV: &str = "TAWA_COMPILE_WORKERS";
 
+/// Environment variable overriding the static analyzer's abstract-
+/// interpretation fuel: the per-CTA-class instruction budget spent
+/// proving the mbarrier protocol before the analyzer gives up with an
+/// `analysis-budget` lint. A positive integer read by
+/// [`CompileSession::new`] and [`CompileSession::in_memory`]; explicit
+/// [`CompileSession::with_analyze_fuel`] calls override it; unset, empty,
+/// zero or unparsable values keep
+/// [`tawa_wsir::DEFAULT_ANALYSIS_FUEL`].
+pub const ANALYZE_FUEL_ENV: &str = "TAWA_ANALYZE_FUEL";
+
 /// Default ceiling on batch workers when neither
 /// [`CompileSession::with_workers`] nor [`COMPILE_WORKERS_ENV`] set one.
 const DEFAULT_WORKER_CAP: usize = 8;
@@ -293,6 +303,63 @@ enum Negative {
     StaticRejection(String),
 }
 
+/// Performance-lint findings for one compiled kernel: the IR-level
+/// dataflow lints (`dead-compute`, `uninitialized-tile-read`), computed
+/// over the **raw input module** — the cleanup prefix's DCE would strip
+/// the very dead ops those lints exist to report — merged with the
+/// WSIR-level lints judged against the analytic performance model
+/// ([`tawa_wsir::analyze_kernel`] under [`gpu_sim::perf_model`]).
+///
+/// Perf lints are advisory: they never gate compilation or simulation,
+/// and an empty summary is the expected state of a well-tuned kernel.
+#[derive(Debug, Clone, Default)]
+pub struct PerfSummary {
+    /// Every perf lint that fired, IR-level findings first, then the
+    /// WSIR-level findings in analyzer order.
+    pub lints: Vec<tawa_wsir::Lint>,
+}
+
+impl PerfSummary {
+    /// Whether no perf lint fired.
+    pub fn is_clean(&self) -> bool {
+        self.lints.is_empty()
+    }
+
+    /// The kebab-case lint ids that fired, deduplicated, in id order —
+    /// the compact "why this configuration lost" annotation autotune
+    /// attaches to its points and `fleet-report` aggregates.
+    pub fn ids(&self) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = self.lints.iter().map(tawa_wsir::Lint::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Lint-id histogram: kebab-case id → number of findings, id-sorted.
+    pub fn counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for lint in &self.lints {
+            *counts.entry(lint.id()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl std::fmt::Display for PerfSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        for (i, lint) in self.lints.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{lint}")?;
+        }
+        Ok(())
+    }
+}
+
 /// One batch-compilation job.
 #[derive(Debug, Clone)]
 pub struct CompileJob<'a> {
@@ -323,6 +390,7 @@ pub struct CompileSession {
     disk: Option<DiskCache>,
     remote: Option<RemoteCache>,
     workers: Option<usize>,
+    analyze_fuel: u64,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
     sim_hits: AtomicU64,
@@ -360,6 +428,14 @@ impl CompileSession {
         session
     }
 
+    /// Resolves the [`ANALYZE_FUEL_ENV`] override through [`CacheEnv`],
+    /// falling back to the analyzer's built-in default.
+    fn analyze_fuel_from_env() -> u64 {
+        CacheEnv::from_values(None, None, std::env::var(ANALYZE_FUEL_ENV).ok())
+            .analyze_fuel
+            .unwrap_or(tawa_wsir::DEFAULT_ANALYSIS_FUEL)
+    }
+
     /// Creates a session with no disk or remote tier, ignoring
     /// [`DISK_CACHE_ENV`] and [`crate::remote::REMOTE_CACHE_ENV`] (the
     /// [`COMPILE_WORKERS_ENV`] worker override still applies).
@@ -374,6 +450,7 @@ impl CompileSession {
             disk: None,
             remote: None,
             workers: workers_from_env(std::env::var(COMPILE_WORKERS_ENV).ok()),
+            analyze_fuel: Self::analyze_fuel_from_env(),
             kernel_hits: AtomicU64::new(0),
             kernel_misses: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
@@ -397,6 +474,29 @@ impl CompileSession {
     /// The configured batch worker cap, if any (session builder or env).
     pub fn workers(&self) -> Option<usize> {
         self.workers
+    }
+
+    /// Sets the static analyzer's abstract-interpretation fuel — the
+    /// per-CTA-class instruction budget spent proving the mbarrier
+    /// protocol before the analyzer gives up with an `analysis-budget`
+    /// lint — overriding any [`ANALYZE_FUEL_ENV`] setting. `0` restores
+    /// the default ([`tawa_wsir::DEFAULT_ANALYSIS_FUEL`]). Kernels with
+    /// very long static loop trip counts may need this raised; fast
+    /// pre-merge lint bots may want it lowered.
+    #[must_use]
+    pub fn with_analyze_fuel(mut self, fuel: u64) -> CompileSession {
+        self.analyze_fuel = if fuel > 0 {
+            fuel
+        } else {
+            tawa_wsir::DEFAULT_ANALYSIS_FUEL
+        };
+        self
+    }
+
+    /// The abstract-interpretation fuel budget the session's static gate
+    /// and [`CompileSession::perf_summary`] run under.
+    pub fn analyze_fuel(&self) -> u64 {
+        self.analyze_fuel
     }
 
     /// Attaches a persistent kernel cache rooted at `path` (replacing any
@@ -669,6 +769,51 @@ impl CompileSession {
         self.compile_and_simulate(program.module(), program.spec(), opts)
     }
 
+    /// Compiles `module` (through every cache tier) and collects its
+    /// [`PerfSummary`]: IR-level dataflow lints over the raw input module
+    /// plus WSIR-level lints judged against [`gpu_sim::perf_model`] on
+    /// this session's device. Purely advisory — a summary full of
+    /// warnings still compiles, simulates and serves.
+    ///
+    /// # Errors
+    /// Same as [`CompileSession::compile`] — the summary needs a compiled
+    /// kernel to analyze.
+    pub fn perf_summary(
+        &self,
+        module: &Module,
+        spec: &LaunchSpec,
+        opts: &CompileOptions,
+    ) -> Result<PerfSummary, CompileError> {
+        let kernel = self.compile(module, spec, opts)?;
+        Ok(self.perf_summary_of(module, &kernel))
+    }
+
+    /// [`CompileSession::perf_summary`] for a DSL-authored [`Program`].
+    ///
+    /// # Errors
+    /// Same as [`CompileSession::compile`].
+    pub fn perf_summary_program(
+        &self,
+        program: &Program,
+        opts: &CompileOptions,
+    ) -> Result<PerfSummary, CompileError> {
+        self.perf_summary(program.module(), program.spec(), opts)
+    }
+
+    /// The [`PerfSummary`] of an already compiled kernel. `module` must
+    /// be the **raw** tile-IR input the kernel was compiled from: the
+    /// IR-level lints run reaching-definitions and liveness over it, and
+    /// the cleaned (post-DCE) form no longer contains the dead compute
+    /// the lints report.
+    pub fn perf_summary_of(&self, module: &Module, kernel: &Kernel) -> PerfSummary {
+        let mut lints = tawa_wsir::analyze_ir(module);
+        lints.extend(tawa_wsir::analyze_kernel(
+            kernel,
+            &gpu_sim::perf_model(kernel, &self.device),
+        ));
+        PerfSummary { lints }
+    }
+
     /// Compiles and immediately simulates, consulting the report caches:
     /// the in-memory report and negative tiers first, then (when
     /// attached) the disk cache's `.sim` entries — keyed by
@@ -783,7 +928,7 @@ impl CompileSession {
         // simulator-discovered failure, so warm sweeps short-circuit
         // above — but it must not skew `sim_misses`, which counts actual
         // simulator runs.
-        let lints = tawa_wsir::analyze(&kernel);
+        let lints = tawa_wsir::analyze_with_budget(&kernel, self.analyze_fuel);
         if let Some(verdict) = tawa_wsir::deadlock_verdict(&lints) {
             self.static_rejections.fetch_add(1, Ordering::Relaxed);
             self.negatives
@@ -1427,12 +1572,13 @@ mod tests {
         // rather than via set_var: mutating the process environment races
         // with every parallel test that calls `CompileSession::new`.
         let dir = tmp_dir("env");
-        let env = CacheEnv::from_values(Some(dir.to_string_lossy().into_owned()), None);
+        let env = CacheEnv::from_values(Some(dir.to_string_lossy().into_owned()), None, None);
         let disk = default_disk_cache(env.disk).expect("a usable directory must attach a cache");
         assert_eq!(disk.root(), dir.as_path());
-        assert!(default_disk_cache(CacheEnv::from_values(None, None).disk).is_none());
+        assert!(default_disk_cache(CacheEnv::from_values(None, None, None).disk).is_none());
         assert!(
-            default_disk_cache(CacheEnv::from_values(Some(String::new()), None).disk).is_none()
+            default_disk_cache(CacheEnv::from_values(Some(String::new()), None, None).disk)
+                .is_none()
         );
         // An unusable path is skipped, not fatal.
         assert!(default_disk_cache(Some("/proc/no/such/dir".into())).is_none());

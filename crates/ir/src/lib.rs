@@ -18,7 +18,11 @@
 //!   pipelines ([`pipeline_spec`]), plus generic [`transforms`] (DCE,
 //!   constant folding), and
 //! * [`analysis`] helpers (backward slices, loop structure) used by the
-//!   task-aware partitioning pass in `tawa-core`.
+//!   task-aware partitioning pass in `tawa-core`, plus a generic
+//!   forward/backward worklist dataflow framework
+//!   ([`analysis::DataflowAnalysis`]) with liveness, reaching-definitions
+//!   and use-count instances backing the static performance analyzer in
+//!   `tawa-wsir`.
 //!
 //! ## Example
 //!
@@ -60,6 +64,10 @@ pub mod transforms;
 pub mod types;
 pub mod verify;
 
+pub use analysis::{
+    dead_result_ops, run_dataflow, use_counts, DataflowAnalysis, DataflowResults, Direction,
+    Liveness, ReachingDefs,
+};
 pub use builder::Builder;
 pub use diag::{Diagnostic, Severity};
 pub use fingerprint::module_fingerprint;

@@ -97,6 +97,11 @@ pub struct RequestOutcome {
     /// Whether this request triggered the shape's autotune sweep (first
     /// sight of the shape in this replay).
     pub tuned: bool,
+    /// Perf-lint ids ([`tawa_core::PerfSummary::ids`]) of the winning
+    /// kernel serving this request — deduplicated, id-sorted, memoized
+    /// per shape. Summed across requests into the report's
+    /// [`FleetReport::perf_lints`] counts.
+    pub perf_lints: Vec<&'static str>,
     /// Session cache-counter movement attributable to this request.
     pub cache: CacheStats,
 }
@@ -168,6 +173,9 @@ fn program_for(request: &Request) -> Program {
 pub struct Replay<'s> {
     session: &'s CompileSession,
     winners: HashMap<String, CompileOptions>,
+    // Perf-lint ids of each shape's winning kernel, memoized alongside
+    // the winner so repeats cost no analysis (deterministic either way).
+    perf: HashMap<String, Vec<&'static str>>,
     outcomes: Vec<RequestOutcome>,
 }
 
@@ -179,6 +187,7 @@ impl<'s> Replay<'s> {
         Replay {
             session,
             winners: HashMap::new(),
+            perf: HashMap::new(),
             outcomes: Vec::new(),
         }
     }
@@ -203,11 +212,25 @@ impl<'s> Replay<'s> {
             &self.session.cache_stats().delta(&baseline),
         );
         let phases = PhaseStats::aggregate(&self.outcomes[start..]);
+        // Request-weighted per-lint-id counts: a BTreeMap sums them in
+        // id order, so equal traces produce identical sections.
+        let mut lint_counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for o in &self.outcomes[start..] {
+            for id in &o.perf_lints {
+                *lint_counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let perf_lints = lint_counts
+            .into_iter()
+            .map(|(id, n)| (id.to_string(), n))
+            .collect();
         Ok(FleetReport {
             name: trace.name.clone(),
             seed: trace.seed,
             requests: trace.requests.len() as u64,
             phases,
+            perf_lints,
             accounting,
         })
     }
@@ -247,6 +270,24 @@ impl<'s> Replay<'s> {
                 request: shape_key.clone(),
                 source,
             })?;
+        // Perf lints of the winning kernel, memoized per shape like the
+        // winner itself. Computed after compile_and_simulate, so the
+        // kernel compile inside perf_summary is always a cache hit.
+        let perf_lints = match self.perf.get(&shape_key) {
+            Some(ids) => ids.clone(),
+            None => {
+                let summary =
+                    self.session
+                        .perf_summary_program(&program, &opts)
+                        .map_err(|source| ReplayError::Compile {
+                            request: shape_key.clone(),
+                            source,
+                        })?;
+                let ids = summary.ids();
+                self.perf.insert(shape_key.clone(), ids.clone());
+                ids
+            }
+        };
         self.outcomes.push(RequestOutcome {
             index,
             phase: request.phase(),
@@ -254,6 +295,7 @@ impl<'s> Replay<'s> {
             latency_us: report.total_time_us,
             flops: request.flops(),
             tuned,
+            perf_lints,
             cache: self.session.cache_stats().delta(&before),
         });
         Ok(())

@@ -34,8 +34,10 @@ use crate::trace::Phase;
 /// Current version of the fleet-report serialization format.
 ///
 /// v2 added the remote-tier accounting fields (`remote_*`) alongside
-/// the `tawa-cached` fleet cache.
-pub const FLEET_REPORT_FORMAT_VERSION: u32 = 2;
+/// the `tawa-cached` fleet cache. v3 added the `perf-lint` lines: one
+/// per perf-lint id the replayed kernels tripped, carrying the
+/// request-weighted count.
+pub const FLEET_REPORT_FORMAT_VERSION: u32 = 3;
 
 /// Error produced when deserializing a fleet-report document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -261,6 +263,13 @@ pub struct FleetReport {
     /// Per-phase aggregates, [`Phase::ALL`] order, traffic-bearing
     /// phases only.
     pub phases: Vec<PhaseStats>,
+    /// Per-perf-lint-id counts over the replayed requests, id-sorted:
+    /// `("single-buffered-pipeline", 12)` means requests tripping that
+    /// lint were served 12 times. Request-weighted — a lint on a hot
+    /// shape counts once per request, which is the fleet's actual
+    /// exposure. A pure function of the trace and the device, like the
+    /// phase aggregates.
+    pub perf_lints: Vec<(String, u64)>,
     /// What the replay cost the session.
     pub accounting: FleetAccounting,
 }
@@ -274,6 +283,7 @@ impl FleetReport {
             && self.seed == other.seed
             && self.requests == other.requests
             && self.phases == other.phases
+            && self.perf_lints == other.perf_lints
     }
 
     /// Renders the report as a JSON document (hand-rolled: the workspace
@@ -331,6 +341,18 @@ impl FleetReport {
             });
         }
         out.push_str("  },\n");
+        out.push_str("  \"perf_lints\": {");
+        for (i, (id, n)) in self.perf_lints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", esc(id), n);
+        }
+        if self.perf_lints.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
         let a = &self.accounting;
         let _ = writeln!(
             out,
@@ -389,6 +411,14 @@ impl FleetReport {
                 p.p99_us,
                 p.tflops
             );
+        }
+        if !self.perf_lints.is_empty() {
+            let rendered: Vec<String> = self
+                .perf_lints
+                .iter()
+                .map(|(id, n)| format!("{id}\u{d7}{n}"))
+                .collect();
+            let _ = writeln!(out, "  perf lints: {}", rendered.join("  "));
         }
         let a = &self.accounting;
         let _ = writeln!(
@@ -449,6 +479,9 @@ pub fn serialize_fleet_report(r: &FleetReport) -> String {
             f64_bits_text(p.total_time_us),
             f64_bits_text(p.tflops),
         );
+    }
+    for (id, n) in &r.perf_lints {
+        let _ = writeln!(out, "perf-lint {} count={}", quote(id), n);
     }
     let a = &r.accounting;
     let _ = writeln!(
@@ -527,10 +560,22 @@ pub fn deserialize_fleet_report(text: &str) -> Result<FleetReport, ReportError> 
     let requests = mf.u64("requests")?;
 
     let mut phases = Vec::new();
+    let mut perf_lints: Vec<(String, u64)> = Vec::new();
     let mut accounting = None;
     for (no, line) in lines {
         let tokens = tokenize(line, no)?;
         match tokens.first().map(String::as_str) {
+            Some("perf-lint") => {
+                if accounting.is_some() {
+                    return Err(malformed(no, "perf-lint line after accounting line"));
+                }
+                let id = tokens
+                    .get(1)
+                    .ok_or_else(|| malformed(no, "perf-lint line missing lint id"))
+                    .and_then(|t| Ok(unquote(t, no)?))?;
+                let f = Fields::new(&tokens, no);
+                perf_lints.push((id, f.u64("count")?));
+            }
             Some("phase") => {
                 if accounting.is_some() {
                     return Err(malformed(no, "phase line after accounting line"));
@@ -593,6 +638,7 @@ pub fn deserialize_fleet_report(text: &str) -> Result<FleetReport, ReportError> 
         seed,
         requests,
         phases,
+        perf_lints,
         accounting: accounting.ok_or_else(|| malformed(0, "missing accounting line"))?,
     })
 }
@@ -627,6 +673,10 @@ mod tests {
                     total_time_us: 181.0,
                     tflops: 5.0e11 / (181.0 * 1e-6) / 1e12,
                 },
+            ],
+            perf_lints: vec![
+                ("occupancy-capped".to_string(), 2),
+                ("single-buffered-pipeline".to_string(), 4),
             ],
             accounting: FleetAccounting {
                 compiles: 12,
@@ -666,12 +716,12 @@ mod tests {
     #[test]
     fn version_mismatch_is_reported() {
         let text =
-            serialize_fleet_report(&sample()).replacen("fleet-report 2", "fleet-report 9", 1);
+            serialize_fleet_report(&sample()).replacen("fleet-report 3", "fleet-report 9", 1);
         assert!(matches!(
             deserialize_fleet_report(&text),
             Err(ReportError::VersionMismatch {
                 found: 9,
-                expected: 2
+                expected: 3
             })
         ));
     }
@@ -713,6 +763,27 @@ mod tests {
         assert!(json.contains("\"unit \\\"sample\\\"\""));
         assert!(json.contains("\"compiles\": 12"));
         assert!(json.contains("\"prefill\""));
+        assert!(json.contains("\"single-buffered-pipeline\": 4"));
+    }
+
+    #[test]
+    fn perf_lint_lines_round_trip_and_participate_in_workload() {
+        let report = sample();
+        let text = serialize_fleet_report(&report);
+        assert!(text.contains("perf-lint \"single-buffered-pipeline\" count=4"));
+        let back = deserialize_fleet_report(&text).unwrap();
+        assert_eq!(back.perf_lints, report.perf_lints);
+        // A report differing only in lint counts is a different workload:
+        // the lints are a pure function of the trace and the device.
+        let mut other = sample();
+        other.perf_lints[0].1 += 1;
+        assert!(!report.same_workload(&other));
+        // An empty section serializes (and parses back) as no lines.
+        let mut clean = sample();
+        clean.perf_lints.clear();
+        let clean_text = serialize_fleet_report(&clean);
+        assert!(!clean_text.contains("perf-lint"));
+        assert_eq!(deserialize_fleet_report(&clean_text).unwrap(), clean);
     }
 
     #[test]

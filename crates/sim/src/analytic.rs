@@ -50,7 +50,7 @@
 //! it must **not** feed the `.sim` disk-cache key: refining the analytic
 //! model must not invalidate byte-identical simulation reports.
 
-use tawa_wsir::{BarId, Count, Instr, Kernel};
+use tawa_wsir::{BarId, Count, Instr, Kernel, PerfModel, Role};
 
 use crate::device::Device;
 
@@ -97,10 +97,47 @@ pub struct AnalyticEstimate {
     pub tflops_upper_bound: f64,
 }
 
+/// Which of the four analytic bounds is binding — the estimate's verdict
+/// on *what kind of kernel this is* (compute-, bandwidth-, serialization-
+/// or pipeline-limited). The perf lints key their preconditions off this:
+/// deepening a ring only helps a [`BoundKind::Ring`]-bound kernel, and
+/// more occupancy only helps when per-CTA serialization
+/// ([`BoundKind::Actor`] / [`BoundKind::Ring`]) is binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// Tensor-core issue throughput.
+    TensorCore,
+    /// Memory bandwidth (L2/HBM provisioning).
+    Memory,
+    /// Per-actor serial execution (issue costs, drains, latencies).
+    Actor,
+    /// Aref-ring recurrence (pipeline depth).
+    Ring,
+}
+
 impl AnalyticEstimate {
     /// Whether the kernel can be placed at all (`occupancy > 0`).
     pub fn feasible(&self) -> bool {
         self.occupancy > 0
+    }
+
+    /// The binding bound. Ties resolve in resource order (tensor core,
+    /// memory, actor, ring); meaningless for unplaceable kernels, whose
+    /// bounds are all zero.
+    pub fn bottleneck(&self) -> BoundKind {
+        let mut kind = BoundKind::TensorCore;
+        let mut best = self.tc_bound_cycles;
+        for (cycles, candidate) in [
+            (self.mem_bound_cycles, BoundKind::Memory),
+            (self.actor_bound_cycles, BoundKind::Actor),
+            (self.ring_bound_cycles, BoundKind::Ring),
+        ] {
+            if cycles > best {
+                best = cycles;
+                kind = candidate;
+            }
+        }
+        kind
     }
 }
 
@@ -492,11 +529,126 @@ pub fn estimate(kernel: &Kernel, device: &Device) -> AnalyticEstimate {
     }
 }
 
+/// Admissible producer/consumer per-iteration cost ratio before the
+/// `unbalanced-stages` lint fires: a producer may run up to 50% over the
+/// consumer before the model considers the loads unhideable (TMA latency
+/// and pipeline fill absorb modest imbalance).
+pub const OVERLAP_WINDOW: f64 = 1.5;
+
+/// The resource that caps [`Device::occupancy`] for `kernel`: the name of
+/// the smallest per-SM budget quotient (`smem`, `regs`, `threads` or
+/// hardware CTA `slots`).
+fn occupancy_limiter(kernel: &Kernel, device: &Device) -> &'static str {
+    let quotients = [
+        ("smem", device.smem_per_sm / kernel.smem_bytes.max(1)),
+        ("regs", device.regs_per_sm / kernel.regs_per_cta().max(1)),
+        (
+            "threads",
+            device.max_threads_per_sm as u64 / kernel.threads_per_cta().max(1) as u64,
+        ),
+        ("slots", device.max_ctas_per_sm as u64),
+    ];
+    quotients
+        .iter()
+        .min_by_key(|(_, q)| *q)
+        .map(|(name, _)| *name)
+        .unwrap_or("slots")
+}
+
+/// Per-iteration cost of a warp group's steady loop (the loop with the
+/// most total executions): the larger of its serial lower bound and its
+/// throughput demand (`transfer` bytes over the provisioned bandwidth for
+/// load stages, tensor-core cycles for compute stages).
+fn stage_cost_per_iter(body: &[Instr], params: &[u64], ctx: &Ctx<'_>) -> f64 {
+    let mut sites = Vec::new();
+    collect_loops(body, params, 1.0, &mut sites);
+    let Some(steady) = sites
+        .iter()
+        .max_by(|a, b| a.total_execs.total_cmp(&b.total_execs))
+    else {
+        return 0.0;
+    };
+    let mut work = ClassWork::default();
+    class_work(steady.body, params, ctx.device, &mut work);
+    // One steady-body execution moves the bytes and issues the WGMMAs of
+    // all slots it unrolls; its trip count already excludes the unroll.
+    let throughput =
+        (work.load_bytes / ctx.load_bw + work.store_bytes / ctx.store_bw).max(work.tc_cycles);
+    serial_cycles(steady.body, params, ctx).max(throughput)
+}
+
+/// Builds the [`PerfModel`] for `kernel` on `device`: the analytic facts
+/// `tawa_wsir::analyze_kernel` needs to decide the model-gated perf lints
+/// (`single-buffered-pipeline`, `unbalanced-stages`, `occupancy-capped`).
+///
+/// The producer/consumer stage costs come from the representative CTA
+/// class (largest multiplicity); `Uniform` warp groups contribute to both
+/// stages, which keeps the ratio at 1 and the stage lints quiet for
+/// non-specialized kernels.
+pub fn perf_model(kernel: &Kernel, device: &Device) -> PerfModel {
+    let est = estimate(kernel, device);
+    let bottleneck = est.bottleneck();
+
+    let grid = kernel.grid_size();
+    let active_sms = grid.min(device.sms as u64).max(1) as f64;
+    let l2_bonus = if kernel.persistent {
+        device.persistent_l2_bonus
+    } else {
+        1.0
+    };
+    let ctx = Ctx {
+        device,
+        load_bw: (device.l2_bytes_per_cycle / active_sms).min(device.tma_engine_bytes_per_cycle)
+            * l2_bonus,
+        store_bw: device.hbm_bytes_per_cycle / active_sms,
+    };
+
+    let params: &[u64] = kernel
+        .classes
+        .iter()
+        .max_by_key(|c| c.multiplicity)
+        .map(|c| c.params.as_slice())
+        .unwrap_or(&[]);
+    let mut producer = 0.0_f64;
+    let mut consumer = 0.0_f64;
+    let mut consumers = 0u32;
+    for wg in &kernel.warp_groups {
+        let cost = stage_cost_per_iter(&wg.body, params, &ctx);
+        match wg.role {
+            Role::Producer => producer = producer.max(cost),
+            Role::Consumer => {
+                consumer = consumer.max(cost);
+                consumers += 1;
+            }
+            Role::Uniform => {
+                producer = producer.max(cost);
+                consumer = consumer.max(cost);
+                consumers += 1;
+            }
+        }
+    }
+
+    PerfModel {
+        producer_cycles_per_iter: producer,
+        consumer_cycles_per_iter: consumer,
+        overlap_window: OVERLAP_WINDOW,
+        ctas_per_sm: est.occupancy,
+        // Two resident consumer warp groups keep the WGMMA pipe saturated
+        // (the paper's ping-pong rationale): a CTA carrying fewer needs
+        // proportionally more residency.
+        saturation_ctas_per_sm: 2u32.div_ceil(consumers.max(1)),
+        occupancy_limiter: occupancy_limiter(kernel, device).to_string(),
+        smem_per_sm: device.smem_per_sm,
+        ring_is_bottleneck: bottleneck == BoundKind::Ring,
+        overlap_is_bottleneck: matches!(bottleneck, BoundKind::Actor | BoundKind::Ring),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::run::simulate;
-    use tawa_wsir::{MmaDtype, Role};
+    use tawa_wsir::MmaDtype;
 
     /// Warp-specialized GEMM-shaped kernel with ring depth `d` and MMA
     /// pipeline depth `p` (the two Fig. 11 axes), hand-lowered the same
@@ -632,5 +784,48 @@ mod tests {
     fn version_constant_is_independent_of_cost_model() {
         // Compile-time sanity: the analytic model versions separately.
         assert_eq!(ANALYTIC_MODEL_VERSION, 1);
+    }
+
+    #[test]
+    fn bottleneck_names_the_binding_bound() {
+        let dev = Device::h100_sxm5();
+        // Single-buffered: the ring recurrence pays a full TMA round trip
+        // every iteration and dominates.
+        let est = estimate(&ws_kernel(132, 48, 1, 1), &dev);
+        assert_eq!(est.bottleneck(), BoundKind::Ring, "{est:?}");
+        let max = est
+            .tc_bound_cycles
+            .max(est.mem_bound_cycles)
+            .max(est.actor_bound_cycles)
+            .max(est.ring_bound_cycles);
+        assert_eq!(max, est.ring_bound_cycles);
+    }
+
+    #[test]
+    fn perf_model_reflects_ring_depth_and_roles() {
+        let dev = Device::h100_sxm5();
+        let shallow = perf_model(&ws_kernel(528, 48, 1, 1), &dev);
+        assert!(shallow.ring_is_bottleneck, "{shallow:?}");
+        assert!(shallow.overlap_is_bottleneck);
+        assert!(shallow.ctas_per_sm > 0);
+        // A GEMM-shaped steady loop is balanced within the overlap
+        // window: only the ring depth is wrong, not the stage split.
+        assert!(
+            shallow.producer_cycles_per_iter
+                <= shallow.overlap_window * shallow.consumer_cycles_per_iter,
+            "{shallow:?}"
+        );
+        let deep = perf_model(&ws_kernel(528, 48, 3, 2), &dev);
+        assert!(!deep.ring_is_bottleneck, "{deep:?}");
+        assert_eq!(deep.saturation_ctas_per_sm, 2); // one consumer WG
+        assert_eq!(deep.smem_per_sm, dev.smem_per_sm);
+    }
+
+    #[test]
+    fn occupancy_limiter_tracks_the_smallest_budget() {
+        let dev = Device::h100_sxm5();
+        let mut k = ws_kernel(132, 16, 2, 1);
+        k.smem_bytes = 200 * 1024; // 1 CTA/SM by smem
+        assert_eq!(perf_model(&k, &dev).occupancy_limiter, "smem");
     }
 }

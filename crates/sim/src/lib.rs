@@ -84,7 +84,7 @@ pub mod run;
 /// needs no bump here.
 pub const COST_MODEL_VERSION: u32 = 1;
 
-pub use analytic::{estimate, AnalyticEstimate, ANALYTIC_MODEL_VERSION};
+pub use analytic::{estimate, perf_model, AnalyticEstimate, BoundKind, ANALYTIC_MODEL_VERSION};
 pub use device::Device;
 pub use engine::{EngineCfg, EngineResult, EngineStats};
 pub use mbarrier::Mbarrier;

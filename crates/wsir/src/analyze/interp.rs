@@ -31,18 +31,13 @@ use super::{InstrPath, Lint, LintKind};
 use crate::instr::{BarId, Instr, Role};
 use crate::kernel::Kernel;
 
-/// Total instructions interpreted per CTA class before giving up. Real
-/// kernels execute a few thousand abstract steps; the bound only exists so
-/// adversarial trip counts cannot hang the compiler.
-const FUEL: u64 = 2_000_000;
-
-pub(super) fn check(k: &Kernel) -> Vec<Lint> {
+pub(super) fn check(k: &Kernel, fuel: u64) -> Vec<Lint> {
     let mut lints = Vec::new();
     scan_static(k, &mut lints);
     let pairs = derive_pairs(k);
     let mut seen: HashSet<String> = HashSet::new();
     for ci in 0..k.classes.len() {
-        for lint in interp_class(k, ci, &pairs) {
+        for lint in interp_class(k, ci, &pairs, fuel) {
             if seen.insert(dedup_key(&lint)) {
                 lints.push(lint);
             }
@@ -72,7 +67,7 @@ fn dedup_key(l: &Lint) -> String {
             *class = 0;
             *arrived = 0;
         }
-        LintKind::AnalysisBudget { class } => *class = 0,
+        LintKind::AnalysisBudget { class, .. } => *class = 0,
         LintKind::SmemOverflow { max_in_flight, .. } => *max_in_flight = 0,
         LintKind::SharedMemRace { generation, .. } => *generation = 0,
         LintKind::DoubleArrive { residue, .. } => *residue = 0,
@@ -136,10 +131,12 @@ fn scan_static(k: &Kernel, lints: &mut Vec<Lint>) {
 
 /// The tile ownership map: `full` barrier (TMA-written, a tile slot) →
 /// `empty` barrier (credit-initialized guard the writer consumes before
-/// reusing the slot), and its inverse.
-struct Pairs {
-    guard_of: HashMap<usize, usize>,
-    data_of: HashMap<usize, usize>,
+/// reusing the slot), and its inverse. Shared with the performance tier
+/// ([`super::perf`]), which uses it to tell slot-guarding barrier edges
+/// apart from pure synchronization.
+pub(super) struct Pairs {
+    pub(super) guard_of: HashMap<usize, usize>,
+    pub(super) data_of: HashMap<usize, usize>,
 }
 
 /// Recovers slot pairs from the emitted protocol shape. Primary evidence
@@ -150,7 +147,7 @@ struct Pairs {
 /// the n-th release of a credit-initialized barrier. Anything ambiguous —
 /// conflicting evidence, multiple writers — is dropped rather than
 /// guessed, so the race checks stay conservative.
-fn derive_pairs(k: &Kernel) -> Pairs {
+pub(super) fn derive_pairs(k: &Kernel) -> Pairs {
     let nbars = k.barriers.len();
     let init = |b: usize| k.barriers[b].init_phases;
     // data -> Some(guard) candidate, None = conflicting evidence.
@@ -330,7 +327,7 @@ fn path_of(actor: &Actor<'_>, wg: usize) -> InstrPath {
     }
 }
 
-fn interp_class(k: &Kernel, ci: usize, pairs: &Pairs) -> Vec<Lint> {
+fn interp_class(k: &Kernel, ci: usize, pairs: &Pairs, fuel_budget: u64) -> Vec<Lint> {
     let params: &[u64] = &k.classes[ci].params;
     let mut bars: Vec<AbsBar> = k
         .barriers
@@ -370,7 +367,7 @@ fn interp_class(k: &Kernel, ci: usize, pairs: &Pairs) -> Vec<Lint> {
     let mut resident: HashSet<(usize, Vec<usize>)> = HashSet::new();
     let mut race_flagged: HashSet<(usize, bool)> = HashSet::new();
     let mut lints = Vec::new();
-    let mut fuel = FUEL;
+    let mut fuel = fuel_budget.max(1);
 
     loop {
         let mut progressed = false;
@@ -504,7 +501,10 @@ fn interp_class(k: &Kernel, ci: usize, pairs: &Pairs) -> Vec<Lint> {
                 progressed = true;
                 fuel -= 1;
                 if fuel == 0 {
-                    lints.push(Lint::new(LintKind::AnalysisBudget { class: ci }));
+                    lints.push(Lint::new(LintKind::AnalysisBudget {
+                        class: ci,
+                        budget: fuel_budget,
+                    }));
                     return lints;
                 }
             }

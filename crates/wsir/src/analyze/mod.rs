@@ -45,6 +45,7 @@ use crate::instr::{BarId, Count, Instr, Role};
 use crate::kernel::{Kernel, SrcLoc};
 
 mod interp;
+pub mod perf;
 
 /// How serious a lint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -243,8 +244,94 @@ pub enum LintKind {
     AnalysisBudget {
         /// CTA class that exhausted the budget.
         class: usize,
+        /// The instruction budget that was exhausted.
+        budget: u64,
+    },
+    /// A tile computation whose result never reaches a store or epilogue
+    /// (performance tier, from tile-IR liveness — see [`perf`]).
+    DeadCompute {
+        /// Mnemonic of the dead operation (e.g. `tile.dot`).
+        op: String,
+    },
+    /// An aref ring of depth 1 although the shared-memory budget admits a
+    /// deeper ring: the producer and consumer serialize on one slot.
+    SingleBufferedPipeline {
+        /// Bytes staged per ring slot.
+        slot_bytes: u64,
+        /// Ring depth the shared-memory budget admits.
+        admissible: u64,
+    },
+    /// A barrier edge that orders no tile access: it is not part of any
+    /// aref slot's full/empty pair and no TMA transfer posts to it, so the
+    /// handshake only serializes warp groups.
+    OverSynchronized {
+        /// The barrier.
+        bar: BarId,
+        /// Barrier name.
+        name: String,
+    },
+    /// Producer/consumer per-iteration cost ratio outside the analytic
+    /// model's overlap window: no ring depth can hide the loads.
+    UnbalancedStages {
+        /// Producer cycles per steady-loop iteration.
+        producer_cycles: u64,
+        /// Consumer cycles per steady-loop iteration.
+        consumer_cycles: u64,
+        /// Admissible producer/consumer ratio for full overlap.
+        window: f64,
+    },
+    /// The resource budget caps occupancy below the device's tensor-core
+    /// saturation point while per-CTA serialization is the bottleneck.
+    OccupancyCapped {
+        /// Achieved resident CTAs per SM.
+        occupancy: u32,
+        /// CTAs per SM needed to saturate the tensor cores.
+        saturation: u32,
+        /// Resource capping occupancy (`smem`, `regs`, `threads`, `slots`).
+        limiter: String,
+    },
+    /// Reaching definitions prove an aref slot is read before any TMA or
+    /// compute write could populate it.
+    UninitializedTileRead {
+        /// Printable name of the slot value read too early.
+        slot: String,
     },
 }
+
+/// Every stable lint id the analyzer can emit, in [`LintKind`]
+/// declaration order. `tawa-lint --deny` validates requested ids against
+/// this list (a typo in a CI gate must fail loudly, not silently match
+/// nothing), and the docs job checks every id has a catalog section in
+/// `docs/lints.md`. Kept exhaustive by a unit test that constructs one
+/// exemplar of every variant.
+pub const ALL_LINT_IDS: &[&str] = &[
+    "no-warp-groups",
+    "no-cta-classes",
+    "zero-multiplicity",
+    "empty-body",
+    "bar-out-of-range",
+    "zero-byte-tma",
+    "loop-param-out-of-range",
+    "empty-loop-body",
+    "degenerate-wgmma",
+    "zero-arrive-count",
+    "wait-never-signalled",
+    "static-deadlock",
+    "sync-deadlock",
+    "shared-mem-race",
+    "double-arrive",
+    "dead-barrier",
+    "unawaited-barrier",
+    "smem-overflow",
+    "oversized-tma",
+    "analysis-budget",
+    "dead-compute",
+    "single-buffered-pipeline",
+    "over-synchronized",
+    "unbalanced-stages",
+    "occupancy-capped",
+    "uninitialized-tile-read",
+];
 
 impl LintKind {
     /// Stable kebab-case lint id (used by `tawa-lint` and docs/lints.md).
@@ -270,6 +357,12 @@ impl LintKind {
             LintKind::SmemOverflow { .. } => "smem-overflow",
             LintKind::OversizedTma { .. } => "oversized-tma",
             LintKind::AnalysisBudget { .. } => "analysis-budget",
+            LintKind::DeadCompute { .. } => "dead-compute",
+            LintKind::SingleBufferedPipeline { .. } => "single-buffered-pipeline",
+            LintKind::OverSynchronized { .. } => "over-synchronized",
+            LintKind::UnbalancedStages { .. } => "unbalanced-stages",
+            LintKind::OccupancyCapped { .. } => "occupancy-capped",
+            LintKind::UninitializedTileRead { .. } => "uninitialized-tile-read",
         }
     }
 
@@ -281,9 +374,29 @@ impl LintKind {
             | LintKind::UnawaitedBarrier { .. }
             | LintKind::SmemOverflow { .. }
             | LintKind::OversizedTma { .. }
-            | LintKind::AnalysisBudget { .. } => Severity::Warning,
+            | LintKind::AnalysisBudget { .. }
+            | LintKind::DeadCompute { .. }
+            | LintKind::SingleBufferedPipeline { .. }
+            | LintKind::OverSynchronized { .. }
+            | LintKind::UnbalancedStages { .. }
+            | LintKind::OccupancyCapped { .. }
+            | LintKind::UninitializedTileRead { .. } => Severity::Warning,
             _ => Severity::Error,
         }
+    }
+
+    /// True for the performance tier ([`perf`]): lints that never gate
+    /// compilation and describe throughput, not correctness.
+    pub fn is_perf(&self) -> bool {
+        matches!(
+            self,
+            LintKind::DeadCompute { .. }
+                | LintKind::SingleBufferedPipeline { .. }
+                | LintKind::OverSynchronized { .. }
+                | LintKind::UnbalancedStages { .. }
+                | LintKind::OccupancyCapped { .. }
+                | LintKind::UninitializedTileRead { .. }
+        )
     }
 }
 
@@ -387,9 +500,50 @@ impl fmt::Display for LintKind {
                 "TMA transfer of {bytes} bytes cannot fit the {smem_bytes}-byte shared \
                  memory staging buffer"
             ),
-            LintKind::AnalysisBudget { class } => write!(
+            LintKind::AnalysisBudget { class, budget } => write!(
                 f,
-                "class {class}: interpretation budget exhausted before the protocol was proven"
+                "class {class}: interpretation budget of {budget} instructions exhausted \
+                 before the protocol was proven"
+            ),
+            LintKind::DeadCompute { op } => write!(
+                f,
+                "result of {op} is never consumed by a store or epilogue — dead compute"
+            ),
+            LintKind::SingleBufferedPipeline {
+                slot_bytes,
+                admissible,
+            } => write!(
+                f,
+                "aref ring is single-buffered ({slot_bytes}-byte slot) but shared memory \
+                 admits depth {admissible} — producer and consumer serialize on one slot"
+            ),
+            LintKind::OverSynchronized { bar, name } => write!(
+                f,
+                "{bar} ({name}) orders no tile access — the barrier edge only serializes \
+                 warp groups"
+            ),
+            LintKind::UnbalancedStages {
+                producer_cycles,
+                consumer_cycles,
+                window,
+            } => write!(
+                f,
+                "producer stage costs {producer_cycles} cycles/iteration against the \
+                 consumer's {consumer_cycles} — outside the {window}x overlap window, no \
+                 ring depth hides the loads"
+            ),
+            LintKind::OccupancyCapped {
+                occupancy,
+                saturation,
+                limiter,
+            } => write!(
+                f,
+                "occupancy capped at {occupancy} CTA/SM by {limiter} — {saturation} CTA/SM \
+                 needed to saturate the tensor cores"
+            ),
+            LintKind::UninitializedTileRead { slot } => write!(
+                f,
+                "aref slot {slot} is read before any TMA or compute write reaches it"
             ),
         }
     }
@@ -474,15 +628,30 @@ pub fn validate(k: &Kernel) -> Result<(), Vec<Lint>> {
     }
 }
 
-/// Full static analysis — both tiers. Structural errors short-circuit the
-/// protocol tier (a malformed kernel cannot be interpreted); otherwise the
-/// abstract interpreter's findings are appended.
+/// Default instruction budget for the abstract interpreter. Real kernels
+/// execute a few thousand abstract steps; the bound only exists so
+/// adversarial trip counts cannot hang the compiler. Override per call
+/// with [`analyze_with_budget`], or process-wide through
+/// `TAWA_ANALYZE_FUEL` (resolved by `tawa-core`'s `CacheEnv`).
+pub const DEFAULT_ANALYSIS_FUEL: u64 = 2_000_000;
+
+/// Full static analysis — both tiers, at the default interpretation
+/// budget. Structural errors short-circuit the protocol tier (a malformed
+/// kernel cannot be interpreted); otherwise the abstract interpreter's
+/// findings are appended.
 pub fn analyze(k: &Kernel) -> Vec<Lint> {
+    analyze_with_budget(k, DEFAULT_ANALYSIS_FUEL)
+}
+
+/// [`analyze`] with an explicit per-class interpretation budget. A class
+/// that exhausts `fuel` abstract steps reports
+/// [`LintKind::AnalysisBudget`] carrying the budget instead of a verdict.
+pub fn analyze_with_budget(k: &Kernel, fuel: u64) -> Vec<Lint> {
     let mut lints = structural(k);
     if lints.iter().any(|l| l.severity() == Severity::Error) {
         return lints;
     }
-    lints.extend(interp::check(k));
+    lints.extend(interp::check(k, fuel));
     lints.sort_by_key(|l| std::cmp::Reverse(l.severity()));
     lints
 }
@@ -645,6 +814,123 @@ mod tests {
         let mut k = Kernel::new("t");
         k.uniform_grid(4);
         k
+    }
+
+    #[test]
+    fn all_lint_ids_is_exhaustive_and_kebab_case() {
+        // One exemplar per variant, in declaration order. Adding a
+        // LintKind variant forces an `id()` arm (exhaustive match) and
+        // this test forces the ALL_LINT_IDS entry alongside it.
+        let exemplars = vec![
+            LintKind::NoWarpGroups,
+            LintKind::NoCtaClasses,
+            LintKind::ZeroMultiplicity { class: 0 },
+            LintKind::EmptyBody {
+                role: Role::Producer,
+            },
+            LintKind::BarOutOfRange { bar: BarId(0) },
+            LintKind::ZeroByteTma,
+            LintKind::LoopParamOutOfRange { param: 0, max: 0 },
+            LintKind::EmptyLoopBody,
+            LintKind::DegenerateWgmma { m: 0, n: 0, k: 0 },
+            LintKind::ZeroArriveCount {
+                bar: BarId(0),
+                name: "b".into(),
+            },
+            LintKind::WaitNeverSignalled {
+                bar: BarId(0),
+                name: "b".into(),
+            },
+            LintKind::StaticDeadlock {
+                class: 0,
+                role: Role::Consumer,
+                bar: BarId(0),
+                name: "b".into(),
+                waiting_phase: 0,
+                completed_phases: 0,
+                arrivals: 0,
+                arrive_count: 1,
+            },
+            LintKind::SyncDeadlock {
+                class: 0,
+                role: Role::Consumer,
+                arrived: 0,
+                expected: 1,
+            },
+            LintKind::SharedMemRace {
+                data: BarId(0),
+                name: "b".into(),
+                guard: BarId(1),
+                role: Role::Producer,
+                generation: 0,
+                write: true,
+            },
+            LintKind::DoubleArrive {
+                bar: BarId(0),
+                name: "b".into(),
+                residue: 1,
+            },
+            LintKind::DeadBarrier {
+                bar: BarId(0),
+                name: "b".into(),
+            },
+            LintKind::UnawaitedBarrier {
+                bar: BarId(0),
+                name: "b".into(),
+            },
+            LintKind::SmemOverflow {
+                max_in_flight: 1,
+                smem_bytes: 0,
+            },
+            LintKind::OversizedTma {
+                bytes: 1,
+                smem_bytes: 0,
+            },
+            LintKind::AnalysisBudget {
+                class: 0,
+                budget: 1,
+            },
+            LintKind::DeadCompute {
+                op: "tile.dot".into(),
+            },
+            LintKind::SingleBufferedPipeline {
+                slot_bytes: 1,
+                admissible: 2,
+            },
+            LintKind::OverSynchronized {
+                bar: BarId(0),
+                name: "b".into(),
+            },
+            LintKind::UnbalancedStages {
+                producer_cycles: 2,
+                consumer_cycles: 1,
+                window: 1.5,
+            },
+            LintKind::OccupancyCapped {
+                occupancy: 1,
+                saturation: 2,
+                limiter: "smem".into(),
+            },
+            LintKind::UninitializedTileRead { slot: "v0".into() },
+        ];
+        let ids: Vec<&str> = exemplars.iter().map(LintKind::id).collect();
+        assert_eq!(
+            ids, ALL_LINT_IDS,
+            "ALL_LINT_IDS must track LintKind declaration order"
+        );
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "duplicate lint id");
+        for id in ids {
+            assert!(
+                !id.is_empty()
+                    && id.chars().all(|c| c.is_ascii_lowercase() || c == '-')
+                    && !id.starts_with('-')
+                    && !id.ends_with('-'),
+                "{id} is not kebab-case"
+            );
+        }
     }
 
     #[test]

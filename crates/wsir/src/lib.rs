@@ -60,7 +60,11 @@ pub mod kernel;
 pub mod print;
 pub mod serialize;
 
-pub use analyze::{analyze, deadlock_verdict, validate, InstrPath, Lint, LintKind, Severity};
+pub use analyze::perf::{analyze_ir, analyze_kernel, PerfModel};
+pub use analyze::{
+    analyze, analyze_with_budget, deadlock_verdict, validate, InstrPath, Lint, LintKind, Severity,
+    ALL_LINT_IDS, DEFAULT_ANALYSIS_FUEL,
+};
 pub use instr::{BarId, Count, Instr, MmaDtype, Role};
 pub use kernel::{BarrierDecl, CtaClass, Kernel, SrcLoc, WarpGroup};
 pub use print::print_kernel;

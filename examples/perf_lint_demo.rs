@@ -1,0 +1,74 @@
+//! The performance-lint tier on a deliberately mis-tuned kernel: compile
+//! the zoo GEMM with a single-buffered aref ring (`D = 1`), let the
+//! analyzer explain *why* it is slow (`single-buffered-pipeline`, with
+//! the admissible depth), then show the suggested depth actually winning
+//! in the simulator.
+//!
+//! ```sh
+//! cargo run --release --example perf_lint_demo [out.wsir]
+//! ```
+//!
+//! With an argument, the single-buffered kernel is also serialized to
+//! `out.wsir` so `tawa-lint --perf` can be pointed at it — CI does
+//! exactly that and gates on the lint id with
+//! `--deny single-buffered-pipeline` (exit code 2).
+
+use tawa::core::CompileOptions;
+use tawa::frontend::config::GemmConfig;
+use tawa::frontend::kernels::gemm;
+use tawa::sim::Device;
+use tawa::CompileSession;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args().nth(1);
+    let device = Device::h100_sxm5();
+    let session = CompileSession::new(&device);
+    let program = gemm(&GemmConfig::new(4096, 4096, 4096));
+
+    // A single slot: the producer and consumer serialize on one buffer.
+    let single = CompileOptions {
+        aref_depth: 1,
+        mma_depth: 1,
+        ..CompileOptions::default()
+    };
+    let summary = session.perf_summary_program(&program, &single)?;
+    println!("D=1 perf lints:");
+    println!("{summary}");
+    let slow = session.compile_and_simulate_program(&program, &single)?;
+    println!("  simulated: {:.1} TFLOP/s", slow.tflops);
+
+    // The lint reports the ring depth the smem budget admits; re-tuning
+    // to it must beat the single-buffered configuration.
+    let suggested = summary
+        .lints
+        .iter()
+        .find_map(|l| match l.kind {
+            tawa::wsir::LintKind::SingleBufferedPipeline { admissible, .. } => {
+                Some(admissible as usize)
+            }
+            _ => None,
+        })
+        .expect("D=1 GEMM must be flagged single-buffered-pipeline");
+    let tuned = CompileOptions {
+        aref_depth: suggested,
+        mma_depth: suggested.min(2),
+        ..CompileOptions::default()
+    };
+    let tuned_summary = session.perf_summary_program(&program, &tuned)?;
+    let fast = session.compile_and_simulate_program(&program, &tuned)?;
+    println!("D={suggested} perf lints: {tuned_summary}");
+    println!("  simulated: {:.1} TFLOP/s", fast.tflops);
+    assert!(
+        fast.tflops > slow.tflops,
+        "suggested depth must win: {} vs {}",
+        fast.tflops,
+        slow.tflops
+    );
+
+    if let Some(path) = out {
+        let kernel = session.compile_program(&program, &single)?;
+        std::fs::write(&path, tawa::wsir::serialize_kernel(&kernel))?;
+        println!("wrote single-buffered kernel to {path}");
+    }
+    Ok(())
+}

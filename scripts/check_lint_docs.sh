@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Doc-consistency gate: every lint id in `tawa_wsir::ALL_LINT_IDS`
+# (crates/wsir/src/analyze/mod.rs — kept exhaustive by a unit test) must
+# have a matching entry in docs/lints.md: a catalog heading or a
+# lint-table row carrying the backticked id. Run from the repo root;
+# CI's docs job fails on any missing entry.
+set -euo pipefail
+
+src="crates/wsir/src/analyze/mod.rs"
+doc="docs/lints.md"
+ids=$(sed -n '/pub const ALL_LINT_IDS/,/];/p' "$src" | grep -o '"[a-z-]*"' | tr -d '"')
+[ -n "$ids" ] || { echo "error: no ids parsed from $src" >&2; exit 1; }
+
+missing=0
+for id in $ids; do
+  if ! grep -qE "^(#|\|).*\`$id\`" "$doc"; then
+    echo "error: lint id '$id' has no section anchor or table row in $doc" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+echo "all $(echo "$ids" | wc -l) lint ids documented in $doc"
